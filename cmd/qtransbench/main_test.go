@@ -1,0 +1,72 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingExperiment(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing -experiment accepted")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "nope"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunTinyExperiment(t *testing.T) {
+	// table1 is computation-free; fig4 exercises the generators.
+	if err := run([]string{"-experiment", "table1", "-scale", "0.0001"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTinyExperimentWithPlot(t *testing.T) {
+	if err := run([]string{"-experiment", "table1", "-scale", "0.0001", "-plot"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChartFromRows(t *testing.T) {
+	raw := "u\torg_qps\topt_qps\tspeedup\n0\t1000\t2000\t2\n0.25\t1500\t1800\t1.2\n"
+	c := chartFromRows("t", raw)
+	if c == nil {
+		t.Fatal("nil chart")
+	}
+	// speedup column filtered out because _qps columns exist.
+	if len(c.Series) != 2 || c.Series[0].Name != "org_qps" || c.Series[1].Name != "opt_qps" {
+		t.Fatalf("series = %+v", c.Series)
+	}
+	if len(c.XLabels) != 2 || c.XLabels[0] != "u=0" {
+		t.Fatalf("xlabels = %v", c.XLabels)
+	}
+	if c.Series[1].Values[0] != 2000 {
+		t.Fatalf("values = %v", c.Series[1].Values)
+	}
+}
+
+func TestChartFromRowsNonNumeric(t *testing.T) {
+	if c := chartFromRows("t", "a\tb\nx\ty\n"); c != nil {
+		t.Fatalf("non-numeric rows produced a chart: %+v", c)
+	}
+	if c := chartFromRows("t", "only-header\n"); c != nil {
+		t.Fatal("header-only rows produced a chart")
+	}
+	// Ragged rows (fig13's imbalance summary) must be rejected, not
+	// mis-parsed.
+	if c := chartFromRows("t", "a\tb\n1\t2\nsummary-row\n"); c != nil {
+		t.Fatal("ragged rows produced a chart")
+	}
+}

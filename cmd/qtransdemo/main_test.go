@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+// TestRunDemo executes the full demo pipeline; its assertions live in
+// the core package's TestPaperRunningExample* tests — here we only
+// require that the end-to-end walk succeeds.
+func TestRunDemo(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequenceIsThePaperExample(t *testing.T) {
+	qs := sequence()
+	if len(qs) != 9 {
+		t.Fatalf("running example has %d queries, want 9", len(qs))
+	}
+	// Query 7 is D(key3).
+	if qs[6].String() != "D(3)@6" {
+		t.Fatalf("q7 = %v", qs[6])
+	}
+}

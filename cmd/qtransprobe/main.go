@@ -1,0 +1,79 @@
+// Command qtransprobe measures a single (dataset, update-ratio)
+// configuration across engine modes and prints the per-stage time
+// breakdown — the quick diagnosis tool behind EXPERIMENTS.md's cost
+// analysis.
+//
+// Usage:
+//
+//	qtransprobe -dataset zipfian -scale 0.15 -u 0.25 -batches 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "qtransprobe:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("qtransprobe", flag.ContinueOnError)
+	var (
+		dataset = fs.String("dataset", "zipfian", "Table I dataset name")
+		scale   = fs.Float64("scale", 0.05, "dataset scale in (0,1]")
+		u       = fs.Float64("u", 0.25, "update ratio")
+		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "BSP workers")
+		batches = fs.Int("batches", 3, "batches per mode")
+		seed    = fs.Int64("seed", 42, "workload seed")
+		modes   = fs.String("modes", "org,intra,inter,sim", "comma-separated modes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rn := harness.NewRunner(harness.Options{
+		Scale: *scale, Workers: *workers, Seed: *seed,
+		CacheCapacity: 1 << 16, Batches: *batches,
+	})
+	spec, err := workload.SpecByName(*dataset, *scale)
+	if err != nil {
+		return err
+	}
+
+	byName := map[string]core.Mode{
+		"org": core.Original, "intra": core.Intra,
+		"inter": core.IntraInter, "sim": core.SimIntra,
+	}
+	for _, name := range strings.Split(*modes, ",") {
+		mode, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return fmt.Errorf("unknown mode %q (want org, intra, inter, sim)", name)
+		}
+		res, err := rn.RunOne(spec, mode, *u, 0, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-6s qps=%.3g reduction=%.3f mean_latency=%v  ",
+			mode, res.Throughput, res.ReductionRatio(), res.Latency.Mean().Round(time.Millisecond))
+		for _, s := range stats.Stages() {
+			if res.Totals.Elapsed[s] > 0 {
+				fmt.Printf("%s=%v ", s, res.Totals.Elapsed[s].Round(time.Millisecond))
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}

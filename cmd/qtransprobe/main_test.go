@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestRunTinyProbe(t *testing.T) {
+	err := run([]string{"-dataset", "uniform", "-scale", "0.0002", "-batches", "1", "-workers", "1", "-modes", "org,sim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run([]string{"-dataset", "nope", "-scale", "0.0002"}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestRunUnknownMode(t *testing.T) {
+	if err := run([]string{"-dataset", "uniform", "-scale", "0.0002", "-modes", "warp"}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,115 @@
+package repro
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExportedIdentifiersDocumented enforces the repository's
+// documentation bar: every exported type, function, method, and
+// constant/variable group in non-test source files must carry a doc
+// comment. This keeps the public API godoc-complete as the codebase
+// grows.
+func TestExportedIdentifiersDocumented(t *testing.T) {
+	var missing []string
+	fset := token.NewFileSet()
+
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					missing = append(missing, fset.Position(d.Pos()).String()+": func "+d.Name.Name)
+				}
+			case *ast.GenDecl:
+				groupDoc := d.Doc != nil
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
+							missing = append(missing, fset.Position(s.Pos()).String()+": type "+s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							if n.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
+								missing = append(missing, fset.Position(s.Pos()).String()+": "+n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Errorf("%d exported identifiers lack doc comments:\n  %s",
+			len(missing), strings.Join(missing, "\n  "))
+	}
+}
+
+// TestPackagesHaveDocComments requires a package-level doc comment in
+// every library package (one file per package must document it).
+func TestPackagesHaveDocComments(t *testing.T) {
+	documented := map[string]bool{}
+	seen := map[string]bool{}
+	fset := token.NewFileSet()
+
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		dir := filepath.Dir(path)
+		seen[dir] = true
+		if f.Doc != nil {
+			documented[dir] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dir := range seen {
+		if !documented[dir] {
+			t.Errorf("package in %s has no package doc comment", dir)
+		}
+	}
+}

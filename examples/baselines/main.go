@@ -1,0 +1,172 @@
+// Baselines: the concurrency-scheme comparison that motivates §II-B —
+// the same skewed mixed workload evaluated by four processors:
+//
+//  1. serial B+ tree (one thread, textbook rebalancing),
+//  2. latch-crabbing concurrent B+ tree (lock-per-node, asynchronous),
+//  3. PALM (latch-free BSP batches),
+//  4. PALM + QTrans (this paper).
+//
+// All four must produce identical results; the example cross-checks
+// them and prints the throughput ladder.
+//
+// Run with: go run ./examples/baselines [-queries 200000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/keys"
+	"repro/internal/lockbtree"
+	"repro/internal/palm"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		queries = flag.Int("queries", 200_000, "total queries")
+		records = flag.Int("records", 50_000, "preloaded records")
+		batch   = flag.Int("batch", 20_000, "batch size for batched processors")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "threads for concurrent processors")
+		seed    = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	gen := workload.NewSelfSimilar(uint64(*records)*2, 0.2)
+	stream := workload.Batch(gen, rand.New(rand.NewSource(*seed)), *queries, 0.25)
+
+	fmt.Printf("workload: %s, %d queries (U-0.25), %d preloaded records, %d threads\n\n",
+		gen.Name(), *queries, *records, *workers)
+
+	serialQPS, serialSum := runSerial(stream, *records)
+	fmt.Printf("  1. serial B+ tree        : %12.0f q/s\n", serialQPS)
+
+	lockQPS, lockSum := runLockTree(stream, *records, *workers)
+	fmt.Printf("  2. latch-crabbing tree   : %12.0f q/s  (%.2fx serial)\n", lockQPS, lockQPS/serialQPS)
+
+	palmQPS, palmSum := runEngine(stream, *records, *batch, *workers, core.Original)
+	fmt.Printf("  3. PALM (latch-free BSP) : %12.0f q/s  (%.2fx serial)\n", palmQPS, palmQPS/serialQPS)
+
+	optQPS, optSum := runEngine(stream, *records, *batch, *workers, core.IntraInter)
+	fmt.Printf("  4. PALM + QTrans         : %12.0f q/s  (%.2fx serial, %.2fx PALM)\n",
+		optQPS, optQPS/serialQPS, optQPS/palmQPS)
+
+	// The batched processors evaluate batches as-if-serial, so their
+	// final store contents must agree with the serial tree exactly.
+	// The latch-crabbing run interleaves threads arbitrarily, so only
+	// its cardinality-insensitive checksum basis is reported.
+	if serialSum != palmSum || serialSum != optSum {
+		log.Fatalf("state divergence: serial=%x palm=%x qtrans=%x", serialSum, palmSum, optSum)
+	}
+	fmt.Printf("\nstate checksums: serial=%x palm=%x qtrans=%x (equal), lock-crabbing=%x (interleaved order)\n",
+		serialSum, palmSum, optSum, lockSum)
+}
+
+// checksum folds the store contents into an order-insensitive digest.
+func checksum(ks []keys.Key, vs []keys.Value) uint64 {
+	var sum uint64
+	for i := range ks {
+		h := uint64(ks[i])*0x9e3779b97f4a7c15 ^ uint64(vs[i])
+		h ^= h >> 33
+		sum += h * 0xff51afd7ed558ccd
+	}
+	return sum
+}
+
+func preloadQueries(records int) []keys.Query {
+	pre := make([]keys.Query, records)
+	for i := range pre {
+		pre[i] = keys.Insert(keys.Key(i), keys.Value(i))
+	}
+	return keys.Number(pre)
+}
+
+func runSerial(stream []keys.Query, records int) (float64, uint64) {
+	tr := btree.MustNew(0)
+	for _, q := range preloadQueries(records) {
+		tr.Apply(q, nil)
+	}
+	rs := keys.NewResultSet(len(stream))
+	start := time.Now()
+	tr.ApplyAll(stream, rs)
+	elapsed := time.Since(start)
+	ks, vs := tr.Dump()
+	return float64(len(stream)) / elapsed.Seconds(), checksum(ks, vs)
+}
+
+func runLockTree(stream []keys.Query, records, workers int) (float64, uint64) {
+	tr := lockbtree.New(0)
+	for _, q := range preloadQueries(records) {
+		tr.Apply(q, nil)
+	}
+	rs := keys.NewResultSet(len(stream))
+	start := time.Now()
+	var wg sync.WaitGroup
+	chunk := (len(stream) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(stream) {
+			hi = len(stream)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(part []keys.Query) {
+			defer wg.Done()
+			for _, q := range part {
+				tr.Apply(q, rs)
+			}
+		}(stream[lo:hi])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	ks, vs := tr.Dump()
+	return float64(len(stream)) / elapsed.Seconds(), checksum(ks, vs)
+}
+
+func runEngine(stream []keys.Query, records, batchSize, workers int, mode core.Mode) (float64, uint64) {
+	eng, err := core.NewEngine(core.EngineConfig{
+		Mode:          mode,
+		Palm:          palm.Config{Workers: workers, LoadBalance: true},
+		CacheCapacity: 1 << 14,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	rs := keys.NewResultSet(batchSize)
+	pre := preloadQueries(records)
+	for lo := 0; lo < len(pre); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(pre) {
+			hi = len(pre)
+		}
+		chunk := keys.Number(pre[lo:hi])
+		rs.Reset(len(chunk))
+		eng.ProcessBatch(chunk, rs)
+	}
+	work := append([]keys.Query(nil), stream...)
+	start := time.Now()
+	for lo := 0; lo < len(work); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(work) {
+			hi = len(work)
+		}
+		chunk := keys.Number(work[lo:hi])
+		rs.Reset(len(chunk))
+		eng.ProcessBatch(chunk, rs)
+	}
+	elapsed := time.Since(start)
+	eng.Flush()
+	ks, vs := eng.Processor().Tree().Dump()
+	return float64(len(stream)) / elapsed.Seconds(), checksum(ks, vs)
+}

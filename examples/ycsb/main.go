@@ -1,0 +1,82 @@
+// YCSB-style cloud serving workload (the paper's §VI "Realistic Data"
+// evaluation): a key-value store indexed by a B+ tree serving skewed
+// read/update traffic, comparing the original PALM pipeline against
+// the QTrans-optimized one on ycsb-zipfian and ycsb-latest request
+// distributions.
+//
+// Run with: go run ./examples/ycsb [-requests 200000] [-update 0.25]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/keys"
+	"repro/internal/palm"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		requests = flag.Int("requests", 200_000, "requests per distribution")
+		records  = flag.Int("records", 50_000, "records preloaded into the store")
+		batch    = flag.Int("batch", 20_000, "requests per batch")
+		update   = flag.Float64("update", 0.25, "update ratio (rest are reads)")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "BSP threads")
+		seed     = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	gens := []workload.Generator{
+		workload.NewScrambledZipfian(uint64(*records), 0.99),
+		workload.NewLatest(uint64(*records)),
+	}
+	for _, gen := range gens {
+		fmt.Printf("== %s: %d records, %d requests, U-%.2f ==\n",
+			gen.Name(), *records, *requests, *update)
+		orgQPS := run(gen, core.Original, *records, *requests, *batch, *update, *workers, *seed)
+		optQPS := run(gen, core.IntraInter, *records, *requests, *batch, *update, *workers, *seed)
+		fmt.Printf("  original PALM : %12.0f req/s\n", orgQPS)
+		fmt.Printf("  with QTrans   : %12.0f req/s  (%.2fx)\n\n", optQPS, optQPS/orgQPS)
+	}
+}
+
+func run(gen workload.Generator, mode core.Mode, records, requests, batchSize int, update float64, workers int, seed int64) float64 {
+	eng, err := core.NewEngine(core.EngineConfig{
+		Mode:          mode,
+		Palm:          palm.Config{Workers: workers, LoadBalance: true},
+		CacheCapacity: 1 << 14,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	// Preload the store.
+	r := rand.New(rand.NewSource(seed))
+	pre := make([]keys.Query, records)
+	for i := range pre {
+		pre[i] = keys.Insert(keys.Key(i), keys.Value(i))
+	}
+	rs := keys.NewResultSet(records)
+	eng.ProcessBatch(keys.Number(pre), rs)
+
+	// Serve the request stream batch by batch.
+	qs := make([]keys.Query, batchSize)
+	var elapsed time.Duration
+	served := 0
+	for served < requests {
+		workload.FillBatch(gen, r, qs, update)
+		rs.Reset(len(qs))
+		start := time.Now()
+		eng.ProcessBatch(qs, rs)
+		elapsed += time.Since(start)
+		served += len(qs)
+	}
+	return float64(served) / elapsed.Seconds()
+}

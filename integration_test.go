@@ -1,0 +1,214 @@
+// Package repro's root integration tests drive the full system — every
+// Table I dataset through every engine mode — and check as-if-serial
+// semantics against the oracle, tree structural invariants, and the
+// monotonicity properties the paper's evaluation relies on (QTrans
+// reduces more on more-skewed data).
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/keys"
+	"repro/internal/oracle"
+	"repro/internal/palm"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// TestAllDatasetsAllModes is the end-to-end differential matrix: 7
+// datasets x 3 modes, several batches each, checked against the oracle
+// per batch and at the end.
+func TestAllDatasetsAllModes(t *testing.T) {
+	const scale = 0.0005
+	for _, spec := range workload.Specs(scale) {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			for _, mode := range []core.Mode{core.Original, core.Intra, core.IntraInter} {
+				mode := mode
+				t.Run(mode.String(), func(t *testing.T) {
+					eng, err := core.NewEngine(core.EngineConfig{
+						Mode:          mode,
+						Palm:          palm.Config{Order: 32, Workers: 4, LoadBalance: true},
+						CacheCapacity: 512,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer eng.Close()
+					o := oracle.New()
+					gen := spec.Build()
+					r := rand.New(rand.NewSource(1))
+
+					batchSize := spec.BatchSize
+					if batchSize > 4000 {
+						batchSize = 4000
+					}
+					for b := 0; b < 5; b++ {
+						u := []float64{0, 0.25, 0.5, 0.75, 1}[b]
+						batch := workload.Batch(gen, r, batchSize, u)
+						want := keys.NewResultSet(len(batch))
+						o.ApplyAll(batch, want)
+						got := keys.NewResultSet(len(batch))
+						eng.ProcessBatch(batch, got)
+						for i := int32(0); i < int32(len(batch)); i++ {
+							w, wok := want.Get(i)
+							g, gok := got.Get(i)
+							if wok != gok || w != g {
+								t.Fatalf("%s/%s batch %d idx %d: got %+v (%v), want %+v (%v)",
+									spec.Name, mode, b, i, g, gok, w, wok)
+							}
+						}
+						if err := eng.Processor().Tree().Validate(btree.RelaxedFill); err != nil {
+							t.Fatalf("%s/%s batch %d: %v", spec.Name, mode, b, err)
+						}
+					}
+					eng.Flush()
+					gk, gv := eng.Processor().Tree().Dump()
+					wk, wv := o.Dump()
+					if len(gk) != len(wk) {
+						t.Fatalf("final sizes %d vs %d", len(gk), len(wk))
+					}
+					for i := range gk {
+						if gk[i] != wk[i] || gv[i] != wv[i] {
+							t.Fatalf("final mismatch at %d", i)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestReductionTracksSkew checks the paper's core premise (§III-C):
+// more-skewed distributions expose more elimination opportunities, so
+// the QTrans reduction ratio must rank zipfian/gaussian far above
+// uniform on equal-sized batches.
+func TestReductionTracksSkew(t *testing.T) {
+	reduction := func(gen workload.Generator) float64 {
+		eng, err := core.NewEngine(core.EngineConfig{
+			Mode: core.Intra,
+			Palm: palm.Config{Order: 32, Workers: 2, LoadBalance: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		r := rand.New(rand.NewSource(5))
+		total := 0.0
+		const rounds = 3
+		for i := 0; i < rounds; i++ {
+			batch := workload.Batch(gen, r, 20000, 0.5)
+			rs := keys.NewResultSet(len(batch))
+			eng.ProcessBatch(batch, rs)
+			total += eng.Stats().ReductionRatio()
+		}
+		return total / rounds
+	}
+
+	uni := reduction(workload.NewUniform(1 << 22))
+	zipf := reduction(workload.NewZipfian(1<<22, 0.99))
+	gauss := reduction(workload.NewGaussian(1 << 22))
+	if zipf <= uni {
+		t.Fatalf("zipfian reduction %.3f not above uniform %.3f", zipf, uni)
+	}
+	if gauss <= uni {
+		t.Fatalf("gaussian reduction %.3f not above uniform %.3f", gauss, uni)
+	}
+	if uni > 0.05 {
+		t.Fatalf("uniform over a huge key space should barely reduce, got %.3f", uni)
+	}
+	if zipf < 0.3 {
+		t.Fatalf("zipfian should reduce substantially, got %.3f", zipf)
+	}
+}
+
+// TestSearchOnlyFastPathSkipsStages: with U-0 batches in QTrans mode,
+// Stage 2/3 never run (the §VI-B "avoiding stage 2" optimization) —
+// observable as zero evaluate/modify time and full leaf-op attribution
+// to Stage 1.
+func TestSearchOnlyFastPathSkipsStages(t *testing.T) {
+	eng, err := core.NewEngine(core.EngineConfig{
+		Mode: core.Intra,
+		Palm: palm.Config{Order: 32, Workers: 2, LoadBalance: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	r := rand.New(rand.NewSource(9))
+	gen := workload.NewUniform(1 << 16)
+
+	seed := workload.Batch(gen, r, 10000, 1) // all updates to populate
+	eng.ProcessBatch(seed, keys.NewResultSet(len(seed)))
+
+	searches := workload.Batch(gen, r, 10000, 0) // U-0
+	rs := keys.NewResultSet(len(searches))
+	eng.ProcessBatch(searches, rs)
+
+	st := eng.Stats()
+	if st.Elapsed[stats.StageCache] != 0 {
+		t.Error("cache stage ran in Intra mode")
+	}
+	if got := st.Elapsed[stats.StageEvaluate] + st.Elapsed[stats.StageModify]; got != 0 {
+		t.Errorf("stage 2/3 ran on a search-only batch: %v", got)
+	}
+	if rs.Answered() != len(searches) {
+		t.Fatalf("answered %d of %d", rs.Answered(), len(searches))
+	}
+}
+
+// TestBulkLoadedTreeUnderEngine: a tree bulk-loaded offline and then
+// driven by the engine behaves identically to one built by inserts.
+func TestBulkLoadedTreeUnderEngine(t *testing.T) {
+	const n = 20000
+	ks := make([]keys.Key, n)
+	vs := make([]keys.Value, n)
+	for i := range ks {
+		ks[i] = keys.Key(i * 2)
+		vs[i] = keys.Value(i)
+	}
+	tree, err := btree.BulkLoad(32, ks, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := palm.NewWithTree(palm.Config{Order: 32, Workers: 4, LoadBalance: true}, tree, nil)
+	defer proc.Close()
+
+	o := oracle.New()
+	for i := range ks {
+		o.Apply(keys.Insert(ks[i], vs[i]), nil)
+	}
+	r := rand.New(rand.NewSource(4))
+	for b := 0; b < 3; b++ {
+		batch := make([]keys.Query, 5000)
+		for i := range batch {
+			k := keys.Key(r.Intn(2 * n))
+			switch r.Intn(3) {
+			case 0:
+				batch[i] = keys.Search(k)
+			case 1:
+				batch[i] = keys.Insert(k, keys.Value(r.Uint32()))
+			default:
+				batch[i] = keys.Delete(k)
+			}
+		}
+		keys.Number(batch)
+		want := keys.NewResultSet(len(batch))
+		o.ApplyAll(batch, want)
+		got := keys.NewResultSet(len(batch))
+		proc.ProcessBatch(batch, got)
+		for i := int32(0); i < int32(len(batch)); i++ {
+			w, wok := want.Get(i)
+			g, gok := got.Get(i)
+			if wok != gok || w != g {
+				t.Fatalf("batch %d idx %d mismatch", b, i)
+			}
+		}
+		if err := proc.Tree().Validate(btree.RelaxedFill); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

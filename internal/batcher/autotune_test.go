@@ -1,0 +1,137 @@
+package batcher
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/keys"
+)
+
+// sleepProc simulates a processor whose batch time is proportional to
+// batch size: perQuery cost fixed, so the ideal batch for a target
+// latency is target/perQuery.
+type sleepProc struct {
+	perQuery time.Duration
+}
+
+func (p *sleepProc) ProcessBatch(qs []keys.Query, rs *keys.ResultSet) {
+	time.Sleep(time.Duration(len(qs)) * p.perQuery)
+}
+
+func TestAutoTuneConvergesDown(t *testing.T) {
+	// 10µs per query, target 1ms -> ideal cap 100. Start way high.
+	proc := &sleepProc{perQuery: 10 * time.Microsecond}
+	b := New(proc, Config{
+		MaxBatch:      8192,
+		MaxDelay:      time.Millisecond,
+		TargetLatency: time.Millisecond,
+		MinBatch:      10,
+	})
+	defer b.Close()
+
+	for round := 0; round < 8; round++ {
+		var futs []*Future
+		for i := 0; i < 400; i++ {
+			f, err := b.Submit(keys.Search(keys.Key(i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			futs = append(futs, f)
+		}
+		b.Flush()
+		for _, f := range futs {
+			f.Get()
+		}
+	}
+	cap := b.BatchCap()
+	if cap > 400 {
+		t.Fatalf("cap did not converge down: %d (ideal ~100)", cap)
+	}
+	if cap < 10 {
+		t.Fatalf("cap fell below MinBatch: %d", cap)
+	}
+}
+
+func TestAutoTuneConvergesUp(t *testing.T) {
+	// 1µs per query, target 10ms -> ideal cap ~10000. Start tiny.
+	proc := &sleepProc{perQuery: time.Microsecond}
+	b := New(proc, Config{
+		MaxBatch:      64,
+		MaxDelay:      500 * time.Microsecond,
+		TargetLatency: 10 * time.Millisecond,
+		MaxBatchLimit: 1 << 16,
+	})
+	defer b.Close()
+
+	for round := 0; round < 10; round++ {
+		var futs []*Future
+		for i := 0; i < 300; i++ {
+			f, err := b.Submit(keys.Insert(keys.Key(i), 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			futs = append(futs, f)
+		}
+		b.Flush()
+		for _, f := range futs {
+			f.Get()
+		}
+	}
+	if cap := b.BatchCap(); cap <= 64 {
+		t.Fatalf("cap did not grow: %d", cap)
+	}
+}
+
+func TestAutoTuneRespectsBounds(t *testing.T) {
+	proc := &sleepProc{perQuery: 100 * time.Microsecond}
+	b := New(proc, Config{
+		MaxBatch:      1000,
+		MaxDelay:      time.Millisecond,
+		TargetLatency: time.Microsecond, // absurd target -> ideal < 1
+		MinBatch:      50,
+	})
+	defer b.Close()
+	for round := 0; round < 6; round++ {
+		f, err := b.Submit(keys.Search(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Flush()
+		f.Get()
+	}
+	if cap := b.BatchCap(); cap < 50 {
+		t.Fatalf("cap %d violated MinBatch", cap)
+	}
+}
+
+func TestAutoTuneDisabledKeepsCap(t *testing.T) {
+	proc := &sleepProc{perQuery: time.Microsecond}
+	b := New(proc, Config{MaxBatch: 777, MaxDelay: time.Millisecond})
+	defer b.Close()
+	f, _ := b.Submit(keys.Search(1))
+	b.Flush()
+	f.Get()
+	if b.BatchCap() != 777 {
+		t.Fatalf("cap changed without TargetLatency: %d", b.BatchCap())
+	}
+}
+
+func TestNewClampsBatchBounds(t *testing.T) {
+	// Bounds only apply when tuning is enabled.
+	b := New(&sleepProc{}, Config{MaxBatch: 5, MinBatch: 100, MaxBatchLimit: 200, TargetLatency: time.Second})
+	defer b.Close()
+	if b.BatchCap() != 100 {
+		t.Fatalf("cap = %d, want clamped to MinBatch", b.BatchCap())
+	}
+	b2 := New(&sleepProc{}, Config{MaxBatch: 5000, MaxBatchLimit: 300, TargetLatency: time.Second})
+	defer b2.Close()
+	if b2.BatchCap() != 300 {
+		t.Fatalf("cap = %d, want clamped to MaxBatchLimit", b2.BatchCap())
+	}
+	// Without tuning, a tiny fixed cap is honored verbatim.
+	b3 := New(&sleepProc{}, Config{MaxBatch: 1})
+	defer b3.Close()
+	if b3.BatchCap() != 1 {
+		t.Fatalf("cap = %d, want 1", b3.BatchCap())
+	}
+}

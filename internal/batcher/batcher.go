@@ -1,0 +1,271 @@
+// Package batcher turns the batch-oriented engine into an online query
+// service: callers submit individual queries and receive futures; the
+// batcher accumulates queries and dispatches a batch when either the
+// size cap or the latency deadline is reached.
+//
+// This implements the online-processing regime of §VI-D: "we can
+// always trade our high throughput for faster response time by using a
+// smaller batch size" — MaxBatch bounds throughput-oriented batching
+// while MaxDelay bounds the time any query waits before evaluation
+// begins, so worst-case response time is MaxDelay plus one batch's
+// processing time.
+package batcher
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/keys"
+)
+
+// Processor evaluates one batch; core.Engine and palm.Processor both
+// satisfy it.
+type Processor interface {
+	ProcessBatch(qs []keys.Query, rs *keys.ResultSet)
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("batcher: closed")
+
+// Future delivers one query's outcome once its batch has executed.
+type Future struct {
+	done chan struct{}
+	res  keys.Result
+	ok   bool // a result was recorded (searches only)
+}
+
+// Get blocks until the query's batch has executed, returning the
+// search result. ok is false for insert/delete futures (which carry no
+// result) — Get still blocks until the mutation is applied.
+func (f *Future) Get() (res keys.Result, ok bool) {
+	<-f.done
+	return f.res, f.ok
+}
+
+// Done returns a channel closed when the batch has executed.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Config tunes a Batcher.
+type Config struct {
+	// MaxBatch flushes when this many queries are pending (<= 0: 4096).
+	// With TargetLatency set, this is only the starting point.
+	MaxBatch int
+	// MaxDelay flushes this long after the oldest pending query
+	// arrived (<= 0: 10ms).
+	MaxDelay time.Duration
+	// TargetLatency, when positive, enables auto-tuning of the batch
+	// size: after each dispatched batch the size cap is nudged so that
+	// batch processing time approaches the target — the §VI-D
+	// throughput/latency trade as a controller ("we can always trade
+	// our high throughput for faster response time by using a smaller
+	// batch size"). The cap stays within [MinBatch, MaxBatchLimit].
+	TargetLatency time.Duration
+	// MinBatch bounds auto-tuning from below (<= 0: 64).
+	MinBatch int
+	// MaxBatchLimit bounds auto-tuning from above (<= 0: 1<<20).
+	MaxBatchLimit int
+}
+
+// Batcher accumulates queries into batches for a Processor. Safe for
+// concurrent Submit from many goroutines; batches are dispatched by a
+// single background goroutine, so the Processor needs no internal
+// locking.
+type Batcher struct {
+	proc Processor
+	cfg  Config
+
+	// batchCap is the current flush threshold; atomic because the
+	// dispatcher goroutine retunes it while submitters read it (and
+	// the dispatcher must never need mu, which flushLocked holds while
+	// sending on the dispatch channel).
+	batchCap atomic.Int64
+
+	mu      sync.Mutex
+	pending []keys.Query
+	futures []*Future
+	timer   *time.Timer
+	closed  bool
+
+	dispatch chan dispatchReq
+	wg       sync.WaitGroup
+
+	// stats
+	batches int64
+	queries int64
+}
+
+type dispatchReq struct {
+	qs   []keys.Query
+	futs []*Future
+}
+
+// New creates a Batcher over proc.
+func New(proc Processor, cfg Config) *Batcher {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 4096
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 10 * time.Millisecond
+	}
+	if cfg.MinBatch <= 0 {
+		cfg.MinBatch = 64
+	}
+	if cfg.MaxBatchLimit <= 0 {
+		cfg.MaxBatchLimit = 1 << 20
+	}
+	// The tuning bounds only constrain the cap when tuning is on; a
+	// fixed MaxBatch (even 1) is honored verbatim otherwise.
+	if cfg.TargetLatency > 0 {
+		if cfg.MaxBatch < cfg.MinBatch {
+			cfg.MaxBatch = cfg.MinBatch
+		}
+		if cfg.MaxBatch > cfg.MaxBatchLimit {
+			cfg.MaxBatch = cfg.MaxBatchLimit
+		}
+	}
+	b := &Batcher{
+		proc:     proc,
+		cfg:      cfg,
+		dispatch: make(chan dispatchReq, 4),
+	}
+	b.batchCap.Store(int64(cfg.MaxBatch))
+	b.wg.Add(1)
+	go b.run()
+	return b
+}
+
+// run executes dispatched batches sequentially, feeding batch
+// processing times back into the size controller when auto-tuning.
+func (b *Batcher) run() {
+	defer b.wg.Done()
+	rs := keys.NewResultSet(0)
+	for req := range b.dispatch {
+		rs.Reset(len(req.qs))
+		start := time.Now()
+		b.proc.ProcessBatch(req.qs, rs)
+		if b.cfg.TargetLatency > 0 {
+			b.retune(len(req.qs), time.Since(start))
+		}
+		for i, f := range req.futs {
+			f.res, f.ok = rs.Get(int32(i))
+			close(f.done)
+		}
+	}
+}
+
+// retune adjusts the batch-size cap toward the latency target using
+// the measured per-query cost of the batch just processed, smoothed so
+// one noisy batch cannot halve or quadruple the cap.
+func (b *Batcher) retune(batchLen int, took time.Duration) {
+	if batchLen == 0 || took <= 0 {
+		return
+	}
+	perQuery := float64(took) / float64(batchLen)
+	ideal := float64(b.cfg.TargetLatency) / perQuery
+
+	cur := float64(b.batchCap.Load())
+	// Exponential smoothing toward the ideal; clamp step to [1/2, 2]x.
+	next := cur + (ideal-cur)*0.5
+	if next > 2*cur {
+		next = 2 * cur
+	}
+	if next < cur/2 {
+		next = cur / 2
+	}
+	if next < float64(b.cfg.MinBatch) {
+		next = float64(b.cfg.MinBatch)
+	}
+	if next > float64(b.cfg.MaxBatchLimit) {
+		next = float64(b.cfg.MaxBatchLimit)
+	}
+	b.batchCap.Store(int64(next))
+}
+
+// BatchCap returns the current batch-size cap (changes over time when
+// auto-tuning).
+func (b *Batcher) BatchCap() int {
+	return int(b.batchCap.Load())
+}
+
+// Submit enqueues one query and returns its future. The query's Idx is
+// assigned by the batcher; any caller-set Idx is ignored.
+func (b *Batcher) Submit(q keys.Query) (*Future, error) {
+	f := &Future{done: make(chan struct{})}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	q.Idx = int32(len(b.pending))
+	b.pending = append(b.pending, q)
+	b.futures = append(b.futures, f)
+	b.queries++
+	if len(b.pending) >= int(b.batchCap.Load()) {
+		b.flushLocked()
+	} else if b.timer == nil {
+		b.timer = time.AfterFunc(b.cfg.MaxDelay, b.deadline)
+	}
+	b.mu.Unlock()
+	return f, nil
+}
+
+// deadline fires when the oldest pending query has waited MaxDelay.
+func (b *Batcher) deadline() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.timer = nil
+	if !b.closed && len(b.pending) > 0 {
+		b.flushLocked()
+	}
+}
+
+// Flush dispatches any pending queries immediately.
+func (b *Batcher) Flush() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.closed && len(b.pending) > 0 {
+		b.flushLocked()
+	}
+}
+
+// flushLocked hands the pending batch to the dispatcher. Called with
+// b.mu held.
+func (b *Batcher) flushLocked() {
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	req := dispatchReq{qs: b.pending, futs: b.futures}
+	b.pending = nil
+	b.futures = nil
+	b.batches++
+	b.dispatch <- req
+}
+
+// Close flushes pending queries, waits for all dispatched batches to
+// finish, and releases the dispatcher. Submit after Close fails with
+// ErrClosed.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		b.wg.Wait()
+		return
+	}
+	if len(b.pending) > 0 {
+		b.flushLocked()
+	}
+	b.closed = true
+	b.mu.Unlock()
+	close(b.dispatch)
+	b.wg.Wait()
+}
+
+// Stats reports how many batches and queries have been dispatched.
+func (b *Batcher) Stats() (batches, queries int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.batches, b.queries
+}

@@ -1,0 +1,181 @@
+package batcher
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/keys"
+	"repro/internal/palm"
+)
+
+func newEngine(t testing.TB) *core.Engine {
+	t.Helper()
+	eng, err := core.NewEngine(core.EngineConfig{
+		Mode:          core.IntraInter,
+		Palm:          palm.Config{Order: 16, Workers: 2, LoadBalance: true},
+		CacheCapacity: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	return eng
+}
+
+func TestSubmitAndGet(t *testing.T) {
+	b := New(newEngine(t), Config{MaxBatch: 100, MaxDelay: 5 * time.Millisecond})
+	defer b.Close()
+
+	if _, err := b.Submit(keys.Insert(1, 11)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := b.Submit(keys.Search(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := f.Get() // deadline flush delivers within ~5ms
+	if !ok || !res.Found || res.Value != 11 {
+		t.Fatalf("Get = %+v, %v; want 11", res, ok)
+	}
+}
+
+func TestSizeTriggeredFlush(t *testing.T) {
+	b := New(newEngine(t), Config{MaxBatch: 4, MaxDelay: time.Hour})
+	defer b.Close()
+
+	var futs []*Future
+	for i := 0; i < 4; i++ { // exactly MaxBatch: flush without deadline
+		f, err := b.Submit(keys.Insert(keys.Key(i), keys.Value(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	for i, f := range futs {
+		select {
+		case <-f.Done():
+		case <-time.After(5 * time.Second):
+			t.Fatalf("future %d not resolved by size-triggered flush", i)
+		}
+	}
+	batches, queries := b.Stats()
+	if batches != 1 || queries != 4 {
+		t.Fatalf("stats = %d batches, %d queries", batches, queries)
+	}
+}
+
+func TestDeadlineTriggeredFlush(t *testing.T) {
+	b := New(newEngine(t), Config{MaxBatch: 1 << 20, MaxDelay: 5 * time.Millisecond})
+	defer b.Close()
+
+	start := time.Now()
+	f, err := b.Submit(keys.Search(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, ok := f.Get(); !ok || res.Found {
+		t.Fatalf("Get = %+v, %v; want recorded not-found", res, ok)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("deadline flush took %v", waited)
+	}
+}
+
+func TestMutationFutureHasNoResult(t *testing.T) {
+	b := New(newEngine(t), Config{MaxBatch: 1, MaxDelay: time.Hour})
+	defer b.Close()
+	f, err := b.Submit(keys.Insert(9, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.Get(); ok {
+		t.Fatal("insert future carried a result")
+	}
+}
+
+func TestExplicitFlush(t *testing.T) {
+	b := New(newEngine(t), Config{MaxBatch: 1 << 20, MaxDelay: time.Hour})
+	defer b.Close()
+	f, err := b.Submit(keys.Insert(5, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Flush()
+	select {
+	case <-f.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("explicit Flush did not resolve the future")
+	}
+	b.Flush() // empty flush is a no-op
+}
+
+func TestCloseFlushesAndRejects(t *testing.T) {
+	b := New(newEngine(t), Config{MaxBatch: 1 << 20, MaxDelay: time.Hour})
+	f, err := b.Submit(keys.Insert(5, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	select {
+	case <-f.Done():
+	default:
+		t.Fatal("Close must flush pending queries")
+	}
+	if _, err := b.Submit(keys.Search(5)); err != ErrClosed {
+		t.Fatalf("Submit after Close: %v, want ErrClosed", err)
+	}
+	b.Close() // idempotent
+}
+
+func TestBatchSemanticsAcrossSubmitters(t *testing.T) {
+	// Many goroutines submit interleaved ops on disjoint keys; every
+	// search must observe its own goroutine's prior writes (futures
+	// resolve in submission order per key because batches preserve
+	// serial semantics).
+	b := New(newEngine(t), Config{MaxBatch: 64, MaxDelay: time.Millisecond})
+	defer b.Close()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := keys.Key(w * 1000)
+			for i := 0; i < 50; i++ {
+				k := base + keys.Key(i)
+				if _, err := b.Submit(keys.Insert(k, keys.Value(i))); err != nil {
+					errs <- err.Error()
+					return
+				}
+				f, err := b.Submit(keys.Search(k))
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				res, ok := f.Get()
+				if !ok || !res.Found || res.Value != keys.Value(i) {
+					errs <- "stale read"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case e := <-errs:
+		t.Fatal(e)
+	default:
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	b := New(newEngine(t), Config{})
+	defer b.Close()
+	if b.cfg.MaxBatch != 4096 || b.cfg.MaxDelay != 10*time.Millisecond {
+		t.Fatalf("defaults = %+v", b.cfg)
+	}
+}

@@ -1,0 +1,36 @@
+package bsp
+
+import (
+	"testing"
+
+	"repro/internal/keys"
+)
+
+// FuzzRadixSortRun checks the sequential radix sort against the
+// reference stable sort for arbitrary key streams (including keys wide
+// enough to need all four digit passes).
+func FuzzRadixSortRun(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Add([]byte("radix-digit-boundaries"))
+
+	var scratch RadixScratch
+	f.Fuzz(func(t *testing.T, data []byte) {
+		qs := make([]keys.Query, 0, len(data))
+		// 1-byte keys stretched across the 64-bit range so different
+		// inputs exercise different pass counts.
+		for i, b := range data {
+			shift := uint(i%8) * 8
+			qs = append(qs, keys.Query{Key: keys.Key(uint64(b) << shift)})
+		}
+		keys.Number(qs)
+		ref := append([]keys.Query(nil), qs...)
+		keys.SortByKey(ref)
+		scratch.RadixSortRun(qs)
+		for i := range qs {
+			if qs[i] != ref[i] {
+				t.Fatalf("mismatch at %d: %v vs %v", i, qs[i], ref[i])
+			}
+		}
+	})
+}

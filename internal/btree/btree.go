@@ -1,0 +1,485 @@
+// Package btree implements the in-memory B+ tree substrate that both the
+// PALM batch processor and the serial/lock-based baselines operate on.
+//
+// Layout follows Section II-A of the paper (Fig. 2): an N-ary index tree
+// whose internal nodes hold only separator keys and child pointers, with
+// all key-value pairs stored in the leaf level, which is additionally
+// chained left-to-right for range scans. The maximum child count of an
+// internal node is the tree's order b; internal nodes (except a root)
+// hold at least ceil(b/2) children, leaves at least ceil(b/2)-1 entries —
+// except in "relaxed" mode used by PALM's batched restructuring, where
+// deletions may leave nodes under-full (empty nodes are always removed).
+//
+// The serial methods on Tree (Insert, Search, Delete) implement the full
+// textbook algorithm including borrow/merge rebalancing; they are the
+// ground truth against which the batched processors are differentially
+// tested.
+package btree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/keys"
+)
+
+// DefaultOrder is the default maximum fanout. The paper's artifact uses
+// wide nodes tuned to KNL cache lines; 64 keeps nodes around one to two
+// cache pages for uint64 keys.
+const DefaultOrder = 64
+
+// MinOrder is the smallest supported order: a 3-order tree as in Fig. 2.
+const MinOrder = 3
+
+// Node is one B+ tree node. Exported (with read-only accessors) so the
+// PALM processor in a sibling package can stage bottom-up modifications;
+// user code should treat nodes as opaque.
+type Node struct {
+	// Keys holds the node's keys in ascending order. For a leaf, Keys[i]
+	// pairs with Vals[i]. For an internal node, Keys[i] separates
+	// Children[i] (< Keys[i]) from Children[i+1] (>= Keys[i]).
+	Keys []keys.Key
+	// Vals holds leaf payloads; nil for internal nodes.
+	Vals []keys.Value
+	// Children holds child pointers; nil for leaves.
+	Children []*Node
+	// Next chains leaves left-to-right; nil for internal nodes and the
+	// rightmost leaf.
+	Next *Node
+}
+
+// Leaf reports whether n is a leaf node.
+func (n *Node) Leaf() bool { return n.Children == nil }
+
+// Len returns the number of keys stored in the node.
+func (n *Node) Len() int { return len(n.Keys) }
+
+// Tree is a B+ tree of a fixed order. The zero value is not usable; use
+// New. Tree's serial methods are not safe for concurrent use; the PALM
+// processor provides safe batched concurrency on top.
+type Tree struct {
+	root  *Node
+	order int // max children of an internal node; max leaf entries = order-1
+	size  int // number of key-value pairs
+}
+
+// New creates an empty tree of the given order. Orders below MinOrder
+// are rejected; order <= 0 selects DefaultOrder.
+func New(order int) (*Tree, error) {
+	if order <= 0 {
+		order = DefaultOrder
+	}
+	if order < MinOrder {
+		return nil, fmt.Errorf("btree: order %d below minimum %d", order, MinOrder)
+	}
+	return &Tree{
+		root:  &Node{Keys: make([]keys.Key, 0, order)},
+		order: order,
+	}, nil
+}
+
+// MustNew is New for known-good orders; it panics on error. Intended for
+// tests and examples.
+func MustNew(order int) *Tree {
+	t, err := New(order)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Order returns the tree's order (maximum internal fanout).
+func (t *Tree) Order() int { return t.order }
+
+// Len returns the number of key-value pairs stored.
+func (t *Tree) Len() int { return t.size }
+
+// Root exposes the root node for the batched processors and validators.
+func (t *Tree) Root() *Node { return t.root }
+
+// SetRoot replaces the root node. Intended for the PALM batch processor's
+// Stage 3 (root growth/collapse); user code should not call it.
+func (t *Tree) SetRoot(n *Node) { t.root = n }
+
+// AddSize adjusts the recorded pair count by d. Intended for batched
+// processors that mutate leaves directly.
+func (t *Tree) AddSize(d int) { t.size += d }
+
+// maxLeafEntries is the maximum number of key-value pairs a leaf holds.
+func (t *Tree) maxLeafEntries() int { return t.order - 1 }
+
+// minLeafEntries is the textbook minimum fill for a non-root leaf.
+func (t *Tree) minLeafEntries() int { return (t.order - 1) / 2 }
+
+// minChildren is the textbook minimum fanout for a non-root internal node.
+func (t *Tree) minChildren() int { return (t.order + 1) / 2 }
+
+// searchKeys returns the index of the first key in ks >= k.
+func searchKeys(ks []keys.Key, k keys.Key) int {
+	// Binary search; this is the stand-in for the artifact's AVX-512
+	// intra-node SIMD search (see DESIGN.md §4.1).
+	return sort.Search(len(ks), func(i int) bool { return ks[i] >= k })
+}
+
+// childIndex returns which child of internal node n covers key k.
+func childIndex(n *Node, k keys.Key) int {
+	// Keys[i] separates children i and i+1 with children[i] < Keys[i].
+	i := sort.Search(len(n.Keys), func(i int) bool { return k < n.Keys[i] })
+	return i
+}
+
+// FindLeaf descends from the root to the leaf that covers k, returning
+// the leaf and the root-to-leaf path of internal nodes with the child
+// indices taken. PALM's Stage 1 records this path so Stage 3 can push
+// modifications bottom-up without parent pointers.
+func (t *Tree) FindLeaf(k keys.Key, path *Path) *Node {
+	n := t.root
+	if path != nil {
+		path.Reset()
+	}
+	for !n.Leaf() {
+		i := childIndex(n, k)
+		if path != nil {
+			path.Push(n, i)
+		}
+		n = n.Children[i]
+	}
+	return n
+}
+
+// Path records the internal nodes visited on a root-to-leaf descent
+// together with the child index taken at each. Path values are reusable
+// to avoid per-query allocation.
+type Path struct {
+	Nodes []*Node
+	Slots []int
+}
+
+// Reset empties the path for reuse.
+func (p *Path) Reset() {
+	p.Nodes = p.Nodes[:0]
+	p.Slots = p.Slots[:0]
+}
+
+// Push appends one descent step.
+func (p *Path) Push(n *Node, slot int) {
+	p.Nodes = append(p.Nodes, n)
+	p.Slots = append(p.Slots, slot)
+}
+
+// Len returns the number of internal levels recorded.
+func (p *Path) Len() int { return len(p.Nodes) }
+
+// Clone returns an independent copy of the path.
+func (p *Path) Clone() Path {
+	return Path{
+		Nodes: append([]*Node(nil), p.Nodes...),
+		Slots: append([]int(nil), p.Slots...),
+	}
+}
+
+// Search returns the value stored for k.
+func (t *Tree) Search(k keys.Key) (keys.Value, bool) {
+	leaf := t.FindLeaf(k, nil)
+	i := searchKeys(leaf.Keys, k)
+	if i < len(leaf.Keys) && leaf.Keys[i] == k {
+		return leaf.Vals[i], true
+	}
+	return 0, false
+}
+
+// Insert stores v under k, replacing any existing value (the I(key, v)
+// semantics of §II-A). It reports whether a new entry was created.
+func (t *Tree) Insert(k keys.Key, v keys.Value) bool {
+	var path Path
+	leaf := t.FindLeaf(k, &path)
+	i := searchKeys(leaf.Keys, k)
+	if i < len(leaf.Keys) && leaf.Keys[i] == k {
+		leaf.Vals[i] = v
+		return false
+	}
+	leaf.Keys = append(leaf.Keys, 0)
+	leaf.Vals = append(leaf.Vals, 0)
+	copy(leaf.Keys[i+1:], leaf.Keys[i:])
+	copy(leaf.Vals[i+1:], leaf.Vals[i:])
+	leaf.Keys[i] = k
+	leaf.Vals[i] = v
+	t.size++
+	if len(leaf.Keys) > t.maxLeafEntries() {
+		t.splitLeaf(leaf, &path)
+	}
+	return true
+}
+
+// splitLeaf splits an overfull leaf in half and inserts the separator
+// into the parent, cascading splits upward as needed.
+func (t *Tree) splitLeaf(leaf *Node, path *Path) {
+	mid := len(leaf.Keys) / 2
+	right := &Node{
+		Keys: append(make([]keys.Key, 0, t.order), leaf.Keys[mid:]...),
+		Vals: append(make([]keys.Value, 0, t.order), leaf.Vals[mid:]...),
+		Next: leaf.Next,
+	}
+	leaf.Keys = leaf.Keys[:mid]
+	leaf.Vals = leaf.Vals[:mid]
+	leaf.Next = right
+	t.insertIntoParent(path, path.Len()-1, right.Keys[0], right)
+}
+
+// insertIntoParent inserts separator sep and new right child into the
+// parent at path level lvl, splitting ancestors as needed. lvl == -1
+// means the split node was the root.
+func (t *Tree) insertIntoParent(path *Path, lvl int, sep keys.Key, right *Node) {
+	if lvl < 0 {
+		// Grow a new root.
+		old := t.root
+		t.root = &Node{
+			Keys:     append(make([]keys.Key, 0, t.order), sep),
+			Children: append(make([]*Node, 0, t.order+1), old, right),
+		}
+		return
+	}
+	parent := path.Nodes[lvl]
+	slot := path.Slots[lvl]
+	// Insert sep at slot, right at slot+1.
+	parent.Keys = append(parent.Keys, 0)
+	copy(parent.Keys[slot+1:], parent.Keys[slot:])
+	parent.Keys[slot] = sep
+	parent.Children = append(parent.Children, nil)
+	copy(parent.Children[slot+2:], parent.Children[slot+1:])
+	parent.Children[slot+1] = right
+	if len(parent.Children) > t.order {
+		t.splitInternal(parent, path, lvl)
+	}
+}
+
+// splitInternal splits an overfull internal node, pushing the middle key
+// to the parent.
+func (t *Tree) splitInternal(n *Node, path *Path, lvl int) {
+	midKey := len(n.Keys) / 2
+	sep := n.Keys[midKey]
+	right := &Node{
+		Keys:     append(make([]keys.Key, 0, t.order), n.Keys[midKey+1:]...),
+		Children: append(make([]*Node, 0, t.order+1), n.Children[midKey+1:]...),
+	}
+	n.Keys = n.Keys[:midKey]
+	n.Children = n.Children[:midKey+1]
+	t.insertIntoParent(path, lvl-1, sep, right)
+}
+
+// Delete removes k if present (the D(key) semantics), reporting whether
+// an entry was removed. Full textbook rebalancing: under-full leaves
+// borrow from or merge with a sibling under the same parent, cascading
+// upward.
+func (t *Tree) Delete(k keys.Key) bool {
+	var path Path
+	leaf := t.FindLeaf(k, &path)
+	i := searchKeys(leaf.Keys, k)
+	if i >= len(leaf.Keys) || leaf.Keys[i] != k {
+		return false
+	}
+	leaf.Keys = append(leaf.Keys[:i], leaf.Keys[i+1:]...)
+	leaf.Vals = append(leaf.Vals[:i], leaf.Vals[i+1:]...)
+	t.size--
+	t.rebalanceLeaf(leaf, &path)
+	return true
+}
+
+// rebalanceLeaf restores the minimum-fill invariant after a leaf deletion.
+func (t *Tree) rebalanceLeaf(leaf *Node, path *Path) {
+	if path.Len() == 0 {
+		return // leaf is root; any fill is legal
+	}
+	if len(leaf.Keys) >= t.minLeafEntries() {
+		return
+	}
+	parent := path.Nodes[path.Len()-1]
+	slot := path.Slots[path.Len()-1]
+
+	// Try borrowing from the left sibling.
+	if slot > 0 {
+		left := parent.Children[slot-1]
+		if len(left.Keys) > t.minLeafEntries() {
+			n := len(left.Keys)
+			leaf.Keys = append(leaf.Keys, 0)
+			leaf.Vals = append(leaf.Vals, 0)
+			copy(leaf.Keys[1:], leaf.Keys)
+			copy(leaf.Vals[1:], leaf.Vals)
+			leaf.Keys[0] = left.Keys[n-1]
+			leaf.Vals[0] = left.Vals[n-1]
+			left.Keys = left.Keys[:n-1]
+			left.Vals = left.Vals[:n-1]
+			parent.Keys[slot-1] = leaf.Keys[0]
+			return
+		}
+	}
+	// Try borrowing from the right sibling.
+	if slot < len(parent.Children)-1 {
+		right := parent.Children[slot+1]
+		if len(right.Keys) > t.minLeafEntries() {
+			leaf.Keys = append(leaf.Keys, right.Keys[0])
+			leaf.Vals = append(leaf.Vals, right.Vals[0])
+			right.Keys = append(right.Keys[:0], right.Keys[1:]...)
+			right.Vals = append(right.Vals[:0], right.Vals[1:]...)
+			parent.Keys[slot] = right.Keys[0]
+			return
+		}
+	}
+	// Merge with a sibling.
+	if slot > 0 {
+		left := parent.Children[slot-1]
+		left.Keys = append(left.Keys, leaf.Keys...)
+		left.Vals = append(left.Vals, leaf.Vals...)
+		left.Next = leaf.Next
+		t.removeChild(parent, slot, path)
+	} else {
+		right := parent.Children[slot+1]
+		leaf.Keys = append(leaf.Keys, right.Keys...)
+		leaf.Vals = append(leaf.Vals, right.Vals...)
+		leaf.Next = right.Next
+		t.removeChild(parent, slot+1, path)
+	}
+}
+
+// removeChild deletes parent.Children[slot] and the separator to its
+// left, then rebalances the parent. path holds the descent ending at the
+// parent's level (the parent is path.Nodes[path.Len()-1]).
+func (t *Tree) removeChild(parent *Node, slot int, path *Path) {
+	parent.Keys = append(parent.Keys[:slot-1], parent.Keys[slot:]...)
+	parent.Children = append(parent.Children[:slot], parent.Children[slot+1:]...)
+	t.rebalanceInternal(parent, path, path.Len()-1)
+}
+
+// rebalanceInternal restores the minimum-fanout invariant for an
+// internal node at path level lvl.
+func (t *Tree) rebalanceInternal(n *Node, path *Path, lvl int) {
+	if lvl == 0 {
+		// n is the root.
+		if len(n.Children) == 1 {
+			t.root = n.Children[0]
+		}
+		return
+	}
+	if len(n.Children) >= t.minChildren() {
+		return
+	}
+	parent := path.Nodes[lvl-1]
+	slot := path.Slots[lvl-1]
+
+	if slot > 0 {
+		left := parent.Children[slot-1]
+		if len(left.Children) > t.minChildren() {
+			// Rotate rightwards through the parent separator.
+			n.Keys = append(n.Keys, 0)
+			copy(n.Keys[1:], n.Keys)
+			n.Keys[0] = parent.Keys[slot-1]
+			n.Children = append(n.Children, nil)
+			copy(n.Children[1:], n.Children)
+			n.Children[0] = left.Children[len(left.Children)-1]
+			parent.Keys[slot-1] = left.Keys[len(left.Keys)-1]
+			left.Keys = left.Keys[:len(left.Keys)-1]
+			left.Children = left.Children[:len(left.Children)-1]
+			return
+		}
+	}
+	if slot < len(parent.Children)-1 {
+		right := parent.Children[slot+1]
+		if len(right.Children) > t.minChildren() {
+			// Rotate leftwards through the parent separator.
+			n.Keys = append(n.Keys, parent.Keys[slot])
+			n.Children = append(n.Children, right.Children[0])
+			parent.Keys[slot] = right.Keys[0]
+			right.Keys = append(right.Keys[:0], right.Keys[1:]...)
+			right.Children = append(right.Children[:0], right.Children[1:]...)
+			return
+		}
+	}
+	if slot > 0 {
+		left := parent.Children[slot-1]
+		left.Keys = append(left.Keys, parent.Keys[slot-1])
+		left.Keys = append(left.Keys, n.Keys...)
+		left.Children = append(left.Children, n.Children...)
+		t.removeChildAt(parent, slot, path, lvl-1)
+	} else {
+		right := parent.Children[slot+1]
+		n.Keys = append(n.Keys, parent.Keys[slot])
+		n.Keys = append(n.Keys, right.Keys...)
+		n.Children = append(n.Children, right.Children...)
+		t.removeChildAt(parent, slot+1, path, lvl-1)
+	}
+}
+
+// removeChildAt is removeChild for a known path level.
+func (t *Tree) removeChildAt(parent *Node, slot int, path *Path, lvl int) {
+	parent.Keys = append(parent.Keys[:slot-1], parent.Keys[slot:]...)
+	parent.Children = append(parent.Children[:slot], parent.Children[slot+1:]...)
+	t.rebalanceInternal(parent, path, lvl)
+}
+
+// Scan visits every key-value pair in ascending key order until fn
+// returns false, using the leaf chain.
+func (t *Tree) Scan(fn func(k keys.Key, v keys.Value) bool) {
+	n := t.root
+	for !n.Leaf() {
+		n = n.Children[0]
+	}
+	for ; n != nil; n = n.Next {
+		for i := range n.Keys {
+			if !fn(n.Keys[i], n.Vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// ScanRange visits pairs with lo <= key < hi in ascending order.
+func (t *Tree) ScanRange(lo, hi keys.Key, fn func(k keys.Key, v keys.Value) bool) {
+	leaf := t.FindLeaf(lo, nil)
+	for ; leaf != nil; leaf = leaf.Next {
+		for i := range leaf.Keys {
+			k := leaf.Keys[i]
+			if k < lo {
+				continue
+			}
+			if k >= hi {
+				return
+			}
+			if !fn(k, leaf.Vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Height returns the number of levels (1 for a lone root leaf).
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root; !n.Leaf(); n = n.Children[0] {
+		h++
+	}
+	return h
+}
+
+// Apply evaluates a single query against the tree with the exact
+// semantics of §II-A, recording search results into rs when non-nil.
+// It is the serial reference evaluator used by baselines and tests.
+func (t *Tree) Apply(q keys.Query, rs *keys.ResultSet) {
+	switch q.Op {
+	case keys.OpSearch:
+		v, ok := t.Search(q.Key)
+		if rs != nil {
+			rs.Set(q.Idx, v, ok)
+		}
+	case keys.OpInsert:
+		t.Insert(q.Key, q.Value)
+	case keys.OpDelete:
+		t.Delete(q.Key)
+	}
+}
+
+// ApplyAll evaluates a query sequence serially, in order.
+func (t *Tree) ApplyAll(qs []keys.Query, rs *keys.ResultSet) {
+	for _, q := range qs {
+		t.Apply(q, rs)
+	}
+}

@@ -1,0 +1,387 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/keys"
+	"repro/internal/oracle"
+)
+
+func TestNewRejectsBadOrder(t *testing.T) {
+	if _, err := New(2); err == nil {
+		t.Error("order 2 must be rejected")
+	}
+	if _, err := New(1); err == nil {
+		t.Error("order 1 must be rejected")
+	}
+	tr, err := New(0)
+	if err != nil || tr.Order() != DefaultOrder {
+		t.Errorf("New(0) = order %d, err %v; want default order", tr.Order(), err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(1) must panic")
+		}
+	}()
+	MustNew(1)
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := MustNew(4)
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if _, ok := tr.Search(5); ok {
+		t.Error("search on empty tree found a key")
+	}
+	if tr.Delete(5) {
+		t.Error("delete on empty tree reported success")
+	}
+	if tr.Height() != 1 {
+		t.Errorf("Height = %d, want 1", tr.Height())
+	}
+	if err := tr.Validate(StrictFill); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestInsertSearchBasic(t *testing.T) {
+	tr := MustNew(4)
+	if !tr.Insert(10, 100) {
+		t.Error("first insert must create")
+	}
+	if tr.Insert(10, 200) {
+		t.Error("second insert must update, not create")
+	}
+	v, ok := tr.Search(10)
+	if !ok || v != 200 {
+		t.Errorf("Search(10) = %d,%v; want 200,true", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestInsertAscendingSplits(t *testing.T) {
+	tr := MustNew(4)
+	const n = 200
+	for i := 0; i < n; i++ {
+		tr.Insert(keys.Key(i), keys.Value(i*2))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	if err := tr.Validate(StrictFill); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if h := tr.Height(); h < 3 {
+		t.Errorf("Height = %d, want >= 3 after %d inserts at order 4", h, n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tr.Search(keys.Key(i))
+		if !ok || v != keys.Value(i*2) {
+			t.Fatalf("Search(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestInsertDescending(t *testing.T) {
+	tr := MustNew(3)
+	for i := 100; i > 0; i-- {
+		tr.Insert(keys.Key(i), keys.Value(i))
+	}
+	if err := tr.Validate(StrictFill); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	prev := keys.Key(0)
+	count := 0
+	tr.Scan(func(k keys.Key, v keys.Value) bool {
+		if count > 0 && k <= prev {
+			t.Fatalf("scan not ascending: %d after %d", k, prev)
+		}
+		prev = k
+		count++
+		return true
+	})
+	if count != 100 {
+		t.Fatalf("scan visited %d, want 100", count)
+	}
+}
+
+func TestDeleteWithRebalance(t *testing.T) {
+	tr := MustNew(4)
+	const n = 500
+	for i := 0; i < n; i++ {
+		tr.Insert(keys.Key(i), keys.Value(i))
+	}
+	// Delete every other key, then the rest, validating throughout.
+	for i := 0; i < n; i += 2 {
+		if !tr.Delete(keys.Key(i)) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if err := tr.Validate(StrictFill); err != nil {
+		t.Fatalf("after phase 1: %v", err)
+	}
+	for i := 1; i < n; i += 2 {
+		if !tr.Delete(keys.Key(i)) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+		if i%50 == 1 {
+			if err := tr.Validate(StrictFill); err != nil {
+				t.Fatalf("after Delete(%d): %v", i, err)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+	if err := tr.Validate(StrictFill); err != nil {
+		t.Fatalf("after all deletes: %v", err)
+	}
+}
+
+func TestDeleteMissingKey(t *testing.T) {
+	tr := MustNew(4)
+	tr.Insert(1, 1)
+	if tr.Delete(2) {
+		t.Error("deleting a missing key must report false")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr := MustNew(5)
+	for i := 0; i < 100; i += 2 { // even keys only
+		tr.Insert(keys.Key(i), keys.Value(i))
+	}
+	var got []keys.Key
+	tr.ScanRange(11, 21, func(k keys.Key, v keys.Value) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []keys.Key{12, 14, 16, 18, 20}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScanRangeEarlyStop(t *testing.T) {
+	tr := MustNew(5)
+	for i := 0; i < 50; i++ {
+		tr.Insert(keys.Key(i), keys.Value(i))
+	}
+	n := 0
+	tr.ScanRange(0, 50, func(k keys.Key, v keys.Value) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("visited %d, want 5", n)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tr := MustNew(5)
+	for i := 0; i < 50; i++ {
+		tr.Insert(keys.Key(i), keys.Value(i))
+	}
+	n := 0
+	tr.Scan(func(k keys.Key, v keys.Value) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Fatalf("visited %d, want 1", n)
+	}
+}
+
+func TestFindLeafRecordsPath(t *testing.T) {
+	tr := MustNew(3)
+	for i := 0; i < 100; i++ {
+		tr.Insert(keys.Key(i), keys.Value(i))
+	}
+	var p Path
+	leaf := tr.FindLeaf(57, &p)
+	if !leaf.Leaf() {
+		t.Fatal("FindLeaf returned non-leaf")
+	}
+	if p.Len() != tr.Height()-1 {
+		t.Fatalf("path length %d, want %d", p.Len(), tr.Height()-1)
+	}
+	// Walking the recorded path must land on the same leaf.
+	n := tr.Root()
+	for i := 0; i < p.Len(); i++ {
+		if p.Nodes[i] != n {
+			t.Fatalf("path node %d mismatch", i)
+		}
+		n = n.Children[p.Slots[i]]
+	}
+	if n != leaf {
+		t.Fatal("path does not lead to returned leaf")
+	}
+	// Clone must be independent.
+	c := p.Clone()
+	p.Reset()
+	if c.Len() == 0 {
+		t.Fatal("clone was reset along with original")
+	}
+}
+
+func TestApplySemantics(t *testing.T) {
+	tr := MustNew(8)
+	qs := keys.Number([]keys.Query{
+		keys.Insert(1, 10),
+		keys.Search(1),
+		keys.Delete(1),
+		keys.Search(1),
+		keys.Search(99),
+	})
+	rs := keys.NewResultSet(len(qs))
+	tr.ApplyAll(qs, rs)
+	if r, _ := rs.Get(1); !r.Found || r.Value != 10 {
+		t.Errorf("search after insert = %+v", r)
+	}
+	if r, _ := rs.Get(3); r.Found {
+		t.Errorf("search after delete = %+v, want not found", r)
+	}
+	if r, _ := rs.Get(4); r.Found {
+		t.Errorf("search of never-inserted key = %+v", r)
+	}
+}
+
+// Differential test: random operations against the oracle, with
+// validation at checkpoints, across several orders.
+func TestRandomOpsAgainstOracle(t *testing.T) {
+	for _, order := range []int{3, 4, 7, 16, 64} {
+		order := order
+		t.Run(fmtOrder(order), func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(order)))
+			tr := MustNew(order)
+			o := oracle.New()
+			const ops = 20000
+			const keyspace = 2000
+			for i := 0; i < ops; i++ {
+				k := keys.Key(r.Intn(keyspace))
+				switch r.Intn(4) {
+				case 0, 1:
+					v := keys.Value(r.Uint64())
+					tr.Insert(k, v)
+					o.Apply(keys.Insert(k, v), nil)
+				case 2:
+					tr.Delete(k)
+					o.Apply(keys.Delete(k), nil)
+				case 3:
+					gv, gok := tr.Search(k)
+					wv, wok := o.Get(k)
+					if gok != wok || (gok && gv != wv) {
+						t.Fatalf("op %d: Search(%d) = %d,%v; oracle %d,%v", i, k, gv, gok, wv, wok)
+					}
+				}
+				if i%2500 == 0 {
+					if err := tr.Validate(StrictFill); err != nil {
+						t.Fatalf("op %d: %v", i, err)
+					}
+				}
+			}
+			if err := tr.Validate(StrictFill); err != nil {
+				t.Fatal(err)
+			}
+			gk, gv := tr.Dump()
+			wk, wv := o.Dump()
+			if len(gk) != len(wk) {
+				t.Fatalf("dump sizes %d vs %d", len(gk), len(wk))
+			}
+			for i := range gk {
+				if gk[i] != wk[i] || gv[i] != wv[i] {
+					t.Fatalf("dump mismatch at %d: (%d,%d) vs (%d,%d)", i, gk[i], gv[i], wk[i], wv[i])
+				}
+			}
+			if tr.Len() != o.Len() {
+				t.Fatalf("Len %d vs oracle %d", tr.Len(), o.Len())
+			}
+		})
+	}
+}
+
+func fmtOrder(o int) string {
+	return "order" + string(rune('0'+o/10)) + string(rune('0'+o%10))
+}
+
+// Property: inserting any set of keys then deleting them all leaves an
+// empty, valid tree.
+func TestInsertDeleteAllProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		tr := MustNew(5)
+		seen := make(map[keys.Key]bool)
+		for _, rk := range raw {
+			k := keys.Key(rk)
+			tr.Insert(k, keys.Value(rk)+1)
+			seen[k] = true
+		}
+		if tr.Len() != len(seen) {
+			return false
+		}
+		if err := tr.Validate(StrictFill); err != nil {
+			return false
+		}
+		for k := range seen {
+			if !tr.Delete(k) {
+				return false
+			}
+		}
+		return tr.Len() == 0 && tr.Validate(StrictFill) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountNodes(t *testing.T) {
+	tr := MustNew(4)
+	in, lf := tr.CountNodes()
+	if in != 0 || lf != 1 {
+		t.Fatalf("empty tree: internal=%d leaves=%d", in, lf)
+	}
+	for i := 0; i < 100; i++ {
+		tr.Insert(keys.Key(i), 0)
+	}
+	in, lf = tr.CountNodes()
+	if in == 0 || lf < 100/(4-1) {
+		t.Fatalf("populated tree: internal=%d leaves=%d", in, lf)
+	}
+}
+
+func BenchmarkSerialInsert(b *testing.B) {
+	tr := MustNew(DefaultOrder)
+	r := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(keys.Key(r.Uint64()), keys.Value(i))
+	}
+}
+
+func BenchmarkSerialSearch(b *testing.B) {
+	tr := MustNew(DefaultOrder)
+	const n = 1 << 20
+	for i := 0; i < n; i++ {
+		tr.Insert(keys.Key(i), keys.Value(i))
+	}
+	r := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Search(keys.Key(r.Intn(n)))
+	}
+}

@@ -1,0 +1,78 @@
+package btree_test
+
+import (
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/keys"
+)
+
+// Basic serial tree usage: inserts, point lookups, ordered iteration.
+func Example() {
+	tr := btree.MustNew(8)
+	for _, k := range []keys.Key{30, 10, 20} {
+		tr.Insert(k, keys.Value(k)*10)
+	}
+	if v, ok := tr.Search(20); ok {
+		fmt.Println("20 ->", v)
+	}
+	tr.Delete(10)
+	tr.Scan(func(k keys.Key, v keys.Value) bool {
+		fmt.Println(k, v)
+		return true
+	})
+	// Output:
+	// 20 -> 200
+	// 20 200
+	// 30 300
+}
+
+// Seek positions an iterator at the first key >= the probe.
+func ExampleTree_Seek() {
+	tr := btree.MustNew(8)
+	for i := 0; i < 10; i++ {
+		tr.Insert(keys.Key(i*10), keys.Value(i))
+	}
+	for it := tr.Seek(25); it.Valid() && it.Key() < 60; it.Next() {
+		fmt.Println(it.Key())
+	}
+	// Output:
+	// 30
+	// 40
+	// 50
+}
+
+// BulkLoad builds a large tree in one bottom-up pass.
+func ExampleBulkLoad() {
+	ks := make([]keys.Key, 1000)
+	vs := make([]keys.Value, 1000)
+	for i := range ks {
+		ks[i] = keys.Key(i)
+		vs[i] = keys.Value(i * 2)
+	}
+	tr, err := btree.BulkLoad(64, ks, vs)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(tr.Len(), tr.Height())
+	v, _ := tr.Search(500)
+	fmt.Println(v)
+	// Output:
+	// 1000 2
+	// 1000
+}
+
+// ScanRange visits a half-open key interval in order.
+func ExampleTree_ScanRange() {
+	tr := btree.MustNew(8)
+	for i := 0; i < 100; i++ {
+		tr.Insert(keys.Key(i), keys.Value(i))
+	}
+	sum := keys.Value(0)
+	tr.ScanRange(10, 15, func(k keys.Key, v keys.Value) bool {
+		sum += v
+		return true
+	})
+	fmt.Println(sum)
+	// Output: 60
+}

@@ -1,0 +1,168 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/keys"
+)
+
+func evenTree(t *testing.T, n, order int) *Tree {
+	t.Helper()
+	tr := MustNew(order)
+	for i := 0; i < n; i++ {
+		tr.Insert(keys.Key(i*2), keys.Value(i)) // even keys 0,2,4,...
+	}
+	return tr
+}
+
+func TestIterFullWalk(t *testing.T) {
+	tr := evenTree(t, 1000, 5)
+	count := 0
+	for it := tr.First(); it.Valid(); it.Next() {
+		k, v := it.Pair()
+		if k != keys.Key(count*2) || v != keys.Value(count) {
+			t.Fatalf("pair %d = (%d,%d)", count, k, v)
+		}
+		count++
+	}
+	if count != 1000 {
+		t.Fatalf("walked %d pairs", count)
+	}
+}
+
+func TestIterEmptyTree(t *testing.T) {
+	tr := MustNew(4)
+	if it := tr.First(); it.Valid() {
+		t.Fatal("empty tree iterator valid")
+	}
+	if it := tr.Seek(5); it.Valid() {
+		t.Fatal("empty tree Seek valid")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("empty Min")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("empty Max")
+	}
+}
+
+func TestSeekExactAndBetween(t *testing.T) {
+	tr := evenTree(t, 100, 4)
+	it := tr.Seek(50) // present
+	if !it.Valid() || it.Key() != 50 {
+		t.Fatalf("Seek(50) at %d", it.Key())
+	}
+	it = tr.Seek(51) // absent: next is 52
+	if !it.Valid() || it.Key() != 52 {
+		t.Fatalf("Seek(51) at %d", it.Key())
+	}
+	it = tr.Seek(0)
+	if !it.Valid() || it.Key() != 0 {
+		t.Fatalf("Seek(0) at %d", it.Key())
+	}
+	if it := tr.Seek(9999); it.Valid() {
+		t.Fatal("Seek past end valid")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := evenTree(t, 500, 7)
+	if k, v, ok := tr.Min(); !ok || k != 0 || v != 0 {
+		t.Fatalf("Min = %d,%d,%v", k, v, ok)
+	}
+	if k, v, ok := tr.Max(); !ok || k != 998 || v != 499 {
+		t.Fatalf("Max = %d,%d,%v", k, v, ok)
+	}
+}
+
+func TestSuccessorPredecessor(t *testing.T) {
+	tr := evenTree(t, 100, 4)
+	if k, _, ok := tr.Successor(50); !ok || k != 52 {
+		t.Fatalf("Successor(50) = %d,%v", k, ok)
+	}
+	if k, _, ok := tr.Successor(51); !ok || k != 52 {
+		t.Fatalf("Successor(51) = %d,%v", k, ok)
+	}
+	if _, _, ok := tr.Successor(198); ok {
+		t.Fatal("Successor(max) exists")
+	}
+	if k, _, ok := tr.Predecessor(50); !ok || k != 48 {
+		t.Fatalf("Predecessor(50) = %d,%v", k, ok)
+	}
+	if k, _, ok := tr.Predecessor(51); !ok || k != 50 {
+		t.Fatalf("Predecessor(51) = %d,%v", k, ok)
+	}
+	if _, _, ok := tr.Predecessor(0); ok {
+		t.Fatal("Predecessor(min) exists")
+	}
+	// Leaf-boundary predecessor: every even key's predecessor is k-2.
+	for k := keys.Key(2); k < 200; k += 2 {
+		pk, _, ok := tr.Predecessor(k)
+		if !ok || pk != k-2 {
+			t.Fatalf("Predecessor(%d) = %d,%v", k, pk, ok)
+		}
+	}
+}
+
+func TestIterNextOnInvalid(t *testing.T) {
+	tr := MustNew(4)
+	it := tr.First()
+	if it.Next() {
+		t.Fatal("Next on invalid iterator succeeded")
+	}
+}
+
+// Property: Seek(k) on a random tree lands exactly where a sorted
+// slice's lower-bound lands.
+func TestSeekProperty(t *testing.T) {
+	f := func(raw []uint16, probe uint16) bool {
+		tr := MustNew(6)
+		set := map[keys.Key]bool{}
+		for _, x := range raw {
+			k := keys.Key(x % 500)
+			tr.Insert(k, keys.Value(k))
+			set[k] = true
+		}
+		sorted := make([]keys.Key, 0, len(set))
+		for k := range set {
+			sorted = append(sorted, k)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		k := keys.Key(probe % 600)
+		idx := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= k })
+		it := tr.Seek(k)
+		if idx == len(sorted) {
+			return !it.Valid()
+		}
+		return it.Valid() && it.Key() == sorted[idx]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Successor/Predecessor invert each other on random trees.
+func TestSuccessorPredecessorProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	tr := MustNew(5)
+	present := map[keys.Key]bool{}
+	for i := 0; i < 3000; i++ {
+		k := keys.Key(r.Intn(10000))
+		tr.Insert(k, keys.Value(k))
+		present[k] = true
+	}
+	for probe := 0; probe < 500; probe++ {
+		k := keys.Key(r.Intn(10000))
+		if sk, _, ok := tr.Successor(k); ok {
+			if sk <= k || !present[sk] {
+				t.Fatalf("Successor(%d) = %d", k, sk)
+			}
+			if pk, _, ok2 := tr.Predecessor(sk); !ok2 || pk > k && pk != k && !present[pk] {
+				t.Fatalf("Predecessor(Successor(%d)=%d) = %d,%v", k, sk, pk, ok2)
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package btree
+
+import (
+	"testing"
+
+	"repro/internal/keys"
+)
+
+func TestCollectMetricsEmpty(t *testing.T) {
+	m := MustNew(8).CollectMetrics()
+	if m.Height != 1 || m.LeafNodes != 1 || m.InternalNodes != 0 || m.Entries != 0 {
+		t.Fatalf("empty metrics: %+v", m)
+	}
+	if m.LeafFill != 0 || m.InternalFill != 0 {
+		t.Fatalf("empty fills: %+v", m)
+	}
+}
+
+func TestCollectMetricsPopulated(t *testing.T) {
+	tr := MustNew(8)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		tr.Insert(keys.Key(i), keys.Value(i))
+	}
+	m := tr.CollectMetrics()
+	if m.Entries != n {
+		t.Fatalf("Entries = %d", m.Entries)
+	}
+	if m.Height != tr.Height() {
+		t.Fatalf("Height = %d vs %d", m.Height, tr.Height())
+	}
+	in, lf := tr.CountNodes()
+	if m.InternalNodes != in || m.LeafNodes != lf {
+		t.Fatalf("nodes %d/%d vs %d/%d", m.InternalNodes, m.LeafNodes, in, lf)
+	}
+	if m.LeafFill <= 0.3 || m.LeafFill > 1 {
+		t.Fatalf("LeafFill = %f", m.LeafFill)
+	}
+	if m.InternalFill <= 0.3 || m.InternalFill > 1 {
+		t.Fatalf("InternalFill = %f", m.InternalFill)
+	}
+	if m.MinLeafEntries < tr.minLeafEntries() {
+		t.Fatalf("MinLeafEntries = %d below minimum %d", m.MinLeafEntries, tr.minLeafEntries())
+	}
+	if m.MaxLeafEntries > tr.maxLeafEntries() {
+		t.Fatalf("MaxLeafEntries = %d above maximum", m.MaxLeafEntries)
+	}
+}
+
+func TestCollectMetricsBulkLoadTargetsFill(t *testing.T) {
+	const n = 100000
+	ks := make([]keys.Key, n)
+	vs := make([]keys.Value, n)
+	for i := range ks {
+		ks[i] = keys.Key(i)
+		vs[i] = keys.Value(i)
+	}
+	tr, err := BulkLoad(64, ks, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tr.CollectMetrics()
+	// The bulk loader targets ~7/8 occupancy.
+	if m.LeafFill < 0.80 || m.LeafFill > 0.95 {
+		t.Fatalf("bulk-loaded LeafFill = %f, want ~0.875", m.LeafFill)
+	}
+}

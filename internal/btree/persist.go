@@ -1,0 +1,99 @@
+package btree
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/keys"
+)
+
+// Snapshot format (little-endian):
+//
+//	magic   [4]byte  "QBT1"
+//	order   uint32
+//	count   uint64
+//	pairs   count × { key uint64, value uint64 }  (ascending keys)
+//
+// Only the key-value contents are stored; Load rebuilds node structure
+// with the bulk loader, which produces an equivalent (validated) tree.
+
+var snapshotMagic = [4]byte{'Q', 'B', 'T', '1'}
+
+// Save writes a snapshot of the tree's contents.
+func (t *Tree) Save(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return fmt.Errorf("btree: save magic: %w", err)
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(t.order))
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(t.size))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("btree: save header: %w", err)
+	}
+	var rec [16]byte
+	var saveErr error
+	t.Scan(func(k keys.Key, v keys.Value) bool {
+		binary.LittleEndian.PutUint64(rec[0:8], uint64(k))
+		binary.LittleEndian.PutUint64(rec[8:16], uint64(v))
+		if _, err := bw.Write(rec[:]); err != nil {
+			saveErr = fmt.Errorf("btree: save pair: %w", err)
+			return false
+		}
+		return true
+	})
+	if saveErr != nil {
+		return saveErr
+	}
+	return bw.Flush()
+}
+
+// Load reconstructs a tree from a snapshot written by Save. order <= 0
+// keeps the snapshot's recorded order; otherwise the tree is rebuilt
+// at the given order (snapshots are order-portable).
+func Load(r io.Reader, order int) (*Tree, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("btree: load magic: %w", err)
+	}
+	if m != snapshotMagic {
+		return nil, fmt.Errorf("btree: bad snapshot magic %q", m)
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("btree: load header: %w", err)
+	}
+	savedOrder := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	count := binary.LittleEndian.Uint64(hdr[4:12])
+	if order <= 0 {
+		order = savedOrder
+	}
+	if order < MinOrder {
+		return nil, fmt.Errorf("btree: snapshot order %d invalid", order)
+	}
+
+	capHint := count
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	ks := make([]keys.Key, 0, capHint)
+	vs := make([]keys.Value, 0, capHint)
+	var rec [16]byte
+	var prev keys.Key
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("btree: load pair %d: %w", i, err)
+		}
+		k := keys.Key(binary.LittleEndian.Uint64(rec[0:8]))
+		if i > 0 && k <= prev {
+			return nil, fmt.Errorf("btree: snapshot keys not ascending at pair %d", i)
+		}
+		prev = k
+		ks = append(ks, k)
+		vs = append(vs, keys.Value(binary.LittleEndian.Uint64(rec[8:16])))
+	}
+	return BulkLoad(order, ks, vs)
+}

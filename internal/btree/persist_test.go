@@ -1,0 +1,112 @@
+package btree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tr := MustNew(8)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		tr.Insert(keys.Key(r.Intn(20000)), keys.Value(r.Uint64()))
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Order() != 8 {
+		t.Fatalf("Order = %d, want snapshot's 8", got.Order())
+	}
+	if err := got.Validate(StrictFill); err != nil {
+		t.Fatal(err)
+	}
+	gk, gv := got.Dump()
+	wk, wv := tr.Dump()
+	if len(gk) != len(wk) {
+		t.Fatalf("sizes %d vs %d", len(gk), len(wk))
+	}
+	for i := range gk {
+		if gk[i] != wk[i] || gv[i] != wv[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestSaveLoadEmpty(t *testing.T) {
+	tr := MustNew(4)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, 0)
+	if err != nil || got.Len() != 0 {
+		t.Fatalf("empty round trip: %v, len %d", err, got.Len())
+	}
+}
+
+func TestLoadAtDifferentOrder(t *testing.T) {
+	tr := MustNew(4)
+	for i := 0; i < 1000; i++ {
+		tr.Insert(keys.Key(i), keys.Value(i))
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, 64) // order-portable
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Order() != 64 {
+		t.Fatalf("Order = %d", got.Order())
+	}
+	if got.Height() >= tr.Height() {
+		t.Fatalf("wider tree not shallower: %d vs %d", got.Height(), tr.Height())
+	}
+	if err := got.Validate(StrictFill); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRejectsCorruptSnapshots(t *testing.T) {
+	tr := MustNew(4)
+	tr.Insert(1, 1)
+	tr.Insert(2, 2)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	if _, err := Load(bytes.NewReader([]byte("XXXX")), 0); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := Load(bytes.NewReader(raw[:10]), 0); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	if _, err := Load(bytes.NewReader(raw[:len(raw)-3]), 0); err == nil {
+		t.Fatal("truncated pairs accepted")
+	}
+	// Swap the two pairs so keys descend.
+	bad := append([]byte(nil), raw...)
+	copy(bad[16:32], raw[32:48])
+	copy(bad[32:48], raw[16:32])
+	if _, err := Load(bytes.NewReader(bad), 0); err == nil {
+		t.Fatal("descending keys accepted")
+	}
+	// Hostile count with no data must fail fast, not allocate.
+	hostile := append([]byte(nil), raw[:16]...)
+	hostile[4] = 0xff // count low byte
+	hostile[8] = 0xff
+	if _, err := Load(bytes.NewReader(hostile), 0); err == nil {
+		t.Fatal("hostile count accepted")
+	}
+}

@@ -1,0 +1,394 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bsp"
+	"repro/internal/btree"
+	"repro/internal/cache"
+	"repro/internal/keys"
+	"repro/internal/palm"
+	"repro/internal/stats"
+)
+
+// Mode selects how much of QTrans the Engine applies, matching the
+// configurations compared in Fig. 14.
+type Mode int
+
+// Engine modes.
+const (
+	// Original runs the unmodified PALM pipeline (the paper's "org").
+	Original Mode = iota
+	// Intra adds the parallel intra-batch QTrans of §V-A ("intra").
+	Intra
+	// IntraInter additionally enables the inter-batch top-K cache of
+	// §V-B ("inter").
+	IntraInter
+	// SimIntra replaces the symbolic QSAT with the simulation-based
+	// elimination the paper discusses as an "alternative solution" in
+	// §IV-E: the batch is absorbed, unsorted, into a scratch hash map,
+	// so the pre-sort cost disappears from the transform at the price
+	// of evaluating every query against the simulation structure. On
+	// hosts where sorting dominates (few cores, cache-resident trees)
+	// this variant can out-run the sort-based QSAT; see the ablation
+	// experiments.
+	SimIntra
+)
+
+// String names the mode as in the paper's figures.
+func (m Mode) String() string {
+	switch m {
+	case Original:
+		return "org"
+	case Intra:
+		return "intra"
+	case IntraInter:
+		return "inter"
+	case SimIntra:
+		return "sim"
+	default:
+		return "mode?"
+	}
+}
+
+// EngineConfig configures an Engine.
+type EngineConfig struct {
+	// Mode selects Original, Intra, or IntraInter.
+	Mode Mode
+	// Palm configures the underlying batch processor.
+	Palm palm.Config
+	// CacheCapacity is the top-K cache size (K); used only in
+	// IntraInter mode. <= 0 disables the cache even in IntraInter.
+	CacheCapacity int
+	// CachePolicy selects the replacement policy (default LRU).
+	CachePolicy cache.Policy
+	// CompareSort selects comparison sorting everywhere instead of the
+	// default radix sort (ablation; see palm.Config.CompareSort).
+	CompareSort bool
+}
+
+// Engine is the integrated query processing system: PALM with QTrans,
+// the full system evaluated in §VI. Batches submitted to ProcessBatch
+// are evaluated with semantics identical to serial in-order evaluation.
+type Engine struct {
+	cfg  EngineConfig
+	pool *bsp.Pool
+	proc *palm.Processor
+	tf   *Transformer
+	topK *cache.TopK
+
+	// flushed maps keys evicted from the cache during the current
+	// batch's cache pass to their flushed state, so later queries on
+	// those keys in the same pass still see the correct pre-batch
+	// value (see the ordering discussion in DESIGN.md §4.3).
+	flushed map[keys.Key]flushState
+
+	flushQ []keys.Query
+	mergeQ []keys.Query
+
+	st *stats.Batch
+}
+
+type flushState struct {
+	value   keys.Value
+	deleted bool
+}
+
+// NewEngine builds an Engine. The Engine owns its pool and processor;
+// release them with Close.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	return newEngine(cfg, nil)
+}
+
+// NewEngineWithTree builds an Engine over an existing tree (e.g. one
+// restored from a snapshot or bulk-loaded).
+func NewEngineWithTree(cfg EngineConfig, tree *btree.Tree) (*Engine, error) {
+	if tree == nil {
+		return nil, fmt.Errorf("core: NewEngineWithTree with nil tree")
+	}
+	return newEngine(cfg, tree)
+}
+
+func newEngine(cfg EngineConfig, tree *btree.Tree) (*Engine, error) {
+	cfg.Palm.CompareSort = cfg.CompareSort
+	pool := bsp.NewPool(cfg.Palm.Workers)
+	var proc *palm.Processor
+	if tree != nil {
+		proc = palm.NewWithTree(cfg.Palm, tree, pool)
+	} else {
+		var err error
+		proc, err = palm.New(cfg.Palm, pool)
+		if err != nil {
+			pool.Close()
+			return nil, err
+		}
+	}
+	e := &Engine{
+		cfg:  cfg,
+		pool: pool,
+		proc: proc,
+		tf:   NewTransformer(pool),
+		st:   stats.NewBatch(pool.N()),
+	}
+	e.tf.CompareSort = cfg.CompareSort
+	if cfg.Mode == IntraInter && cfg.CacheCapacity > 0 {
+		e.topK = cache.New(cfg.CacheCapacity, cfg.CachePolicy)
+		e.flushed = make(map[keys.Key]flushState)
+	}
+	return e, nil
+}
+
+// Close releases the Engine's resources.
+func (e *Engine) Close() { e.pool.Close() }
+
+// Stats returns the combined per-stage statistics of the most recently
+// processed batch.
+func (e *Engine) Stats() *stats.Batch { return e.st }
+
+// Pool returns the engine's BSP pool.
+func (e *Engine) Pool() *bsp.Pool { return e.pool }
+
+// Mode returns the engine's mode.
+func (e *Engine) Mode() Mode { return e.cfg.Mode }
+
+// ProcessBatch evaluates one batch, writing search results into rs
+// (which must have been Reset to len(qs)). qs is reordered in place.
+func (e *Engine) ProcessBatch(qs []keys.Query, rs *keys.ResultSet) {
+	e.st.Reset()
+	e.st.BatchSize = len(qs)
+	if len(qs) == 0 {
+		return
+	}
+
+	if e.cfg.Mode == Original {
+		e.proc.ProcessBatch(qs, rs)
+		e.mergeProcStats()
+		e.st.RemainingQueries = len(qs)
+		return
+	}
+
+	if e.cfg.Mode == SimIntra {
+		e.processSim(qs, rs)
+		return
+	}
+
+	remaining := e.tf.Transform(qs, rs, e.st)
+
+	if e.topK != nil {
+		sw := e.st.Timer(stats.StageCache)
+		remaining = e.cachePass(remaining, rs)
+		sw.Stop()
+	}
+
+	e.st.RemainingQueries = len(remaining)
+	e.proc.ProcessTransformed(remaining, rs)
+	e.tf.Broadcast(rs)
+	e.mergeProcStats()
+}
+
+// processSim is the SimIntra pipeline: simulation-based elimination on
+// the unsorted batch, then a sort of only the (much smaller) reduced
+// stream, then the standard QTrans-style PALM processing.
+func (e *Engine) processSim(qs []keys.Query, rs *keys.ResultSet) {
+	sw := e.st.Timer(stats.StageQSAT1)
+	e.tf.Router.Reset(len(qs))
+	remaining, reps, inferred := SimQSAT(qs, &e.tf.Router, rs)
+	e.st.InferredReturns += inferred
+	sw.Stop()
+
+	sw = e.st.Timer(stats.StageQSAT2)
+	if e.cfg.CompareSort {
+		e.pool.SortQueries(remaining)
+	} else {
+		e.pool.RadixSortQueries(remaining)
+	}
+	sw.Stop()
+
+	e.st.RemainingQueries = len(remaining)
+	e.proc.ProcessTransformed(remaining, rs)
+	for _, rep := range reps {
+		e.tf.Router.Broadcast(rs, rep)
+	}
+	e.mergeProcStats()
+}
+
+// mergeProcStats folds the processor's stage timings and leaf-op
+// counters into the engine's batch stats.
+func (e *Engine) mergeProcStats() {
+	ps := e.proc.Stats()
+	for _, s := range stats.Stages() {
+		e.st.Elapsed[s] += ps.Elapsed[s]
+	}
+	for i, v := range ps.LeafOps {
+		e.st.LeafOps[i] += v
+	}
+}
+
+// cachePass runs the inter-batch top-K cache over the QTrans-reduced
+// batch (§V-B): per distinct key the reduced batch holds at most one
+// representative search followed by at most one defining query.
+// Resident keys are served entirely from the cache; defining queries on
+// non-resident keys are admitted (write-back), with evicted dirty
+// entries re-emitted as flush queries that are merged, in key order and
+// ahead of same-key survivors, into the returned sequence.
+func (e *Engine) cachePass(remaining []keys.Query, rs *keys.ResultSet) []keys.Query {
+	e.flushQ = e.flushQ[:0]
+	for k := range e.flushed {
+		delete(e.flushed, k)
+	}
+
+	out := remaining[:0]
+	h1, m1, _ := e.topK.Stats()
+
+	keys.KeyRuns(remaining, func(lo, hi int) {
+		k := remaining[lo].Key
+		entry, resident := e.topK.Lookup(k)
+		if resident {
+			// The reduced run is [search?, define?]: the snapshot taken
+			// by Lookup is valid for the search (which precedes any
+			// define), and defines update the resident entry in place.
+			for i := lo; i < hi; i++ {
+				q := remaining[i]
+				switch q.Op {
+				case keys.OpSearch:
+					if entry.Tombstone {
+						e.st.InferredReturns += e.tf.Router.Resolve(rs, q.Idx, 0, false)
+					} else {
+						e.st.InferredReturns += e.tf.Router.Resolve(rs, q.Idx, entry.Value, true)
+					}
+				case keys.OpInsert:
+					e.topK.WriteInsert(q.Key, q.Value)
+				case keys.OpDelete:
+					e.topK.WriteDelete(q.Key)
+				}
+			}
+			return
+		}
+
+		for i := lo; i < hi; i++ {
+			q := remaining[i]
+			switch q.Op {
+			case keys.OpSearch:
+				// If this key was flushed earlier in this very pass,
+				// its pre-batch state is known without a tree visit.
+				if fs, ok := e.flushed[k]; ok {
+					if fs.deleted {
+						e.st.InferredReturns += e.tf.Router.Resolve(rs, q.Idx, 0, false)
+					} else {
+						e.st.InferredReturns += e.tf.Router.Resolve(rs, q.Idx, fs.value, true)
+					}
+					// The representative stays in the transformer's
+					// broadcast list; re-broadcasting the recorded
+					// result after evaluation is a harmless no-op.
+					continue
+				}
+				out = append(out, q)
+			case keys.OpInsert:
+				flush, evicted := e.topK.WriteInsert(q.Key, q.Value)
+				if evicted {
+					e.recordFlush(flush)
+				}
+			case keys.OpDelete:
+				flush, evicted := e.topK.WriteDelete(q.Key)
+				if evicted {
+					e.recordFlush(flush)
+				}
+			}
+		}
+	})
+
+	h2, m2, _ := e.topK.Stats()
+	e.st.CacheHits += int(h2 - h1)
+	e.st.CacheMisses += int(m2 - m1)
+	e.st.CacheFlushes += len(e.flushQ)
+
+	if len(e.flushQ) == 0 {
+		return out
+	}
+
+	// Merge flush queries (key-sorted, Idx = -1 so they order before
+	// same-key survivors) into the reduced sequence. The sort must be
+	// stable: a key evicted, readmitted by its own defining query, and
+	// evicted again within one pass emits two flushes whose emission
+	// order decides the key's final tree state.
+	sort.SliceStable(e.flushQ, func(i, j int) bool { return e.flushQ[i].Key < e.flushQ[j].Key })
+	e.mergeQ = e.mergeQ[:0]
+	i, j := 0, 0
+	for i < len(out) && j < len(e.flushQ) {
+		if out[i].Key < e.flushQ[j].Key || (out[i].Key == e.flushQ[j].Key && out[i].Idx <= e.flushQ[j].Idx) {
+			e.mergeQ = append(e.mergeQ, out[i])
+			i++
+		} else {
+			e.mergeQ = append(e.mergeQ, e.flushQ[j])
+			j++
+		}
+	}
+	e.mergeQ = append(e.mergeQ, out[i:]...)
+	e.mergeQ = append(e.mergeQ, e.flushQ[j:]...)
+	return e.mergeQ
+}
+
+// recordFlush stores an eviction flush query and remembers the flushed
+// state for same-pass lookups.
+func (e *Engine) recordFlush(q keys.Query) {
+	e.flushQ = append(e.flushQ, q)
+	if q.Op == keys.OpDelete {
+		e.flushed[q.Key] = flushState{deleted: true}
+	} else {
+		e.flushed[q.Key] = flushState{value: q.Value}
+	}
+}
+
+// Train pre-populates the top-K cache with the given keys (§V-B: "the
+// entries in the top-K cache can be pre-populated with training
+// data"). Each key's current tree state is admitted as a clean entry —
+// a value for present keys, a clean tombstone for absent ones — so no
+// flush is owed for them. Dirty entries evicted to make room are
+// written back to the tree immediately. No-op outside IntraInter mode.
+func (e *Engine) Train(hot []keys.Key) {
+	if e.topK == nil {
+		return
+	}
+	var flushes []keys.Query
+	for _, k := range hot {
+		if e.topK.Contains(k) {
+			continue
+		}
+		// The tree is authoritative for non-resident keys.
+		v, found := e.proc.Tree().Search(k)
+		var fl keys.Query
+		var evicted bool
+		if found {
+			fl, evicted = e.topK.Admit(k, v)
+		} else {
+			fl, evicted = e.topK.AdmitAbsent(k)
+		}
+		if evicted {
+			flushes = append(flushes, fl)
+		}
+	}
+	if len(flushes) > 0 {
+		sort.SliceStable(flushes, func(i, j int) bool { return flushes[i].Key < flushes[j].Key })
+		e.proc.ProcessTransformed(flushes, keys.NewResultSet(0))
+	}
+}
+
+// Flush writes every dirty cache entry back to the tree so the tree
+// alone reflects all processed queries. Call at end of run (or before
+// inspecting the tree directly) in IntraInter mode.
+func (e *Engine) Flush() {
+	if e.topK == nil {
+		return
+	}
+	fl := e.topK.FlushAll()
+	if len(fl) == 0 {
+		return
+	}
+	sort.Slice(fl, func(i, j int) bool { return fl[i].Key < fl[j].Key })
+	e.proc.ProcessTransformed(fl, keys.NewResultSet(0))
+}
+
+// Processor exposes the underlying PALM processor (e.g. for tree
+// access and validation in tests).
+func (e *Engine) Processor() *palm.Processor { return e.proc }

@@ -1,0 +1,98 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/keys"
+)
+
+// The reference two-round QSAT on the paper's running example (Fig. 7):
+// nine queries collapse to four inferred returns and three defining
+// queries.
+func ExampleTwoRoundQSAT() {
+	qs := keys.Number([]keys.Query{
+		keys.Insert(1, 1), // I(key1, v1)
+		keys.Search(1),    // S(key1)
+		keys.Insert(2, 2), // I(key2, v2)
+		keys.Search(1),    // S(key1)
+		keys.Insert(3, 3), // I(key3, v3)
+		keys.Insert(2, 4), // I(key2, v4)
+		keys.Delete(3),    // D(key3)
+		keys.Search(3),    // S(key3)
+		keys.Search(2),    // S(key2)
+	})
+	for _, op := range core.TwoRoundQSAT(qs) {
+		fmt.Println(op)
+	}
+	// Output:
+	// ret 1
+	// ret 1
+	// ret null
+	// ret 4
+	// I(1,1)@0
+	// I(2,4)@5
+	// D(3)@6
+}
+
+// The forward define-use analysis exposes QUD chains: each search's
+// defining query.
+func ExampleAnalyze() {
+	qs := keys.Number([]keys.Query{
+		keys.Insert(7, 1),
+		keys.Search(7),
+		keys.Delete(7),
+		keys.Search(7),
+	})
+	a := core.Analyze(qs)
+	for i, d := range a.QUD {
+		if qs[i].Op == keys.OpSearch && d >= 0 {
+			fmt.Printf("q%d <- q%d\n", i+1, d+1)
+		}
+	}
+	// Output:
+	// q2 <- q1
+	// q4 <- q3
+}
+
+// One-pass QSAT (Algorithm 2) over a same-key run: backward sweep,
+// inferred answers, surviving q_o.
+func ExampleQSATRun() {
+	run := keys.Number([]keys.Query{
+		keys.Search(9),    // leading: survives as representative
+		keys.Insert(9, 5), // overwritten
+		keys.Search(9),    // inferred: 5
+		keys.Insert(9, 6), // q_o: survives
+	})
+	var router core.Router
+	router.Reset(len(run))
+	rs := keys.NewResultSet(len(run))
+	e := core.NewEmitter(&router, rs)
+	core.QSATRun(run, e)
+	for _, q := range e.Out {
+		fmt.Println("evaluate", q)
+	}
+	r, _ := rs.Get(2)
+	fmt.Println("inferred:", r.Value, r.Found)
+	// Output:
+	// evaluate S(9)@0
+	// evaluate I(9,6)@3
+	// inferred: 5 true
+}
+
+// The §IV-D extension: composed queries resolve through multi-hop QUD
+// chains like compiler constant propagation.
+func ExampleXResolve() {
+	qs := []core.XQuery{
+		{Op: core.XInsert, Key: 3, Value: 7},
+		{Op: core.XInsertFrom, Key: 2, SrcKey: 3}, // I(2, S(3))
+		{Op: core.XInsertFrom, Key: 1, SrcKey: 2}, // I(1, S(2))
+	}
+	for _, q := range core.XResolve(qs) {
+		fmt.Println(q)
+	}
+	// Output:
+	// I(3,7)
+	// I(2,7)
+	// I(1,7)
+}

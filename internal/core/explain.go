@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/keys"
+)
+
+// Report breaks a batch's optimization opportunities down into the
+// three categories of §III-C, quantifying what QTrans will eliminate
+// before the batch is processed. Explain is an analysis tool: it does
+// not transform anything.
+type Report struct {
+	// Total is the batch size.
+	Total int
+	// Redundancy counts repeated leading searches collapsed into a
+	// representative (§III-C "query redundancy", Fig. 5 ❶).
+	Redundancy int
+	// Overwriting counts defining queries made dead by a later define
+	// on the same key with no intervening surviving search (Fig. 5 ❷).
+	Overwriting int
+	// Inference counts searches answered from an earlier in-batch
+	// define instead of the tree (Fig. 5 ❸).
+	Inference int
+	// Surviving counts the queries that must still be evaluated.
+	Surviving int
+	// DistinctKeys counts distinct keys in the batch.
+	DistinctKeys int
+}
+
+// Eliminated returns the total number of queries removed.
+func (r Report) Eliminated() int { return r.Redundancy + r.Overwriting + r.Inference }
+
+// ReductionRatio returns the eliminated fraction, in [0, 1].
+func (r Report) ReductionRatio() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Eliminated()) / float64(r.Total)
+}
+
+// String renders the report like the paper's running-example prose.
+func (r Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d queries over %d distinct keys: ", r.Total, r.DistinctKeys)
+	fmt.Fprintf(&sb, "%d eliminated (%.1f%%) — %d redundant searches, %d overwritten defines, %d inferred returns; %d survive",
+		r.Eliminated(), 100*r.ReductionRatio(), r.Redundancy, r.Overwriting, r.Inference, r.Surviving)
+	return sb.String()
+}
+
+// Explain classifies every query in the batch into §III-C's categories
+// without evaluating or transforming anything. The input need not be
+// sorted and is not modified.
+func Explain(qs []keys.Query) Report {
+	r := Report{Total: len(qs)}
+
+	// Per-key streaming state, mirroring the one-pass QSAT semantics.
+	type state struct {
+		leadingSearches int  // searches before any define
+		defines         int  // defining queries seen
+		inferred        int  // searches after a define
+		seen            bool // key encountered
+	}
+	perKey := map[keys.Key]*state{}
+	for _, q := range qs {
+		st := perKey[q.Key]
+		if st == nil {
+			st = &state{}
+			perKey[q.Key] = st
+		}
+		switch {
+		case q.Op == keys.OpSearch && st.defines == 0:
+			st.leadingSearches++
+		case q.Op == keys.OpSearch:
+			st.inferred++
+		default:
+			st.defines++
+		}
+	}
+
+	r.DistinctKeys = len(perKey)
+	for _, st := range perKey {
+		if st.leadingSearches > 0 {
+			r.Redundancy += st.leadingSearches - 1 // one representative survives
+			r.Surviving++
+		}
+		if st.defines > 0 {
+			r.Overwriting += st.defines - 1 // only the last define survives
+			r.Surviving++
+		}
+		r.Inference += st.inferred
+	}
+	return r
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/keys"
+)
+
+// This file implements the "Potential Extension" of §IV-D: query
+// sequences with composed queries such as I(key1, S(key2)) — insert
+// key1 with the value drawn from key2 — whose QUD chains grow beyond
+// length 2. The extended analysis resolves such chains transitively
+// (compiler constant propagation at the query level), rewriting
+// composed queries into plain ones whenever their source value is
+// defined earlier in the sequence, then reuses the standard two-round
+// QSAT machinery on the result.
+
+// XOp is an extended query operation.
+type XOp uint8
+
+// Extended operations: the three basic ones plus the composed
+// insert-from of §IV-D.
+const (
+	XSearch XOp = iota
+	XInsert
+	XDelete
+	// XInsertFrom is I(Key, S(SrcKey)): if SrcKey is present, its value
+	// is stored under Key; if SrcKey is absent the query is a no-op.
+	XInsertFrom
+)
+
+// XQuery is an extended query.
+type XQuery struct {
+	Op     XOp
+	Key    keys.Key
+	SrcKey keys.Key   // XInsertFrom only
+	Value  keys.Value // XInsert only
+}
+
+// String renders the query in the paper's notation.
+func (q XQuery) String() string {
+	switch q.Op {
+	case XSearch:
+		return fmt.Sprintf("S(%d)", q.Key)
+	case XInsert:
+		return fmt.Sprintf("I(%d,%d)", q.Key, q.Value)
+	case XDelete:
+		return fmt.Sprintf("D(%d)", q.Key)
+	case XInsertFrom:
+		return fmt.Sprintf("I(%d,S(%d))", q.Key, q.SrcKey)
+	default:
+		return fmt.Sprintf("X(%d)", uint8(q.Op))
+	}
+}
+
+// XResolve performs the extended transformation: composed queries whose
+// source key has a reaching in-sequence definition are rewritten to
+// plain queries by walking the (multi-hop) QUD chain to a value. The
+// returned sequence contains only plain operations where resolution
+// succeeded; unresolvable composed queries (source state unknown at
+// batch entry) are returned unchanged for runtime evaluation.
+//
+// Resolution rules for I(k1, S(k2)) with reaching definition d of k2:
+//
+//	d = I(k2, v):          rewrite to I(k1, v)
+//	d = I(k2, S(k3)):      resolve d first (chain length > 2)
+//	d = D(k2):             the source is absent -> the query is a no-op
+//	                       and is dropped
+//	no reaching d:         left composed
+//
+// Chains are resolved to a fixed point, so arbitrarily long
+// I(a,S(b)) <- I(b,S(c)) <- I(c,v) chains collapse.
+func XResolve(qs []XQuery) []XQuery {
+	out := make([]XQuery, 0, len(qs))
+	// reach maps each key to its latest resolved defining state within
+	// the sequence so far.
+	type state struct {
+		known   bool       // a defining query has been seen
+		present bool       // key currently present (vs deleted)
+		value   keys.Value // value when present
+		// concrete is false when the define was an unresolved
+		// composed query: downstream uses cannot be resolved either.
+		concrete bool
+	}
+	reach := map[keys.Key]state{}
+
+	for _, q := range qs {
+		switch q.Op {
+		case XSearch:
+			out = append(out, q)
+		case XInsert:
+			reach[q.Key] = state{known: true, present: true, value: q.Value, concrete: true}
+			out = append(out, q)
+		case XDelete:
+			reach[q.Key] = state{known: true, present: false, concrete: true}
+			out = append(out, q)
+		case XInsertFrom:
+			src, ok := reach[q.SrcKey]
+			switch {
+			case ok && src.known && src.concrete && src.present:
+				// Chain resolved: rewrite to a plain insert.
+				q2 := XQuery{Op: XInsert, Key: q.Key, Value: src.value}
+				reach[q.Key] = state{known: true, present: true, value: src.value, concrete: true}
+				out = append(out, q2)
+			case ok && src.known && src.concrete && !src.present:
+				// Source deleted: the composed insert is a no-op; the
+				// target key keeps whatever definition it had (its
+				// reach state is unchanged).
+			default:
+				// Unresolvable within the sequence: keep composed and
+				// poison the target key's state.
+				reach[q.Key] = state{known: true, present: true, concrete: false}
+				out = append(out, q)
+			}
+		}
+	}
+	return out
+}
+
+// XLower converts a fully-plain extended sequence to the basic query
+// IR. It fails if any composed query remains (callers evaluate those
+// at runtime instead).
+func XLower(qs []XQuery) ([]keys.Query, error) {
+	out := make([]keys.Query, 0, len(qs))
+	for i, q := range qs {
+		switch q.Op {
+		case XSearch:
+			out = append(out, keys.Search(q.Key))
+		case XInsert:
+			out = append(out, keys.Insert(q.Key, q.Value))
+		case XDelete:
+			out = append(out, keys.Delete(q.Key))
+		default:
+			return nil, fmt.Errorf("core: query %d (%s) is still composed", i, q)
+		}
+	}
+	return keys.Number(out), nil
+}
+
+// XEvaluate is the reference interpreter for extended sequences: it
+// applies qs to store in order and returns, per sequence position of a
+// search, its result. Used to differential-test XResolve.
+func XEvaluate(qs []XQuery, store map[keys.Key]keys.Value) map[int]keys.Result {
+	res := make(map[int]keys.Result)
+	for i, q := range qs {
+		switch q.Op {
+		case XSearch:
+			v, ok := store[q.Key]
+			res[i] = keys.Result{Value: v, Found: ok}
+		case XInsert:
+			store[q.Key] = q.Value
+		case XDelete:
+			delete(store, q.Key)
+		case XInsertFrom:
+			if v, ok := store[q.SrcKey]; ok {
+				store[q.Key] = v
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/keys"
+)
+
+func TestXQueryString(t *testing.T) {
+	cases := []struct {
+		q    XQuery
+		want string
+	}{
+		{XQuery{Op: XSearch, Key: 1}, "S(1)"},
+		{XQuery{Op: XInsert, Key: 1, Value: 2}, "I(1,2)"},
+		{XQuery{Op: XDelete, Key: 3}, "D(3)"},
+		{XQuery{Op: XInsertFrom, Key: 1, SrcKey: 2}, "I(1,S(2))"},
+		{XQuery{Op: XOp(9)}, "X(9)"},
+	}
+	for _, c := range cases {
+		if got := c.q.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestXResolvePaperExample(t *testing.T) {
+	// §IV-D: I(key1, S(key2)) with key2 defined earlier — the QUD
+	// chain has length > 2 and must collapse to a plain insert.
+	qs := []XQuery{
+		{Op: XInsert, Key: 2, Value: 42},
+		{Op: XInsertFrom, Key: 1, SrcKey: 2},
+		{Op: XSearch, Key: 1},
+	}
+	out := XResolve(qs)
+	if len(out) != 3 {
+		t.Fatalf("out = %v", out)
+	}
+	if out[1].Op != XInsert || out[1].Key != 1 || out[1].Value != 42 {
+		t.Fatalf("composed query not resolved: %v", out[1])
+	}
+	lowered, err := XLower(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lowered) != 3 || lowered[1].Op != keys.OpInsert {
+		t.Fatalf("lowered = %v", lowered)
+	}
+}
+
+func TestXResolveLongChain(t *testing.T) {
+	// I(c,7); I(b,S(c)); I(a,S(b)); S(a) — a length-4 chain.
+	qs := []XQuery{
+		{Op: XInsert, Key: 3, Value: 7},
+		{Op: XInsertFrom, Key: 2, SrcKey: 3},
+		{Op: XInsertFrom, Key: 1, SrcKey: 2},
+		{Op: XSearch, Key: 1},
+	}
+	out := XResolve(qs)
+	for i := 1; i <= 2; i++ {
+		if out[i].Op != XInsert || out[i].Value != 7 {
+			t.Fatalf("chain link %d unresolved: %v", i, out[i])
+		}
+	}
+}
+
+func TestXResolveDeletedSourceIsNoop(t *testing.T) {
+	qs := []XQuery{
+		{Op: XInsert, Key: 1, Value: 5},
+		{Op: XDelete, Key: 2},
+		{Op: XInsertFrom, Key: 1, SrcKey: 2}, // no-op: source absent
+		{Op: XSearch, Key: 1},                // must still see 5
+	}
+	out := XResolve(qs)
+	if len(out) != 3 {
+		t.Fatalf("no-op composed query not dropped: %v", out)
+	}
+	store := map[keys.Key]keys.Value{}
+	res := XEvaluate(out, store)
+	if r := res[2]; !r.Found || r.Value != 5 {
+		t.Fatalf("search = %+v, want 5", r)
+	}
+}
+
+func TestXResolveUnknownSourceStaysComposed(t *testing.T) {
+	qs := []XQuery{
+		{Op: XInsertFrom, Key: 1, SrcKey: 2}, // key2 state unknown
+	}
+	out := XResolve(qs)
+	if len(out) != 1 || out[0].Op != XInsertFrom {
+		t.Fatalf("out = %v", out)
+	}
+	if _, err := XLower(out); err == nil {
+		t.Fatal("XLower must reject composed queries")
+	}
+}
+
+func TestXResolvePoisonedChain(t *testing.T) {
+	// An unresolved composed define poisons downstream resolution.
+	qs := []XQuery{
+		{Op: XInsertFrom, Key: 2, SrcKey: 9}, // unknown source
+		{Op: XInsertFrom, Key: 1, SrcKey: 2}, // depends on poisoned key 2
+	}
+	out := XResolve(qs)
+	if len(out) != 2 || out[0].Op != XInsertFrom || out[1].Op != XInsertFrom {
+		t.Fatalf("poisoned chain resolved incorrectly: %v", out)
+	}
+	// A concrete redefinition heals the key.
+	qs = append(qs, XQuery{Op: XInsert, Key: 2, Value: 8},
+		XQuery{Op: XInsertFrom, Key: 5, SrcKey: 2})
+	out = XResolve(qs)
+	last := out[len(out)-1]
+	if last.Op != XInsert || last.Value != 8 {
+		t.Fatalf("healed chain not resolved: %v", last)
+	}
+}
+
+// Property: XResolve preserves semantics under XEvaluate for any
+// sequence and any initial store.
+func TestXResolveEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 20 + r.Intn(100)
+		qs := make([]XQuery, n)
+		for i := range qs {
+			q := XQuery{Key: keys.Key(r.Intn(8))}
+			switch r.Intn(4) {
+			case 0:
+				q.Op = XSearch
+			case 1:
+				q.Op = XInsert
+				q.Value = keys.Value(r.Intn(1000))
+			case 2:
+				q.Op = XDelete
+			default:
+				q.Op = XInsertFrom
+				q.SrcKey = keys.Key(r.Intn(8))
+			}
+			qs[i] = q
+		}
+		store1 := map[keys.Key]keys.Value{}
+		store2 := map[keys.Key]keys.Value{}
+		for i := 0; i < r.Intn(8); i++ {
+			k := keys.Key(r.Intn(8))
+			v := keys.Value(r.Intn(1000))
+			store1[k] = v
+			store2[k] = v
+		}
+		want := XEvaluate(qs, store1)
+		got := XEvaluate(XResolve(qs), store2)
+
+		// Results compare positionally by search occurrence order
+		// (XResolve never reorders or drops searches).
+		wantList := resultsInOrder(qs, want)
+		gotList := resultsInOrder(XResolve(qs), got)
+		if len(wantList) != len(gotList) {
+			return false
+		}
+		for i := range wantList {
+			if wantList[i] != gotList[i] {
+				return false
+			}
+		}
+		if len(store1) != len(store2) {
+			return false
+		}
+		for k, v := range store1 {
+			if store2[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// resultsInOrder lists search results in sequence order.
+func resultsInOrder(qs []XQuery, res map[int]keys.Result) []keys.Result {
+	var out []keys.Result
+	for i, q := range qs {
+		if q.Op == XSearch {
+			out = append(out, res[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package core
+
+import "repro/internal/keys"
+
+// Emitter receives the output of one-pass QSAT: the reduced query list
+// plus bookkeeping for inferred and deferred search answers.
+type Emitter struct {
+	// Out accumulates the queries that still need evaluation: at most
+	// one representative search and one defining query per key.
+	Out []keys.Query
+	// Reps accumulates surviving representative searches whose chains
+	// must be broadcast after evaluation. Only filled when CollectReps.
+	Reps []int32
+	// CollectReps enables Reps collection (final QSAT pass only; the
+	// mini-batch pass's representatives may still be resolved later).
+	CollectReps bool
+	// Inferred counts answers produced without tree evaluation.
+	Inferred int
+
+	router  *Router
+	rs      *keys.ResultSet
+	pending []int32 // scratch reused across runs
+}
+
+// NewEmitter returns an emitter writing answers through router into rs.
+func NewEmitter(router *Router, rs *keys.ResultSet) *Emitter {
+	return &Emitter{router: router, rs: rs}
+}
+
+// Reset clears the emitter's accumulated output for a new batch.
+func (e *Emitter) Reset() {
+	e.Out = e.Out[:0]
+	e.Reps = e.Reps[:0]
+	e.Inferred = 0
+}
+
+// resolve delivers the answer implied by defining query d to the search
+// at original index idx (and its chain): an insert defines (value,
+// found); a delete defines (absent).
+func (e *Emitter) resolve(idx int32, d keys.Query) {
+	if d.Op == keys.OpInsert {
+		e.Inferred += e.router.Resolve(e.rs, idx, d.Value, true)
+	} else {
+		e.Inferred += e.router.Resolve(e.rs, idx, 0, false)
+	}
+}
+
+// QSATRun is the one-pass QSAT of Algorithm 2, applied to one maximal
+// same-key run of a stably key-sorted sequence. It traverses the run
+// backwards:
+//
+//   - a search query is held pending;
+//   - a defining query answers all pending searches by inference
+//     (INFER_AND_RETURN) — an insert supplies its value, a delete
+//     supplies "absent" — and the last defining query of the run (the
+//     first one met walking backwards) survives as q_o;
+//   - searches still pending after the sweep precede every defining
+//     query; they are collapsed into one representative search
+//     (SEARCH_AND_RETURN) whose eventual tree answer is broadcast to
+//     the rest via the Router.
+//
+// The run's surviving queries are appended to e.Out in (key, original
+// index) order: representative search first, then q_o.
+//
+// QSATRun is used identically by QTrans's Phase-I (mini-batch) and
+// Phase-II (per-key) passes: in Phase II the "searches" are Phase-I
+// representatives carrying chains, which Resolve and Append handle
+// transparently.
+func QSATRun(run []keys.Query, e *Emitter) {
+	var qo keys.Query
+	haveQo := false
+	// pending collects the original indices of searches not yet
+	// answered, in backward-walk (reverse) order.
+	pending := e.pending[:0]
+	defer func() { e.pending = pending[:0] }()
+
+	for i := len(run) - 1; i >= 0; i-- {
+		q := run[i]
+		if q.Op == keys.OpSearch {
+			pending = append(pending, q.Idx)
+			continue
+		}
+		// Defining query: answer pending searches by inference.
+		for _, idx := range pending {
+			e.resolve(idx, q)
+		}
+		pending = pending[:0]
+		if !haveQo {
+			qo = q
+			haveQo = true
+		}
+	}
+
+	if len(pending) > 0 {
+		// Leading searches: no defining query precedes them in the
+		// batch. Collapse onto the earliest (pending is in reverse
+		// order, so the last element is the earliest search).
+		rep := pending[len(pending)-1]
+		for i := len(pending) - 2; i >= 0; i-- {
+			e.router.Append(rep, pending[i])
+		}
+		e.Out = append(e.Out, keys.Query{Op: keys.OpSearch, Key: run[0].Key, Idx: rep})
+		if e.CollectReps {
+			e.Reps = append(e.Reps, rep)
+		}
+	}
+	if haveQo {
+		e.Out = append(e.Out, qo)
+	}
+}
+
+// QSATSequence applies one-pass QSAT to an entire stably key-sorted
+// sequence, returning the reduced sequence via e.Out. This is the
+// sequential QSAT used on each mini-batch in Phase I (and usable
+// standalone).
+func QSATSequence(qs []keys.Query, e *Emitter) {
+	keys.KeyRuns(qs, func(lo, hi int) {
+		QSATRun(qs[lo:hi], e)
+	})
+}

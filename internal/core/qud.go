@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/keys"
+)
+
+// This file contains the reference (two-round) QSAT of §IV-B and §IV-C:
+// a forward define-use analysis building query-level use-define (QUD)
+// chains, the mark-sweep useless-query elimination of Algorithm 1, and
+// the query inference & reordering round. It is the executable
+// specification that the production one-pass QSAT (onepass.go) is
+// property-tested against, and it powers the running-example demo
+// (Fig. 7).
+
+// Analysis is the result of the forward define-use analysis over a
+// query sequence (Fig. 7-(a)/(b)).
+type Analysis struct {
+	// Queries is the analyzed sequence (positions are sequence indices,
+	// not Query.Idx).
+	Queries []keys.Query
+	// QUD[i] is the sequence position of the defining query reaching
+	// query i with the same key, or -1 (the QUD chain of §IV-B).
+	// Defined for every query; for search queries it links use→def, for
+	// defining queries it links to the previous definition they
+	// overwrite.
+	QUD []int
+	// Reaching[i] is the set e after processing query i: for each key,
+	// the position of the defining query that reaches past query i.
+	// Stored sparsely for the demo output.
+	Reaching []map[keys.Key]int
+}
+
+// Analyze performs the forward define-use analysis of §IV-B over the
+// sequence in its given (arrival) order.
+func Analyze(qs []keys.Query) *Analysis {
+	a := &Analysis{
+		Queries:  qs,
+		QUD:      make([]int, len(qs)),
+		Reaching: make([]map[keys.Key]int, len(qs)),
+	}
+	cur := make(map[keys.Key]int)
+	for i, q := range qs {
+		if d, ok := cur[q.Key]; ok {
+			a.QUD[i] = d
+		} else {
+			a.QUD[i] = -1
+		}
+		if q.Op.IsDefining() {
+			cur[q.Key] = i
+		}
+		snap := make(map[keys.Key]int, len(cur))
+		for k, v := range cur {
+			snap[k] = v
+		}
+		a.Reaching[i] = snap
+	}
+	return a
+}
+
+// MarkSweep is Algorithm 1: useless-query elimination. It marks every
+// search query useful, marks each search's QUD-chained defining query
+// useful, and additionally keeps the last defining query of every key
+// (which determines the final key-value state of the tree, per the
+// round-1 goal stated in §IV-C). It returns the positions of useful
+// queries in order.
+func (a *Analysis) MarkSweep() []int {
+	useful := make([]bool, len(a.Queries))
+	last := make(map[keys.Key]int)
+	for i, q := range a.Queries {
+		if q.Op == keys.OpSearch {
+			useful[i] = true
+			if d := a.QUD[i]; d >= 0 {
+				useful[d] = true
+			}
+		} else {
+			last[q.Key] = i
+		}
+	}
+	for _, i := range last {
+		useful[i] = true
+	}
+	out := make([]int, 0, len(a.Queries))
+	for i := range a.Queries {
+		if useful[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TransformedOp is one element of the round-2 output: either a query to
+// evaluate or an inferred return.
+type TransformedOp struct {
+	// Return reports whether this op is an inferred return (true) or a
+	// remaining query (false).
+	Return bool
+	// Query is the remaining query when !Return; when Return, Query is
+	// the search whose answer was inferred.
+	Query keys.Query
+	// Value/Found are the inferred answer when Return.
+	Value keys.Value
+	Found bool
+}
+
+// String renders the op in the notation of Fig. 7-(d).
+func (op TransformedOp) String() string {
+	if op.Return {
+		if op.Found {
+			return fmt.Sprintf("ret %d", op.Value)
+		}
+		return "ret null"
+	}
+	return op.Query.String()
+}
+
+// TwoRoundQSAT runs the full reference transformation: Round 1
+// (MarkSweep) followed by Round 2 (query inference & reordering,
+// §IV-C). Inferred returns are moved to the front of the output, as the
+// paper's reordering does, since they depend on no remaining query.
+func TwoRoundQSAT(qs []keys.Query) []TransformedOp {
+	a := Analyze(qs)
+	kept := a.MarkSweep()
+
+	keptSet := make([]bool, len(qs))
+	for _, i := range kept {
+		keptSet[i] = true
+	}
+
+	var returns, remaining []TransformedOp
+	for _, i := range kept {
+		q := qs[i]
+		if q.Op != keys.OpSearch {
+			remaining = append(remaining, TransformedOp{Query: q})
+			continue
+		}
+		d := a.QUD[i]
+		// Round 1 may have eliminated the defining query d (it was
+		// overwritten but still reached this search — impossible:
+		// overwriting requires no intervening search, so d reaching a
+		// search means d was marked useful). Guard anyway.
+		if d >= 0 && keptSet[d] {
+			def := qs[d]
+			op := TransformedOp{Return: true, Query: q}
+			if def.Op == keys.OpInsert {
+				op.Value, op.Found = def.Value, true
+			}
+			returns = append(returns, op)
+		} else {
+			remaining = append(remaining, TransformedOp{Query: q})
+		}
+	}
+
+	// Round-1 rescan: defining queries kept only because a search used
+	// them may now be dead if a later defining query overwrites them
+	// and the intervening searches were all answered by inference. The
+	// paper notes this cascading ("as existing opportunities are
+	// exploited, more opportunities might be uncovered", §III-C);
+	// iterate to a fixed point.
+	remaining = sweepOverwritten(remaining)
+
+	return append(returns, remaining...)
+}
+
+// sweepOverwritten removes defining queries that are overwritten by a
+// later defining query on the same key with no intervening remaining
+// search, iterating to a fixed point.
+func sweepOverwritten(ops []TransformedOp) []TransformedOp {
+	for {
+		changed := false
+		lastDef := make(map[keys.Key]int) // key -> position of previous define
+		dead := make([]bool, len(ops))
+		for i, op := range ops {
+			q := op.Query
+			if q.Op == keys.OpSearch {
+				delete(lastDef, q.Key)
+				continue
+			}
+			if d, ok := lastDef[q.Key]; ok {
+				dead[d] = true
+				changed = true
+			}
+			lastDef[q.Key] = i
+		}
+		if !changed {
+			return ops
+		}
+		out := ops[:0]
+		for i, op := range ops {
+			if !dead[i] {
+				out = append(out, op)
+			}
+		}
+		ops = out
+	}
+}
+
+// EvaluateReference evaluates a query sequence serially and returns,
+// for each search (by sequence position), its result. Used to check
+// transformed outputs against untransformed semantics in tests and the
+// demo.
+func EvaluateReference(qs []keys.Query, store map[keys.Key]keys.Value) map[int]keys.Result {
+	res := make(map[int]keys.Result)
+	for i, q := range qs {
+		switch q.Op {
+		case keys.OpSearch:
+			v, ok := store[q.Key]
+			res[i] = keys.Result{Value: v, Found: ok}
+		case keys.OpInsert:
+			store[q.Key] = q.Value
+		case keys.OpDelete:
+			delete(store, q.Key)
+		}
+	}
+	return res
+}
+
+// FormatAnalysis renders the analysis like Fig. 7-(a): each query with
+// its reaching definition set.
+func FormatAnalysis(a *Analysis) string {
+	var sb strings.Builder
+	for i, q := range a.Queries {
+		fmt.Fprintf(&sb, "%2d  %-14s e = {", i+1, q.String())
+		first := true
+		// Render in sequence order for determinism.
+		for j := range a.Queries {
+			for _, pos := range a.Reaching[i] {
+				if pos == j {
+					if !first {
+						sb.WriteString(", ")
+					}
+					fmt.Fprintf(&sb, "q%d", j+1)
+					first = false
+				}
+			}
+		}
+		sb.WriteString("}\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/keys"
+)
+
+// paperExample is the running example of Fig. 5/7 (keys 1..3 stand in
+// for key1..key3, values 1..4 for v1..v4).
+func paperExample() []keys.Query {
+	return keys.Number([]keys.Query{
+		keys.Insert(1, 1), // 1: I(key1, v1)
+		keys.Search(1),    // 2: S(key1)
+		keys.Insert(2, 2), // 3: I(key2, v2)
+		keys.Search(1),    // 4: S(key1)
+		keys.Insert(3, 3), // 5: I(key3, v3)
+		keys.Insert(2, 4), // 6: I(key2, v4)
+		keys.Delete(3),    // 7: D(key3)
+		keys.Search(3),    // 8: S(key3)
+		keys.Search(2),    // 9: S(key2)
+	})
+}
+
+func TestPaperRunningExampleAnalysis(t *testing.T) {
+	a := Analyze(paperExample())
+	// QUD chains of Fig. 7-(b): q2->q1, q4->q1, q8->q7, q9->q6
+	// (0-based: 1->0, 3->0, 7->6, 8->5).
+	wantQUD := map[int]int{1: 0, 3: 0, 7: 6, 8: 5}
+	for i, d := range a.QUD {
+		if want, ok := wantQUD[i]; ok {
+			if d != want {
+				t.Errorf("QUD[%d] = %d, want %d", i, d, want)
+			}
+		}
+	}
+	// Reaching set after q7 (index 6) must be {q1, q6, q7} = {0, 5, 6}.
+	e := a.Reaching[6]
+	if len(e) != 3 || e[1] != 0 || e[2] != 5 || e[3] != 6 {
+		t.Errorf("reaching set after q7 = %v, want {1:0 2:5 3:6}", e)
+	}
+}
+
+func TestPaperRunningExampleMarkSweep(t *testing.T) {
+	a := Analyze(paperExample())
+	kept := a.MarkSweep()
+	// Round 1 (Fig. 7-(c)): q3 (idx 2) and q5 (idx 4) eliminated,
+	// 7 queries left.
+	if len(kept) != 7 {
+		t.Fatalf("kept %d queries, want 7 (%v)", len(kept), kept)
+	}
+	for _, i := range kept {
+		if i == 2 || i == 4 {
+			t.Fatalf("query %d should have been eliminated", i+1)
+		}
+	}
+}
+
+func TestPaperRunningExampleTwoRound(t *testing.T) {
+	ops := TwoRoundQSAT(paperExample())
+	var returns, remaining []TransformedOp
+	for _, op := range ops {
+		if op.Return {
+			returns = append(returns, op)
+		} else {
+			remaining = append(remaining, op)
+		}
+	}
+	// Fig. 7-(d): 4 inferred returns (v1, v1, null, v4) and 3 remaining
+	// defining queries I(k1,v1), I(k2,v4), D(k3) (the cache-write
+	// transformation of I(k1,v1) is the Engine's job, not QSAT's).
+	if len(returns) != 4 {
+		t.Fatalf("returns = %v, want 4", returns)
+	}
+	wantReturns := []struct {
+		found bool
+		v     keys.Value
+	}{{true, 1}, {true, 1}, {false, 0}, {true, 4}}
+	for i, w := range wantReturns {
+		if returns[i].Found != w.found || (w.found && returns[i].Value != w.v) {
+			t.Errorf("return %d = %+v, want found=%v v=%d", i, returns[i], w.found, w.v)
+		}
+	}
+	if len(remaining) != 3 {
+		t.Fatalf("remaining = %v, want 3", remaining)
+	}
+	wantRemaining := []keys.Query{keys.Insert(1, 1), keys.Insert(2, 4), keys.Delete(3)}
+	for i, w := range wantRemaining {
+		got := remaining[i].Query
+		if got.Op != w.Op || got.Key != w.Key || (w.Op == keys.OpInsert && got.Value != w.Value) {
+			t.Errorf("remaining %d = %v, want %v", i, got, w)
+		}
+	}
+	// Reordering: all returns precede all remaining queries.
+	seenRemaining := false
+	for _, op := range ops {
+		if !op.Return {
+			seenRemaining = true
+		} else if seenRemaining {
+			t.Fatal("inferred return ordered after a remaining query")
+		}
+	}
+}
+
+func TestMarkSweepKeepsUnusedFinalDefine(t *testing.T) {
+	// A lone insert has no using search but determines final tree
+	// state; Algorithm 1's goal statement requires keeping it.
+	qs := keys.Number([]keys.Query{keys.Insert(5, 9)})
+	a := Analyze(qs)
+	kept := a.MarkSweep()
+	if len(kept) != 1 || kept[0] != 0 {
+		t.Fatalf("kept = %v, want [0]", kept)
+	}
+}
+
+func TestMarkSweepDropsOverwrittenDefine(t *testing.T) {
+	qs := keys.Number([]keys.Query{
+		keys.Insert(5, 1),
+		keys.Insert(5, 2),
+		keys.Delete(5),
+	})
+	a := Analyze(qs)
+	kept := a.MarkSweep()
+	if len(kept) != 1 || kept[0] != 2 {
+		t.Fatalf("kept = %v, want only the final delete", kept)
+	}
+}
+
+func TestTwoRoundCascadingElimination(t *testing.T) {
+	// §III-C: removing a search can expose a new overwriting
+	// opportunity. I(k,1) is used by S(k); once S(k) is inferred away,
+	// I(k,1) is overwritten by I(k,2) and must die in the rescan.
+	qs := keys.Number([]keys.Query{
+		keys.Insert(7, 1),
+		keys.Search(7),
+		keys.Insert(7, 2),
+	})
+	ops := TwoRoundQSAT(qs)
+	var remaining []keys.Query
+	returns := 0
+	for _, op := range ops {
+		if op.Return {
+			returns++
+			if !op.Found || op.Value != 1 {
+				t.Errorf("inferred %+v, want (1, true)", op)
+			}
+		} else {
+			remaining = append(remaining, op.Query)
+		}
+	}
+	if returns != 1 {
+		t.Fatalf("returns = %d, want 1", returns)
+	}
+	if len(remaining) != 1 || remaining[0].Op != keys.OpInsert || remaining[0].Value != 2 {
+		t.Fatalf("remaining = %v, want [I(7,2)]", remaining)
+	}
+}
+
+// randomSequence builds a random query sequence over a small key space
+// to maximize redundancy opportunities.
+func randomSequence(r *rand.Rand, n, keyspace int) []keys.Query {
+	qs := make([]keys.Query, n)
+	for i := range qs {
+		k := keys.Key(r.Intn(keyspace))
+		switch r.Intn(3) {
+		case 0:
+			qs[i] = keys.Search(k)
+		case 1:
+			qs[i] = keys.Insert(k, keys.Value(r.Intn(1000)))
+		default:
+			qs[i] = keys.Delete(k)
+		}
+	}
+	return keys.Number(qs)
+}
+
+// TestTwoRoundEquivalence: evaluating the transformed output against
+// any initial store yields exactly the serial results and final state.
+func TestTwoRoundEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		qs := randomSequence(r, 50+r.Intn(200), 1+r.Intn(10))
+
+		// Serial reference with a random initial store.
+		store := map[keys.Key]keys.Value{}
+		for i := 0; i < r.Intn(10); i++ {
+			store[keys.Key(r.Intn(10))] = keys.Value(r.Intn(100))
+		}
+		refStore := map[keys.Key]keys.Value{}
+		for k, v := range store {
+			refStore[k] = v
+		}
+		wantRes := EvaluateReference(qs, refStore)
+
+		// Transformed evaluation: inferred returns are taken as-is;
+		// remaining queries evaluate against the same initial store.
+		ops := TwoRoundQSAT(qs)
+		gotRes := make(map[int]keys.Result)
+		for _, op := range ops {
+			if op.Return {
+				gotRes[int(op.Query.Idx)] = keys.Result{Value: op.Value, Found: op.Found}
+				continue
+			}
+			q := op.Query
+			switch q.Op {
+			case keys.OpSearch:
+				v, ok := store[q.Key]
+				gotRes[int(q.Idx)] = keys.Result{Value: v, Found: ok}
+			case keys.OpInsert:
+				store[q.Key] = q.Value
+			case keys.OpDelete:
+				delete(store, q.Key)
+			}
+		}
+
+		for i, w := range wantRes {
+			g, ok := gotRes[i]
+			if !ok || g.Found != w.Found || (w.Found && g.Value != w.Value) {
+				return false
+			}
+		}
+		if len(store) != len(refStore) {
+			return false
+		}
+		for k, v := range refStore {
+			if store[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatAnalysisMentionsEveryQuery(t *testing.T) {
+	out := FormatAnalysis(Analyze(paperExample()))
+	if out == "" {
+		t.Fatal("empty analysis formatting")
+	}
+	for _, want := range []string{"I(1,1)@0", "S(2)@8", "q1", "q7"} {
+		if !contains(out, want) {
+			t.Errorf("formatted analysis missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestTransformedOpString(t *testing.T) {
+	cases := []struct {
+		op   TransformedOp
+		want string
+	}{
+		{TransformedOp{Return: true, Found: true, Value: 7}, "ret 7"},
+		{TransformedOp{Return: true}, "ret null"},
+		{TransformedOp{Query: keys.Insert(1, 2)}, "I(1,2)@0"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import "repro/internal/keys"
+
+// This file implements the "Alternative Solution" discussed in §IV-E:
+// instead of reasoning about query semantics symbolically (one-pass
+// QSAT), redundancy can be eliminated by *simulating* the query
+// evaluations on a different data structure — a scratch hash map —
+// and emitting only the queries whose effects survive. The paper notes
+// two drawbacks that the ablation benchmarks quantify: every query
+// must still be "evaluated" (against the simulation structure), and no
+// query can be skipped outright. SimQSAT exists as the experimental
+// baseline for that comparison; the Engine always uses one-pass QSAT.
+
+// simState is the simulated per-key state.
+type simState struct {
+	// def is the surviving defining query for the key (valid when
+	// hasDef). It is updated in place as later defines overwrite it.
+	def    keys.Query
+	hasDef bool
+	// rep is the surviving representative search (valid when hasRep);
+	// only searches that precede every define survive.
+	rep    int32
+	hasRep bool
+}
+
+// SimQSAT eliminates redundant and unnecessary queries by simulating
+// the batch on a hash map, producing the same reduced semantics as the
+// symbolic QSAT: per key at most one representative search (answered
+// from the tree later, broadcast through router) and one defining
+// query, with all other searches answered by inference. The input
+// need NOT be sorted — the simulation structure provides random
+// access — which is the approach's one advantage; the output is
+// emitted in first-touch key order and then must be sorted by the
+// caller before PALM processing.
+func SimQSAT(qs []keys.Query, router *Router, rs *keys.ResultSet) (out []keys.Query, reps []int32, inferred int) {
+	sim := make(map[keys.Key]*simState, len(qs)/2)
+	order := make([]keys.Key, 0, len(qs)/2)
+
+	for _, q := range qs {
+		st, ok := sim[q.Key]
+		if !ok {
+			st = &simState{}
+			sim[q.Key] = st
+			order = append(order, q.Key)
+		}
+		switch q.Op {
+		case keys.OpSearch:
+			if st.hasDef {
+				// Simulated evaluation answers the search immediately.
+				if st.def.Op == keys.OpInsert {
+					inferred += router.Resolve(rs, q.Idx, st.def.Value, true)
+				} else {
+					inferred += router.Resolve(rs, q.Idx, 0, false)
+				}
+				continue
+			}
+			if st.hasRep {
+				router.Append(st.rep, q.Idx)
+			} else {
+				st.rep, st.hasRep = q.Idx, true
+			}
+		default:
+			st.def, st.hasDef = q, true
+		}
+	}
+
+	for _, k := range order {
+		st := sim[k]
+		if st.hasRep {
+			out = append(out, keys.Query{Op: keys.OpSearch, Key: k, Idx: st.rep})
+			reps = append(reps, st.rep)
+		}
+		if st.hasDef {
+			out = append(out, st.def)
+		}
+	}
+	return out, reps, inferred
+}

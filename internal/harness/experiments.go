@@ -1,0 +1,405 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/keys"
+	"repro/internal/palm"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Experiment regenerates one figure or table, writing rows to w.
+type Experiment struct {
+	// ID is the figure/table identifier, e.g. "fig9a", "table2".
+	ID string
+	// Title describes what the paper shows there.
+	Title string
+	// Run executes the experiment.
+	Run func(rn *Runner, w io.Writer) error
+}
+
+// Experiments returns the full roster, in paper order.
+func Experiments() []Experiment {
+	exps := []Experiment{
+		{"fig4", "key distribution skew: top-N coverage (taxi, ycsb-latest, ycsb-zipfian)", Fig4},
+	}
+	for i, ds := range []string{"gaussian", "self-similar", "zipfian", "uniform"} {
+		ds := ds
+		sub := string(rune('a' + i))
+		exps = append(exps,
+			Experiment{"fig9" + sub, "throughput org vs opt, " + ds, func(rn *Runner, w io.Writer) error {
+				return ThroughputFigure(rn, w, ds)
+			}},
+			Experiment{"fig10" + sub, "scalability, " + ds, func(rn *Runner, w io.Writer) error {
+				return ScalabilityFigure(rn, w, ds)
+			}},
+		)
+	}
+	exps = append(exps,
+		Experiment{"fig11a", "throughput org vs opt, ycsb-latest", func(rn *Runner, w io.Writer) error {
+			return ThroughputFigure(rn, w, "ycsb-latest")
+		}},
+		Experiment{"fig11b", "throughput org vs opt, ycsb-zipfian", func(rn *Runner, w io.Writer) error {
+			return ThroughputFigure(rn, w, "ycsb-zipfian")
+		}},
+		Experiment{"fig11c", "scalability, ycsb-latest", func(rn *Runner, w io.Writer) error {
+			return ScalabilityFigure(rn, w, "ycsb-latest")
+		}},
+		Experiment{"fig11d", "scalability, ycsb-zipfian", func(rn *Runner, w io.Writer) error {
+			return ScalabilityFigure(rn, w, "ycsb-zipfian")
+		}},
+		Experiment{"fig12a", "throughput org vs opt, taxi", func(rn *Runner, w io.Writer) error {
+			return ThroughputFigure(rn, w, "taxi")
+		}},
+		Experiment{"fig12b", "scalability, taxi", func(rn *Runner, w io.Writer) error {
+			return ScalabilityFigure(rn, w, "taxi")
+		}},
+		Experiment{"fig13", "per-thread leaf operations (load balance), self-similar U-0.25", Fig13},
+		Experiment{"fig14a", "throughput breakdown org/intra/inter, self-similar", Fig14a},
+		Experiment{"fig14b", "query reduction ratio, self-similar", Fig14b},
+		Experiment{"fig14c", "stage time breakdown, self-similar", Fig14c},
+		Experiment{"fig15", "batch size impact, self-similar U-0.25", Fig15},
+		Experiment{"abl1", "transform strategy ablation: org vs intra vs inter vs sim (zipfian)", Ablation1},
+		Experiment{"abl2", "tree utilization under churn: relaxed batched deletes vs strict serial", Ablation2},
+		Experiment{"table1", "dataset configurations", Table1},
+		Experiment{"table2", "latency per dataset (opt vs org, U-0 and U-0.75)", Table2},
+	)
+	return exps
+}
+
+// ExperimentByID looks an experiment up.
+func ExperimentByID(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q", id)
+}
+
+// Fig4 reports the skew statistics behind Fig. 4: fraction of queries
+// covered by the hottest keys for the realistic datasets.
+func Fig4(rn *Runner, w io.Writer) error {
+	samples := int(float64(2_000_000) * rn.Opts.Scale * 50)
+	if samples < 50_000 {
+		samples = 50_000
+	}
+	row(w, "dataset", "samples", "distinct", "top1000_coverage", "top1pct_coverage")
+	for _, name := range []string{"taxi", "ycsb-latest", "ycsb-zipfian"} {
+		spec, err := workload.SpecByName(name, rn.Opts.Scale)
+		if err != nil {
+			return err
+		}
+		gen := spec.Build()
+		r := rand.New(rand.NewSource(rn.Opts.Seed))
+		frac1000, distinct := workload.Coverage(gen, r, samples, 1000)
+		r = rand.New(rand.NewSource(rn.Opts.Seed))
+		onePct := distinct / 100
+		if onePct < 1 {
+			onePct = 1
+		}
+		fracPct, _ := workload.Coverage(gen, r, samples, onePct)
+		row(w, name, samples, distinct, frac1000, fracPct)
+	}
+	return nil
+}
+
+// ThroughputFigure emits the org-vs-opt throughput rows of Figs. 9,
+// 11(a-b), and 12(a): one row per update ratio.
+func ThroughputFigure(rn *Runner, w io.Writer, dataset string) error {
+	spec, err := workload.SpecByName(dataset, rn.Opts.Scale)
+	if err != nil {
+		return err
+	}
+	row(w, "update_ratio", "org_qps", "opt_qps", "speedup", "reduction")
+	for _, u := range UpdateRatios {
+		org, err := rn.RunOne(spec, core.Original, u, 0, 0)
+		if err != nil {
+			return err
+		}
+		opt, err := rn.RunOne(spec, core.IntraInter, u, 0, 0)
+		if err != nil {
+			return err
+		}
+		row(w, u, org.Throughput, opt.Throughput, opt.Throughput/org.Throughput, opt.ReductionRatio())
+	}
+	return nil
+}
+
+// ScalabilityFigure emits the thread-sweep rows of Figs. 10, 11(c-d),
+// and 12(b): opt throughput per (threads, update ratio).
+func ScalabilityFigure(rn *Runner, w io.Writer, dataset string) error {
+	spec, err := workload.SpecByName(dataset, rn.Opts.Scale)
+	if err != nil {
+		return err
+	}
+	row(w, "threads", "update_ratio", "opt_qps")
+	for _, th := range ThreadCounts(rn.Opts.Workers) {
+		for _, u := range UpdateRatios {
+			opt, err := rn.RunOne(spec, core.IntraInter, u, th, 0)
+			if err != nil {
+				return err
+			}
+			row(w, th, u, opt.Throughput)
+		}
+	}
+	return nil
+}
+
+// Fig13 reports per-thread leaf-operation counts for self-similar
+// U-0.25, with and without the prefix-sum load balancing (§V-A).
+func Fig13(rn *Runner, w io.Writer) error {
+	spec, err := workload.SpecByName("self-similar", rn.Opts.Scale)
+	if err != nil {
+		return err
+	}
+	row(w, "balancing", "thread", "leaf_ops")
+	for _, lb := range []bool{true, false} {
+		res, err := rn.runWithBalance(spec, 0.25, lb)
+		if err != nil {
+			return err
+		}
+		label := "prefix-sum"
+		if !lb {
+			label = "naive"
+		}
+		for tid, ops := range res.Totals.LeafOps {
+			row(w, label, tid, ops)
+		}
+		row(w, label, "imbalance(max/mean)", res.Totals.LeafOpImbalance())
+	}
+	return nil
+}
+
+// runWithBalance is RunOne with an explicit LoadBalance setting.
+func (rn *Runner) runWithBalance(spec workload.Spec, u float64, lb bool) (*Result, error) {
+	return rn.runCustom(spec, core.IntraInter, u, rn.Opts.Workers, spec.BatchSize, lb)
+}
+
+// Fig14a: throughput of org / intra / inter per update ratio.
+func Fig14a(rn *Runner, w io.Writer) error {
+	spec, err := workload.SpecByName("self-similar", rn.Opts.Scale)
+	if err != nil {
+		return err
+	}
+	row(w, "update_ratio", "org_qps", "intra_qps", "inter_qps")
+	for _, u := range UpdateRatios {
+		var qps [3]float64
+		for i, mode := range []core.Mode{core.Original, core.Intra, core.IntraInter} {
+			res, err := rn.RunOne(spec, mode, u, 0, 0)
+			if err != nil {
+				return err
+			}
+			qps[i] = res.Throughput
+		}
+		row(w, u, qps[0], qps[1], qps[2])
+	}
+	return nil
+}
+
+// Fig14b: query reduction ratio of intra and inter per update ratio.
+func Fig14b(rn *Runner, w io.Writer) error {
+	spec, err := workload.SpecByName("self-similar", rn.Opts.Scale)
+	if err != nil {
+		return err
+	}
+	row(w, "update_ratio", "intra_reduction", "inter_reduction")
+	for _, u := range UpdateRatios {
+		intra, err := rn.RunOne(spec, core.Intra, u, 0, 0)
+		if err != nil {
+			return err
+		}
+		inter, err := rn.RunOne(spec, core.IntraInter, u, 0, 0)
+		if err != nil {
+			return err
+		}
+		row(w, u, intra.ReductionRatio(), inter.ReductionRatio())
+	}
+	return nil
+}
+
+// Fig14c: per-stage execution time for each mode and update ratio.
+func Fig14c(rn *Runner, w io.Writer) error {
+	spec, err := workload.SpecByName("self-similar", rn.Opts.Scale)
+	if err != nil {
+		return err
+	}
+	header := []interface{}{"update_ratio", "mode"}
+	for _, s := range stats.Stages() {
+		header = append(header, s.String()+"_ms")
+	}
+	row(w, header...)
+	for _, u := range UpdateRatios {
+		for _, mode := range []core.Mode{core.Original, core.Intra, core.IntraInter} {
+			res, err := rn.RunOne(spec, mode, u, 0, 0)
+			if err != nil {
+				return err
+			}
+			cols := []interface{}{u, mode.String()}
+			for _, s := range stats.Stages() {
+				cols = append(cols, float64(res.Totals.Elapsed[s])/float64(time.Millisecond))
+			}
+			row(w, cols...)
+		}
+	}
+	return nil
+}
+
+// Fig15: throughput vs batch size (0.5M / 3M / 6M at paper scale) for
+// self-similar U-0.25 across the three modes.
+func Fig15(rn *Runner, w io.Writer) error {
+	spec, err := workload.SpecByName("self-similar", rn.Opts.Scale)
+	if err != nil {
+		return err
+	}
+	sizes := []int{
+		scaleInt(500_000, rn.Opts.Scale),
+		scaleInt(3_000_000, rn.Opts.Scale),
+		scaleInt(6_000_000, rn.Opts.Scale),
+	}
+	row(w, "batch_size", "org_qps", "intra_qps", "inter_qps")
+	for _, bs := range sizes {
+		var qps [3]float64
+		for i, mode := range []core.Mode{core.Original, core.Intra, core.IntraInter} {
+			res, err := rn.RunOne(spec, mode, 0.25, 0, bs)
+			if err != nil {
+				return err
+			}
+			qps[i] = res.Throughput
+		}
+		row(w, bs, qps[0], qps[1], qps[2])
+	}
+	return nil
+}
+
+func scaleInt(v int, scale float64) int {
+	out := int(float64(v) * scale)
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// Ablation1 compares all four engine modes — including the §IV-E
+// "alternative solution" (simulation-based elimination, mode "sim") —
+// on the zipfian dataset across update ratios. Not a paper figure; it
+// quantifies the discussion at the end of §IV-E.
+func Ablation1(rn *Runner, w io.Writer) error {
+	spec, err := workload.SpecByName("zipfian", rn.Opts.Scale)
+	if err != nil {
+		return err
+	}
+	row(w, "update_ratio", "org_qps", "intra_qps", "inter_qps", "sim_qps")
+	for _, u := range UpdateRatios {
+		var qps [4]float64
+		for i, mode := range []core.Mode{core.Original, core.Intra, core.IntraInter, core.SimIntra} {
+			res, err := rn.RunOne(spec, mode, u, 0, 0)
+			if err != nil {
+				return err
+			}
+			qps[i] = res.Throughput
+		}
+		row(w, u, qps[0], qps[1], qps[2], qps[3])
+	}
+	return nil
+}
+
+// Ablation2 quantifies the DESIGN.md §4.2 substitution: PALM's relaxed
+// delete policy (under-full nodes tolerated, only empty nodes removed)
+// degrades leaf fill under insert/delete churn compared to the serial
+// tree's textbook borrow/merge rebalancing. Both trees process the
+// same churn cycles; rows report mean leaf fill after each cycle.
+func Ablation2(rn *Runner, w io.Writer) error {
+	o := rn.Opts
+	n := scaleInt(2_000_000, o.Scale)
+	if n < 1000 {
+		n = 1000
+	}
+
+	proc, err := palm.New(palm.Config{Order: o.Order, Workers: o.Workers, LoadBalance: true}, nil)
+	if err != nil {
+		return err
+	}
+	defer proc.Close()
+	serial, err := btree.New(o.Order)
+	if err != nil {
+		return err
+	}
+
+	r := rand.New(rand.NewSource(o.Seed))
+	row(w, "cycle", "palm_leaf_fill", "serial_leaf_fill", "palm_leaves", "serial_leaves")
+	rs := keys.NewResultSet(n)
+	for cycle := 0; cycle < 6; cycle++ {
+		batch := make([]keys.Query, n)
+		for i := range batch {
+			k := keys.Key(r.Intn(2 * n))
+			if cycle%2 == 0 || r.Intn(3) == 0 {
+				batch[i] = keys.Insert(k, keys.Value(i))
+			} else {
+				batch[i] = keys.Delete(k)
+			}
+		}
+		keys.Number(batch)
+		serialBatch := append([]keys.Query(nil), batch...)
+		rs.Reset(n)
+		proc.ProcessBatch(batch, rs)
+		serial.ApplyAll(serialBatch, nil)
+
+		pm := proc.Tree().CollectMetrics()
+		sm := serial.CollectMetrics()
+		row(w, cycle, pm.LeafFill, sm.LeafFill, pm.LeafNodes, sm.LeafNodes)
+	}
+	return nil
+}
+
+// Table1 prints the dataset roster (Table I) at the current scale and
+// at paper scale.
+func Table1(rn *Runner, w io.Writer) error {
+	row(w, "dataset", "queries(paper)", "uniq_keys(paper)", "batch(paper)", "queries(run)", "uniq_keys(run)", "batch(run)")
+	paper := workload.Specs(1)
+	scaled := workload.Specs(rn.Opts.Scale)
+	for i := range paper {
+		row(w, paper[i].Name, paper[i].Queries, paper[i].UniqueKeys, paper[i].BatchSize,
+			scaled[i].Queries, scaled[i].UniqueKeys, scaled[i].BatchSize)
+	}
+	return nil
+}
+
+// Table2 prints per-dataset batch latency: opt and org at U-0 and
+// U-0.75 with the Table II batch sizes.
+func Table2(rn *Runner, w io.Writer) error {
+	row(w, "dataset", "batch_size", "opt_U0_ms", "opt_U75_ms", "org_U0_ms", "org_U75_ms")
+	for _, sp := range workload.Specs(rn.Opts.Scale) {
+		lat := func(mode core.Mode, u float64) (float64, error) {
+			res, err := rn.RunOne(sp, mode, u, 0, 0)
+			if err != nil {
+				return 0, err
+			}
+			return float64(res.Latency.Mean()) / float64(time.Millisecond), nil
+		}
+		optU0, err := lat(core.IntraInter, 0)
+		if err != nil {
+			return err
+		}
+		optU75, err := lat(core.IntraInter, 0.75)
+		if err != nil {
+			return err
+		}
+		orgU0, err := lat(core.Original, 0)
+		if err != nil {
+			return err
+		}
+		orgU75, err := lat(core.Original, 0.75)
+		if err != nil {
+			return err
+		}
+		row(w, sp.Name, sp.BatchSize, optU0, optU75, orgU0, orgU75)
+	}
+	return nil
+}

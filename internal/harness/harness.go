@@ -1,0 +1,201 @@
+// Package harness drives the paper's evaluation (§VI): it builds trees
+// from Table I dataset specs, streams query batches through the
+// original PALM pipeline and the QTrans-optimized pipelines, and emits
+// the rows behind every figure and table. Each experiment function
+// corresponds to one figure/table; see DESIGN.md §3 for the index.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/keys"
+	"repro/internal/palm"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options configures a harness run.
+type Options struct {
+	// Scale shrinks Table I dataset sizes (1 = paper scale). The
+	// default used by the CLI and benches is laptop-scale.
+	Scale float64
+	// Workers is the BSP thread count; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Order is the B+ tree order; <= 0 selects the default.
+	Order int
+	// Seed makes workloads reproducible.
+	Seed int64
+	// CacheCapacity is the top-K cache size for IntraInter runs.
+	CacheCapacity int
+	// Batches caps the number of batches per run (0 = all queries).
+	Batches int
+}
+
+// normalized fills defaults.
+func (o Options) normalized() Options {
+	if o.Scale <= 0 || o.Scale > 1 {
+		o.Scale = 0.002
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.CacheCapacity == 0 {
+		o.CacheCapacity = 1 << 16
+	}
+	return o
+}
+
+// Result is the outcome of one (dataset, mode, update ratio, threads)
+// measurement.
+type Result struct {
+	Dataset     string
+	Mode        core.Mode
+	UpdateRatio float64
+	Threads     int
+	BatchSize   int
+	Queries     int
+	Elapsed     time.Duration
+	// Throughput in queries/second over the whole run.
+	Throughput float64
+	// Latency summarizes per-batch wall time (Table II).
+	Latency stats.LatencyRecorder
+	// Totals accumulates per-batch stats (reduction ratio, stage
+	// times, leaf ops).
+	Totals *stats.Batch
+}
+
+// ReductionRatio of the whole run.
+func (r *Result) ReductionRatio() float64 { return r.Totals.ReductionRatio() }
+
+// Runner executes measurements.
+type Runner struct {
+	Opts Options
+}
+
+// NewRunner returns a Runner with normalized options.
+func NewRunner(opts Options) *Runner { return &Runner{Opts: opts.normalized()} }
+
+// RunOne measures one configuration. threads <= 0 uses Opts.Workers;
+// batchSize <= 0 uses the spec's (scaled) batch size.
+func (rn *Runner) RunOne(spec workload.Spec, mode core.Mode, updateRatio float64, threads, batchSize int) (*Result, error) {
+	return rn.runCustom(spec, mode, updateRatio, threads, batchSize, true)
+}
+
+// runCustom is RunOne with an explicit load-balancing setting (the
+// Fig. 13 ablation disables it).
+func (rn *Runner) runCustom(spec workload.Spec, mode core.Mode, updateRatio float64, threads, batchSize int, loadBalance bool) (*Result, error) {
+	o := rn.Opts
+	if threads <= 0 {
+		threads = o.Workers
+	}
+	if batchSize <= 0 {
+		batchSize = spec.BatchSize
+	}
+	if batchSize < 1 {
+		batchSize = 1
+	}
+
+	eng, err := core.NewEngine(core.EngineConfig{
+		Mode: mode,
+		Palm: palm.Config{
+			Order:       o.Order,
+			Workers:     threads,
+			LoadBalance: loadBalance,
+		},
+		CacheCapacity: o.CacheCapacity,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	defer eng.Close()
+
+	gen := spec.Build()
+	r := rand.New(rand.NewSource(o.Seed))
+
+	// Prefill: build the tree from the dataset's unique keys, via the
+	// engine itself in batch-sized chunks (fast and latch-free).
+	prefill := workload.Prefill(gen, r, spec.UniqueKeys)
+	rs := keys.NewResultSet(batchSize)
+	for lo := 0; lo < len(prefill); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(prefill) {
+			hi = len(prefill)
+		}
+		chunk := keys.Number(prefill[lo:hi])
+		rs.Reset(len(chunk))
+		eng.ProcessBatch(chunk, rs)
+	}
+
+	res := &Result{
+		Dataset:     spec.Name,
+		Mode:        mode,
+		UpdateRatio: updateRatio,
+		Threads:     threads,
+		BatchSize:   batchSize,
+		Totals:      stats.NewBatch(threads),
+	}
+
+	nBatches := (spec.Queries + batchSize - 1) / batchSize
+	if o.Batches > 0 && nBatches > o.Batches {
+		nBatches = o.Batches
+	}
+	batch := make([]keys.Query, batchSize)
+	var elapsed time.Duration
+	for b := 0; b < nBatches; b++ {
+		workload.FillBatch(gen, r, batch, updateRatio)
+		rs.Reset(len(batch))
+		start := time.Now()
+		eng.ProcessBatch(batch, rs)
+		d := time.Since(start)
+		elapsed += d
+		res.Latency.Record(d)
+		eng.Stats().AddTo(res.Totals)
+		res.Queries += len(batch)
+	}
+	res.Elapsed = elapsed
+	res.Throughput = stats.Throughput(res.Queries, elapsed)
+	return res, nil
+}
+
+// UpdateRatios are the x-axis points of Figs. 9-12 and 14.
+var UpdateRatios = []float64{0, 0.25, 0.5, 0.75}
+
+// ThreadCounts returns the scalability sweep points of Figs. 10-12:
+// powers of two from 1 up to max (the paper sweeps 1..64).
+func ThreadCounts(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var out []int
+	for t := 1; t <= max; t *= 2 {
+		out = append(out, t)
+	}
+	if out[len(out)-1] != max {
+		out = append(out, max)
+	}
+	return out
+}
+
+// row prints an aligned table row.
+func row(w io.Writer, cols ...interface{}) {
+	for i, c := range cols {
+		if i > 0 {
+			fmt.Fprint(w, "\t")
+		}
+		switch v := c.(type) {
+		case float64:
+			fmt.Fprintf(w, "%.4g", v)
+		default:
+			fmt.Fprintf(w, "%v", v)
+		}
+	}
+	fmt.Fprintln(w)
+}

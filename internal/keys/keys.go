@@ -1,0 +1,217 @@
+// Package keys defines the shared intermediate representation for B+ tree
+// query processing: keys, values, query operations, query sequences, and
+// per-query results.
+//
+// Every other package in this repository (the B+ tree substrate, the PALM
+// batch processor, the QTrans query-sequence optimizer, the workload
+// generators and the experiment harness) speaks this vocabulary, mirroring
+// the query semantics of Section II-A of the paper:
+//
+//	I(key, v): insert key with value v, or update the value if key exists.
+//	S(key):    return the value of key, or null if absent.
+//	D(key):    remove key if present.
+//
+// Only S returns a result; I and D mutate the tree.
+package keys
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Key is a B+ tree key. The paper indexes 64-bit integer keys (geolocation
+// cell ids, YCSB record ids); uint64 covers all evaluated datasets.
+type Key uint64
+
+// Value is the payload associated with a key.
+type Value uint64
+
+// Op is the kind of a B+ tree query.
+type Op uint8
+
+// The three basic query types of Section II-A.
+const (
+	// OpSearch is S(key): a read-only lookup ("use" in QUD terms).
+	OpSearch Op = iota
+	// OpInsert is I(key, v): insert-or-update ("define" in QUD terms).
+	OpInsert
+	// OpDelete is D(key): remove-if-present ("define" in QUD terms).
+	OpDelete
+)
+
+// String implements fmt.Stringer using the paper's notation.
+func (o Op) String() string {
+	switch o {
+	case OpSearch:
+		return "S"
+	case OpInsert:
+		return "I"
+	case OpDelete:
+		return "D"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// IsDefining reports whether the operation defines B+ tree state
+// (insert/delete) as opposed to using it (search). This is the
+// define/use classification driving the QUD-chain analysis of §IV-B.
+func (o Op) IsDefining() bool { return o == OpInsert || o == OpDelete }
+
+// Query is one element of a query sequence.
+//
+// Idx records the query's position in the original (pre-transformation)
+// sequence so that values inferred by QTrans can be routed back to the
+// issuer even after elimination and reordering.
+type Query struct {
+	Key   Key
+	Value Value // meaningful only for OpInsert
+	Idx   int32 // position in the original batch
+	Op    Op
+}
+
+// String renders the query in the paper's notation, e.g. "I(7,42)@3".
+func (q Query) String() string {
+	switch q.Op {
+	case OpInsert:
+		return fmt.Sprintf("I(%d,%d)@%d", q.Key, q.Value, q.Idx)
+	case OpDelete:
+		return fmt.Sprintf("D(%d)@%d", q.Key, q.Idx)
+	default:
+		return fmt.Sprintf("S(%d)@%d", q.Key, q.Idx)
+	}
+}
+
+// Search constructs a search query.
+func Search(k Key) Query { return Query{Op: OpSearch, Key: k} }
+
+// Insert constructs an insert/update query.
+func Insert(k Key, v Value) Query { return Query{Op: OpInsert, Key: k, Value: v} }
+
+// Delete constructs a delete query.
+func Delete(k Key) Query { return Query{Op: OpDelete, Key: k} }
+
+// Number assigns Idx = position to every query in qs, in place, and
+// returns qs for chaining. Call it once on a freshly assembled batch
+// before handing it to a processor.
+func Number(qs []Query) []Query {
+	for i := range qs {
+		qs[i].Idx = int32(i)
+	}
+	return qs
+}
+
+// Result is the outcome of one search query. Insert and delete queries
+// produce no Result (their effect is observable only through the tree).
+type Result struct {
+	Value Value
+	Found bool
+}
+
+// ResultSet collects search results for a batch, indexed by Query.Idx.
+// Slots belonging to non-search queries stay zero and are ignored.
+type ResultSet struct {
+	res   []Result
+	valid []bool
+}
+
+// NewResultSet returns a ResultSet with capacity for a batch of n queries.
+func NewResultSet(n int) *ResultSet {
+	return &ResultSet{res: make([]Result, n), valid: make([]bool, n)}
+}
+
+// Reset resizes the set for a batch of n queries and clears all slots.
+func (rs *ResultSet) Reset(n int) {
+	if cap(rs.res) < n {
+		rs.res = make([]Result, n)
+		rs.valid = make([]bool, n)
+		return
+	}
+	rs.res = rs.res[:n]
+	rs.valid = rs.valid[:n]
+	for i := range rs.res {
+		rs.res[i] = Result{}
+		rs.valid[i] = false
+	}
+}
+
+// Len returns the batch size the set was prepared for.
+func (rs *ResultSet) Len() int { return len(rs.res) }
+
+// Set records the result for the search query with original index idx.
+// Concurrent calls are safe as long as every idx is written by exactly
+// one goroutine, which the BSP shuffles guarantee.
+func (rs *ResultSet) Set(idx int32, v Value, found bool) {
+	rs.res[idx] = Result{Value: v, Found: found}
+	rs.valid[idx] = true
+}
+
+// Get returns the result recorded for original index idx. ok is false if
+// no result was recorded (e.g. the query was not a search).
+func (rs *ResultSet) Get(idx int32) (r Result, ok bool) {
+	if int(idx) >= len(rs.res) || !rs.valid[idx] {
+		return Result{}, false
+	}
+	return rs.res[idx], true
+}
+
+// Answered returns how many slots hold a recorded result.
+func (rs *ResultSet) Answered() int {
+	n := 0
+	for _, v := range rs.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// SortByKey stably sorts the sequence by key, preserving the original
+// order among equal keys (the pre-sorting step of §IV-E that one-pass
+// QSAT relies on). Stability is essential: QSAT's correctness depends on
+// the relative order of same-key queries.
+func SortByKey(qs []Query) {
+	sort.SliceStable(qs, func(i, j int) bool { return qs[i].Key < qs[j].Key })
+}
+
+// IsSortedByKey reports whether qs is non-decreasing in key and, among
+// equal keys, non-decreasing in original index (stable order).
+func IsSortedByKey(qs []Query) bool {
+	for i := 1; i < len(qs); i++ {
+		if qs[i].Key < qs[i-1].Key {
+			return false
+		}
+		if qs[i].Key == qs[i-1].Key && qs[i].Idx < qs[i-1].Idx {
+			return false
+		}
+	}
+	return true
+}
+
+// KeyRuns calls fn for every maximal run of equal keys in a key-sorted
+// sequence. fn receives the half-open range [lo, hi) of the run.
+func KeyRuns(qs []Query, fn func(lo, hi int)) {
+	for lo := 0; lo < len(qs); {
+		hi := lo + 1
+		for hi < len(qs) && qs[hi].Key == qs[lo].Key {
+			hi++
+		}
+		fn(lo, hi)
+		lo = hi
+	}
+}
+
+// CountOps tallies the number of searches, inserts, and deletes in qs.
+func CountOps(qs []Query) (searches, inserts, deletes int) {
+	for i := range qs {
+		switch qs[i].Op {
+		case OpSearch:
+			searches++
+		case OpInsert:
+			inserts++
+		case OpDelete:
+			deletes++
+		}
+	}
+	return
+}

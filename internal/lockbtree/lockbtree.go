@@ -1,0 +1,297 @@
+// Package lockbtree implements a latch-based concurrent B+ tree using
+// classic lock coupling ("latch crabbing"). It is the asynchronous,
+// lock-per-node baseline that Section II-B of the paper contrasts with
+// latch-free BSP processing: threads descend the tree holding node
+// latches, releasing an ancestor's latch once the child is known to be
+// "safe" (cannot split under the pending insert).
+//
+// Searches take shared latches; inserts take exclusive latches. Deletes
+// remove the key from its leaf without structural rebalancing, matching
+// the relaxed deletion policy of the paper's open-source PALM baseline
+// (see DESIGN.md §4.2); empty leaves are tolerated and skipped by
+// searches, so the user-visible semantics are exactly those of §II-A.
+package lockbtree
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/keys"
+)
+
+// DefaultOrder matches btree.DefaultOrder.
+const DefaultOrder = 64
+
+type node struct {
+	mu       sync.RWMutex
+	keys     []keys.Key
+	vals     []keys.Value // leaves only
+	children []*node      // internal only
+	next     *node        // leaf chain
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// Tree is a concurrent B+ tree safe for use by multiple goroutines.
+type Tree struct {
+	rootMu sync.RWMutex // guards the root pointer itself
+	root   *node
+	order  int
+	size   int64
+	sizeMu sync.Mutex
+}
+
+// New creates an empty tree. order <= 0 selects DefaultOrder; orders
+// below 3 are clamped to 3.
+func New(order int) *Tree {
+	if order <= 0 {
+		order = DefaultOrder
+	}
+	if order < 3 {
+		order = 3
+	}
+	return &Tree{root: &node{}, order: order}
+}
+
+// Order returns the tree's order.
+func (t *Tree) Order() int { return t.order }
+
+// Len returns the number of stored pairs.
+func (t *Tree) Len() int {
+	t.sizeMu.Lock()
+	defer t.sizeMu.Unlock()
+	return int(t.size)
+}
+
+func (t *Tree) addSize(d int64) {
+	t.sizeMu.Lock()
+	t.size += d
+	t.sizeMu.Unlock()
+}
+
+func searchKeys(ks []keys.Key, k keys.Key) int {
+	return sort.Search(len(ks), func(i int) bool { return ks[i] >= k })
+}
+
+func childIndex(n *node, k keys.Key) int {
+	return sort.Search(len(n.keys), func(i int) bool { return k < n.keys[i] })
+}
+
+// Search returns the value stored under k, using shared-latch crabbing:
+// at each level the child's read latch is acquired before the parent's
+// is released.
+func (t *Tree) Search(k keys.Key) (keys.Value, bool) {
+	t.rootMu.RLock()
+	n := t.root
+	n.mu.RLock()
+	t.rootMu.RUnlock()
+	for !n.leaf() {
+		c := n.children[childIndex(n, k)]
+		c.mu.RLock()
+		n.mu.RUnlock()
+		n = c
+	}
+	defer n.mu.RUnlock()
+	i := searchKeys(n.keys, k)
+	if i < len(n.keys) && n.keys[i] == k {
+		return n.vals[i], true
+	}
+	return 0, false
+}
+
+// Insert stores v under k (insert-or-update), reporting whether a new
+// entry was created. Exclusive-latch crabbing with safe-node release:
+// ancestors' latches are dropped as soon as the current node cannot
+// split (strictly fewer than the maximum number of keys).
+func (t *Tree) Insert(k keys.Key, v keys.Value) bool {
+	t.rootMu.Lock()
+	n := t.root
+	n.mu.Lock()
+
+	// held is the stack of latched ancestors (possibly including the
+	// rootMu, represented by rootLocked).
+	rootLocked := true
+	var held []*node
+	release := func() {
+		for _, h := range held {
+			h.mu.Unlock()
+		}
+		held = held[:0]
+		if rootLocked {
+			t.rootMu.Unlock()
+			rootLocked = false
+		}
+	}
+
+	safe := func(m *node) bool {
+		if m.leaf() {
+			return len(m.keys) < t.order-1
+		}
+		return len(m.children) < t.order
+	}
+
+	if safe(n) {
+		release()
+	}
+	for !n.leaf() {
+		c := n.children[childIndex(n, k)]
+		c.mu.Lock()
+		held = append(held, n)
+		n = c
+		if safe(n) {
+			release()
+		}
+	}
+
+	i := searchKeys(n.keys, k)
+	if i < len(n.keys) && n.keys[i] == k {
+		n.vals[i] = v
+		release()
+		n.mu.Unlock()
+		return false
+	}
+	n.keys = append(n.keys, 0)
+	n.vals = append(n.vals, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	copy(n.vals[i+1:], n.vals[i:])
+	n.keys[i] = k
+	n.vals[i] = v
+	t.addSize(1)
+
+	if len(n.keys) <= t.order-1 {
+		release()
+		n.mu.Unlock()
+		return true
+	}
+
+	// Split upward through the held ancestors. Because we only kept
+	// latches on unsafe ancestors, every node on the held stack may
+	// split, and the stack top is the leaf's parent.
+	sep, right := splitLeaf(n)
+	n.mu.Unlock()
+	for len(held) > 0 {
+		p := held[len(held)-1]
+		held = held[:len(held)-1]
+		insertChild(p, sep, right)
+		if len(p.children) <= t.order {
+			p.mu.Unlock()
+			for _, h := range held {
+				h.mu.Unlock()
+			}
+			if rootLocked {
+				t.rootMu.Unlock()
+			}
+			return true
+		}
+		sep, right = splitInternal(p)
+		p.mu.Unlock()
+	}
+	// Root split: rootMu is still held exclusively.
+	old := t.root
+	t.root = &node{
+		keys:     []keys.Key{sep},
+		children: []*node{old, right},
+	}
+	t.rootMu.Unlock()
+	return true
+}
+
+func splitLeaf(n *node) (keys.Key, *node) {
+	mid := len(n.keys) / 2
+	right := &node{
+		keys: append([]keys.Key(nil), n.keys[mid:]...),
+		vals: append([]keys.Value(nil), n.vals[mid:]...),
+		next: n.next,
+	}
+	n.keys = n.keys[:mid]
+	n.vals = n.vals[:mid]
+	n.next = right
+	return right.keys[0], right
+}
+
+func splitInternal(n *node) (keys.Key, *node) {
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	right := &node{
+		keys:     append([]keys.Key(nil), n.keys[mid+1:]...),
+		children: append([]*node(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	return sep, right
+}
+
+func insertChild(p *node, sep keys.Key, right *node) {
+	i := searchKeys(p.keys, sep)
+	p.keys = append(p.keys, 0)
+	copy(p.keys[i+1:], p.keys[i:])
+	p.keys[i] = sep
+	p.children = append(p.children, nil)
+	copy(p.children[i+2:], p.children[i+1:])
+	p.children[i+1] = right
+}
+
+// Delete removes k if present, reporting whether an entry was removed.
+// The key is removed from its leaf under an exclusive latch; no
+// structural rebalancing is performed (relaxed policy, DESIGN.md §4.2).
+func (t *Tree) Delete(k keys.Key) bool {
+	t.rootMu.RLock()
+	n := t.root
+	if n.leaf() {
+		n.mu.Lock()
+		t.rootMu.RUnlock()
+	} else {
+		n.mu.RLock()
+		t.rootMu.RUnlock()
+		for {
+			c := n.children[childIndex(n, k)]
+			if c.leaf() {
+				c.mu.Lock()
+				n.mu.RUnlock()
+				n = c
+				break
+			}
+			c.mu.RLock()
+			n.mu.RUnlock()
+			n = c
+		}
+	}
+	defer n.mu.Unlock()
+	i := searchKeys(n.keys, k)
+	if i >= len(n.keys) || n.keys[i] != k {
+		return false
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	t.addSize(-1)
+	return true
+}
+
+// Apply evaluates one query with §II-A semantics.
+func (t *Tree) Apply(q keys.Query, rs *keys.ResultSet) {
+	switch q.Op {
+	case keys.OpSearch:
+		v, ok := t.Search(q.Key)
+		if rs != nil {
+			rs.Set(q.Idx, v, ok)
+		}
+	case keys.OpInsert:
+		t.Insert(q.Key, q.Value)
+	case keys.OpDelete:
+		t.Delete(q.Key)
+	}
+}
+
+// Dump returns all pairs in ascending key order. Callers must ensure no
+// concurrent mutation.
+func (t *Tree) Dump() (ks []keys.Key, vs []keys.Value) {
+	n := t.root
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	for ; n != nil; n = n.next {
+		ks = append(ks, n.keys...)
+		vs = append(vs, n.vals...)
+	}
+	return ks, vs
+}

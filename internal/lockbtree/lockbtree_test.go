@@ -1,0 +1,217 @@
+package lockbtree
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/keys"
+	"repro/internal/oracle"
+)
+
+func TestNewClampsOrder(t *testing.T) {
+	if tr := New(0); tr.Order() != DefaultOrder {
+		t.Fatalf("Order = %d, want default", tr.Order())
+	}
+	if tr := New(2); tr.Order() != 3 {
+		t.Fatalf("Order = %d, want clamp to 3", tr.Order())
+	}
+}
+
+func TestSerialInsertSearchDelete(t *testing.T) {
+	tr := New(4)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if !tr.Insert(keys.Key(i), keys.Value(i*2)) {
+			t.Fatalf("Insert(%d) reported update", i)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tr.Search(keys.Key(i))
+		if !ok || v != keys.Value(i*2) {
+			t.Fatalf("Search(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if tr.Insert(5, 99) {
+		t.Fatal("re-insert must update")
+	}
+	if v, _ := tr.Search(5); v != 99 {
+		t.Fatal("update lost")
+	}
+	for i := 0; i < n; i += 2 {
+		if !tr.Delete(keys.Key(i)) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Delete(0) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n/2)
+	}
+	ks, _ := tr.Dump()
+	if len(ks) != n/2 {
+		t.Fatalf("Dump len = %d", len(ks))
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i-1] >= ks[i] {
+			t.Fatal("dump not ascending")
+		}
+	}
+}
+
+func TestSerialAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	tr := New(5)
+	o := oracle.New()
+	for i := 0; i < 20000; i++ {
+		k := keys.Key(r.Intn(1500))
+		switch r.Intn(4) {
+		case 0, 1:
+			v := keys.Value(r.Uint64())
+			tr.Insert(k, v)
+			o.Apply(keys.Insert(k, v), nil)
+		case 2:
+			tr.Delete(k)
+			o.Apply(keys.Delete(k), nil)
+		default:
+			gv, gok := tr.Search(k)
+			wv, wok := o.Get(k)
+			if gok != wok || (gok && gv != wv) {
+				t.Fatalf("op %d: Search(%d) = %d,%v; want %d,%v", i, k, gv, gok, wv, wok)
+			}
+		}
+	}
+	gk, gv := tr.Dump()
+	wk, wv := o.Dump()
+	if len(gk) != len(wk) {
+		t.Fatalf("sizes %d vs %d", len(gk), len(wk))
+	}
+	for i := range gk {
+		if gk[i] != wk[i] || gv[i] != wv[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+// TestConcurrentDisjointKeys: goroutines operating on disjoint key
+// ranges must behave as if serial (run with -race to exercise the
+// latch protocol).
+func TestConcurrentDisjointKeys(t *testing.T) {
+	tr := New(8)
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := keys.Key(w * perW)
+			for i := 0; i < perW; i++ {
+				tr.Insert(base+keys.Key(i), keys.Value(w))
+			}
+			for i := 0; i < perW; i += 3 {
+				tr.Delete(base + keys.Key(i))
+			}
+			for i := 0; i < perW; i++ {
+				v, ok := tr.Search(base + keys.Key(i))
+				if i%3 == 0 {
+					if ok {
+						panic("deleted key found")
+					}
+				} else if !ok || v != keys.Value(w) {
+					panic("missing or wrong value")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := workers * (perW - (perW+2)/3)
+	if tr.Len() != want {
+		t.Fatalf("Len = %d, want %d", tr.Len(), want)
+	}
+}
+
+// TestConcurrentContendedKeys hammers a small key range from many
+// goroutines; afterwards every key's value must be one of the written
+// values and the tree must be internally consistent.
+func TestConcurrentContendedKeys(t *testing.T) {
+	tr := New(4)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 3000; i++ {
+				k := keys.Key(r.Intn(50))
+				switch r.Intn(3) {
+				case 0:
+					tr.Insert(k, keys.Value(k)*1000+keys.Value(w))
+				case 1:
+					tr.Delete(k)
+				default:
+					if v, ok := tr.Search(k); ok {
+						if v/1000 != keys.Value(k) {
+							panic("torn value")
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	ks, vs := tr.Dump()
+	for i := range ks {
+		if vs[i]/1000 != keys.Value(ks[i]) {
+			t.Fatalf("key %d has foreign value %d", ks[i], vs[i])
+		}
+		if i > 0 && ks[i-1] >= ks[i] {
+			t.Fatal("dump not ascending")
+		}
+	}
+}
+
+func TestApplySemantics(t *testing.T) {
+	tr := New(8)
+	qs := keys.Number([]keys.Query{
+		keys.Insert(1, 10), keys.Search(1), keys.Delete(1), keys.Search(1),
+	})
+	rs := keys.NewResultSet(len(qs))
+	for _, q := range qs {
+		tr.Apply(q, rs)
+	}
+	if r, _ := rs.Get(1); !r.Found || r.Value != 10 {
+		t.Fatalf("search = %+v", r)
+	}
+	if r, _ := rs.Get(3); r.Found {
+		t.Fatalf("search after delete = %+v", r)
+	}
+}
+
+func BenchmarkLockTreeConcurrentMixed(b *testing.B) {
+	tr := New(DefaultOrder)
+	for i := 0; i < 1<<17; i++ {
+		tr.Insert(keys.Key(i), keys.Value(i))
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		r := rand.New(rand.NewSource(rand.Int63()))
+		for pb.Next() {
+			k := keys.Key(r.Intn(1 << 17))
+			switch r.Intn(4) {
+			case 0:
+				tr.Insert(k, keys.Value(k))
+			case 1:
+				tr.Delete(k)
+			default:
+				tr.Search(k)
+			}
+		}
+	})
+}

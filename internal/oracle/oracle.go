@@ -1,0 +1,71 @@
+// Package oracle provides a trivially-correct reference model of the
+// B+ tree query semantics (§II-A), used as the ground truth in
+// differential tests: every processor in this repository — serial tree,
+// lock-crabbing tree, PALM, PALM+QTrans, PALM+QTrans+cache — must leave
+// the store in the same state and return the same search results as the
+// oracle for any query sequence.
+package oracle
+
+import (
+	"sort"
+
+	"repro/internal/keys"
+)
+
+// Oracle is a map-backed key-value store with B+ tree query semantics.
+// Not safe for concurrent use.
+type Oracle struct {
+	m map[keys.Key]keys.Value
+}
+
+// New returns an empty oracle.
+func New() *Oracle {
+	return &Oracle{m: make(map[keys.Key]keys.Value)}
+}
+
+// Len returns the number of stored pairs.
+func (o *Oracle) Len() int { return len(o.m) }
+
+// Apply evaluates one query, recording a search result into rs when
+// non-nil.
+func (o *Oracle) Apply(q keys.Query, rs *keys.ResultSet) {
+	switch q.Op {
+	case keys.OpSearch:
+		v, ok := o.m[q.Key]
+		if rs != nil {
+			rs.Set(q.Idx, v, ok)
+		}
+	case keys.OpInsert:
+		o.m[q.Key] = q.Value
+	case keys.OpDelete:
+		delete(o.m, q.Key)
+	}
+}
+
+// ApplyAll evaluates a query sequence in order.
+func (o *Oracle) ApplyAll(qs []keys.Query, rs *keys.ResultSet) {
+	for _, q := range qs {
+		o.Apply(q, rs)
+	}
+}
+
+// Get looks a key up directly.
+func (o *Oracle) Get(k keys.Key) (keys.Value, bool) {
+	v, ok := o.m[k]
+	return v, ok
+}
+
+// Dump returns all pairs in ascending key order, matching the format of
+// btree.Tree.Dump for direct comparison.
+func (o *Oracle) Dump() (ks []keys.Key, vs []keys.Value) {
+	ks = make([]keys.Key, 0, len(o.m))
+	for k := range o.m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	vs = make([]keys.Value, len(ks))
+	for i, k := range ks {
+		vs[i] = o.m[k]
+	}
+	return ks, vs
+}

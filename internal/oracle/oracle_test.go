@@ -1,0 +1,65 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/keys"
+)
+
+func TestApplySemantics(t *testing.T) {
+	o := New()
+	qs := keys.Number([]keys.Query{
+		keys.Search(1),     // 0: not found
+		keys.Insert(1, 10), // 1
+		keys.Search(1),     // 2: 10
+		keys.Insert(1, 20), // 3: update
+		keys.Search(1),     // 4: 20
+		keys.Delete(1),     // 5
+		keys.Search(1),     // 6: not found
+		keys.Delete(1),     // 7: no-op
+	})
+	rs := keys.NewResultSet(len(qs))
+	o.ApplyAll(qs, rs)
+	if r, _ := rs.Get(0); r.Found {
+		t.Error("initial search found")
+	}
+	if r, _ := rs.Get(2); !r.Found || r.Value != 10 {
+		t.Errorf("search = %+v", r)
+	}
+	if r, _ := rs.Get(4); !r.Found || r.Value != 20 {
+		t.Errorf("search after update = %+v", r)
+	}
+	if r, _ := rs.Get(6); r.Found {
+		t.Error("search after delete found")
+	}
+	if o.Len() != 0 {
+		t.Errorf("Len = %d", o.Len())
+	}
+}
+
+func TestGetAndDumpSorted(t *testing.T) {
+	o := New()
+	for _, k := range []keys.Key{5, 1, 9, 3} {
+		o.Apply(keys.Insert(k, keys.Value(k*10)), nil)
+	}
+	if v, ok := o.Get(9); !ok || v != 90 {
+		t.Fatalf("Get(9) = %d,%v", v, ok)
+	}
+	if _, ok := o.Get(2); ok {
+		t.Fatal("Get(2) found")
+	}
+	ks, vs := o.Dump()
+	want := []keys.Key{1, 3, 5, 9}
+	for i, k := range want {
+		if ks[i] != k || vs[i] != keys.Value(k*10) {
+			t.Fatalf("Dump = %v %v", ks, vs)
+		}
+	}
+}
+
+func TestApplyNilResultSet(t *testing.T) {
+	o := New()
+	o.Apply(keys.Search(1), nil) // must not panic
+	o.Apply(keys.Insert(1, 1), nil)
+	o.Apply(keys.Delete(1), nil)
+}

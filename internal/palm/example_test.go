@@ -1,0 +1,40 @@
+package palm_test
+
+import (
+	"fmt"
+
+	"repro/internal/keys"
+	"repro/internal/palm"
+)
+
+// One PALM batch: sort, find, evaluate, restructure — with semantics
+// identical to executing the queries one at a time.
+func Example() {
+	proc, err := palm.New(palm.Config{Order: 8, Workers: 2, LoadBalance: true}, nil)
+	if err != nil {
+		panic(err)
+	}
+	defer proc.Close()
+
+	batch := keys.Number([]keys.Query{
+		keys.Insert(10, 1),
+		keys.Insert(20, 2),
+		keys.Search(10),
+		keys.Delete(20),
+		keys.Search(20),
+	})
+	results := keys.NewResultSet(len(batch))
+	proc.ProcessBatch(batch, results)
+
+	if r, ok := results.Get(2); ok {
+		fmt.Println("S(10):", r.Value, r.Found)
+	}
+	if r, ok := results.Get(4); ok {
+		fmt.Println("S(20):", r.Value, r.Found)
+	}
+	fmt.Println("stored pairs:", proc.Tree().Len())
+	// Output:
+	// S(10): 1 true
+	// S(20): 0 false
+	// stored pairs: 1
+}

@@ -1,0 +1,457 @@
+// Package palm implements the latch-free, bulk-synchronous B+ tree batch
+// query processor of Sewall et al. (PALM, VLDB'11) as described in
+// Section II-B of the QTrans paper, the system QTrans integrates into.
+//
+// A batch is processed in the three stages of Fig. 3:
+//
+//	Stage 1: the (pre-sorted) batch is partitioned evenly across worker
+//	         threads, which find the leaf covering each query's key in
+//	         parallel, recording the root-to-leaf descent path.
+//	Stage 2: queries are shuffled so that all queries to one leaf are
+//	         handled by exactly one thread; threads evaluate their leaf
+//	         groups in parallel (search answers, leaf inserts/deletes).
+//	Stage 3: structural modifications propagate bottom-up: overflowing
+//	         leaves are (multi-way) split and emptied leaves removed;
+//	         the resulting child-replacement requests are shuffled by
+//	         parent node, applied in parallel, and the process repeats
+//	         per level until the root, which a single thread maintains.
+//
+// Because every node is written by at most one thread per superstep and
+// supersteps are separated by barriers, no latches are needed.
+//
+// Deletions follow the relaxed policy of the paper's open-source
+// baseline: nodes may become under-full, and only empty nodes are
+// removed (see DESIGN.md §4.2). The tree therefore validates under
+// btree.RelaxedFill.
+package palm
+
+import (
+	"sort"
+
+	"repro/internal/bsp"
+	"repro/internal/btree"
+	"repro/internal/keys"
+	"repro/internal/stats"
+)
+
+// Config controls a Processor.
+type Config struct {
+	// Order is the B+ tree order; <= 0 selects btree.DefaultOrder.
+	Order int
+	// Workers is the BSP thread count; <= 0 selects GOMAXPROCS.
+	Workers int
+	// LoadBalance enables the prefix-sum balanced assignment of leaf
+	// groups to threads (§V-A). When false, groups are dealt evenly by
+	// count regardless of how many queries each holds — the ablation of
+	// Fig. 13.
+	LoadBalance bool
+	// PreSorted declares that batches arrive already stably key-sorted,
+	// skipping the internal parallel sort (§IV-E pre-sorting).
+	PreSorted bool
+	// CompareSort selects the parallel comparison merge sort for the
+	// pre-sorting step instead of the default parallel radix sort
+	// (ablation; radix is several times faster on integer keys).
+	CompareSort bool
+}
+
+// Processor evaluates query batches against a B+ tree using the PALM
+// BSP scheme. A Processor owns its tree; concurrent calls to
+// ProcessBatch are not allowed (batches are the unit of concurrency).
+type Processor struct {
+	tree *btree.Tree
+	pool *bsp.Pool
+	cfg  Config
+
+	// ownPool records whether Close should close the pool.
+	ownPool bool
+
+	// Per-batch scratch, reused across batches.
+	groups  []leafGroup
+	perW    []workerScratch
+	reqs    []modRequest
+	nextReq []modRequest
+
+	// Stats for the most recent batch; never nil.
+	batchStats *stats.Batch
+}
+
+// workerScratch holds per-worker intermediate state for one batch.
+type workerScratch struct {
+	groups    []leafGroup
+	reqs      []modRequest
+	sizeDelta int64
+	leafOps   int64    // operations applied at the leaf level (Fig. 13)
+	_         [4]int64 // pad to keep hot counters off shared cache lines
+}
+
+// leafGroup is a maximal run of same-leaf queries in the sorted batch.
+type leafGroup struct {
+	leaf *btree.Node
+	path btree.Path // root-to-leaf internal path (shared per group)
+	lo   int        // query range [lo, hi) in the sorted batch
+	hi   int
+}
+
+// modRequest asks for parent.Children[slot] to be replaced by repl
+// (empty repl = remove the child). level is the path level of parent
+// (path.Nodes[level] == parent); level -1 denotes the root child
+// replacement handled by the root step.
+type modRequest struct {
+	parent *btree.Node
+	path   *btree.Path
+	level  int
+	slot   int
+	repl   []*btree.Node
+}
+
+// New creates a Processor over a fresh empty tree. pool may be nil, in
+// which case the Processor creates (and owns) one with cfg.Workers
+// workers.
+func New(cfg Config, pool *bsp.Pool) (*Processor, error) {
+	tree, err := btree.New(cfg.Order)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithTree(cfg, tree, pool), nil
+}
+
+// NewWithTree creates a Processor over an existing tree (e.g. one
+// pre-loaded serially). See New for pool semantics.
+func NewWithTree(cfg Config, tree *btree.Tree, pool *bsp.Pool) *Processor {
+	own := false
+	if pool == nil {
+		pool = bsp.NewPool(cfg.Workers)
+		own = true
+	}
+	p := &Processor{
+		tree:       tree,
+		pool:       pool,
+		cfg:        cfg,
+		ownPool:    own,
+		perW:       make([]workerScratch, pool.N()),
+		batchStats: stats.NewBatch(pool.N()),
+	}
+	return p
+}
+
+// Close releases the Processor's pool if it owns one.
+func (p *Processor) Close() {
+	if p.ownPool {
+		p.pool.Close()
+	}
+}
+
+// Tree returns the underlying tree (e.g. for validation or scanning
+// between batches).
+func (p *Processor) Tree() *btree.Tree { return p.tree }
+
+// Pool returns the BSP pool the processor runs on.
+func (p *Processor) Pool() *bsp.Pool { return p.pool }
+
+// Stats returns the timing/counter breakdown of the most recent batch.
+func (p *Processor) Stats() *stats.Batch { return p.batchStats }
+
+// ProcessBatch evaluates the batch with §II-A semantics equivalent to
+// serial in-order evaluation, recording search results into rs (indexed
+// by Query.Idx). qs is reordered in place (stable key sort) unless
+// cfg.PreSorted.
+func (p *Processor) ProcessBatch(qs []keys.Query, rs *keys.ResultSet) {
+	st := p.batchStats
+	st.Reset()
+	st.BatchSize = len(qs)
+	if len(qs) == 0 {
+		return
+	}
+
+	if !p.cfg.PreSorted {
+		sw := st.Timer(stats.StageSort)
+		if p.cfg.CompareSort {
+			p.pool.SortQueries(qs)
+		} else {
+			p.pool.RadixSortQueries(qs)
+		}
+		sw.Stop()
+	}
+
+	sw := st.Timer(stats.StageFind)
+	p.findLeaves(qs)
+	sw.Stop()
+
+	sw = st.Timer(stats.StageEvaluate)
+	p.evaluate(qs, rs, false)
+	sw.Stop()
+
+	sw = st.Timer(stats.StageModify)
+	p.restructure()
+	sw.Stop()
+
+	st.RemainingQueries = len(qs)
+	p.finishStats()
+}
+
+// finishStats folds per-worker counters into the batch stats.
+func (p *Processor) finishStats() {
+	var delta int64
+	for i := range p.perW {
+		delta += p.perW[i].sizeDelta
+		p.batchStats.LeafOps[i] += p.perW[i].leafOps
+		p.perW[i].sizeDelta = 0
+		p.perW[i].leafOps = 0
+	}
+	if delta != 0 {
+		p.tree.AddSize(int(delta))
+	}
+}
+
+// findLeaves runs Stage 1: parallel leaf location over an even partition
+// of the sorted batch, producing the global key-ordered leaf-group list
+// in p.groups.
+func (p *Processor) findLeaves(qs []keys.Query) {
+	n := len(qs)
+	for i := range p.perW {
+		p.perW[i].groups = p.perW[i].groups[:0]
+	}
+	p.pool.Run(func(tid int) {
+		lo, hi := p.pool.Range(tid, n)
+		w := &p.perW[tid]
+		var cur *btree.Node
+		var path btree.Path
+		for i := lo; i < hi; i++ {
+			// The original design performs the leaf search for every
+			// query in the batch (§V-A contrasts this with QTrans's
+			// per-distinct-key FIND, which lives in findAndAnswer).
+			leaf := p.tree.FindLeaf(qs[i].Key, &path)
+			if leaf == cur && len(w.groups) > 0 {
+				w.groups[len(w.groups)-1].hi = i + 1
+				continue
+			}
+			cur = leaf
+			w.groups = append(w.groups, leafGroup{leaf: leaf, path: path.Clone(), lo: i, hi: i + 1})
+		}
+	})
+
+	// Concatenate per-worker groups (already in global key order) and
+	// merge boundary groups that landed on the same leaf.
+	p.groups = p.groups[:0]
+	for t := range p.perW {
+		for _, g := range p.perW[t].groups {
+			if len(p.groups) > 0 && p.groups[len(p.groups)-1].leaf == g.leaf {
+				p.groups[len(p.groups)-1].hi = g.hi
+			} else {
+				p.groups = append(p.groups, g)
+			}
+		}
+	}
+}
+
+// FindAndAnswerSearches is the QTrans fast path for batches whose
+// remaining queries contain no defining ops after transformation: every
+// query is a search, so Stage 1 both locates and evaluates, and Stages 2
+// and 3 are skipped entirely (§VI-B: "QTrans handles all FIND queries in
+// stage 1, avoiding the time consuming stage 2").
+func (p *Processor) FindAndAnswerSearches(qs []keys.Query, rs *keys.ResultSet) {
+	n := len(qs)
+	p.pool.Run(func(tid int) {
+		lo, hi := p.pool.Range(tid, n)
+		w := &p.perW[tid]
+		var leaf *btree.Node
+		for i := lo; i < hi; i++ {
+			if i == lo || qs[i].Key != qs[i-1].Key || leaf == nil {
+				leaf = p.tree.FindLeaf(qs[i].Key, nil)
+			}
+			v, ok := leafSearch(leaf, qs[i].Key)
+			rs.Set(qs[i].Idx, v, ok)
+			w.leafOps++
+		}
+	})
+	p.finishStats()
+}
+
+// leafSearch looks key k up within a single leaf.
+func leafSearch(leaf *btree.Node, k keys.Key) (keys.Value, bool) {
+	i := sort.Search(len(leaf.Keys), func(i int) bool { return leaf.Keys[i] >= k })
+	if i < len(leaf.Keys) && leaf.Keys[i] == k {
+		return leaf.Vals[i], true
+	}
+	return 0, false
+}
+
+// evaluate runs Stage 2: leaf groups are assigned to workers (balanced
+// by query count when cfg.LoadBalance) and evaluated in parallel.
+// answerDuringFind indicates searches were already answered in Stage 1
+// (QTrans mode), so only defining queries remain in the groups.
+func (p *Processor) evaluate(qs []keys.Query, rs *keys.ResultSet, answerDuringFind bool) {
+	assign := p.assignGroups()
+	for i := range p.perW {
+		p.perW[i].reqs = p.perW[i].reqs[:0]
+	}
+	p.pool.Run(func(tid int) {
+		glo, ghi := assign[tid][0], assign[tid][1]
+		w := &p.perW[tid]
+		for gi := glo; gi < ghi; gi++ {
+			g := &p.groups[gi]
+			p.evalGroup(g, qs, rs, w, answerDuringFind)
+		}
+	})
+
+	// Gather modification requests in global key order.
+	p.reqs = p.reqs[:0]
+	for t := range p.perW {
+		p.reqs = append(p.reqs, p.perW[t].reqs...)
+	}
+}
+
+// assignGroups maps workers to contiguous group ranges. With load
+// balancing, boundaries are chosen so each worker receives roughly equal
+// numbers of queries (parallel prefix sum over group sizes, §V-A);
+// without, groups are split evenly by count.
+func (p *Processor) assignGroups() [][2]int {
+	nw := p.pool.N()
+	assign := make([][2]int, nw)
+	ng := len(p.groups)
+	if !p.cfg.LoadBalance {
+		for t := 0; t < nw; t++ {
+			lo, hi := bsp.SplitRange(t, nw, ng)
+			assign[t] = [2]int{lo, hi}
+		}
+		return assign
+	}
+	counts := make([]int, ng)
+	for i, g := range p.groups {
+		counts[i] = g.hi - g.lo
+	}
+	// After the scan, counts[i] is the number of queries before group i.
+	total := p.pool.ParallelExclusiveScan(counts)
+	// Worker t takes the contiguous group range whose query prefix ends
+	// by (t+1)*total/nw, so per-worker query loads differ by at most one
+	// group's size (§V-A: groups cannot be split across threads).
+	gi := 0
+	for t := 0; t < nw; t++ {
+		target := (t + 1) * total / nw
+		lo := gi
+		for gi < ng && prefixEnd(counts, gi, total) <= target {
+			gi++
+		}
+		if t == nw-1 {
+			gi = ng
+		}
+		assign[t] = [2]int{lo, gi}
+	}
+	return assign
+}
+
+// prefixEnd returns the exclusive prefix sum just after group i given
+// the scanned counts array (counts[i] = prefix before i).
+func prefixEnd(counts []int, i, total int) int {
+	if i+1 < len(counts) {
+		return counts[i+1]
+	}
+	return total
+}
+
+// evalGroup applies one leaf group's queries to its leaf and emits a
+// modification request if the leaf overflowed or emptied.
+func (p *Processor) evalGroup(g *leafGroup, qs []keys.Query, rs *keys.ResultSet, w *workerScratch, answerDuringFind bool) {
+	leaf := g.leaf
+	maxEntries := p.tree.Order() - 1
+	for i := g.lo; i < g.hi; i++ {
+		q := qs[i]
+		switch q.Op {
+		case keys.OpSearch:
+			if !answerDuringFind {
+				v, ok := leafSearch(leaf, q.Key)
+				rs.Set(q.Idx, v, ok)
+			}
+		case keys.OpInsert:
+			j := sort.Search(len(leaf.Keys), func(i int) bool { return leaf.Keys[i] >= q.Key })
+			if j < len(leaf.Keys) && leaf.Keys[j] == q.Key {
+				leaf.Vals[j] = q.Value
+			} else {
+				leaf.Keys = append(leaf.Keys, 0)
+				leaf.Vals = append(leaf.Vals, 0)
+				copy(leaf.Keys[j+1:], leaf.Keys[j:])
+				copy(leaf.Vals[j+1:], leaf.Vals[j:])
+				leaf.Keys[j] = q.Key
+				leaf.Vals[j] = q.Value
+				w.sizeDelta++
+			}
+		case keys.OpDelete:
+			j := sort.Search(len(leaf.Keys), func(i int) bool { return leaf.Keys[i] >= q.Key })
+			if j < len(leaf.Keys) && leaf.Keys[j] == q.Key {
+				leaf.Keys = append(leaf.Keys[:j], leaf.Keys[j+1:]...)
+				leaf.Vals = append(leaf.Vals[:j], leaf.Vals[j+1:]...)
+				w.sizeDelta--
+			}
+		}
+		w.leafOps++
+	}
+
+	switch {
+	case len(leaf.Keys) > maxEntries:
+		w.reqs = append(w.reqs, modRequest{
+			parent: parentOf(&g.path), path: &g.path,
+			level: g.path.Len() - 1, slot: slotOf(&g.path),
+			repl: splitLeafMulti(leaf, maxEntries),
+		})
+	case len(leaf.Keys) == 0:
+		w.reqs = append(w.reqs, modRequest{
+			parent: parentOf(&g.path), path: &g.path,
+			level: g.path.Len() - 1, slot: slotOf(&g.path),
+			repl: nil,
+		})
+	}
+}
+
+// parentOf returns the deepest node of the path (the leaf's parent), or
+// nil when the leaf is the root.
+func parentOf(path *btree.Path) *btree.Node {
+	if path.Len() == 0 {
+		return nil
+	}
+	return path.Nodes[path.Len()-1]
+}
+
+// slotOf returns the child slot taken at the deepest path level.
+func slotOf(path *btree.Path) int {
+	if path.Len() == 0 {
+		return 0
+	}
+	return path.Slots[path.Len()-1]
+}
+
+// splitLeafMulti splits an overfull leaf into as many balanced siblings
+// as needed (PALM's "big split"), preserving the leaf chain locally:
+// the original node keeps the leftmost piece so external Next pointers
+// into it remain valid.
+func splitLeafMulti(leaf *btree.Node, maxEntries int) []*btree.Node {
+	n := len(leaf.Keys)
+	pieces := (n + maxEntries - 1) / maxEntries
+	out := make([]*btree.Node, 0, pieces)
+	out = append(out, leaf)
+	// Balanced piece sizes.
+	base, rem := n/pieces, n%pieces
+	sizes := make([]int, pieces)
+	for i := range sizes {
+		sizes[i] = base
+		if i < rem {
+			sizes[i]++
+		}
+	}
+	next := leaf.Next
+	start := sizes[0]
+	prev := leaf
+	for i := 1; i < pieces; i++ {
+		sib := &btree.Node{
+			Keys: append(make([]keys.Key, 0, maxEntries+1), leaf.Keys[start:start+sizes[i]]...),
+			Vals: append(make([]keys.Value, 0, maxEntries+1), leaf.Vals[start:start+sizes[i]]...),
+		}
+		prev.Next = sib
+		prev = sib
+		out = append(out, sib)
+		start += sizes[i]
+	}
+	prev.Next = next
+	leaf.Keys = leaf.Keys[:sizes[0]]
+	leaf.Vals = leaf.Vals[:sizes[0]]
+	return out
+}

@@ -1,0 +1,178 @@
+package palm
+
+import (
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/keys"
+)
+
+func TestRebuildSeps(t *testing.T) {
+	l1 := &btree.Node{Keys: []keys.Key{1, 2}, Vals: []keys.Value{1, 2}}
+	l2 := &btree.Node{Keys: []keys.Key{5, 6}, Vals: []keys.Value{5, 6}}
+	l3 := &btree.Node{Keys: []keys.Key{9}, Vals: []keys.Value{9}}
+	seps := rebuildSeps(nil, []*btree.Node{l1, l2, l3})
+	if len(seps) != 2 || seps[0] != 5 || seps[1] != 9 {
+		t.Fatalf("seps = %v, want [5 9]", seps)
+	}
+}
+
+func TestRebuildSepsDeepSubtree(t *testing.T) {
+	leaf := &btree.Node{Keys: []keys.Key{42}, Vals: []keys.Value{42}}
+	inner := &btree.Node{Keys: []keys.Key{50}, Children: []*btree.Node{leaf, {Keys: []keys.Key{60}, Vals: []keys.Value{60}}}}
+	first := &btree.Node{Keys: []keys.Key{1}, Vals: []keys.Value{1}}
+	seps := rebuildSeps(nil, []*btree.Node{first, inner})
+	if len(seps) != 1 || seps[0] != 42 {
+		t.Fatalf("seps = %v, want [42] (min of deep subtree)", seps)
+	}
+}
+
+func TestMinKey(t *testing.T) {
+	leaf := &btree.Node{Keys: []keys.Key{7, 9}, Vals: []keys.Value{7, 9}}
+	if got := minKey(leaf); got != 7 {
+		t.Fatalf("minKey(leaf) = %d", got)
+	}
+	root := &btree.Node{
+		Keys: []keys.Key{100},
+		Children: []*btree.Node{
+			{Keys: []keys.Key{50}, Children: []*btree.Node{leaf, {Keys: []keys.Key{60}, Vals: []keys.Value{60}}}},
+			{Keys: []keys.Key{200}, Vals: []keys.Value{200}},
+		},
+	}
+	if got := minKey(root); got != 7 {
+		t.Fatalf("minKey(root) = %d", got)
+	}
+}
+
+func TestSplitInternalMulti(t *testing.T) {
+	// A node with 10 children at maxChildren 4 must split into 3
+	// balanced pieces reusing the original node as piece 0.
+	children := make([]*btree.Node, 10)
+	for i := range children {
+		children[i] = &btree.Node{Keys: []keys.Key{keys.Key(i * 10)}, Vals: []keys.Value{0}}
+	}
+	n := &btree.Node{Children: append([]*btree.Node(nil), children...)}
+	n.Keys = rebuildSeps(nil, n.Children)
+
+	pieces := splitInternalMulti(n, 4)
+	if len(pieces) != 3 {
+		t.Fatalf("pieces = %d, want 3", len(pieces))
+	}
+	if pieces[0] != n {
+		t.Fatal("piece 0 must reuse the node")
+	}
+	total := 0
+	var all []*btree.Node
+	for _, p := range pieces {
+		if len(p.Children) > 4 || len(p.Children) == 0 {
+			t.Fatalf("piece has %d children", len(p.Children))
+		}
+		if len(p.Keys) != len(p.Children)-1 {
+			t.Fatalf("piece has %d keys for %d children", len(p.Keys), len(p.Children))
+		}
+		total += len(p.Children)
+		all = append(all, p.Children...)
+	}
+	if total != 10 {
+		t.Fatalf("children total %d", total)
+	}
+	for i, c := range all {
+		if c != children[i] {
+			t.Fatalf("child order broken at %d", i)
+		}
+	}
+}
+
+func TestFinalizeRootSingleReplacement(t *testing.T) {
+	p, _ := New(Config{Order: 4, Workers: 1}, nil)
+	defer p.Close()
+	leaf := &btree.Node{Keys: []keys.Key{1}, Vals: []keys.Value{1}}
+	p.finalizeRoot(&modRequest{repl: []*btree.Node{leaf}})
+	if p.Tree().Root() != leaf {
+		t.Fatal("single replacement must become the root")
+	}
+}
+
+func TestFinalizeRootMultiLevelGrowth(t *testing.T) {
+	p, _ := New(Config{Order: 3, Workers: 1}, nil)
+	defer p.Close()
+	// 10 leaf pieces at order 3 require two new internal levels.
+	pieces := make([]*btree.Node, 10)
+	for i := range pieces {
+		pieces[i] = &btree.Node{Keys: []keys.Key{keys.Key(i * 5)}, Vals: []keys.Value{keys.Value(i)}}
+		if i > 0 {
+			pieces[i-1].Next = pieces[i]
+		}
+	}
+	p.finalizeRoot(&modRequest{repl: pieces})
+	p.Tree().AddSize(10)
+	if err := p.Tree().Validate(btree.RelaxedFill); err != nil {
+		t.Fatal(err)
+	}
+	// 10 leaves at fanout <= 3 need ceil(10/3)=4, then 2, then 1
+	// internal nodes: three internal levels above the leaves.
+	if h := p.Tree().Height(); h != 4 {
+		t.Fatalf("height = %d, want 4", h)
+	}
+	for i := 0; i < 10; i++ {
+		if v, ok := p.Tree().Search(keys.Key(i * 5)); !ok || v != keys.Value(i) {
+			t.Fatalf("Search(%d) = %d,%v", i*5, v, ok)
+		}
+	}
+}
+
+func TestFinalizeRootEmptiedInternalRoot(t *testing.T) {
+	p, _ := New(Config{Order: 4, Workers: 1}, nil)
+	defer p.Close()
+	// Force an internal root, then simulate it emptying.
+	batch := make([]keys.Query, 100)
+	for i := range batch {
+		batch[i] = keys.Insert(keys.Key(i), keys.Value(i))
+	}
+	p.ProcessBatch(keys.Number(batch), keys.NewResultSet(len(batch)))
+	if p.Tree().Root().Leaf() {
+		t.Fatal("expected internal root after 100 inserts at order 4")
+	}
+	p.finalizeRoot(&modRequest{repl: nil})
+	if !p.Tree().Root().Leaf() || p.Tree().Root().Len() != 0 {
+		t.Fatal("emptied internal root must reset to an empty leaf")
+	}
+}
+
+func TestRelinkLeavesRepairsChain(t *testing.T) {
+	p, _ := New(Config{Order: 4, Workers: 1}, nil)
+	defer p.Close()
+	batch := make([]keys.Query, 200)
+	for i := range batch {
+		batch[i] = keys.Insert(keys.Key(i), keys.Value(i))
+	}
+	p.ProcessBatch(keys.Number(batch), keys.NewResultSet(len(batch)))
+
+	// Sabotage the chain, then repair.
+	root := p.Tree().Root()
+	first := root
+	for !first.Leaf() {
+		first = first.Children[0]
+	}
+	first.Next = nil
+	p.relinkLeaves()
+	if err := p.Tree().Validate(btree.RelaxedFill); err != nil {
+		t.Fatalf("after relink: %v", err)
+	}
+}
+
+func TestRestructurePanicsOnMismatchedSlot(t *testing.T) {
+	p, _ := New(Config{Order: 4, Workers: 1}, nil)
+	defer p.Close()
+	parent := &btree.Node{
+		Keys:     []keys.Key{10},
+		Children: []*btree.Node{{Keys: []keys.Key{1}, Vals: []keys.Value{1}}, {Keys: []keys.Key{10}, Vals: []keys.Value{10}}},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched slot must panic (internal invariant)")
+		}
+	}()
+	w := &p.perW[0]
+	p.applyToParent([]modRequest{{parent: parent, slot: 99, level: 0, path: &btree.Path{Nodes: []*btree.Node{parent}, Slots: []int{99}}}}, w)
+}

@@ -1,0 +1,241 @@
+// Package stats collects the measurements the paper's evaluation
+// reports: per-stage wall-clock breakdowns (Fig. 14c), query-reduction
+// ratios (Fig. 14b), per-thread leaf-operation counts (Fig. 13), cache
+// hit counters, and latency/throughput summaries (Table II, Figs. 9-12).
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Stage identifies one phase of batch processing for timing breakdowns.
+type Stage int
+
+// Stages of the original PALM pipeline (Fig. 3) and the QTrans-extended
+// pipeline (Fig. 8).
+const (
+	StageSort     Stage = iota // pre-sorting the batch by key
+	StageQSAT1                 // QTrans Phase-I: per-mini-batch QSAT
+	StageQSAT2                 // QTrans Phase-II: shuffle + per-key QSAT
+	StageCache                 // inter-batch top-K cache pass
+	StageFind                  // Stage 1: leaf search
+	StageEvaluate              // Stage 2: query evaluation at leaves
+	StageModify                // Stage 3: bottom-up restructuring
+	numStages
+)
+
+// String names the stage as used in figure output.
+func (s Stage) String() string {
+	switch s {
+	case StageSort:
+		return "sort"
+	case StageQSAT1:
+		return "qsat-phase1"
+	case StageQSAT2:
+		return "qsat-phase2"
+	case StageCache:
+		return "cache"
+	case StageFind:
+		return "find"
+	case StageEvaluate:
+		return "evaluate"
+	case StageModify:
+		return "modify"
+	default:
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+}
+
+// Stages lists all stages in pipeline order.
+func Stages() []Stage {
+	out := make([]Stage, numStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
+
+// Batch accumulates the measurements of one processed batch.
+type Batch struct {
+	// BatchSize is the number of queries submitted.
+	BatchSize int
+	// RemainingQueries is how many queries were actually evaluated
+	// against the tree after QTrans (equals BatchSize when QTrans is
+	// off). The paper's "query reduction ratio" is 1 - Remaining/Size.
+	RemainingQueries int
+	// InferredReturns counts search answers produced by inference
+	// rather than tree evaluation.
+	InferredReturns int
+	// CacheHits / CacheMisses / CacheFlushes count top-K cache
+	// operations (inter-batch optimization).
+	CacheHits, CacheMisses, CacheFlushes int
+	// LeafOps[t] counts leaf-level operations performed by worker t
+	// (Fig. 13's load-balance metric).
+	LeafOps []int64
+	// Elapsed[s] is wall-clock time spent in stage s.
+	Elapsed [numStages]time.Duration
+}
+
+// NewBatch returns a Batch sized for the given worker count.
+func NewBatch(workers int) *Batch {
+	return &Batch{LeafOps: make([]int64, workers)}
+}
+
+// Reset clears the batch for reuse.
+func (b *Batch) Reset() {
+	lo := b.LeafOps
+	for i := range lo {
+		lo[i] = 0
+	}
+	*b = Batch{LeafOps: lo}
+}
+
+// Timer starts timing a stage; call Stop on the returned Stopwatch.
+func (b *Batch) Timer(s Stage) Stopwatch {
+	return Stopwatch{batch: b, stage: s, start: time.Now()}
+}
+
+// Stopwatch measures one stage interval.
+type Stopwatch struct {
+	batch *Batch
+	stage Stage
+	start time.Time
+}
+
+// Stop records the elapsed time onto the batch.
+func (sw Stopwatch) Stop() {
+	sw.batch.Elapsed[sw.stage] += time.Since(sw.start)
+}
+
+// ReductionRatio returns the fraction of queries eliminated by QTrans,
+// in [0, 1].
+func (b *Batch) ReductionRatio() float64 {
+	if b.BatchSize == 0 {
+		return 0
+	}
+	return 1 - float64(b.RemainingQueries)/float64(b.BatchSize)
+}
+
+// TotalElapsed sums all stage times.
+func (b *Batch) TotalElapsed() time.Duration {
+	var t time.Duration
+	for _, d := range b.Elapsed {
+		t += d
+	}
+	return t
+}
+
+// AddTo accumulates b's counters and timings into dst (used to total
+// per-batch stats over a whole run).
+func (b *Batch) AddTo(dst *Batch) {
+	dst.BatchSize += b.BatchSize
+	dst.RemainingQueries += b.RemainingQueries
+	dst.InferredReturns += b.InferredReturns
+	dst.CacheHits += b.CacheHits
+	dst.CacheMisses += b.CacheMisses
+	dst.CacheFlushes += b.CacheFlushes
+	for i := range b.Elapsed {
+		dst.Elapsed[i] += b.Elapsed[i]
+	}
+	for i, v := range b.LeafOps {
+		if i < len(dst.LeafOps) {
+			dst.LeafOps[i] += v
+		}
+	}
+}
+
+// LeafOpImbalance returns max/mean of per-thread leaf operations — 1.0
+// is perfect balance. Threads with zero work are included in the mean.
+func (b *Batch) LeafOpImbalance() float64 {
+	if len(b.LeafOps) == 0 {
+		return 1
+	}
+	var sum, maxv int64
+	for _, v := range b.LeafOps {
+		sum += v
+		if v > maxv {
+			maxv = v
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(b.LeafOps))
+	return float64(maxv) / mean
+}
+
+// String renders a compact human-readable summary.
+func (b *Batch) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "batch=%d remaining=%d (reduction %.1f%%)",
+		b.BatchSize, b.RemainingQueries, 100*b.ReductionRatio())
+	for _, s := range Stages() {
+		if b.Elapsed[s] > 0 {
+			fmt.Fprintf(&sb, " %s=%s", s, b.Elapsed[s].Round(time.Microsecond))
+		}
+	}
+	return sb.String()
+}
+
+// LatencyRecorder collects per-batch latencies and reports the summary
+// statistics of Table II.
+type LatencyRecorder struct {
+	samples []time.Duration
+}
+
+// Record adds one batch latency.
+func (l *LatencyRecorder) Record(d time.Duration) { l.samples = append(l.samples, d) }
+
+// Count returns the number of recorded samples.
+func (l *LatencyRecorder) Count() int { return len(l.samples) }
+
+// Mean returns the average latency, or 0 with no samples.
+func (l *LatencyRecorder) Mean() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range l.samples {
+		sum += d
+	}
+	return sum / time.Duration(len(l.samples))
+}
+
+// Percentile returns the p-th percentile latency (0 <= p <= 100).
+func (l *LatencyRecorder) Percentile(p float64) time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), l.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p / 100 * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Max returns the largest recorded latency.
+func (l *LatencyRecorder) Max() time.Duration {
+	var m time.Duration
+	for _, d := range l.samples {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Throughput converts a query count and elapsed time into queries/sec.
+func Throughput(queries int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(queries) / elapsed.Seconds()
+}

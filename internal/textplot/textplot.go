@@ -1,0 +1,143 @@
+// Package textplot renders small bar charts and grouped series as
+// ASCII, so qtransbench can show each figure's shape directly in the
+// terminal alongside the raw rows.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one named sequence of y-values over shared x-labels.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Chart is a grouped bar chart: for each x-label, one bar per series.
+type Chart struct {
+	// Title is printed above the chart.
+	Title string
+	// XLabels name the groups (e.g. update ratios).
+	XLabels []string
+	// Series hold one value per x-label.
+	Series []Series
+	// Width is the maximum bar length in characters (0 = 50).
+	Width int
+	// Unit is appended to rendered values (e.g. "q/s").
+	Unit string
+}
+
+// glyphs distinguish series within a group.
+var glyphs = []byte{'#', '=', '*', '+', '~', 'o'}
+
+// Render writes the chart to w. Bars are scaled to the chart's maximum
+// value; every bar shows its numeric value. Returns any write error.
+func (c *Chart) Render(w io.Writer) error {
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	max := 0.0
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if c.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+			return err
+		}
+	}
+	nameWidth := 0
+	for _, s := range c.Series {
+		if len(s.Name) > nameWidth {
+			nameWidth = len(s.Name)
+		}
+	}
+	for xi, xl := range c.XLabels {
+		if _, err := fmt.Fprintf(w, "%s\n", xl); err != nil {
+			return err
+		}
+		for si, s := range c.Series {
+			v := 0.0
+			if xi < len(s.Values) {
+				v = s.Values[xi]
+			}
+			bar := 0
+			if max > 0 {
+				bar = int(v / max * float64(width))
+			}
+			if v > 0 && bar == 0 {
+				bar = 1
+			}
+			g := glyphs[si%len(glyphs)]
+			if _, err := fmt.Fprintf(w, "  %-*s |%s %s\n",
+				nameWidth, s.Name, strings.Repeat(string(g), bar), formatValue(v, c.Unit)); err != nil {
+				return err
+			}
+		}
+	}
+	// Legend only needed when glyphs repeat meaning across charts; the
+	// inline names make bars self-describing, so none is printed.
+	return nil
+}
+
+// formatValue renders v compactly with SI-style suffixes.
+func formatValue(v float64, unit string) string {
+	s := ""
+	switch {
+	case v >= 1e9:
+		s = fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		s = fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		s = fmt.Sprintf("%.2fk", v/1e3)
+	case v == float64(int64(v)):
+		s = fmt.Sprintf("%.0f", v)
+	default:
+		s = fmt.Sprintf("%.3g", v)
+	}
+	if unit != "" {
+		s += " " + unit
+	}
+	return s
+}
+
+// Table renders rows of tab-separated columns with aligned columns —
+// a prettier view of the harness's raw rows.
+func Table(w io.Writer, rows [][]string) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	widths := make([]int, 0, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			pad := widths[i]
+			if i == len(row)-1 {
+				if _, err := fmt.Fprintf(w, "%s", cell); err != nil {
+					return err
+				}
+			} else if _, err := fmt.Fprintf(w, "%-*s  ", pad, cell); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

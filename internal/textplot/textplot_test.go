@@ -1,0 +1,123 @@
+package textplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicChart(t *testing.T) {
+	c := &Chart{
+		Title:   "throughput",
+		XLabels: []string{"U-0", "U-0.25"},
+		Series: []Series{
+			{Name: "org", Values: []float64{1e6, 2e6}},
+			{Name: "opt", Values: []float64{4e6, 3e6}},
+		},
+		Width: 20,
+		Unit:  "q/s",
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"throughput", "U-0", "U-0.25", "org", "opt", "4.00M q/s", "1.00M q/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The max bar must be exactly Width glyphs long.
+	if !strings.Contains(out, "|"+strings.Repeat("=", 20)) {
+		t.Errorf("max bar not full width:\n%s", out)
+	}
+	// Proportionality: org's 1M bar is 1/4 of opt's 4M bar.
+	if !strings.Contains(out, "|"+strings.Repeat("#", 5)+" 1.00M") {
+		t.Errorf("quarter bar wrong:\n%s", out)
+	}
+}
+
+func TestRenderZeroAndTinyValues(t *testing.T) {
+	c := &Chart{
+		XLabels: []string{"x"},
+		Series: []Series{
+			{Name: "zero", Values: []float64{0}},
+			{Name: "tiny", Values: []float64{0.001}},
+			{Name: "big", Values: []float64{100}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Zero gets no bar; tiny positive values get at least one glyph.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "zero") && strings.Contains(line, "#") {
+			t.Errorf("zero value drew a bar: %q", line)
+		}
+		if strings.Contains(line, "tiny") && !strings.Contains(line, "=") {
+			t.Errorf("tiny value drew no bar: %q", line)
+		}
+	}
+}
+
+func TestRenderMissingValues(t *testing.T) {
+	c := &Chart{
+		XLabels: []string{"a", "b"},
+		Series:  []Series{{Name: "s", Values: []float64{5}}}, // one value short
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "b") {
+		t.Error("missing-value group dropped")
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		v    float64
+		unit string
+		want string
+	}{
+		{2.5e9, "", "2.50G"},
+		{3.1e6, "q/s", "3.10M q/s"},
+		{4200, "", "4.20k"},
+		{42, "", "42"},
+		{0.5, "", "0.5"},
+	}
+	for _, c := range cases {
+		if got := formatValue(c.v, c.unit); got != c.want {
+			t.Errorf("formatValue(%v, %q) = %q, want %q", c.v, c.unit, got, c.want)
+		}
+	}
+}
+
+func TestTableAligns(t *testing.T) {
+	var buf bytes.Buffer
+	err := Table(&buf, [][]string{
+		{"dataset", "qps"},
+		{"zipfian", "3200000"},
+		{"uniform-long-name", "11"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// The second column must start at the same offset on every line.
+	col := strings.Index(lines[1], "3200000")
+	if col == -1 || strings.Index(lines[2], "11") != col {
+		t.Errorf("columns misaligned:\n%s", buf.String())
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	if err := Table(&bytes.Buffer{}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead feeds arbitrary bytes to the trace decoder: it must either
+// decode cleanly or return an error — never panic or over-allocate.
+func FuzzRead(f *testing.F) {
+	// Valid empty trace.
+	f.Add([]byte("QTR1\x00\x00\x00\x00\x00\x00\x00\x00"))
+	// Valid one-record trace.
+	var buf bytes.Buffer
+	buf.WriteString("QTR1")
+	buf.Write([]byte{1, 0, 0, 0, 0, 0, 0, 0})
+	buf.Write([]byte{1, 7, 0, 0, 0, 0, 0, 0, 0, 9, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(buf.Bytes())
+	// Garbage.
+	f.Add([]byte("not a trace at all"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		qs, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Decoded traces must round-trip identically.
+		var out bytes.Buffer
+		if err := Write(&out, qs); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		qs2, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(qs2) != len(qs) {
+			t.Fatalf("round trip changed length: %d vs %d", len(qs2), len(qs))
+		}
+		for i := range qs {
+			if qs[i] != qs2[i] {
+				t.Fatalf("round trip changed record %d", i)
+			}
+		}
+	})
+}

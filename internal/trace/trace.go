@@ -1,0 +1,169 @@
+// Package trace persists query streams: a compact binary format for
+// saving generated workloads (so figure runs are reproducible without
+// regenerating), and a CSV importer for taxi-style point data
+// (longitude/latitude records mapped onto the workload geo-grid).
+//
+// Binary format (little-endian):
+//
+//	magic   [4]byte  "QTR1"
+//	count   uint64
+//	records count × { op uint8, key uint64, value uint64 }
+//
+// Query indices are not stored; Load renumbers 0..n-1.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/keys"
+)
+
+var magic = [4]byte{'Q', 'T', 'R', '1'}
+
+// Write serializes a query sequence.
+func Write(w io.Writer, qs []keys.Query) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return fmt.Errorf("trace: write magic: %w", err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(qs)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("trace: write count: %w", err)
+	}
+	var rec [17]byte
+	for i := range qs {
+		rec[0] = byte(qs[i].Op)
+		binary.LittleEndian.PutUint64(rec[1:9], uint64(qs[i].Key))
+		binary.LittleEndian.PutUint64(rec[9:17], uint64(qs[i].Value))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return fmt.Errorf("trace: write record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a query sequence written by Write, renumbering
+// indices 0..n-1.
+func Read(r io.Reader) ([]keys.Query, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: read magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: read count: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(hdr[:])
+	const maxCount = 1 << 31
+	if count > maxCount {
+		return nil, fmt.Errorf("trace: count %d exceeds limit", count)
+	}
+	// Pre-size conservatively: a hostile or corrupt header must not be
+	// able to force a huge allocation before any record bytes exist
+	// (the decode fails at the first missing record instead).
+	capHint := count
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	qs := make([]keys.Query, 0, capHint)
+	var rec [17]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: read record %d: %w", i, err)
+		}
+		op := keys.Op(rec[0])
+		if op != keys.OpSearch && op != keys.OpInsert && op != keys.OpDelete {
+			return nil, fmt.Errorf("trace: record %d has invalid op %d", i, rec[0])
+		}
+		qs = append(qs, keys.Query{
+			Op:    op,
+			Key:   keys.Key(binary.LittleEndian.Uint64(rec[1:9])),
+			Value: keys.Value(binary.LittleEndian.Uint64(rec[9:17])),
+			Idx:   int32(i),
+		})
+	}
+	return qs, nil
+}
+
+// GeoGrid maps (longitude, latitude) points onto a side×side cell grid
+// over a bounding box, producing the cell-id keys the taxi workload
+// uses.
+type GeoGrid struct {
+	Side           uint64
+	MinLon, MaxLon float64
+	MinLat, MaxLat float64
+}
+
+// NYCGrid is the 2048x2048 grid over the NYC bounding box used by the
+// taxi workload substitution.
+func NYCGrid() GeoGrid {
+	return GeoGrid{
+		Side:   2048,
+		MinLon: -74.30, MaxLon: -73.60,
+		MinLat: 40.45, MaxLat: 41.00,
+	}
+}
+
+// Cell maps a point to its cell key; ok is false outside the box.
+func (g GeoGrid) Cell(lon, lat float64) (keys.Key, bool) {
+	if lon < g.MinLon || lon >= g.MaxLon || lat < g.MinLat || lat >= g.MaxLat {
+		return 0, false
+	}
+	x := uint64(float64(g.Side) * (lon - g.MinLon) / (g.MaxLon - g.MinLon))
+	y := uint64(float64(g.Side) * (lat - g.MinLat) / (g.MaxLat - g.MinLat))
+	if x >= g.Side {
+		x = g.Side - 1
+	}
+	if y >= g.Side {
+		y = g.Side - 1
+	}
+	return keys.Key(y*g.Side + x), true
+}
+
+// ImportCSV reads taxi-style CSV rows and converts pickup points to
+// search queries over the grid. lonCol/latCol are zero-based column
+// indices; rows with a missing/invalid point or a point outside the
+// box are skipped. The first row is treated as a header when its
+// coordinate columns do not parse. Returns the queries (numbered) and
+// the number of skipped rows.
+func ImportCSV(r io.Reader, grid GeoGrid, lonCol, latCol int) ([]keys.Query, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var qs []keys.Query
+	skipped := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Split(sc.Text(), ",")
+		if lonCol >= len(fields) || latCol >= len(fields) {
+			skipped++
+			continue
+		}
+		lon, err1 := strconv.ParseFloat(strings.TrimSpace(fields[lonCol]), 64)
+		lat, err2 := strconv.ParseFloat(strings.TrimSpace(fields[latCol]), 64)
+		if err1 != nil || err2 != nil {
+			skipped++
+			continue
+		}
+		cell, ok := grid.Cell(lon, lat)
+		if !ok {
+			skipped++
+			continue
+		}
+		qs = append(qs, keys.Search(cell))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, skipped, fmt.Errorf("trace: scan line %d: %w", line, err)
+	}
+	return keys.Number(qs), skipped, nil
+}

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/keys"
+)
+
+func TestRoundTrip(t *testing.T) {
+	qs := keys.Number([]keys.Query{
+		keys.Insert(1, 100),
+		keys.Search(2),
+		keys.Delete(3),
+	})
+	var buf bytes.Buffer
+	if err := Write(&buf, qs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(qs) {
+		t.Fatalf("len %d, want %d", len(got), len(qs))
+	}
+	for i := range qs {
+		if got[i] != qs[i] {
+			t.Fatalf("record %d: %v != %v", i, got[i], qs[i])
+		}
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty round trip: %v, %v", got, err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, size uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		qs := make([]keys.Query, int(size)%2000)
+		for i := range qs {
+			qs[i] = keys.Query{
+				Op:    keys.Op(r.Intn(3)),
+				Key:   keys.Key(r.Uint64()),
+				Value: keys.Value(r.Uint64()),
+			}
+		}
+		keys.Number(qs)
+		var buf bytes.Buffer
+		if err := Write(&buf, qs); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got) != len(qs) {
+			return false
+		}
+		for i := range qs {
+			if got[i] != qs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("XXXX\x00\x00\x00\x00\x00\x00\x00\x00"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	qs := keys.Number([]keys.Query{keys.Insert(1, 1), keys.Insert(2, 2)})
+	var buf bytes.Buffer
+	if err := Write(&buf, qs); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := Read(bytes.NewReader(raw[:len(raw)-5])); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+	if _, err := Read(bytes.NewReader(raw[:3])); err == nil {
+		t.Fatal("truncated magic accepted")
+	}
+}
+
+func TestReadRejectsInvalidOp(t *testing.T) {
+	qs := keys.Number([]keys.Query{keys.Insert(1, 1)})
+	var buf bytes.Buffer
+	if err := Write(&buf, qs); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[12] = 99 // op byte of the first record (4 magic + 8 count)
+	if _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Fatal("invalid op accepted")
+	}
+}
+
+func TestReadRejectsHugeCount(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("huge count accepted")
+	}
+}
+
+func TestGeoGridCell(t *testing.T) {
+	g := NYCGrid()
+	// Center of the box.
+	k, ok := g.Cell(-73.95, 40.72)
+	if !ok {
+		t.Fatal("center point rejected")
+	}
+	if uint64(k) >= g.Side*g.Side {
+		t.Fatalf("cell %d out of range", k)
+	}
+	// Out of the box.
+	if _, ok := g.Cell(0, 0); ok {
+		t.Fatal("point outside box accepted")
+	}
+	// Max edge clamps.
+	if _, ok := g.Cell(g.MaxLon, g.MaxLat); ok {
+		t.Fatal("exclusive max edge accepted")
+	}
+	k2, ok := g.Cell(g.MinLon, g.MinLat)
+	if !ok || k2 != 0 {
+		t.Fatalf("min corner = %d, %v; want cell 0", k2, ok)
+	}
+}
+
+func TestGeoGridAdjacency(t *testing.T) {
+	g := GeoGrid{Side: 4, MinLon: 0, MaxLon: 4, MinLat: 0, MaxLat: 4}
+	k1, _ := g.Cell(0.5, 0.5)
+	k2, _ := g.Cell(1.5, 0.5)
+	k3, _ := g.Cell(0.5, 1.5)
+	if k2 != k1+1 || k3 != k1+4 {
+		t.Fatalf("cells %d %d %d not row-major adjacent", k1, k2, k3)
+	}
+}
+
+func TestImportCSV(t *testing.T) {
+	csv := strings.Join([]string{
+		"pickup_longitude,pickup_latitude", // header (skipped: parse fails)
+		"-73.95,40.72",                     // valid
+		"-73.96,40.73",                     // valid
+		"0.0,0.0",                          // outside box
+		"not,numbers",                      // invalid
+		"-73.97",                           // short row
+		"-73.99, 40.70",                    // valid with space
+	}, "\n")
+	qs, skipped, err := ImportCSV(strings.NewReader(csv), NYCGrid(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 3 {
+		t.Fatalf("imported %d queries, want 3", len(qs))
+	}
+	if skipped != 4 {
+		t.Fatalf("skipped %d, want 4", skipped)
+	}
+	for i, q := range qs {
+		if q.Op != keys.OpSearch || q.Idx != int32(i) {
+			t.Fatalf("query %d = %v", i, q)
+		}
+	}
+}
+
+func TestImportCSVEmpty(t *testing.T) {
+	qs, skipped, err := ImportCSV(strings.NewReader(""), NYCGrid(), 0, 1)
+	if err != nil || len(qs) != 0 || skipped != 0 {
+		t.Fatalf("empty import: %v %d %v", qs, skipped, err)
+	}
+}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/keys"
+)
+
+// TimeVarying models the *temporal* skew of §I's taxi motivation
+// ("queries to the locations where taxi drivers stop are highly biased
+// in both the time dimension (e.g., rush hours) and the space
+// dimension"): the hot set of an inner generator drifts over simulated
+// time, and an intensity wave modulates how concentrated traffic is.
+//
+// Concretely, each draw first picks between the inner generator's key
+// (spatial skew) and a rotating window of "currently hot" keys whose
+// position advances every Period draws; the probability of the hot
+// window follows a raised sinusoid so that "rush hours" (wave peaks)
+// send up to PeakHotFraction of traffic to the window and quiet hours
+// almost none.
+type TimeVarying struct {
+	Inner Generator
+	// WindowSize is the number of contiguous keys in the rotating hot
+	// window.
+	WindowSize uint64
+	// Period is how many draws one full day (one sinusoid cycle) takes.
+	Period uint64
+	// PeakHotFraction is the fraction of traffic on the window at the
+	// wave's peak.
+	PeakHotFraction float64
+
+	clock uint64
+}
+
+// NewTimeVarying wraps inner with drifting rush-hour hotspots using
+// sensible defaults: a 1024-key window, a 1M-draw day, 70 % peak
+// concentration.
+func NewTimeVarying(inner Generator) *TimeVarying {
+	return &TimeVarying{
+		Inner:           inner,
+		WindowSize:      1024,
+		Period:          1 << 20,
+		PeakHotFraction: 0.7,
+	}
+}
+
+// Key implements Generator. Not safe for concurrent use (the simulated
+// clock advances per draw), matching the other generators.
+func (tv *TimeVarying) Key(r *rand.Rand) keys.Key {
+	tv.clock++
+	phase := 2 * math.Pi * float64(tv.clock%tv.Period) / float64(tv.Period)
+	hotProb := tv.PeakHotFraction * (0.5 - 0.5*math.Cos(phase)) // 0 at day start, peak mid-day
+	if r.Float64() < hotProb {
+		// The window jumps to a new location every simulated hour (24
+		// steps per day) and between days, staying fixed within an
+		// hour so traffic concentrates on it.
+		day := tv.clock / tv.Period
+		hour := tv.clock % tv.Period * 24 / tv.Period
+		start := ((day*7919 + hour*131) * tv.WindowSize) % tv.Inner.KeyRange()
+		return keys.Key((start + uint64(r.Int63n(int64(tv.WindowSize)))) % tv.Inner.KeyRange())
+	}
+	return tv.Inner.Key(r)
+}
+
+// Name implements Generator.
+func (tv *TimeVarying) Name() string { return tv.Inner.Name() + "+rush" }
+
+// KeyRange implements Generator.
+func (tv *TimeVarying) KeyRange() uint64 { return tv.Inner.KeyRange() }
+
+// Clock returns the number of draws so far (simulated time).
+func (tv *TimeVarying) Clock() uint64 { return tv.clock }

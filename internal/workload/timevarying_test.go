@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+func TestTimeVaryingMeta(t *testing.T) {
+	tv := NewTimeVarying(NewUniform(1 << 16))
+	if tv.Name() != "uniform+rush" {
+		t.Fatalf("Name = %q", tv.Name())
+	}
+	if tv.KeyRange() != 1<<16 {
+		t.Fatalf("KeyRange = %d", tv.KeyRange())
+	}
+}
+
+func TestTimeVaryingKeysInRange(t *testing.T) {
+	tv := NewTimeVarying(NewUniform(10000))
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 50000; i++ {
+		if k := tv.Key(r); uint64(k) >= 10000 {
+			t.Fatalf("key %d out of range at draw %d", k, i)
+		}
+	}
+	if tv.Clock() != 50000 {
+		t.Fatalf("Clock = %d", tv.Clock())
+	}
+}
+
+// TestTimeVaryingRushHourSkew: mid-day draws must be far more
+// concentrated than day-boundary draws.
+func TestTimeVaryingRushHourSkew(t *testing.T) {
+	tv := NewTimeVarying(NewUniform(1 << 20))
+	tv.Period = 100000
+	tv.WindowSize = 256
+	r := rand.New(rand.NewSource(2))
+
+	distinctOver := func(draws int) int {
+		seen := map[keys.Key]bool{}
+		for i := 0; i < draws; i++ {
+			seen[tv.Key(r)] = true
+		}
+		return len(seen)
+	}
+
+	// Day start (phase ~0): hot probability near 0 -> near-uniform.
+	quiet := distinctOver(20000)
+	// Advance to mid-day (phase pi): peak concentration.
+	for tv.clock%tv.Period != tv.Period/2 {
+		tv.clock++
+	}
+	rush := distinctOver(20000)
+
+	if rush >= quiet {
+		t.Fatalf("rush-hour draws not more concentrated: %d distinct vs %d quiet", rush, quiet)
+	}
+	if float64(rush) > 0.7*float64(quiet) {
+		t.Fatalf("rush concentration too weak: %d vs %d", rush, quiet)
+	}
+}
+
+// TestTimeVaryingWindowDrifts: the hot window must move between days,
+// so hot keys from day 1 differ from day 2's.
+func TestTimeVaryingWindowDrifts(t *testing.T) {
+	tv := NewTimeVarying(NewUniform(1 << 22))
+	tv.Period = 50000
+	tv.PeakHotFraction = 1.0 // all traffic hot at peak, to isolate the window
+	r := rand.New(rand.NewSource(3))
+
+	hotKeysAround := func(clock uint64) map[keys.Key]bool {
+		tv.clock = clock
+		seen := map[keys.Key]bool{}
+		for i := 0; i < 2000; i++ {
+			seen[tv.Key(r)] = true
+		}
+		return seen
+	}
+	day1 := hotKeysAround(tv.Period / 2)
+	day2 := hotKeysAround(tv.Period + tv.Period/2)
+	overlap := 0
+	for k := range day1 {
+		if day2[k] {
+			overlap++
+		}
+	}
+	if overlap > len(day1)/2 {
+		t.Fatalf("hot window did not drift: %d/%d overlap", overlap, len(day1))
+	}
+}
+
+// TestTimeVaryingReductionBenefit: QTrans should reduce a rush-hour
+// stream much more than the underlying uniform stream — the temporal
+// dimension of the paper's motivation.
+func TestTimeVaryingReductionBenefit(t *testing.T) {
+	count := func(gen Generator) float64 {
+		r := rand.New(rand.NewSource(4))
+		seen := map[keys.Key]int{}
+		const n = 30000
+		for i := 0; i < n; i++ {
+			seen[gen.Key(r)]++
+		}
+		return 1 - float64(len(seen))/float64(n) // duplicate fraction
+	}
+	base := NewUniform(1 << 22)
+	tv := NewTimeVarying(NewUniform(1 << 22))
+	tv.Period = 30000 // one full day over the sample
+	dupBase := count(base)
+	dupTV := count(tv)
+	// The rush-hour stream must be an order of magnitude more
+	// redundant than its uniform base (0.4% duplicate draws uniform vs
+	// ~9% with hourly hot windows at these parameters).
+	if dupTV < 10*dupBase || dupTV < 0.05 {
+		t.Fatalf("rush-hour stream not measurably more redundant: %.3f vs %.3f", dupTV, dupBase)
+	}
+}

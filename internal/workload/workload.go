@@ -1,0 +1,464 @@
+// Package workload generates the query streams of the paper's
+// evaluation (§VI-A, Table I): four synthetic key distributions
+// (gaussian, self-similar, zipfian, uniform), the two YCSB cloud
+// distributions (scrambled zipfian with θ=0.99 and "latest"), and a
+// synthetic stand-in for the NYC taxi dataset.
+//
+// The taxi substitution (the real trip records are not available
+// offline) is a hotspot mixture over a 2048x2048 geo-grid — 4,194,304
+// cells, the cell count reported in §III-B — calibrated so the top
+// 1000 cells draw ~68% of visits, matching the skew statistic the
+// paper reports for Fig. 4(a). See DESIGN.md §4.4.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/keys"
+)
+
+// Generator draws keys from a fixed distribution.
+type Generator interface {
+	// Key draws the next key using r.
+	Key(r *rand.Rand) keys.Key
+	// Name identifies the distribution (used in figure output).
+	Name() string
+	// KeyRange returns N, the exclusive upper bound of generated keys.
+	KeyRange() uint64
+}
+
+// Uniform draws keys uniformly from [0, N).
+type Uniform struct{ N uint64 }
+
+// NewUniform returns a uniform generator over [0, n).
+func NewUniform(n uint64) *Uniform { return &Uniform{N: n} }
+
+// Key implements Generator.
+func (u *Uniform) Key(r *rand.Rand) keys.Key { return keys.Key(r.Uint64() % u.N) }
+
+// Name implements Generator.
+func (u *Uniform) Name() string { return "uniform" }
+
+// KeyRange implements Generator.
+func (u *Uniform) KeyRange() uint64 { return u.N }
+
+// Gaussian draws keys from a normal distribution with the paper's
+// parameters: mu = N*0.5, sigma = mu*0.5% (Table I), clamped to [0, N).
+type Gaussian struct {
+	N     uint64
+	Mu    float64
+	Sigma float64
+}
+
+// NewGaussian returns the Table I gaussian generator over [0, n).
+func NewGaussian(n uint64) *Gaussian {
+	mu := float64(n) * 0.5
+	return &Gaussian{N: n, Mu: mu, Sigma: mu * 0.005}
+}
+
+// Key implements Generator.
+func (g *Gaussian) Key(r *rand.Rand) keys.Key {
+	for {
+		x := r.NormFloat64()*g.Sigma + g.Mu
+		if x >= 0 && x < float64(g.N) {
+			return keys.Key(x)
+		}
+	}
+}
+
+// Name implements Generator.
+func (g *Gaussian) Name() string { return "gaussian" }
+
+// KeyRange implements Generator.
+func (g *Gaussian) KeyRange() uint64 { return g.N }
+
+// SelfSimilar draws keys with the 80-20 self-similar rule of Gray et
+// al.: a fraction h of accesses covers a fraction (1-h)... with h=0.2,
+// 80% of accesses hit the first 20% of the key space, recursively.
+type SelfSimilar struct {
+	N uint64
+	H float64 // skew parameter; 0.2 gives the 80-20 rule
+	c float64 // exponent ln(h)/ln(1-h)
+}
+
+// NewSelfSimilar returns a self-similar generator; h = 0.2 reproduces
+// Table I's "80-20 rule".
+func NewSelfSimilar(n uint64, h float64) *SelfSimilar {
+	return &SelfSimilar{N: n, H: h, c: math.Log(h) / math.Log(1-h)}
+}
+
+// Key implements Generator.
+func (s *SelfSimilar) Key(r *rand.Rand) keys.Key {
+	k := uint64(float64(s.N) * math.Pow(r.Float64(), s.c))
+	if k >= s.N {
+		k = s.N - 1
+	}
+	return keys.Key(k)
+}
+
+// Name implements Generator.
+func (s *SelfSimilar) Name() string { return "self-similar" }
+
+// KeyRange implements Generator.
+func (s *SelfSimilar) KeyRange() uint64 { return s.N }
+
+// Zipfian draws keys from the Zipfian distribution of Gray et al.
+// (the algorithm YCSB uses), with rank 0 the most popular key.
+type Zipfian struct {
+	N     uint64
+	Theta float64
+
+	alpha, zetan, eta float64
+	scramble          bool
+}
+
+// NewZipfian returns a zipfian generator over [0, n) with parameter
+// theta (Table I uses θ=1 is numerically degenerate in the Gray
+// formula, which divides by 1-θ; the artifact's θ=1.0 corresponds to
+// θ→1 and is approximated here by θ=0.999).
+func NewZipfian(n uint64, theta float64) *Zipfian {
+	if theta >= 1 {
+		theta = 0.999
+	}
+	z := &Zipfian{N: n, Theta: theta}
+	z.init()
+	return z
+}
+
+// NewScrambledZipfian returns the YCSB "scrambled zipfian" generator:
+// zipfian ranks hashed over the key space so popular keys are spread
+// out (ycsb-zipf, θ=0.99).
+func NewScrambledZipfian(n uint64, theta float64) *Zipfian {
+	z := NewZipfian(n, theta)
+	z.scramble = true
+	return z
+}
+
+func (z *Zipfian) init() {
+	z.zetan = zeta(z.N, z.Theta)
+	z.alpha = 1 / (1 - z.Theta)
+	z.eta = (1 - math.Pow(2/float64(z.N), 1-z.Theta)) / (1 - zeta(2, z.Theta)/z.zetan)
+}
+
+// zeta computes the generalized harmonic number sum_{i=1..n} 1/i^theta.
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Key implements Generator.
+func (z *Zipfian) Key(r *rand.Rand) keys.Key {
+	u := r.Float64()
+	uz := u * z.zetan
+	var rank uint64
+	switch {
+	case uz < 1:
+		rank = 0
+	case uz < 1+math.Pow(0.5, z.Theta):
+		rank = 1
+	default:
+		rank = uint64(float64(z.N) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+		if rank >= z.N {
+			rank = z.N - 1
+		}
+	}
+	if z.scramble {
+		return keys.Key(fnvHash(rank) % z.N)
+	}
+	return keys.Key(rank)
+}
+
+// Name implements Generator.
+func (z *Zipfian) Name() string {
+	if z.scramble {
+		return "ycsb-zipfian"
+	}
+	return "zipfian"
+}
+
+// KeyRange implements Generator.
+func (z *Zipfian) KeyRange() uint64 { return z.N }
+
+// fnvHash is the FNV-1a 64-bit hash of a uint64, used by the scrambled
+// zipfian and taxi generators.
+func fnvHash(x uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= prime
+		x >>= 8
+	}
+	return h
+}
+
+// Latest is the YCSB "latest" distribution: recently inserted keys are
+// most popular. The key counter advances via Advance (the mix builder
+// calls it on every insert), and draws are max - zipfian(rank).
+type Latest struct {
+	z   *Zipfian
+	max uint64
+}
+
+// NewLatest returns a latest generator whose population starts at n
+// keys (0..n-1, key n-1 the hottest).
+func NewLatest(n uint64) *Latest {
+	return &Latest{z: NewZipfian(n, 0.99), max: n}
+}
+
+// Advance grows the key population (a new record was inserted).
+func (l *Latest) Advance() { l.max++ }
+
+// Key implements Generator.
+func (l *Latest) Key(r *rand.Rand) keys.Key {
+	rank := uint64(l.z.Key(r))
+	if rank >= l.max {
+		rank = l.max - 1
+	}
+	return keys.Key(l.max - 1 - rank)
+}
+
+// Name implements Generator.
+func (l *Latest) Name() string { return "ycsb-latest" }
+
+// KeyRange implements Generator.
+func (l *Latest) KeyRange() uint64 { return l.max }
+
+// Taxi is the synthetic stand-in for the NYC taxi geolocation stream:
+// keys are cells of a 2048x2048 grid; a fraction HotFraction of visits
+// goes to NumHot zipf-weighted hotspot cells, the rest to a
+// gaussian-spread background around the grid center.
+type Taxi struct {
+	Grid        uint64 // side length; key range is Grid*Grid
+	NumHot      int
+	HotFraction float64
+
+	hotCells []uint64
+	hotZipf  *Zipfian
+}
+
+// NewTaxi returns the calibrated taxi generator: 2048x2048 grid, 1000
+// hotspots receiving 68% of visits (the paper's Fig. 4(a) statistic:
+// top 1000 of 4,194,304 cells cover 68.272%).
+func NewTaxi() *Taxi { return NewTaxiWith(2048, 1000, 0.68) }
+
+// NewTaxiWith returns a taxi generator with explicit parameters.
+func NewTaxiWith(grid uint64, numHot int, hotFraction float64) *Taxi {
+	t := &Taxi{Grid: grid, NumHot: numHot, HotFraction: hotFraction}
+	t.hotCells = make([]uint64, numHot)
+	n := grid * grid
+	for i := range t.hotCells {
+		// Deterministic pseudo-random hotspot placement.
+		t.hotCells[i] = fnvHash(uint64(i)+0x9e3779b9) % n
+	}
+	t.hotZipf = NewZipfian(uint64(numHot), 0.9)
+	return t
+}
+
+// Key implements Generator.
+func (t *Taxi) Key(r *rand.Rand) keys.Key {
+	if r.Float64() < t.HotFraction {
+		return keys.Key(t.hotCells[t.hotZipf.Key(r)])
+	}
+	// Background: gaussian spatial spread around the grid center.
+	g := float64(t.Grid)
+	x := clampGrid(r.NormFloat64()*g/6+g/2, g)
+	y := clampGrid(r.NormFloat64()*g/6+g/2, g)
+	return keys.Key(uint64(y)*t.Grid + uint64(x))
+}
+
+func clampGrid(v, g float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v >= g {
+		return g - 1
+	}
+	return v
+}
+
+// Name implements Generator.
+func (t *Taxi) Name() string { return "taxi" }
+
+// KeyRange implements Generator.
+func (t *Taxi) KeyRange() uint64 { return t.Grid * t.Grid }
+
+// Batch builds one query batch of the given size: updateRatio of the
+// queries are updates (split evenly between inserts and deletes, as in
+// §VI-B's update-ratio sweeps), the rest searches. Queries are
+// numbered 0..size-1.
+func Batch(gen Generator, r *rand.Rand, size int, updateRatio float64) []keys.Query {
+	qs := make([]keys.Query, size)
+	FillBatch(gen, r, qs, updateRatio)
+	return qs
+}
+
+// FillBatch is Batch into a caller-provided slice (no allocation).
+func FillBatch(gen Generator, r *rand.Rand, qs []keys.Query, updateRatio float64) {
+	latest, isLatest := gen.(*Latest)
+	for i := range qs {
+		k := gen.Key(r)
+		if r.Float64() < updateRatio {
+			if r.Intn(2) == 0 {
+				qs[i] = keys.Insert(k, keys.Value(r.Uint64()))
+				if isLatest {
+					latest.Advance()
+				}
+			} else {
+				qs[i] = keys.Delete(k)
+			}
+		} else {
+			qs[i] = keys.Search(k)
+		}
+	}
+	keys.Number(qs)
+}
+
+// Prefill returns count insert queries drawn from gen (duplicates
+// collapse on insertion), used to build the initial tree the way the
+// paper builds trees "based on the unique keys" of each dataset.
+func Prefill(gen Generator, r *rand.Rand, count int) []keys.Query {
+	qs := make([]keys.Query, count)
+	for i := range qs {
+		k := gen.Key(r)
+		qs[i] = keys.Insert(k, keys.Value(k))
+	}
+	return keys.Number(qs)
+}
+
+// Coverage draws samples keys and reports the fraction of draws covered
+// by the topN most frequent keys — the Fig. 4 skew statistic — along
+// with the number of distinct keys seen.
+func Coverage(gen Generator, r *rand.Rand, samples, topN int) (fraction float64, distinct int) {
+	counts := make(map[keys.Key]int, samples/4)
+	for i := 0; i < samples; i++ {
+		counts[gen.Key(r)]++
+	}
+	freqs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	// Partial selection of the topN largest counts.
+	top := topCounts(freqs, topN)
+	covered := 0
+	for _, c := range top {
+		covered += c
+	}
+	return float64(covered) / float64(samples), len(counts)
+}
+
+// topCounts returns the n largest values of freqs (n may exceed
+// len(freqs)).
+func topCounts(freqs []int, n int) []int {
+	if n >= len(freqs) {
+		return freqs
+	}
+	// Quickselect-style partition would be fancier; a partial sort via
+	// a bounded min-heap keeps it simple and O(len log n).
+	heap := make([]int, 0, n)
+	push := func(v int) {
+		heap = append(heap, v)
+		for i := len(heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if heap[p] <= heap[i] {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	popMin := func() {
+		n := len(heap) - 1
+		heap[0] = heap[n]
+		heap = heap[:n]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < n && heap[l] < heap[small] {
+				small = l
+			}
+			if r < n && heap[r] < heap[small] {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+	}
+	for _, v := range freqs {
+		if len(heap) < n {
+			push(v)
+		} else if v > heap[0] {
+			popMin()
+			push(v)
+		}
+	}
+	return heap
+}
+
+// Spec describes one Table I dataset at a given scale.
+type Spec struct {
+	// Name is the dataset identifier used across figures.
+	Name string
+	// Queries is the total number of queries in the paper's run.
+	Queries int
+	// UniqueKeys is the paper's distinct-key count (drives prefill).
+	UniqueKeys int
+	// BatchSize is the Table II batch size.
+	BatchSize int
+	// New constructs the generator for key range n.
+	New func(n uint64) Generator
+}
+
+// Specs returns the Table I dataset roster. scale in (0, 1] shrinks
+// query counts, unique keys, and batch sizes proportionally so the
+// whole evaluation runs at laptop scale; scale = 1 reproduces the
+// paper's sizes.
+func Specs(scale float64) []Spec {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	s := func(v int) int {
+		out := int(float64(v) * scale)
+		if out < 1 {
+			out = 1
+		}
+		return out
+	}
+	return []Spec{
+		{"gaussian", s(100_000_000), s(50_000_000), s(5_242_880), func(n uint64) Generator { return NewGaussian(n) }},
+		{"self-similar", s(100_000_000), s(50_000_000), s(3_145_728), func(n uint64) Generator { return NewSelfSimilar(n, 0.2) }},
+		{"zipfian", s(100_000_000), s(50_000_000), s(3_145_728), func(n uint64) Generator { return NewZipfian(n, 1.0) }},
+		{"uniform", s(100_000_000), s(50_000_000), s(2_097_152), func(n uint64) Generator { return NewUniform(n) }},
+		{"ycsb-latest", s(30_000_000), s(10_000_000), s(1_500_000), func(n uint64) Generator { return NewLatest(n) }},
+		{"ycsb-zipfian", s(30_000_000), s(10_000_000), s(1_500_000), func(n uint64) Generator { return NewScrambledZipfian(n, 0.99) }},
+		{"taxi", s(13_900_000), s(4_100_000), s(2_081_427), func(n uint64) Generator { return NewTaxi() }},
+	}
+}
+
+// SpecByName finds a dataset spec by name at the given scale.
+func SpecByName(name string, scale float64) (Spec, error) {
+	for _, sp := range Specs(scale) {
+		if sp.Name == name {
+			return sp, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown dataset %q", name)
+}
+
+// Build constructs the generator for a spec. The key range follows the
+// paper's setup: twice the unique-key target, so roughly half the
+// searched keys exist in the tree.
+func (sp Spec) Build() Generator {
+	return sp.New(uint64(sp.UniqueKeys) * 2)
+}

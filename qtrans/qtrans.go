@@ -1,0 +1,334 @@
+// Package qtrans is the public facade of the repository: a batteries-
+// included, high-throughput B+ tree query processing engine combining
+// the PALM latch-free bulk-synchronous batch processor with the QTrans
+// query-sequence optimizer and inter-batch top-K cache of
+//
+//	Tian, Qiu, Zhao, Liu, Ren — "Transforming Query Sequences for
+//	High-Throughput B+ Tree Processing on Many-Core Processors",
+//	CGO 2019.
+//
+// Quick use:
+//
+//	db, err := qtrans.Open(qtrans.Options{})
+//	defer db.Close()
+//
+//	batch := qtrans.NewBatch()
+//	batch.Insert(100, 7)
+//	batch.Search(100)
+//	results := db.Run(batch)
+//	v, found := results.Search(1)      // query #1 -> 7, true
+//
+// Batches execute with semantics identical to evaluating their queries
+// one at a time in order. For an online (per-query, latency-bounded)
+// interface, see Service.
+package qtrans
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/batcher"
+	"repro/internal/btree"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/keys"
+	"repro/internal/palm"
+	"repro/internal/stats"
+)
+
+// Key is a B+ tree key.
+type Key = keys.Key
+
+// Value is the payload stored under a key.
+type Value = keys.Value
+
+// Result is the outcome of a search query.
+type Result = keys.Result
+
+// Optimization selects how much of QTrans is applied.
+type Optimization int
+
+// Optimization levels (see the paper's Fig. 14 configurations). The
+// zero value is Full so that a zero Options opens the fully-optimized
+// engine.
+const (
+	// Full applies intra-batch QTrans plus the inter-batch top-K
+	// cache (§V-A + §V-B). The default.
+	Full Optimization = iota
+	// None runs the plain PALM pipeline.
+	None
+	// IntraBatch adds only the parallel intra-batch QTrans (§V-A).
+	IntraBatch
+	// Simulation uses the hash-based elimination of §IV-E's
+	// "alternative solution" instead of sort-based QSAT; fastest on
+	// few-core hosts where sorting dominates.
+	Simulation
+)
+
+func (o Optimization) mode() core.Mode {
+	switch o {
+	case None:
+		return core.Original
+	case IntraBatch:
+		return core.Intra
+	case Simulation:
+		return core.SimIntra
+	default:
+		return core.IntraInter
+	}
+}
+
+// Options configures a DB.
+type Options struct {
+	// Order is the B+ tree fanout (0 = 64).
+	Order int
+	// Workers is the number of BSP threads (0 = GOMAXPROCS).
+	Workers int
+	// Optimization selects the pipeline; the zero value is Full.
+	Optimization Optimization
+	// CacheCapacity is the top-K cache size (0 = 65536); used by Full.
+	CacheCapacity int
+}
+
+// DB is a B+ tree database processing query batches.
+type DB struct {
+	eng *core.Engine
+}
+
+// Open creates a DB. The zero Options selects the fully-optimized
+// pipeline with default sizes.
+func Open(opts Options) (*DB, error) {
+	capacity := opts.CacheCapacity
+	if capacity == 0 {
+		capacity = 1 << 16
+	}
+	eng, err := core.NewEngine(core.EngineConfig{
+		Mode: opts.Optimization.mode(),
+		Palm: palm.Config{
+			Order:       opts.Order,
+			Workers:     opts.Workers,
+			LoadBalance: true,
+		},
+		CacheCapacity: capacity,
+		CachePolicy:   cache.LRU,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng}, nil
+}
+
+// Close releases the DB's worker pool.
+func (db *DB) Close() { db.eng.Close() }
+
+// Batch assembles queries for one Run. Positions (0-based submission
+// order) identify queries in the Results.
+type Batch struct {
+	qs []keys.Query
+}
+
+// NewBatch returns an empty batch.
+func NewBatch() *Batch { return &Batch{} }
+
+// Len returns the number of queries added.
+func (b *Batch) Len() int { return len(b.qs) }
+
+// Search appends S(key) and returns its position.
+func (b *Batch) Search(k Key) int {
+	b.qs = append(b.qs, keys.Search(k))
+	return len(b.qs) - 1
+}
+
+// Insert appends I(key, value) — insert-or-update — and returns its
+// position.
+func (b *Batch) Insert(k Key, v Value) int {
+	b.qs = append(b.qs, keys.Insert(k, v))
+	return len(b.qs) - 1
+}
+
+// Delete appends D(key) and returns its position.
+func (b *Batch) Delete(k Key) int {
+	b.qs = append(b.qs, keys.Delete(k))
+	return len(b.qs) - 1
+}
+
+// Results holds the answers of one Run, addressed by query position.
+type Results struct {
+	rs *keys.ResultSet
+}
+
+// Search returns the result of the search query at position pos.
+// found is false if the key was absent; ok distinguishes "query at pos
+// was not a search" (no result recorded).
+func (r *Results) Search(pos int) (res Result, ok bool) {
+	return r.rs.Get(int32(pos))
+}
+
+// Run evaluates the batch with as-if-serial semantics and returns its
+// results. The batch is consumed and must not be reused.
+func (db *DB) Run(b *Batch) *Results {
+	keys.Number(b.qs)
+	rs := keys.NewResultSet(len(b.qs))
+	db.eng.ProcessBatch(b.qs, rs)
+	return &Results{rs: rs}
+}
+
+// Get is a convenience point lookup (one-query batch).
+func (db *DB) Get(k Key) (Value, bool) {
+	b := NewBatch()
+	b.Search(k)
+	res := db.Run(b)
+	r, _ := res.Search(0)
+	return r.Value, r.Found
+}
+
+// Put is a convenience single upsert.
+func (db *DB) Put(k Key, v Value) {
+	b := NewBatch()
+	b.Insert(k, v)
+	db.Run(b)
+}
+
+// Remove is a convenience single delete.
+func (db *DB) Remove(k Key) {
+	b := NewBatch()
+	b.Delete(k)
+	db.Run(b)
+}
+
+// Len returns the number of stored pairs. In Full mode this flushes
+// the cache first so the count is exact.
+func (db *DB) Len() int {
+	db.eng.Flush()
+	return db.eng.Processor().Tree().Len()
+}
+
+// Scan visits all pairs in ascending key order (flushing the cache
+// first) until fn returns false.
+func (db *DB) Scan(fn func(k Key, v Value) bool) {
+	db.eng.Flush()
+	db.eng.Processor().Tree().Scan(fn)
+}
+
+// Warm pre-populates the top-K cache with hot keys (§V-B training).
+func (db *DB) Warm(hot []Key) { db.eng.Train(hot) }
+
+// Save writes a snapshot of the store (cache flushed first) that Load
+// can restore. Snapshots are order-portable.
+func (db *DB) Save(w io.Writer) error {
+	db.eng.Flush()
+	return db.eng.Processor().Tree().Save(w)
+}
+
+// Load restores a snapshot written by Save into a fresh DB configured
+// by opts (opts.Order <= 0 keeps the snapshot's order).
+func Load(r io.Reader, opts Options) (*DB, error) {
+	tree, err := btree.Load(r, opts.Order)
+	if err != nil {
+		return nil, err
+	}
+	capacity := opts.CacheCapacity
+	if capacity == 0 {
+		capacity = 1 << 16
+	}
+	eng, err := core.NewEngineWithTree(core.EngineConfig{
+		Mode: opts.Optimization.mode(),
+		Palm: palm.Config{
+			Order:       tree.Order(),
+			Workers:     opts.Workers,
+			LoadBalance: true,
+		},
+		CacheCapacity: capacity,
+		CachePolicy:   cache.LRU,
+	}, tree)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng}, nil
+}
+
+// LastBatchStats exposes the instrumentation of the most recent Run.
+func (db *DB) LastBatchStats() *stats.Batch { return db.eng.Stats() }
+
+// Explain classifies a batch's redundancy without running it: how many
+// queries QTrans would eliminate and why (the three §III-C categories).
+// The batch is not consumed.
+func Explain(b *Batch) core.Report { return core.Explain(b.qs) }
+
+// Service wraps a DB with an online, latency-bounded interface:
+// individual queries are submitted from any goroutine and batched
+// transparently (§VI-D's online-processing regime).
+type Service struct {
+	db *DB
+	b  *batcher.Batcher
+}
+
+// ServiceOptions tunes the online batching.
+type ServiceOptions struct {
+	// MaxBatch flushes when this many queries are pending (0 = 4096).
+	MaxBatch int
+	// MaxDelay bounds how long a query waits before its batch starts
+	// (0 = 10ms).
+	MaxDelay time.Duration
+	// TargetLatency, when positive, auto-tunes the batch size so that
+	// batch processing time approaches the target (the §VI-D
+	// throughput/latency trade).
+	TargetLatency time.Duration
+}
+
+// Serve wraps db in an online Service. The db must not be used
+// directly while the service is open.
+func (db *DB) Serve(opts ServiceOptions) *Service {
+	return &Service{
+		db: db,
+		b: batcher.New(db.eng, batcher.Config{
+			MaxBatch:      opts.MaxBatch,
+			MaxDelay:      opts.MaxDelay,
+			TargetLatency: opts.TargetLatency,
+		}),
+	}
+}
+
+// Get looks a key up, blocking until its batch executes.
+func (s *Service) Get(k Key) (Value, bool, error) {
+	f, err := s.b.Submit(keys.Search(k))
+	if err != nil {
+		return 0, false, err
+	}
+	r, _ := f.Get()
+	return r.Value, r.Found, nil
+}
+
+// Put upserts a pair, blocking until applied.
+func (s *Service) Put(k Key, v Value) error {
+	f, err := s.b.Submit(keys.Insert(k, v))
+	if err != nil {
+		return err
+	}
+	f.Get()
+	return nil
+}
+
+// Remove deletes a key, blocking until applied.
+func (s *Service) Remove(k Key) error {
+	f, err := s.b.Submit(keys.Delete(k))
+	if err != nil {
+		return err
+	}
+	f.Get()
+	return nil
+}
+
+// PutAsync upserts without waiting; the returned wait function blocks
+// until the mutation is applied.
+func (s *Service) PutAsync(k Key, v Value) (wait func(), err error) {
+	f, err := s.b.Submit(keys.Insert(k, v))
+	if err != nil {
+		return nil, err
+	}
+	return func() { f.Get() }, nil
+}
+
+// Close flushes pending queries and stops the service. The underlying
+// DB remains usable.
+func (s *Service) Close() { s.b.Close() }

@@ -1,0 +1,280 @@
+package qtrans
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestOpenZeroOptionsIsFull(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.Put(1, 10)
+	if v, ok := db.Get(1); !ok || v != 10 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+}
+
+func TestAllOptimizationLevels(t *testing.T) {
+	for _, opt := range []Optimization{None, IntraBatch, Full, Simulation} {
+		db, err := Open(Options{Optimization: opt, Workers: 2, Order: 16, CacheCapacity: 64})
+		if err != nil {
+			t.Fatalf("opt %v: %v", opt, err)
+		}
+		b := NewBatch()
+		insPos := b.Insert(5, 55)
+		searchPos := b.Search(5)
+		delPos := b.Delete(5)
+		afterPos := b.Search(5)
+		res := db.Run(b)
+
+		if r, ok := res.Search(searchPos); !ok || !r.Found || r.Value != 55 {
+			t.Fatalf("opt %v: search = %+v, %v", opt, r, ok)
+		}
+		if r, ok := res.Search(afterPos); !ok || r.Found {
+			t.Fatalf("opt %v: search after delete = %+v, %v", opt, r, ok)
+		}
+		if _, ok := res.Search(insPos); ok {
+			t.Fatalf("opt %v: insert position carries a result", opt)
+		}
+		if _, ok := res.Search(delPos); ok {
+			t.Fatalf("opt %v: delete position carries a result", opt)
+		}
+		db.Close()
+	}
+}
+
+func TestBatchLenAndPositions(t *testing.T) {
+	b := NewBatch()
+	if b.Len() != 0 {
+		t.Fatal("new batch not empty")
+	}
+	p0 := b.Insert(1, 1)
+	p1 := b.Search(1)
+	p2 := b.Delete(1)
+	if p0 != 0 || p1 != 1 || p2 != 2 || b.Len() != 3 {
+		t.Fatalf("positions %d %d %d len %d", p0, p1, p2, b.Len())
+	}
+}
+
+func TestLenAndScanFlushCache(t *testing.T) {
+	db, err := Open(Options{Workers: 2, CacheCapacity: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 100; i++ {
+		db.Put(Key(i), Value(i*2))
+	}
+	db.Remove(50)
+	if n := db.Len(); n != 99 {
+		t.Fatalf("Len = %d, want 99", n)
+	}
+	count := 0
+	prev := Key(0)
+	db.Scan(func(k Key, v Value) bool {
+		if count > 0 && k <= prev {
+			t.Fatalf("scan not ascending at %d", k)
+		}
+		if v != Value(k)*2 {
+			t.Fatalf("Scan: value of %d = %d", k, v)
+		}
+		prev = k
+		count++
+		return true
+	})
+	if count != 99 {
+		t.Fatalf("scan visited %d", count)
+	}
+}
+
+func TestWarm(t *testing.T) {
+	db, err := Open(Options{Workers: 1, CacheCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.Put(7, 77)
+	db.Warm([]Key{7})
+	if v, ok := db.Get(7); !ok || v != 77 {
+		t.Fatalf("Get after Warm = %d,%v", v, ok)
+	}
+	if st := db.LastBatchStats(); st.CacheHits == 0 {
+		t.Fatal("warmed key missed the cache")
+	}
+}
+
+func TestRunMatchesMapSemantics(t *testing.T) {
+	db, err := Open(Options{Workers: 3, Order: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	r := rand.New(rand.NewSource(17))
+	model := map[Key]Value{}
+	for round := 0; round < 5; round++ {
+		b := NewBatch()
+		type expect struct {
+			pos   int
+			v     Value
+			found bool
+		}
+		var expects []expect
+		for i := 0; i < 2000; i++ {
+			k := Key(r.Intn(300))
+			switch r.Intn(3) {
+			case 0:
+				v, found := model[k]
+				expects = append(expects, expect{b.Search(k), v, found})
+			case 1:
+				v := Value(r.Intn(10000))
+				b.Insert(k, v)
+				model[k] = v
+			default:
+				b.Delete(k)
+				delete(model, k)
+			}
+		}
+		res := db.Run(b)
+		for _, e := range expects {
+			got, ok := res.Search(e.pos)
+			if !ok || got.Found != e.found || (e.found && got.Value != e.v) {
+				t.Fatalf("round %d pos %d: got %+v (%v), want %v/%v", round, e.pos, got, ok, e.v, e.found)
+			}
+		}
+	}
+	if db.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", db.Len(), len(model))
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db, err := Open(Options{Workers: 2, Order: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 500; i++ {
+		db.Put(Key(i), Value(i*3))
+	}
+	db.Remove(100)
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if restored.Len() != 499 {
+		t.Fatalf("restored Len = %d", restored.Len())
+	}
+	if v, ok := restored.Get(250); !ok || v != 750 {
+		t.Fatalf("restored Get(250) = %d,%v", v, ok)
+	}
+	if _, ok := restored.Get(100); ok {
+		t.Fatal("removed key restored")
+	}
+	// The restored DB must be fully operational.
+	restored.Put(9999, 1)
+	if v, ok := restored.Get(9999); !ok || v != 1 {
+		t.Fatalf("restored DB not writable: %d,%v", v, ok)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("garbage")), Options{}); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+}
+
+func TestServiceBasics(t *testing.T) {
+	db, err := Open(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	svc := db.Serve(ServiceOptions{MaxBatch: 8, MaxDelay: 2 * time.Millisecond})
+
+	if err := svc.Put(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := svc.Get(1)
+	if err != nil || !found || v != 100 {
+		t.Fatalf("Get = %d,%v,%v", v, found, err)
+	}
+	if err := svc.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := svc.Get(1); found {
+		t.Fatal("removed key found")
+	}
+	wait, err := svc.PutAsync(2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait()
+	svc.Close()
+	if _, _, err := svc.Get(2); err == nil {
+		t.Fatal("Get after Close succeeded")
+	}
+	// DB remains usable after service close.
+	if v, ok := db.Get(2); !ok || v != 20 {
+		t.Fatalf("db.Get(2) = %d,%v", v, ok)
+	}
+}
+
+func TestServiceConcurrentClients(t *testing.T) {
+	db, err := Open(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	svc := db.Serve(ServiceOptions{MaxBatch: 32, MaxDelay: time.Millisecond})
+	defer svc.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := Key(w * 10000)
+			for i := 0; i < 40; i++ {
+				k := base + Key(i)
+				if err := svc.Put(k, Value(i)); err != nil {
+					errs <- err
+					return
+				}
+				v, found, err := svc.Get(k)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !found || v != Value(i) {
+					errs <- errStale
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+var errStale = &staleError{}
+
+type staleError struct{}
+
+func (*staleError) Error() string { return "stale read through service" }
