@@ -1,0 +1,36 @@
+# Tier-1 CI gate (ROADMAP.md): `make ci` must pass on every PR.
+#
+#   vet          go vet over everything
+#   build        compile everything
+#   test         full unit/differential suite
+#   race         the concurrency-heavy packages under the race detector
+#                (the pipeline, the PALM BSP stages, the facade stream
+#                and service hammers)
+#   bench-smoke  one-iteration compile-and-run of the pipeline benchmark
+#                (catches bit-rot in the bench harness without paying
+#                for a measurement)
+
+GO ?= go
+
+.PHONY: ci vet build test race bench-smoke bench
+
+ci: vet build test race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core ./internal/palm ./qtrans
+
+bench-smoke:
+	$(GO) test -run=XXX -bench=BenchmarkPipeline -benchtime=1x .
+
+# Full benchmark sweep with allocation reporting (not part of ci).
+bench:
+	$(GO) test -run=XXX -bench=. -benchmem .

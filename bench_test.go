@@ -229,6 +229,100 @@ func BenchmarkFig15BatchSize(b *testing.B) {
 	}
 }
 
+// benchStream drives b.N batches end-to-end through ProcessStream,
+// serially or two-stage pipelined. A fixed pregenerated corpus is
+// copied into recycled job buffers inside the loop (equal cost in both
+// arms), so the measured region is the streaming engine itself and
+// steady-state allocations show up in -benchmem.
+func benchStream(b *testing.B, mode core.Mode, pipelined bool, batchSize int) {
+	b.Helper()
+	spec, err := workload.SpecByName("self-similar", benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if batchSize == 0 {
+		batchSize = spec.BatchSize
+	}
+	eng, err := core.NewEngine(core.EngineConfig{
+		Mode:          mode,
+		Palm:          palm.Config{LoadBalance: true},
+		CacheCapacity: 1 << 14,
+		Pipeline:      pipelined,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+
+	gen := spec.Build()
+	r := rand.New(rand.NewSource(42))
+	rs := keys.NewResultSet(batchSize)
+	pre := workload.Prefill(gen, r, spec.UniqueKeys)
+	for lo := 0; lo < len(pre); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(pre) {
+			hi = len(pre)
+		}
+		chunk := keys.Number(pre[lo:hi])
+		rs.Reset(len(chunk))
+		eng.ProcessBatch(chunk, rs)
+	}
+
+	const corpusLen = 16
+	corpus := make([][]keys.Query, corpusLen)
+	for i := range corpus {
+		corpus[i] = make([]keys.Query, batchSize)
+		workload.FillBatch(gen, r, corpus[i], 0.25)
+	}
+	const ring = 4
+	free := make(chan *core.Job, ring)
+	for i := 0; i < ring; i++ {
+		free <- &core.Job{Qs: make([]keys.Query, batchSize)}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	in := make(chan *core.Job, 1)
+	go func() {
+		for i := 0; i < b.N; i++ {
+			j := <-free
+			copy(j.Qs, corpus[i%corpusLen])
+			in <- j
+		}
+		close(in)
+	}()
+	eng.ProcessStream(in, func(j *core.Job) { free <- j })
+	busy := time.Since(start)
+	b.StopTimer()
+	if busy > 0 {
+		b.ReportMetric(float64(batchSize*b.N)/busy.Seconds(), "qps")
+	}
+}
+
+// BenchmarkPipeline compares serial vs pipelined stream execution (the
+// EngineConfig.Pipeline tentpole) on self-similar U-0.25 for two batch
+// sizes. Overlap speedup needs spare cores; on a single-core host both
+// arms should be within noise of each other (see EXPERIMENTS.md).
+func BenchmarkPipeline(b *testing.B) {
+	spec, err := workload.SpecByName("self-similar", benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{spec.BatchSize, 4 * spec.BatchSize} {
+		for _, mode := range []core.Mode{core.Original, core.IntraInter} {
+			for _, arm := range []struct {
+				name      string
+				pipelined bool
+			}{{"serial", false}, {"pipe", true}} {
+				b.Run(fmt.Sprintf("batch%d/%s/%s", size, mode, arm.name), func(b *testing.B) {
+					benchStream(b, mode, arm.pipelined, size)
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkAblationGC quantifies how much Go's garbage collector blurs
 // throughput (the reproduction-band caveat in DESIGN.md §4.4): the
 // same opt run with the default GC target vs GC effectively disabled.

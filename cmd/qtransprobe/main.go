@@ -73,6 +73,9 @@ func run(args []string) error {
 				fmt.Printf("%s=%v ", s, res.Totals.Elapsed[s].Round(time.Millisecond))
 			}
 		}
+		allocs, bytes := res.Mem.PerBatch(res.Batches)
+		fmt.Printf(" allocs/batch=%.0f KB/batch=%.0f gc_pause=%v",
+			allocs, bytes/1024, time.Duration(res.Mem.PauseNs).Round(time.Microsecond))
 		fmt.Println()
 	}
 	return nil

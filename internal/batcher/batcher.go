@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/keys"
 )
 
@@ -24,6 +25,13 @@ import (
 // satisfy it.
 type Processor interface {
 	ProcessBatch(qs []keys.Query, rs *keys.ResultSet)
+}
+
+// StreamProcessor additionally evaluates a stream of batches with
+// pipelined execution; core.Engine satisfies it.
+type StreamProcessor interface {
+	Processor
+	ProcessStream(in <-chan *core.Job, emit func(*core.Job))
 }
 
 // ErrClosed is returned by Submit after Close.
@@ -66,6 +74,14 @@ type Config struct {
 	MinBatch int
 	// MaxBatchLimit bounds auto-tuning from above (<= 0: 1<<20).
 	MaxBatchLimit int
+	// Pipeline feeds dispatched batches through the processor's
+	// ProcessStream so the transform of one batch overlaps the tree
+	// stages of the previous one. Requires a StreamProcessor; ignored
+	// (serial dispatch) otherwise. TargetLatency auto-tuning is
+	// unavailable in pipelined mode: batches overlap, so a single
+	// batch's processing time cannot be attributed — Pipeline takes
+	// precedence and the cap stays at MaxBatch.
+	Pipeline bool
 }
 
 // Batcher accumulates queries into batches for a Processor. Safe for
@@ -132,8 +148,32 @@ func New(proc Processor, cfg Config) *Batcher {
 	}
 	b.batchCap.Store(int64(cfg.MaxBatch))
 	b.wg.Add(1)
-	go b.run()
+	if sp, ok := proc.(StreamProcessor); ok && cfg.Pipeline {
+		go b.runStream(sp)
+	} else {
+		go b.run()
+	}
 	return b
+}
+
+// runStream is the pipelined dispatcher: batches flow through the
+// processor's ProcessStream, with the futures carried on the job's Tag.
+// Completion order equals dispatch order (ProcessStream guarantees it).
+func (b *Batcher) runStream(sp StreamProcessor) {
+	defer b.wg.Done()
+	jobs := make(chan *core.Job)
+	go func() {
+		for req := range b.dispatch {
+			jobs <- &core.Job{Qs: req.qs, Tag: req.futs}
+		}
+		close(jobs)
+	}()
+	sp.ProcessStream(jobs, func(j *core.Job) {
+		for i, f := range j.Tag.([]*Future) {
+			f.res, f.ok = j.RS.Get(int32(i))
+			close(f.done)
+		}
+	})
 }
 
 // run executes dispatched batches sequentially, feeding batch

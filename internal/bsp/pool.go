@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"repro/internal/keys"
 )
 
 // Pool is a fixed set of worker goroutines executing supersteps. Each call
@@ -28,6 +30,14 @@ type Pool struct {
 	done  chan struct{}
 	close sync.Once
 	wg    sync.WaitGroup
+
+	// Sort scratch reused across SortQueries / RadixSortQueries calls.
+	// Because Run (and therefore sorting) has a single caller per pool,
+	// one scratch set per pool suffices; holding it here makes
+	// steady-state batch sorting allocation-free.
+	sortBuf    []keys.Query
+	sortBounds []int
+	radixCnt   [][]int
 }
 
 // NewPool creates a pool of n workers. n <= 0 selects runtime.GOMAXPROCS(0).

@@ -42,15 +42,24 @@ func (p *Pool) RadixSortQueries(qs []keys.Query) {
 		}
 	}
 
-	buf := make([]keys.Query, n)
+	if cap(p.sortBuf) < n {
+		p.sortBuf = make([]keys.Query, n)
+	}
+	buf := p.sortBuf[:n]
 	src, dst := qs, buf
 
 	nw := p.n
-	// counts[t] is worker t's per-bucket tally for the current pass.
-	counts := make([][]int, nw)
-	for t := range counts {
-		counts[t] = make([]int, buckets)
+	// counts[t] is worker t's per-bucket tally for the current pass;
+	// the tally arrays live on the pool so steady-state sorting does not
+	// re-allocate them (nw × 64K ints is the largest per-batch
+	// allocation in the whole pipeline otherwise).
+	if p.radixCnt == nil {
+		p.radixCnt = make([][]int, nw)
+		for t := range p.radixCnt {
+			p.radixCnt[t] = make([]int, buckets)
+		}
 	}
+	counts := p.radixCnt
 
 	for pass := 0; pass < passes; pass++ {
 		shift := uint(pass * digitBits)

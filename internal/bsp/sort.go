@@ -26,7 +26,12 @@ func (p *Pool) SortQueries(qs []keys.Query) {
 	}
 
 	// Chunk boundaries: bounds[t] .. bounds[t+1] is worker t's run.
-	bounds := make([]int, p.n+1)
+	// The merge rounds collapse bounds in place but never grow past
+	// p.n+1 entries, so the pool-held scratch is reused verbatim.
+	if cap(p.sortBounds) < p.n+1 {
+		p.sortBounds = make([]int, p.n+1)
+	}
+	bounds := p.sortBounds[:p.n+1]
 	for t := 0; t <= p.n; t++ {
 		lo, _ := p.Range(t%p.n, n)
 		if t == p.n {
@@ -41,7 +46,10 @@ func (p *Pool) SortQueries(qs []keys.Query) {
 	})
 
 	// Merge rounds: runs double in width each round.
-	buf := make([]keys.Query, n)
+	if cap(p.sortBuf) < n {
+		p.sortBuf = make([]keys.Query, n)
+	}
+	buf := p.sortBuf[:n]
 	src, dst := qs, buf
 	runs := p.n
 	for runs > 1 {

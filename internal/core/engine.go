@@ -66,6 +66,12 @@ type EngineConfig struct {
 	// CompareSort selects comparison sorting everywhere instead of the
 	// default radix sort (ablation; see palm.Config.CompareSort).
 	CompareSort bool
+	// Pipeline enables two-stage pipelined stream execution: while the
+	// tree stages of batch N run on the engine's pool, the sort + QSAT
+	// transform of batch N+1 runs concurrently on a second pool. Only
+	// ProcessStream consults this; ProcessBatch is always serial. See
+	// pipeline.go for the handoff rule that keeps semantics identical.
+	Pipeline bool
 }
 
 // Engine is the integrated query processing system: PALM with QTrans,
@@ -88,6 +94,11 @@ type Engine struct {
 	mergeQ []keys.Query
 
 	st *stats.Batch
+
+	// Pipelined stream execution state (nil until the first pipelined
+	// ProcessStream call; see pipeline.go).
+	tfPool *bsp.Pool
+	slots  []*pipeSlot
 }
 
 type flushState struct {
@@ -140,7 +151,12 @@ func newEngine(cfg EngineConfig, tree *btree.Tree) (*Engine, error) {
 }
 
 // Close releases the Engine's resources.
-func (e *Engine) Close() { e.pool.Close() }
+func (e *Engine) Close() {
+	e.pool.Close()
+	if e.tfPool != nil {
+		e.tfPool.Close()
+	}
+}
 
 // Stats returns the combined per-stage statistics of the most recently
 // processed batch.
@@ -163,65 +179,39 @@ func (e *Engine) ProcessBatch(qs []keys.Query, rs *keys.ResultSet) {
 
 	if e.cfg.Mode == Original {
 		e.proc.ProcessBatch(qs, rs)
-		e.mergeProcStats()
+		e.mergeProcStats(e.st)
 		e.st.RemainingQueries = len(qs)
 		return
 	}
 
+	var remaining []keys.Query
 	if e.cfg.Mode == SimIntra {
-		e.processSim(qs, rs)
-		return
+		remaining = e.tf.TransformSim(qs, rs, e.st)
+	} else {
+		remaining = e.tf.Transform(qs, rs, e.st)
 	}
-
-	remaining := e.tf.Transform(qs, rs, e.st)
 
 	if e.topK != nil {
 		sw := e.st.Timer(stats.StageCache)
-		remaining = e.cachePass(remaining, rs)
+		remaining = e.cachePass(remaining, rs, &e.tf.Router, e.st)
 		sw.Stop()
 	}
 
 	e.st.RemainingQueries = len(remaining)
 	e.proc.ProcessTransformed(remaining, rs)
 	e.tf.Broadcast(rs)
-	e.mergeProcStats()
-}
-
-// processSim is the SimIntra pipeline: simulation-based elimination on
-// the unsorted batch, then a sort of only the (much smaller) reduced
-// stream, then the standard QTrans-style PALM processing.
-func (e *Engine) processSim(qs []keys.Query, rs *keys.ResultSet) {
-	sw := e.st.Timer(stats.StageQSAT1)
-	e.tf.Router.Reset(len(qs))
-	remaining, reps, inferred := SimQSAT(qs, &e.tf.Router, rs)
-	e.st.InferredReturns += inferred
-	sw.Stop()
-
-	sw = e.st.Timer(stats.StageQSAT2)
-	if e.cfg.CompareSort {
-		e.pool.SortQueries(remaining)
-	} else {
-		e.pool.RadixSortQueries(remaining)
-	}
-	sw.Stop()
-
-	e.st.RemainingQueries = len(remaining)
-	e.proc.ProcessTransformed(remaining, rs)
-	for _, rep := range reps {
-		e.tf.Router.Broadcast(rs, rep)
-	}
-	e.mergeProcStats()
+	e.mergeProcStats(e.st)
 }
 
 // mergeProcStats folds the processor's stage timings and leaf-op
-// counters into the engine's batch stats.
-func (e *Engine) mergeProcStats() {
+// counters into st.
+func (e *Engine) mergeProcStats(st *stats.Batch) {
 	ps := e.proc.Stats()
 	for _, s := range stats.Stages() {
-		e.st.Elapsed[s] += ps.Elapsed[s]
+		st.Elapsed[s] += ps.Elapsed[s]
 	}
 	for i, v := range ps.LeafOps {
-		e.st.LeafOps[i] += v
+		st.LeafOps[i] += v
 	}
 }
 
@@ -232,7 +222,11 @@ func (e *Engine) mergeProcStats() {
 // non-resident keys are admitted (write-back), with evicted dirty
 // entries re-emitted as flush queries that are merged, in key order and
 // ahead of same-key survivors, into the returned sequence.
-func (e *Engine) cachePass(remaining []keys.Query, rs *keys.ResultSet) []keys.Query {
+//
+// rt is the Router that transformed this batch (the engine's own in
+// serial execution, a pipeline slot's in pipelined execution) and st
+// receives the inferred-return counters.
+func (e *Engine) cachePass(remaining []keys.Query, rs *keys.ResultSet, rt *Router, st *stats.Batch) []keys.Query {
 	e.flushQ = e.flushQ[:0]
 	for k := range e.flushed {
 		delete(e.flushed, k)
@@ -253,9 +247,9 @@ func (e *Engine) cachePass(remaining []keys.Query, rs *keys.ResultSet) []keys.Qu
 				switch q.Op {
 				case keys.OpSearch:
 					if entry.Tombstone {
-						e.st.InferredReturns += e.tf.Router.Resolve(rs, q.Idx, 0, false)
+						st.InferredReturns += rt.Resolve(rs, q.Idx, 0, false)
 					} else {
-						e.st.InferredReturns += e.tf.Router.Resolve(rs, q.Idx, entry.Value, true)
+						st.InferredReturns += rt.Resolve(rs, q.Idx, entry.Value, true)
 					}
 				case keys.OpInsert:
 					e.topK.WriteInsert(q.Key, q.Value)
@@ -274,9 +268,9 @@ func (e *Engine) cachePass(remaining []keys.Query, rs *keys.ResultSet) []keys.Qu
 				// its pre-batch state is known without a tree visit.
 				if fs, ok := e.flushed[k]; ok {
 					if fs.deleted {
-						e.st.InferredReturns += e.tf.Router.Resolve(rs, q.Idx, 0, false)
+						st.InferredReturns += rt.Resolve(rs, q.Idx, 0, false)
 					} else {
-						e.st.InferredReturns += e.tf.Router.Resolve(rs, q.Idx, fs.value, true)
+						st.InferredReturns += rt.Resolve(rs, q.Idx, fs.value, true)
 					}
 					// The representative stays in the transformer's
 					// broadcast list; re-broadcasting the recorded
@@ -299,9 +293,9 @@ func (e *Engine) cachePass(remaining []keys.Query, rs *keys.ResultSet) []keys.Qu
 	})
 
 	h2, m2, _ := e.topK.Stats()
-	e.st.CacheHits += int(h2 - h1)
-	e.st.CacheMisses += int(m2 - m1)
-	e.st.CacheFlushes += len(e.flushQ)
+	st.CacheHits += int(h2 - h1)
+	st.CacheMisses += int(m2 - m1)
+	st.CacheFlushes += len(e.flushQ)
 
 	if len(e.flushQ) == 0 {
 		return out

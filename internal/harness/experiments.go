@@ -66,6 +66,7 @@ func Experiments() []Experiment {
 		Experiment{"fig14c", "stage time breakdown, self-similar", Fig14c},
 		Experiment{"fig15", "batch size impact, self-similar U-0.25", Fig15},
 		Experiment{"abl1", "transform strategy ablation: org vs intra vs inter vs sim (zipfian)", Ablation1},
+		Experiment{"pipe", "pipelined vs serial stream execution, self-similar U-0.25", PipelineExp},
 		Experiment{"abl2", "tree utilization under churn: relaxed batched deletes vs strict serial", Ablation2},
 		Experiment{"table1", "dataset configurations", Table1},
 		Experiment{"table2", "latency per dataset (opt vs org, U-0 and U-0.75)", Table2},
@@ -306,6 +307,39 @@ func Ablation1(rn *Runner, w io.Writer) error {
 			qps[i] = res.Throughput
 		}
 		row(w, u, qps[0], qps[1], qps[2], qps[3])
+	}
+	return nil
+}
+
+// PipelineExp compares serial and two-stage pipelined stream execution
+// (EngineConfig.Pipeline; not a paper figure — the paper's stages run
+// back-to-back) on self-similar U-0.25, for the org and inter modes at
+// two batch sizes. Rows report end-to-end throughput and the per-batch
+// allocation rates of both arms. Overlap speedup requires spare cores:
+// with the transform and tree stages time-sliced on one core the
+// speedup is ~1x (see EXPERIMENTS.md).
+func PipelineExp(rn *Runner, w io.Writer) error {
+	spec, err := workload.SpecByName("self-similar", rn.Opts.Scale)
+	if err != nil {
+		return err
+	}
+	sizes := []int{spec.BatchSize, 4 * spec.BatchSize}
+	row(w, "batch_size", "mode", "serial_qps", "pipe_qps", "speedup", "serial_allocs/batch", "pipe_allocs/batch")
+	for _, bs := range sizes {
+		for _, mode := range []core.Mode{core.Original, core.IntraInter} {
+			ser, err := rn.RunStreamOne(spec, mode, 0.25, false, bs)
+			if err != nil {
+				return err
+			}
+			pipe, err := rn.RunStreamOne(spec, mode, 0.25, true, bs)
+			if err != nil {
+				return err
+			}
+			serAllocs, _ := ser.Mem.PerBatch(ser.Batches)
+			pipeAllocs, _ := pipe.Mem.PerBatch(pipe.Batches)
+			row(w, bs, mode.String(), ser.Throughput, pipe.Throughput,
+				pipe.Throughput/ser.Throughput, serAllocs, pipeAllocs)
+		}
 	}
 	return nil
 }

@@ -70,6 +70,11 @@ type Result struct {
 	// Totals accumulates per-batch stats (reduction ratio, stage
 	// times, leaf ops).
 	Totals *stats.Batch
+	// Batches is the number of measured batches.
+	Batches int
+	// Mem is the allocation/GC growth over the measured loop (the
+	// allocation-sweep metrics; divide by Batches for per-batch rates).
+	Mem stats.MemDelta
 }
 
 // ReductionRatio of the whole run.
@@ -149,6 +154,7 @@ func (rn *Runner) runCustom(spec workload.Spec, mode core.Mode, updateRatio floa
 	}
 	batch := make([]keys.Query, batchSize)
 	var elapsed time.Duration
+	m0 := stats.CaptureMem()
 	for b := 0; b < nBatches; b++ {
 		workload.FillBatch(gen, r, batch, updateRatio)
 		rs.Reset(len(batch))
@@ -160,8 +166,95 @@ func (rn *Runner) runCustom(spec workload.Spec, mode core.Mode, updateRatio floa
 		eng.Stats().AddTo(res.Totals)
 		res.Queries += len(batch)
 	}
+	res.Mem = stats.CaptureMem().Sub(m0)
+	res.Batches = nBatches
 	res.Elapsed = elapsed
 	res.Throughput = stats.Throughput(res.Queries, elapsed)
+	return res, nil
+}
+
+// RunStreamOne measures one configuration driven through the engine's
+// streaming interface (ProcessStream), serially or two-stage pipelined.
+// All batches are pre-generated so both arms stream identical inputs
+// and generation cost stays outside the measured region; throughput is
+// end-to-end wall clock over the whole stream, which is what pipelining
+// improves (per-batch latency does not shrink — batches overlap).
+func (rn *Runner) RunStreamOne(spec workload.Spec, mode core.Mode, updateRatio float64, pipelined bool, batchSize int) (*Result, error) {
+	o := rn.Opts
+	threads := o.Workers
+	if batchSize <= 0 {
+		batchSize = spec.BatchSize
+	}
+	if batchSize < 1 {
+		batchSize = 1
+	}
+
+	eng, err := core.NewEngine(core.EngineConfig{
+		Mode: mode,
+		Palm: palm.Config{
+			Order:       o.Order,
+			Workers:     threads,
+			LoadBalance: true,
+		},
+		CacheCapacity: o.CacheCapacity,
+		Pipeline:      pipelined,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	defer eng.Close()
+
+	gen := spec.Build()
+	r := rand.New(rand.NewSource(o.Seed))
+	prefill := workload.Prefill(gen, r, spec.UniqueKeys)
+	rs := keys.NewResultSet(batchSize)
+	for lo := 0; lo < len(prefill); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(prefill) {
+			hi = len(prefill)
+		}
+		chunk := keys.Number(prefill[lo:hi])
+		rs.Reset(len(chunk))
+		eng.ProcessBatch(chunk, rs)
+	}
+
+	nBatches := (spec.Queries + batchSize - 1) / batchSize
+	if o.Batches > 0 && nBatches > o.Batches {
+		nBatches = o.Batches
+	}
+	jobs := make([]*core.Job, nBatches)
+	for b := range jobs {
+		qs := make([]keys.Query, batchSize)
+		workload.FillBatch(gen, r, qs, updateRatio)
+		jobs[b] = &core.Job{Qs: qs}
+	}
+
+	res := &Result{
+		Dataset:     spec.Name,
+		Mode:        mode,
+		UpdateRatio: updateRatio,
+		Threads:     threads,
+		BatchSize:   batchSize,
+		Totals:      stats.NewBatch(threads),
+	}
+
+	in := make(chan *core.Job, 1)
+	m0 := stats.CaptureMem()
+	start := time.Now()
+	go func() {
+		for _, j := range jobs {
+			in <- j
+		}
+		close(in)
+	}()
+	eng.ProcessStream(in, func(j *core.Job) {
+		eng.Stats().AddTo(res.Totals)
+		res.Queries += len(j.Qs)
+	})
+	res.Elapsed = time.Since(start)
+	res.Mem = stats.CaptureMem().Sub(m0)
+	res.Batches = nBatches
+	res.Throughput = stats.Throughput(res.Queries, res.Elapsed)
 	return res, nil
 }
 

@@ -70,6 +70,9 @@ type Processor struct {
 	perW    []workerScratch
 	reqs    []modRequest
 	nextReq []modRequest
+	assign  [][2]int    // Stage-2 group assignment
+	counts  []int       // group-size prefix sums for load balancing
+	runs    []parentRun // Stage-3 same-parent request runs
 
 	// Stats for the most recent batch; never nil.
 	batchStats *stats.Batch
@@ -79,9 +82,38 @@ type Processor struct {
 type workerScratch struct {
 	groups    []leafGroup
 	reqs      []modRequest
+	paths     pathArena     // recycled root-to-leaf path snapshots
+	children  []*btree.Node // applyToParent child-list rebuild scratch
 	sizeDelta int64
 	leafOps   int64    // operations applied at the leaf level (Fig. 13)
 	_         [4]int64 // pad to keep hot counters off shared cache lines
+}
+
+// pathArena recycles btree.Path snapshots across batches: each leaf
+// group clones the descent path of its first query, and with fresh
+// Clone calls those two slices per group dominated the allocation count
+// of the whole batch. Arena entries keep their backing arrays, so after
+// warm-up a snapshot costs two copies and zero allocations. A returned
+// Path shares the arena entry's arrays, which stay valid until the next
+// reset (the start of the next batch).
+type pathArena struct {
+	paths []btree.Path
+	used  int
+}
+
+// reset recycles every entry for a new batch.
+func (a *pathArena) reset() { a.used = 0 }
+
+// clone snapshots p into the arena and returns it by value.
+func (a *pathArena) clone(p *btree.Path) btree.Path {
+	if a.used == len(a.paths) {
+		a.paths = append(a.paths, btree.Path{})
+	}
+	dst := &a.paths[a.used]
+	a.used++
+	dst.Nodes = append(dst.Nodes[:0], p.Nodes...)
+	dst.Slots = append(dst.Slots[:0], p.Slots...)
+	return *dst
 }
 
 // leafGroup is a maximal run of same-leaf queries in the sorted batch.
@@ -156,6 +188,18 @@ func (p *Processor) Stats() *stats.Batch { return p.batchStats }
 // by Query.Idx). qs is reordered in place (stable key sort) unless
 // cfg.PreSorted.
 func (p *Processor) ProcessBatch(qs []keys.Query, rs *keys.ResultSet) {
+	p.processBatch(qs, rs, p.cfg.PreSorted)
+}
+
+// ProcessBatchSorted is ProcessBatch for a batch that is already stably
+// key-sorted — e.g. one whose sort ran in the pipelined stage A while
+// the previous batch's tree stages were still executing — so the
+// internal pre-sort is skipped regardless of cfg.PreSorted.
+func (p *Processor) ProcessBatchSorted(qs []keys.Query, rs *keys.ResultSet) {
+	p.processBatch(qs, rs, true)
+}
+
+func (p *Processor) processBatch(qs []keys.Query, rs *keys.ResultSet, sorted bool) {
 	st := p.batchStats
 	st.Reset()
 	st.BatchSize = len(qs)
@@ -163,7 +207,7 @@ func (p *Processor) ProcessBatch(qs []keys.Query, rs *keys.ResultSet) {
 		return
 	}
 
-	if !p.cfg.PreSorted {
+	if !sorted {
 		sw := st.Timer(stats.StageSort)
 		if p.cfg.CompareSort {
 			p.pool.SortQueries(qs)
@@ -210,6 +254,7 @@ func (p *Processor) findLeaves(qs []keys.Query) {
 	n := len(qs)
 	for i := range p.perW {
 		p.perW[i].groups = p.perW[i].groups[:0]
+		p.perW[i].paths.reset()
 	}
 	p.pool.Run(func(tid int) {
 		lo, hi := p.pool.Range(tid, n)
@@ -226,7 +271,7 @@ func (p *Processor) findLeaves(qs []keys.Query) {
 				continue
 			}
 			cur = leaf
-			w.groups = append(w.groups, leafGroup{leaf: leaf, path: path.Clone(), lo: i, hi: i + 1})
+			w.groups = append(w.groups, leafGroup{leaf: leaf, path: w.paths.clone(&path), lo: i, hi: i + 1})
 		}
 	})
 
@@ -307,7 +352,10 @@ func (p *Processor) evaluate(qs []keys.Query, rs *keys.ResultSet, answerDuringFi
 // without, groups are split evenly by count.
 func (p *Processor) assignGroups() [][2]int {
 	nw := p.pool.N()
-	assign := make([][2]int, nw)
+	if cap(p.assign) < nw {
+		p.assign = make([][2]int, nw)
+	}
+	assign := p.assign[:nw]
 	ng := len(p.groups)
 	if !p.cfg.LoadBalance {
 		for t := 0; t < nw; t++ {
@@ -316,7 +364,10 @@ func (p *Processor) assignGroups() [][2]int {
 		}
 		return assign
 	}
-	counts := make([]int, ng)
+	if cap(p.counts) < ng {
+		p.counts = make([]int, ng)
+	}
+	counts := p.counts[:ng]
 	for i, g := range p.groups {
 		counts[i] = g.hi - g.lo
 	}
@@ -428,30 +479,30 @@ func splitLeafMulti(leaf *btree.Node, maxEntries int) []*btree.Node {
 	pieces := (n + maxEntries - 1) / maxEntries
 	out := make([]*btree.Node, 0, pieces)
 	out = append(out, leaf)
-	// Balanced piece sizes.
+	// Balanced piece sizes: base+1 for the first rem pieces, base after.
 	base, rem := n/pieces, n%pieces
-	sizes := make([]int, pieces)
-	for i := range sizes {
-		sizes[i] = base
+	pieceSize := func(i int) int {
 		if i < rem {
-			sizes[i]++
+			return base + 1
 		}
+		return base
 	}
 	next := leaf.Next
-	start := sizes[0]
+	start := pieceSize(0)
 	prev := leaf
 	for i := 1; i < pieces; i++ {
+		sz := pieceSize(i)
 		sib := &btree.Node{
-			Keys: append(make([]keys.Key, 0, maxEntries+1), leaf.Keys[start:start+sizes[i]]...),
-			Vals: append(make([]keys.Value, 0, maxEntries+1), leaf.Vals[start:start+sizes[i]]...),
+			Keys: append(make([]keys.Key, 0, maxEntries+1), leaf.Keys[start:start+sz]...),
+			Vals: append(make([]keys.Value, 0, maxEntries+1), leaf.Vals[start:start+sz]...),
 		}
 		prev.Next = sib
 		prev = sib
 		out = append(out, sib)
-		start += sizes[i]
+		start += sz
 	}
 	prev.Next = next
-	leaf.Keys = leaf.Keys[:sizes[0]]
-	leaf.Vals = leaf.Vals[:sizes[0]]
+	leaf.Keys = leaf.Keys[:pieceSize(0)]
+	leaf.Vals = leaf.Vals[:pieceSize(0)]
 	return out
 }

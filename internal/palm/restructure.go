@@ -5,6 +5,10 @@ import (
 	"repro/internal/keys"
 )
 
+// parentRun is a contiguous range [lo, hi) of same-parent modification
+// requests within one restructuring level.
+type parentRun struct{ lo, hi int }
+
 // restructure runs Stage 3: modification requests produced by Stage 2
 // propagate bottom-up, one tree level per superstep. Requests for the
 // same parent are contiguous in p.reqs (key order), get assigned to a
@@ -48,9 +52,9 @@ func (p *Processor) restructure() {
 			panic("palm: root request alongside deeper requests")
 		}
 
-		// Group contiguous requests by parent.
-		type parentRun struct{ lo, hi int }
-		var runs []parentRun
+		// Group contiguous requests by parent (runs scratch is reused
+		// across levels and batches).
+		runs := p.runs[:0]
 		for lo := 0; lo < len(reqs); {
 			hi := lo + 1
 			for hi < len(reqs) && reqs[hi].parent == reqs[lo].parent {
@@ -59,6 +63,7 @@ func (p *Processor) restructure() {
 			runs = append(runs, parentRun{lo, hi})
 			lo = hi
 		}
+		p.runs = runs
 
 		for i := range p.perW {
 			p.perW[i].reqs = p.perW[i].reqs[:0]
@@ -99,16 +104,20 @@ func (p *Processor) restructure() {
 // emptied.
 func (p *Processor) applyToParent(reqs []modRequest, w *workerScratch) {
 	parent := reqs[0].parent
-	newCh := make([]*btree.Node, 0, len(parent.Children)+len(reqs)*2)
+	// Build the new child list in the worker's scratch buffer (reused
+	// across parents and batches), then copy it into the parent's own
+	// array, growing the latter only when capacity is insufficient.
+	buf := w.children[:0]
 	ri := 0
 	for s, c := range parent.Children {
 		if ri < len(reqs) && reqs[ri].slot == s {
-			newCh = append(newCh, reqs[ri].repl...)
+			buf = append(buf, reqs[ri].repl...)
 			ri++
 		} else {
-			newCh = append(newCh, c)
+			buf = append(buf, c)
 		}
 	}
+	w.children = buf[:0]
 	if ri != len(reqs) {
 		panic("palm: unconsumed modification request (slot mismatch)")
 	}
@@ -121,7 +130,7 @@ func (p *Processor) applyToParent(reqs []modRequest, w *workerScratch) {
 		up.slot = path.Slots[level-1]
 	}
 
-	if len(newCh) == 0 {
+	if len(buf) == 0 {
 		// Parent emptied: remove it from its own parent.
 		parent.Children = parent.Children[:0]
 		parent.Keys = parent.Keys[:0]
@@ -129,10 +138,15 @@ func (p *Processor) applyToParent(reqs []modRequest, w *workerScratch) {
 		return
 	}
 
-	parent.Children = newCh
-	parent.Keys = rebuildSeps(parent.Keys[:0], newCh)
+	if cap(parent.Children) >= len(buf) {
+		parent.Children = parent.Children[:len(buf)]
+	} else {
+		parent.Children = make([]*btree.Node, len(buf))
+	}
+	copy(parent.Children, buf)
+	parent.Keys = rebuildSeps(parent.Keys[:0], parent.Children)
 
-	if len(newCh) > p.tree.Order() {
+	if len(parent.Children) > p.tree.Order() {
 		up.repl = splitInternalMulti(parent, p.tree.Order())
 		w.reqs = append(w.reqs, up)
 	}

@@ -50,6 +50,7 @@ func (p *Processor) findAndAnswer(qs []keys.Query, rs *keys.ResultSet) bool {
 	n := len(qs)
 	for i := range p.perW {
 		p.perW[i].groups = p.perW[i].groups[:0]
+		p.perW[i].paths.reset()
 	}
 	p.pool.Run(func(tid int) {
 		lo, hi := p.pool.Range(tid, n)
@@ -72,7 +73,7 @@ func (p *Processor) findAndAnswer(qs []keys.Query, rs *keys.ResultSet) bool {
 			if len(w.groups) > 0 && w.groups[len(w.groups)-1].leaf == leaf {
 				w.groups[len(w.groups)-1].hi = i + 1
 			} else {
-				w.groups = append(w.groups, leafGroup{leaf: leaf, path: path.Clone(), lo: i, hi: i + 1})
+				w.groups = append(w.groups, leafGroup{leaf: leaf, path: w.paths.clone(&path), lo: i, hi: i + 1})
 			}
 		}
 	})

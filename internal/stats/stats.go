@@ -6,6 +6,7 @@ package stats
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -238,4 +239,59 @@ func Throughput(queries int, elapsed time.Duration) float64 {
 		return 0
 	}
 	return float64(queries) / elapsed.Seconds()
+}
+
+// MemSnapshot captures the runtime allocation and GC counters relevant
+// to steady-state batch processing (the allocation-sweep metrics: a
+// batch pipeline that allocates per batch shows up directly as
+// Mallocs/TotalAlloc growth and, eventually, GC pauses).
+type MemSnapshot struct {
+	Mallocs      uint64
+	TotalAlloc   uint64
+	PauseTotalNs uint64
+	NumGC        uint32
+}
+
+// CaptureMem reads the current memory counters. It stops the world
+// briefly; call it around a measured region, not inside one.
+func CaptureMem() MemSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return MemSnapshot{
+		Mallocs:      ms.Mallocs,
+		TotalAlloc:   ms.TotalAlloc,
+		PauseTotalNs: ms.PauseTotalNs,
+		NumGC:        ms.NumGC,
+	}
+}
+
+// MemDelta is the growth between two snapshots.
+type MemDelta struct {
+	// Allocs is the number of heap objects allocated.
+	Allocs uint64
+	// Bytes is the cumulative bytes allocated.
+	Bytes uint64
+	// PauseNs is the total GC stop-the-world pause time.
+	PauseNs uint64
+	// GCs is the number of completed GC cycles.
+	GCs uint32
+}
+
+// Sub returns the delta accumulated since prev.
+func (s MemSnapshot) Sub(prev MemSnapshot) MemDelta {
+	return MemDelta{
+		Allocs:  s.Mallocs - prev.Mallocs,
+		Bytes:   s.TotalAlloc - prev.TotalAlloc,
+		PauseNs: s.PauseTotalNs - prev.PauseTotalNs,
+		GCs:     s.NumGC - prev.NumGC,
+	}
+}
+
+// PerBatch scales the delta to per-batch figures (allocs/batch,
+// bytes/batch). n <= 0 returns zeros.
+func (d MemDelta) PerBatch(n int) (allocs, bytes float64) {
+	if n <= 0 {
+		return 0, 0
+	}
+	return float64(d.Allocs) / float64(n), float64(d.Bytes) / float64(n)
 }

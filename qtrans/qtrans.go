@@ -88,11 +88,17 @@ type Options struct {
 	Optimization Optimization
 	// CacheCapacity is the top-K cache size (0 = 65536); used by Full.
 	CacheCapacity int
+	// Pipeline enables two-stage pipelined execution for streamed
+	// batches (RunStream, Serve): while the tree evaluates batch N, the
+	// QTrans transform of batch N+1 runs concurrently. Semantics are
+	// identical to serial execution; single-batch Run is unaffected.
+	Pipeline bool
 }
 
 // DB is a B+ tree database processing query batches.
 type DB struct {
-	eng *core.Engine
+	eng       *core.Engine
+	pipelined bool
 }
 
 // Open creates a DB. The zero Options selects the fully-optimized
@@ -111,11 +117,12 @@ func Open(opts Options) (*DB, error) {
 		},
 		CacheCapacity: capacity,
 		CachePolicy:   cache.LRU,
+		Pipeline:      opts.Pipeline,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &DB{eng: eng}, nil
+	return &DB{eng: eng, pipelined: opts.Pipeline}, nil
 }
 
 // Close releases the DB's worker pool.
@@ -171,6 +178,46 @@ func (db *DB) Run(b *Batch) *Results {
 	rs := keys.NewResultSet(len(b.qs))
 	db.eng.ProcessBatch(b.qs, rs)
 	return &Results{rs: rs}
+}
+
+// RunStream evaluates a stream of batches in arrival order, calling fn
+// with each batch's results as it completes. Semantics are identical to
+// calling Run on each batch in order; with Options.Pipeline the QTrans
+// transform of the next batch overlaps tree evaluation of the current
+// one. The Results passed to fn reuse internal storage and are valid
+// only until fn returns; batches are consumed. RunStream returns when
+// in is closed and every batch has been emitted. The DB must not be
+// used concurrently from other goroutines while a RunStream is active.
+func (db *DB) RunStream(in <-chan *Batch, fn func(*Batch, *Results)) {
+	jobs := make(chan *core.Job)
+	free := make(chan *core.Job, 4)
+	go func() {
+		for b := range in {
+			var j *core.Job
+			select {
+			case j = <-free:
+			default:
+				j = new(core.Job)
+			}
+			keys.Number(b.qs)
+			j.Qs = b.qs
+			j.RS = nil
+			j.Tag = b
+			jobs <- j
+		}
+		close(jobs)
+	}()
+	res := &Results{}
+	db.eng.ProcessStream(jobs, func(j *core.Job) {
+		res.rs = j.RS
+		fn(j.Tag.(*Batch), res)
+		res.rs = nil
+		j.Qs, j.Tag = nil, nil
+		select {
+		case free <- j:
+		default:
+		}
+	})
 }
 
 // Get is a convenience point lookup (one-query batch).
@@ -240,11 +287,12 @@ func Load(r io.Reader, opts Options) (*DB, error) {
 		},
 		CacheCapacity: capacity,
 		CachePolicy:   cache.LRU,
+		Pipeline:      opts.Pipeline,
 	}, tree)
 	if err != nil {
 		return nil, err
 	}
-	return &DB{eng: eng}, nil
+	return &DB{eng: eng, pipelined: opts.Pipeline}, nil
 }
 
 // LastBatchStats exposes the instrumentation of the most recent Run.
@@ -272,12 +320,16 @@ type ServiceOptions struct {
 	MaxDelay time.Duration
 	// TargetLatency, when positive, auto-tunes the batch size so that
 	// batch processing time approaches the target (the §VI-D
-	// throughput/latency trade).
+	// throughput/latency trade). Unavailable when the DB was opened
+	// with Pipeline (overlapped batches have no attributable
+	// per-batch processing time); Pipeline takes precedence.
 	TargetLatency time.Duration
 }
 
 // Serve wraps db in an online Service. The db must not be used
-// directly while the service is open.
+// directly while the service is open. A DB opened with Pipeline
+// serves overlapped: the transform of one dispatched batch runs
+// while the previous one is still in the tree.
 func (db *DB) Serve(opts ServiceOptions) *Service {
 	return &Service{
 		db: db,
@@ -285,6 +337,7 @@ func (db *DB) Serve(opts ServiceOptions) *Service {
 			MaxBatch:      opts.MaxBatch,
 			MaxDelay:      opts.MaxDelay,
 			TargetLatency: opts.TargetLatency,
+			Pipeline:      db.pipelined,
 		}),
 	}
 }
