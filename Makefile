@@ -4,17 +4,19 @@
 #   build        compile everything
 #   test         full unit/differential suite
 #   race         the concurrency-heavy packages under the race detector
-#                (the pipeline, the PALM BSP stages, the facade stream
-#                and service hammers)
+#                (the pipeline, the PALM BSP stages, the sharded engine,
+#                the facade stream and service hammers)
+#   fuzz-smoke   a 10s run of the shard differential fuzzer (the
+#                sharded/serial equivalence property of DESIGN.md §6)
 #   bench-smoke  one-iteration compile-and-run of the pipeline benchmark
 #                (catches bit-rot in the bench harness without paying
 #                for a measurement)
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench
+.PHONY: ci vet build test race fuzz-smoke bench-smoke bench
 
-ci: vet build test race bench-smoke
+ci: vet build test race fuzz-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -26,7 +28,10 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core ./internal/palm ./qtrans
+	$(GO) test -race ./internal/core ./internal/palm ./internal/shard ./qtrans
+
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzShardEquivalence -fuzztime=10s ./internal/shard
 
 bench-smoke:
 	$(GO) test -run=XXX -bench=BenchmarkPipeline -benchtime=1x .

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/keys"
 	"repro/internal/palm"
+	"repro/internal/shard"
 	"repro/internal/workload"
 )
 
@@ -321,6 +322,79 @@ func BenchmarkPipeline(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkShards sweeps the shard count of the range-partitioned
+// engine (internal/shard) on a uniform and a skewed dataset, dividing a
+// fixed worker budget across shards. Reported metrics: "qps" and the
+// routing "imbalance" (max/mean queries per shard — 1.0 is perfectly
+// even; skewed datasets show why Rebalance exists).
+func BenchmarkShards(b *testing.B) {
+	for _, ds := range []string{"uniform", "zipfian"} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/shards%d", ds, shards), func(b *testing.B) {
+				benchSharded(b, ds, shards)
+			})
+		}
+	}
+}
+
+func benchSharded(b *testing.B, dataset string, shards int) {
+	b.Helper()
+	spec, err := workload.SpecByName(dataset, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batchSize := spec.BatchSize
+	gen := spec.Build()
+	perShard := 4 / shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	eng, err := shard.New(shard.Config{
+		Shards: shards,
+		Engine: core.EngineConfig{
+			Mode:          core.IntraInter,
+			Palm:          palm.Config{Workers: perShard, LoadBalance: true},
+			CacheCapacity: 1 << 14,
+		},
+		KeyMax: keys.Key(gen.KeyRange()),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+
+	r := rand.New(rand.NewSource(42))
+	rs := keys.NewResultSet(batchSize)
+	pre := workload.Prefill(gen, r, spec.UniqueKeys)
+	for lo := 0; lo < len(pre); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(pre) {
+			hi = len(pre)
+		}
+		chunk := keys.Number(pre[lo:hi])
+		rs.Reset(len(chunk))
+		eng.ProcessBatch(chunk, rs)
+	}
+
+	batch := make([]keys.Query, batchSize)
+	b.ResetTimer()
+	var busy time.Duration
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		workload.FillBatch(gen, r, batch, 0.25)
+		rs.Reset(len(batch))
+		b.StartTimer()
+		start := time.Now()
+		eng.ProcessBatch(batch, rs)
+		busy += time.Since(start)
+	}
+	b.StopTimer()
+	if busy > 0 {
+		b.ReportMetric(float64(batchSize*b.N)/busy.Seconds(), "qps")
+	}
+	b.ReportMetric(eng.ShardStats().Imbalance(), "imbalance")
 }
 
 // BenchmarkAblationGC quantifies how much Go's garbage collector blurs

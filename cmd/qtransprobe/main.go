@@ -39,6 +39,8 @@ func run(args []string) error {
 		batches = fs.Int("batches", 3, "batches per mode")
 		seed    = fs.Int64("seed", 42, "workload seed")
 		modes   = fs.String("modes", "org,intra,inter,sim", "comma-separated modes")
+		shards  = fs.Int("shards", 1, "range-partitioned shard count (>1 splits the worker budget across shards)")
+		rebal   = fs.Int("rebalance", 0, "rebalance shard boundaries every N batches (0 = never; needs -shards > 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,7 +64,12 @@ func run(args []string) error {
 		if !ok {
 			return fmt.Errorf("unknown mode %q (want org, intra, inter, sim)", name)
 		}
-		res, err := rn.RunOne(spec, mode, *u, 0, 0)
+		var res *harness.Result
+		if *shards > 1 {
+			res, err = rn.RunShardOne(spec, mode, *u, *shards, 0, *rebal)
+		} else {
+			res, err = rn.RunOne(spec, mode, *u, 0, 0)
+		}
 		if err != nil {
 			return err
 		}
@@ -73,9 +80,13 @@ func run(args []string) error {
 				fmt.Printf("%s=%v ", s, res.Totals.Elapsed[s].Round(time.Millisecond))
 			}
 		}
-		allocs, bytes := res.Mem.PerBatch(res.Batches)
-		fmt.Printf(" allocs/batch=%.0f KB/batch=%.0f gc_pause=%v",
-			allocs, bytes/1024, time.Duration(res.Mem.PauseNs).Round(time.Microsecond))
+		if res.ShardStats != nil {
+			fmt.Printf(" %s", res.ShardStats)
+		} else {
+			allocs, bytes := res.Mem.PerBatch(res.Batches)
+			fmt.Printf(" allocs/batch=%.0f KB/batch=%.0f gc_pause=%v",
+				allocs, bytes/1024, time.Duration(res.Mem.PauseNs).Round(time.Microsecond))
+		}
 		fmt.Println()
 	}
 	return nil

@@ -36,18 +36,21 @@ import (
 // steady-state streaming allocates nothing.
 
 // Job is one batch travelling through ProcessStream. Qs is reordered in
-// place by the transform. If RS is nil the stream lends a recycled
-// ResultSet that is valid only until the emit callback returns; callers
-// that keep results longer must supply their own RS (distinct per
-// in-flight job). Tag is opaque correlation state for the caller.
+// place by the transform. If RS is nil the stream points it at a
+// recycled ResultSet that is valid only until the emit callback
+// returns; callers that keep results longer must supply their own RS
+// (distinct per in-flight job), and callers that recycle Job structs
+// must reset RS (to nil or their own set) before resubmitting. The
+// stream never touches a Job after handing it to emit — ownership
+// returns to the caller at that instant, so recycling a Job from
+// inside the emit callback is race-free. Tag is opaque correlation
+// state for the caller.
 type Job struct {
 	Qs []keys.Query
 	RS *keys.ResultSet
 	// Tag carries caller state (e.g. completion futures) through the
 	// pipeline untouched.
 	Tag any
-
-	lent bool
 }
 
 // pipeSlot is one stage-A workspace. Ownership alternates between the
@@ -93,15 +96,10 @@ func (e *Engine) ProcessStream(in <-chan *Job, emit func(*Job)) {
 		for job := range in {
 			if job.RS == nil {
 				job.RS = rs
-				job.lent = true
 			}
 			job.RS.Reset(len(job.Qs))
 			e.ProcessBatch(job.Qs, job.RS)
 			emit(job)
-			if job.lent {
-				job.RS = nil
-				job.lent = false
-			}
 		}
 		return
 	}
@@ -119,7 +117,6 @@ func (e *Engine) ProcessStream(in <-chan *Job, emit func(*Job)) {
 			slot.job = job
 			if job.RS == nil {
 				job.RS = slot.rs
-				job.lent = true
 			}
 			job.RS.Reset(len(job.Qs))
 			e.transformStage(slot)
@@ -133,11 +130,8 @@ func (e *Engine) ProcessStream(in <-chan *Job, emit func(*Job)) {
 		job := slot.job
 		slot.job = nil
 		emit(job)
-		if job.lent {
-			job.RS = nil
-			job.lent = false
-		}
 		// Only now may stage A reuse the slot (and its lent ResultSet).
+		// The job itself is the caller's again — no accesses past emit.
 		free <- slot
 	}
 }

@@ -67,6 +67,7 @@ func Experiments() []Experiment {
 		Experiment{"fig15", "batch size impact, self-similar U-0.25", Fig15},
 		Experiment{"abl1", "transform strategy ablation: org vs intra vs inter vs sim (zipfian)", Ablation1},
 		Experiment{"pipe", "pipelined vs serial stream execution, self-similar U-0.25", PipelineExp},
+		Experiment{"shard", "range-partitioned sharding sweep: throughput and imbalance per shard count", ShardExp},
 		Experiment{"abl2", "tree utilization under churn: relaxed batched deletes vs strict serial", Ablation2},
 		Experiment{"table1", "dataset configurations", Table1},
 		Experiment{"table2", "latency per dataset (opt vs org, U-0 and U-0.75)", Table2},
@@ -339,6 +340,46 @@ func PipelineExp(rn *Runner, w io.Writer) error {
 			pipeAllocs, _ := pipe.Mem.PerBatch(pipe.Batches)
 			row(w, bs, mode.String(), ser.Throughput, pipe.Throughput,
 				pipe.Throughput/ser.Throughput, serAllocs, pipeAllocs)
+		}
+	}
+	return nil
+}
+
+// ShardExp sweeps the shard count of the range-partitioned engine on a
+// uniform and a skewed dataset (U-0.25), dividing a fixed worker budget
+// across the shards. Rows report end-to-end throughput, speedup over
+// the single-shard arm, and the routing imbalance (max/mean queries per
+// shard) with and without periodic rebalancing — the skewed dataset is
+// where static equal-width boundaries go wrong and Rebalance earns its
+// keep. Not a paper figure; it extends the paper's scalability story
+// (§VI) to partitioned trees.
+func ShardExp(rn *Runner, w io.Writer) error {
+	row(w, "dataset", "shards", "rebalance", "qps", "speedup", "imbalance", "rebalances", "migrated")
+	for _, ds := range []string{"uniform", "zipfian"} {
+		spec, err := workload.SpecByName(ds, rn.Opts.Scale)
+		if err != nil {
+			return err
+		}
+		var base float64
+		for _, shards := range []int{1, 2, 4, 8} {
+			for _, rebalanceEvery := range []int{0, 8} {
+				if shards == 1 && rebalanceEvery > 0 {
+					continue // single shard: nothing to re-split
+				}
+				res, err := rn.RunShardOne(spec, core.IntraInter, 0.25, shards, 0, rebalanceEvery)
+				if err != nil {
+					return err
+				}
+				if shards == 1 {
+					base = res.Throughput
+				}
+				mode := "off"
+				if rebalanceEvery > 0 {
+					mode = fmt.Sprintf("every%d", rebalanceEvery)
+				}
+				row(w, ds, shards, mode, res.Throughput, res.Throughput/base,
+					res.ShardStats.Imbalance(), res.ShardStats.Rebalances, res.ShardStats.Migrated)
+			}
 		}
 	}
 	return nil

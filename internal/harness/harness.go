@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/keys"
 	"repro/internal/palm"
+	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -75,6 +76,9 @@ type Result struct {
 	// Mem is the allocation/GC growth over the measured loop (the
 	// allocation-sweep metrics; divide by Batches for per-batch rates).
 	Mem stats.MemDelta
+	// ShardStats carries routing/imbalance counters for sharded runs
+	// (nil otherwise).
+	ShardStats *stats.Shard
 }
 
 // ReductionRatio of the whole run.
@@ -255,6 +259,106 @@ func (rn *Runner) RunStreamOne(spec workload.Spec, mode core.Mode, updateRatio f
 	res.Mem = stats.CaptureMem().Sub(m0)
 	res.Batches = nBatches
 	res.Throughput = stats.Throughput(res.Queries, res.Elapsed)
+	return res, nil
+}
+
+// RunShardOne measures one configuration on a range-partitioned
+// sharded engine (shards <= 1 degenerates to a single engine inside
+// shard.Engine). The worker budget is divided across shards —
+// max(1, Workers/shards) BSP threads each — so the sweep compares
+// partitionings of a fixed thread budget, not growing hardware. Initial
+// boundaries are equal-width over the generator's key range; when
+// rebalanceEvery > 0 the engine re-splits from the observed keys every
+// that many batches. ShardStats on the returned result carries the
+// routing/imbalance counters.
+func (rn *Runner) RunShardOne(spec workload.Spec, mode core.Mode, updateRatio float64, shards, batchSize, rebalanceEvery int) (*Result, error) {
+	o := rn.Opts
+	if shards < 1 {
+		shards = 1
+	}
+	if batchSize <= 0 {
+		batchSize = spec.BatchSize
+	}
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	perShard := o.Workers / shards
+	if perShard < 1 {
+		perShard = 1
+	}
+
+	gen := spec.Build()
+	eng, err := shard.New(shard.Config{
+		Shards: shards,
+		Engine: core.EngineConfig{
+			Mode: mode,
+			Palm: palm.Config{
+				Order:       o.Order,
+				Workers:     perShard,
+				LoadBalance: true,
+			},
+			CacheCapacity: o.CacheCapacity,
+		},
+		KeyMax: keys.Key(gen.KeyRange()),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	defer eng.Close()
+
+	r := rand.New(rand.NewSource(o.Seed))
+	prefill := workload.Prefill(gen, r, spec.UniqueKeys)
+	rs := keys.NewResultSet(batchSize)
+	for lo := 0; lo < len(prefill); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(prefill) {
+			hi = len(prefill)
+		}
+		chunk := keys.Number(prefill[lo:hi])
+		rs.Reset(len(chunk))
+		eng.ProcessBatch(chunk, rs)
+	}
+	if rebalanceEvery > 0 {
+		// Start from boundaries fitted to the prefilled store.
+		if _, err := eng.Rebalance(); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{
+		Dataset:     spec.Name,
+		Mode:        mode,
+		UpdateRatio: updateRatio,
+		Threads:     perShard * shards,
+		BatchSize:   batchSize,
+		Totals:      stats.NewBatch(perShard),
+		ShardStats:  eng.ShardStats(),
+	}
+
+	nBatches := (spec.Queries + batchSize - 1) / batchSize
+	if o.Batches > 0 && nBatches > o.Batches {
+		nBatches = o.Batches
+	}
+	batch := make([]keys.Query, batchSize)
+	var elapsed time.Duration
+	for b := 0; b < nBatches; b++ {
+		workload.FillBatch(gen, r, batch, updateRatio)
+		rs.Reset(len(batch))
+		start := time.Now()
+		eng.ProcessBatch(batch, rs)
+		if rebalanceEvery > 0 && (b+1)%rebalanceEvery == 0 {
+			if _, err := eng.Rebalance(); err != nil {
+				return nil, err
+			}
+		}
+		elapsed += time.Since(start)
+		res.Latency.Record(time.Since(start))
+		eng.Stats().AddTo(res.Totals)
+		res.Queries += len(batch)
+	}
+	res.Batches = nBatches
+	res.Elapsed = elapsed
+	res.Throughput = stats.Throughput(res.Queries, elapsed)
 	return res, nil
 }
 

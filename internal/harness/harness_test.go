@@ -287,6 +287,48 @@ func TestTable2Output(t *testing.T) {
 	}
 }
 
+func TestRunShardOne(t *testing.T) {
+	rn := NewRunner(tinyOpts())
+	spec, err := workload.SpecByName("uniform", rn.Opts.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 3} {
+		res, err := rn.RunShardOne(spec, core.IntraInter, 0.25, shards, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Throughput <= 0 || res.Queries <= 0 {
+			t.Fatalf("shards=%d: empty result %+v", shards, res)
+		}
+		if res.ShardStats == nil || res.ShardStats.RoutedTotal() == 0 {
+			t.Fatalf("shards=%d: no routing stats", shards)
+		}
+		if shards > 1 && res.ShardStats.Rebalances == 0 {
+			t.Fatalf("shards=%d: rebalanceEvery=1 recorded no rebalances", shards)
+		}
+	}
+}
+
+func TestShardExpOutput(t *testing.T) {
+	rn := NewRunner(Options{Scale: 0.0001, Workers: 2, Order: 16, Seed: 5, CacheCapacity: 64, Batches: 1})
+	var buf bytes.Buffer
+	if err := ShardExp(rn, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"imbalance", "uniform", "zipfian", "every8"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("shard exp missing %q:\n%s", want, out)
+		}
+	}
+	// header + per dataset: shards 1 (no-rebalance only) + 3×2 arms.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if want := 1 + 2*7; len(lines) != want {
+		t.Fatalf("shard exp rows = %d, want %d:\n%s", len(lines), want, out)
+	}
+}
+
 func TestScaleInt(t *testing.T) {
 	if scaleInt(1000, 0.5) != 500 || scaleInt(1, 0.0001) != 1 {
 		t.Fatal("scaleInt")

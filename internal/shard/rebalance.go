@@ -1,0 +1,100 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/keys"
+)
+
+// Rebalance recomputes the shard boundaries from the keys currently
+// stored (the exact key histogram) so that every shard holds an equal
+// count, and migrates keys between shards via dump + bulk reinsert.
+// Call it between batches — it must not run concurrently with
+// ProcessBatch or ProcessStream. Caches are flushed first, so the
+// operation is semantically a no-op: the stored pairs and all future
+// results are unchanged, only the partition moves.
+//
+// Returns the number of keys that changed shard.
+func (e *Engine) Rebalance() (migrated int, err error) {
+	n := len(e.shards)
+	if n == 1 {
+		e.shst.RecordRebalance(0)
+		return 0, nil
+	}
+
+	// Flush caches so the trees are authoritative, then collect the
+	// global sorted pair list (shard ranges are disjoint and ascending,
+	// so concatenating per-shard dumps is already globally sorted).
+	perShard := make([]int, n)
+	var ks []keys.Key
+	var vs []keys.Value
+	for s, sh := range e.shards {
+		sh.Flush()
+		sks, svs := sh.Processor().Tree().Dump()
+		perShard[s] = len(sks)
+		ks = append(ks, sks...)
+		vs = append(vs, svs...)
+	}
+	total := len(ks)
+	if total == 0 {
+		e.shst.RecordRebalance(0)
+		return 0, nil
+	}
+
+	// Equal-count boundaries: shard i gets keys [total*i/n, total*(i+1)/n).
+	bounds := make([]keys.Key, 0, n-1)
+	for i := 1; i < n; i++ {
+		bounds = append(bounds, ks[total*i/n])
+	}
+
+	// Count migrations: walk the dump remembering which shard each key
+	// came from and where it lands under the new boundaries.
+	idx := 0
+	for s, cnt := range perShard {
+		for j := 0; j < cnt; j++ {
+			if shardOf(bounds, ks[idx]) != s {
+				migrated++
+			}
+			idx++
+		}
+	}
+
+	// Rebuild every shard over its new slice. Bulk loading a fresh tree
+	// per shard is O(total) and keeps fill invariants tight; the old
+	// engines (pools, caches) are closed and replaced.
+	order := e.Order()
+	cfg := e.cfg.Engine
+	cfg.Palm.Order = order
+	fresh := make([]*core.Engine, n)
+	lo := 0
+	for s := 0; s < n; s++ {
+		hi := total
+		if s < n-1 {
+			hi = lowerBound(ks, bounds[s], lo)
+		}
+		tree, terr := btree.BulkLoad(order, ks[lo:hi], vs[lo:hi])
+		if terr == nil {
+			fresh[s], terr = core.NewEngineWithTree(cfg, tree)
+		}
+		if terr != nil {
+			for _, f := range fresh {
+				if f != nil {
+					f.Close()
+				}
+			}
+			return 0, fmt.Errorf("shard: rebalance shard %d: %w", s, terr)
+		}
+		lo = hi
+	}
+	for s, old := range e.shards {
+		old.Close()
+		e.shards[s] = fresh[s]
+	}
+	e.bounds = bounds
+	e.sp = newSplitter(bounds)
+
+	e.shst.RecordRebalance(migrated)
+	return migrated, nil
+}

@@ -1,0 +1,110 @@
+package shard
+
+import (
+	"sort"
+
+	"repro/internal/keys"
+)
+
+// shardOf returns the shard index serving key k under the given
+// ascending (non-decreasing) boundary list: shard i serves the range
+// [bounds[i-1], bounds[i]), shard 0 everything below bounds[0], and the
+// last shard everything from bounds[len-1] up. A key equal to a
+// boundary belongs to the shard above it.
+func shardOf(bounds []keys.Key, k keys.Key) int {
+	// Small boundary lists dominate; linear scan beats sort.Search up
+	// to a few dozen shards and keeps the hot routing loop branch-
+	// predictable.
+	if len(bounds) <= 16 {
+		for i, b := range bounds {
+			if k < b {
+				return i
+			}
+		}
+		return len(bounds)
+	}
+	return sort.Search(len(bounds), func(i int) bool { return k < bounds[i] })
+}
+
+// splitter partitions one batch across shards by key range, remembering
+// for every routed query its original batch index so the merger can
+// reassemble results in original query order. Splitting is a stable
+// partition: queries routed to the same shard keep their relative
+// order, which — together with every key belonging to exactly one
+// shard — is what makes sharded execution equivalent to serial
+// execution (DESIGN.md §6).
+//
+// A splitter's buffers are reused across batches; each concurrent
+// split (e.g. per pipeline slot) needs its own splitter.
+type splitter struct {
+	bounds []keys.Key
+	// subs[s] is shard s's sub-batch with Idx renumbered to the
+	// sub-batch position; orig[s][i] is the original batch index of
+	// subs[s][i].
+	subs [][]keys.Query
+	orig [][]int32
+	// sole is the only shard that received queries, or -1 when the
+	// batch spread over several shards (or was empty).
+	sole int
+}
+
+func newSplitter(bounds []keys.Key) *splitter {
+	n := len(bounds) + 1
+	return &splitter{
+		bounds: bounds,
+		subs:   make([][]keys.Query, n),
+		orig:   make([][]int32, n),
+		sole:   -1,
+	}
+}
+
+// split partitions qs. The input is not modified; sub-batches hold
+// copies with batch-local Idx values. Results are valid until the next
+// split call.
+func (sp *splitter) split(qs []keys.Query) {
+	for s := range sp.subs {
+		sp.subs[s] = sp.subs[s][:0]
+		sp.orig[s] = sp.orig[s][:0]
+	}
+	for _, q := range qs {
+		s := shardOf(sp.bounds, q.Key)
+		local := int32(len(sp.subs[s]))
+		sp.orig[s] = append(sp.orig[s], q.Idx)
+		q.Idx = local
+		sp.subs[s] = append(sp.subs[s], q)
+	}
+	sp.sole = -1
+	for s := range sp.subs {
+		if len(sp.subs[s]) == 0 {
+			continue
+		}
+		if sp.sole >= 0 {
+			sp.sole = -1
+			break
+		}
+		sp.sole = s
+	}
+	if sp.sole >= 0 && len(sp.subs[sp.sole]) != len(qs) {
+		// Cannot happen (every query routes somewhere), but never let a
+		// bookkeeping bug silently drop the fast path's precondition.
+		sp.sole = -1
+	}
+}
+
+// merge copies every recorded sub-batch result back to its original
+// batch index in rs. subRS[s] must be the ResultSet shard s evaluated
+// subs[s] into; rs must be Reset to the original batch length.
+func (sp *splitter) merge(subRS []*keys.ResultSet, rs *keys.ResultSet) {
+	for s := range sp.subs {
+		orig := sp.orig[s]
+		if len(orig) == 0 {
+			continue
+		}
+		sub := subRS[s]
+		for i, oi := range orig {
+			if r, ok := sub.Get(int32(i)); ok {
+				rs.Set(oi, r.Value, r.Found)
+			}
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/keys"
+)
+
+func TestShardOf(t *testing.T) {
+	bounds := []keys.Key{10, 20, 30}
+	cases := []struct {
+		k    keys.Key
+		want int
+	}{
+		{0, 0}, {9, 0},
+		{10, 1}, // boundary key belongs to the shard above
+		{15, 1}, {19, 1},
+		{20, 2}, {29, 2},
+		{30, 3}, {1 << 40, 3},
+	}
+	for _, c := range cases {
+		if got := shardOf(bounds, c.k); got != c.want {
+			t.Errorf("shardOf(%v, %d) = %d, want %d", bounds, c.k, got, c.want)
+		}
+	}
+	if got := shardOf(nil, 12345); got != 0 {
+		t.Errorf("shardOf(nil, k) = %d, want 0", got)
+	}
+
+	// Duplicate (non-strict) boundaries leave the middle shard empty
+	// but still route deterministically.
+	dup := []keys.Key{10, 10, 20}
+	if got := shardOf(dup, 10); got != 2 {
+		t.Errorf("shardOf(dup, 10) = %d, want 2", got)
+	}
+	if got := shardOf(dup, 9); got != 0 {
+		t.Errorf("shardOf(dup, 9) = %d, want 0", got)
+	}
+
+	// The binary-search path (> 16 bounds) must agree with the linear
+	// path.
+	var wide []keys.Key
+	for i := 1; i <= 32; i++ {
+		wide = append(wide, keys.Key(i*100))
+	}
+	for _, k := range []keys.Key{0, 99, 100, 1650, 3200, 9999} {
+		lin := 0
+		for lin < len(wide) && k >= wide[lin] {
+			lin++
+		}
+		if got := shardOf(wide, k); got != lin {
+			t.Errorf("shardOf(wide, %d) = %d, want %d", k, got, lin)
+		}
+	}
+}
+
+// TestSplitterTable drives the splitter/merger over the tricky shapes
+// named in the issue: empty shards, duplicate keys inside one batch,
+// update/delete-only batches, and batches that hit one shard only.
+func TestSplitterTable(t *testing.T) {
+	bounds := []keys.Key{100, 200} // 3 shards: [0,100) [100,200) [200,∞)
+	cases := []struct {
+		name     string
+		qs       []keys.Query
+		wantSub  [][]keys.Query // expected sub-batches (with renumbered Idx)
+		wantSole int
+	}{
+		{
+			name:     "empty batch",
+			qs:       nil,
+			wantSub:  [][]keys.Query{{}, {}, {}},
+			wantSole: -1,
+		},
+		{
+			name: "spread over all shards",
+			qs: []keys.Query{
+				{Key: 50, Op: keys.OpSearch, Idx: 0},
+				{Key: 150, Op: keys.OpInsert, Value: 1, Idx: 1},
+				{Key: 250, Op: keys.OpDelete, Idx: 2},
+				{Key: 60, Op: keys.OpSearch, Idx: 3},
+			},
+			wantSub: [][]keys.Query{
+				{{Key: 50, Op: keys.OpSearch, Idx: 0}, {Key: 60, Op: keys.OpSearch, Idx: 1}},
+				{{Key: 150, Op: keys.OpInsert, Value: 1, Idx: 0}},
+				{{Key: 250, Op: keys.OpDelete, Idx: 0}},
+			},
+			wantSole: -1,
+		},
+		{
+			name: "middle shard empty",
+			qs: []keys.Query{
+				{Key: 10, Op: keys.OpInsert, Value: 7, Idx: 0},
+				{Key: 300, Op: keys.OpSearch, Idx: 1},
+			},
+			wantSub: [][]keys.Query{
+				{{Key: 10, Op: keys.OpInsert, Value: 7, Idx: 0}},
+				{},
+				{{Key: 300, Op: keys.OpSearch, Idx: 0}},
+			},
+			wantSole: -1,
+		},
+		{
+			name: "duplicate keys keep stable order in one shard",
+			qs: []keys.Query{
+				{Key: 150, Op: keys.OpInsert, Value: 1, Idx: 0},
+				{Key: 150, Op: keys.OpSearch, Idx: 1},
+				{Key: 150, Op: keys.OpDelete, Idx: 2},
+				{Key: 150, Op: keys.OpSearch, Idx: 3},
+			},
+			wantSub: [][]keys.Query{
+				{},
+				{
+					{Key: 150, Op: keys.OpInsert, Value: 1, Idx: 0},
+					{Key: 150, Op: keys.OpSearch, Idx: 1},
+					{Key: 150, Op: keys.OpDelete, Idx: 2},
+					{Key: 150, Op: keys.OpSearch, Idx: 3},
+				},
+				{},
+			},
+			wantSole: 1,
+		},
+		{
+			name: "update/delete-only batch across shards",
+			qs: []keys.Query{
+				{Key: 99, Op: keys.OpDelete, Idx: 0},
+				{Key: 100, Op: keys.OpInsert, Value: 5, Idx: 1},
+				{Key: 200, Op: keys.OpDelete, Idx: 2},
+				{Key: 199, Op: keys.OpInsert, Value: 6, Idx: 3},
+			},
+			wantSub: [][]keys.Query{
+				{{Key: 99, Op: keys.OpDelete, Idx: 0}},
+				{{Key: 100, Op: keys.OpInsert, Value: 5, Idx: 0}, {Key: 199, Op: keys.OpInsert, Value: 6, Idx: 1}},
+				{{Key: 200, Op: keys.OpDelete, Idx: 0}},
+			},
+			wantSole: -1,
+		},
+		{
+			name: "single-shard partial batch (fast path)",
+			qs: []keys.Query{
+				{Key: 250, Op: keys.OpSearch, Idx: 0},
+				{Key: 201, Op: keys.OpInsert, Value: 9, Idx: 1},
+				{Key: 250, Op: keys.OpSearch, Idx: 2},
+			},
+			wantSub: [][]keys.Query{
+				{},
+				{},
+				{
+					{Key: 250, Op: keys.OpSearch, Idx: 0},
+					{Key: 201, Op: keys.OpInsert, Value: 9, Idx: 1},
+					{Key: 250, Op: keys.OpSearch, Idx: 2},
+				},
+			},
+			wantSole: 2,
+		},
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sp := newSplitter(bounds)
+			sp.split(c.qs)
+			if sp.sole != c.wantSole {
+				t.Fatalf("sole = %d, want %d", sp.sole, c.wantSole)
+			}
+			for s := range c.wantSub {
+				got := sp.subs[s]
+				want := c.wantSub[s]
+				if len(got) != len(want) {
+					t.Fatalf("shard %d: %d queries, want %d", s, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("shard %d query %d = %+v, want %+v", s, i, got[i], want[i])
+					}
+				}
+			}
+			// Round-trip: orig mapping must reproduce the original index
+			// for every routed query.
+			seen := make(map[int32]bool)
+			for s := range sp.subs {
+				for i := range sp.subs[s] {
+					oi := sp.orig[s][i]
+					if seen[oi] {
+						t.Fatalf("original index %d routed twice", oi)
+					}
+					seen[oi] = true
+					if c.qs[oi].Key != sp.subs[s][i].Key {
+						t.Fatalf("orig[%d][%d] = %d points at key %d, want %d",
+							s, i, oi, c.qs[oi].Key, sp.subs[s][i].Key)
+					}
+				}
+			}
+			if len(seen) != len(c.qs) {
+				t.Fatalf("routed %d of %d queries", len(seen), len(c.qs))
+			}
+		})
+	}
+}
+
+// TestMergeResultIndexStability checks the merger restores results to
+// the exact original positions, including when some shards answered
+// nothing.
+func TestMergeResultIndexStability(t *testing.T) {
+	bounds := []keys.Key{100, 200}
+	qs := []keys.Query{
+		{Key: 250, Op: keys.OpSearch, Idx: 0}, // shard 2
+		{Key: 50, Op: keys.OpSearch, Idx: 1},  // shard 0
+		{Key: 150, Op: keys.OpInsert, Idx: 2}, // shard 1 — no result
+		{Key: 51, Op: keys.OpSearch, Idx: 3},  // shard 0
+	}
+	sp := newSplitter(bounds)
+	sp.split(qs)
+
+	subRS := make([]*keys.ResultSet, 3)
+	for s := range subRS {
+		subRS[s] = keys.NewResultSet(len(sp.subs[s]))
+	}
+	// Simulate shard answers: value = 1000+key for every search.
+	for s := range sp.subs {
+		for i, q := range sp.subs[s] {
+			if q.Op == keys.OpSearch {
+				subRS[s].Set(int32(i), 1000+keys.Value(q.Key), true)
+			}
+		}
+	}
+
+	rs := keys.NewResultSet(len(qs))
+	sp.merge(subRS, rs)
+
+	wantVals := map[int32]keys.Value{0: 1250, 1: 1050, 3: 1051}
+	for idx := int32(0); idx < int32(len(qs)); idx++ {
+		r, ok := rs.Get(idx)
+		want, isSearch := wantVals[idx]
+		if isSearch != ok {
+			t.Fatalf("idx %d: recorded=%v, want %v", idx, ok, isSearch)
+		}
+		if ok && (r.Value != want || !r.Found) {
+			t.Fatalf("idx %d: %+v, want value %d", idx, r, want)
+		}
+	}
+	if rs.Answered() != 3 {
+		t.Fatalf("Answered = %d, want 3", rs.Answered())
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -294,4 +295,82 @@ func (d MemDelta) PerBatch(n int) (allocs, bytes float64) {
 		return 0, 0
 	}
 	return float64(d.Allocs) / float64(n), float64(d.Bytes) / float64(n)
+}
+
+// Shard accumulates the routing and rebalancing counters of a
+// range-partitioned sharded engine (internal/shard): how many queries
+// each shard received, how evenly the splitter spread the load, and how
+// much key migration the boundary rebalances caused. Counter updates
+// use atomics so the stream splitter goroutine can record routing while
+// other goroutines read snapshots.
+type Shard struct {
+	// Routed[s] counts queries routed to shard s since creation.
+	Routed []int64
+	// Batches counts batches split across the shards.
+	Batches int64
+	// Migrated counts keys that changed shard across all rebalances.
+	Migrated int64
+	// Rebalances counts boundary recomputations.
+	Rebalances int64
+}
+
+// NewShard returns a Shard stats block for n shards.
+func NewShard(n int) *Shard {
+	return &Shard{Routed: make([]int64, n)}
+}
+
+// RecordRouted adds n routed queries to shard s.
+func (s *Shard) RecordRouted(shard, n int) {
+	atomic.AddInt64(&s.Routed[shard], int64(n))
+}
+
+// RecordBatch counts one split batch.
+func (s *Shard) RecordBatch() { atomic.AddInt64(&s.Batches, 1) }
+
+// RecordRebalance counts one rebalance that migrated n keys.
+func (s *Shard) RecordRebalance(migrated int) {
+	atomic.AddInt64(&s.Rebalances, 1)
+	atomic.AddInt64(&s.Migrated, int64(migrated))
+}
+
+// RoutedTotal returns the total number of routed queries.
+func (s *Shard) RoutedTotal() int64 {
+	var sum int64
+	for i := range s.Routed {
+		sum += atomic.LoadInt64(&s.Routed[i])
+	}
+	return sum
+}
+
+// Imbalance returns max/mean of the per-shard routed-query counts — 1.0
+// is a perfectly even spread, n means one shard took all the load.
+// Returns 1 when nothing has been routed.
+func (s *Shard) Imbalance() float64 {
+	if len(s.Routed) == 0 {
+		return 1
+	}
+	var sum, maxv int64
+	for i := range s.Routed {
+		v := atomic.LoadInt64(&s.Routed[i])
+		sum += v
+		if v > maxv {
+			maxv = v
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	return float64(maxv) / (float64(sum) / float64(len(s.Routed)))
+}
+
+// String renders a compact summary, e.g.
+// "shards=4 routed=[10 20 30 40] imbalance=1.60 rebalances=1 migrated=12".
+func (s *Shard) String() string {
+	routed := make([]int64, len(s.Routed))
+	for i := range routed {
+		routed[i] = atomic.LoadInt64(&s.Routed[i])
+	}
+	return fmt.Sprintf("shards=%d routed=%v imbalance=%.2f rebalances=%d migrated=%d",
+		len(s.Routed), routed, s.Imbalance(),
+		atomic.LoadInt64(&s.Rebalances), atomic.LoadInt64(&s.Migrated))
 }

@@ -151,3 +151,40 @@ func TestThroughput(t *testing.T) {
 		t.Fatalf("Throughput = %f", got)
 	}
 }
+
+func TestShardCounters(t *testing.T) {
+	s := NewShard(4)
+	if s.Imbalance() != 1 {
+		t.Fatalf("empty Imbalance = %f, want 1", s.Imbalance())
+	}
+	s.RecordRouted(0, 10)
+	s.RecordRouted(1, 20)
+	s.RecordRouted(2, 30)
+	s.RecordRouted(3, 40)
+	s.RecordBatch()
+	if got := s.RoutedTotal(); got != 100 {
+		t.Fatalf("RoutedTotal = %d, want 100", got)
+	}
+	// max/mean = 40 / 25.
+	if got := s.Imbalance(); got != 1.6 {
+		t.Fatalf("Imbalance = %f, want 1.6", got)
+	}
+	s.RecordRebalance(12)
+	if s.Rebalances != 1 || s.Migrated != 12 {
+		t.Fatalf("rebalance counters = %d/%d", s.Rebalances, s.Migrated)
+	}
+	str := s.String()
+	for _, want := range []string{"shards=4", "imbalance=1.60", "migrated=12"} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("String() = %q missing %q", str, want)
+		}
+	}
+}
+
+func TestShardImbalanceOneHot(t *testing.T) {
+	s := NewShard(8)
+	s.RecordRouted(5, 1000)
+	if got := s.Imbalance(); got != 8 {
+		t.Fatalf("one-hot Imbalance = %f, want 8", got)
+	}
+}

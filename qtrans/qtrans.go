@@ -33,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/keys"
 	"repro/internal/palm"
+	"repro/internal/shard"
 	"repro/internal/stats"
 )
 
@@ -93,22 +94,29 @@ type Options struct {
 	// QTrans transform of batch N+1 runs concurrently. Semantics are
 	// identical to serial execution; single-batch Run is unaffected.
 	Pipeline bool
+	// Shards range-partitions the key space across this many
+	// independent engines (each with its own tree, worker pool, and
+	// cache); batches are split by key range, evaluated in parallel,
+	// and re-merged in original query order, so semantics are identical
+	// to the single-engine path. 0 or 1 selects today's single engine —
+	// the zero Options is unchanged. See DESIGN.md §6.
+	Shards int
+	// ShardKeyMax hints the largest key the workload produces so the
+	// initial equal-width shard boundaries cover the real key range
+	// (0 = the full uint64 space). A poor hint only skews load, never
+	// correctness; DB.Rebalance re-splits from the stored keys.
+	ShardKeyMax Key
 }
 
-// DB is a B+ tree database processing query batches.
-type DB struct {
-	eng       *core.Engine
-	pipelined bool
-}
-
-// Open creates a DB. The zero Options selects the fully-optimized
-// pipeline with default sizes.
-func Open(opts Options) (*DB, error) {
+// engineConfig translates Options to the per-engine configuration
+// (for a sharded DB this is each shard's config; Workers is then a
+// per-shard thread count).
+func (opts Options) engineConfig() core.EngineConfig {
 	capacity := opts.CacheCapacity
 	if capacity == 0 {
 		capacity = 1 << 16
 	}
-	eng, err := core.NewEngine(core.EngineConfig{
+	return core.EngineConfig{
 		Mode: opts.Optimization.mode(),
 		Palm: palm.Config{
 			Order:       opts.Order,
@@ -118,14 +126,51 @@ func Open(opts Options) (*DB, error) {
 		CacheCapacity: capacity,
 		CachePolicy:   cache.LRU,
 		Pipeline:      opts.Pipeline,
-	})
+	}
+}
+
+// engine is the execution surface shared by the single core.Engine and
+// the range-partitioned shard.Engine; DB drives whichever Options
+// selected through it.
+type engine interface {
+	ProcessBatch(qs []keys.Query, rs *keys.ResultSet)
+	ProcessStream(in <-chan *core.Job, emit func(*core.Job))
+	Flush()
+	Train(hot []keys.Key)
+	Stats() *stats.Batch
+	Close()
+}
+
+// DB is a B+ tree database processing query batches.
+type DB struct {
+	eng       engine
+	single    *core.Engine  // non-nil when Shards <= 1
+	sharded   *shard.Engine // non-nil when Shards > 1
+	pipelined bool
+}
+
+// Open creates a DB. The zero Options selects the fully-optimized
+// pipeline with default sizes.
+func Open(opts Options) (*DB, error) {
+	if opts.Shards > 1 {
+		se, err := shard.New(shard.Config{
+			Shards: opts.Shards,
+			Engine: opts.engineConfig(),
+			KeyMax: opts.ShardKeyMax,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &DB{eng: se, sharded: se, pipelined: opts.Pipeline}, nil
+	}
+	eng, err := core.NewEngine(opts.engineConfig())
 	if err != nil {
 		return nil, err
 	}
-	return &DB{eng: eng, pipelined: opts.Pipeline}, nil
+	return &DB{eng: eng, single: eng, pipelined: opts.Pipeline}, nil
 }
 
-// Close releases the DB's worker pool.
+// Close releases the DB's worker pools.
 func (db *DB) Close() { db.eng.Close() }
 
 // Batch assembles queries for one Run. Positions (0-based submission
@@ -244,55 +289,95 @@ func (db *DB) Remove(k Key) {
 }
 
 // Len returns the number of stored pairs. In Full mode this flushes
-// the cache first so the count is exact.
+// the caches first so the count is exact.
 func (db *DB) Len() int {
+	if db.sharded != nil {
+		return db.sharded.Len()
+	}
 	db.eng.Flush()
-	return db.eng.Processor().Tree().Len()
+	return db.single.Processor().Tree().Len()
 }
 
-// Scan visits all pairs in ascending key order (flushing the cache
+// Scan visits all pairs in ascending key order (flushing the caches
 // first) until fn returns false.
 func (db *DB) Scan(fn func(k Key, v Value) bool) {
+	if db.sharded != nil {
+		db.sharded.Scan(fn)
+		return
+	}
 	db.eng.Flush()
-	db.eng.Processor().Tree().Scan(fn)
+	db.single.Processor().Tree().Scan(fn)
 }
 
 // Warm pre-populates the top-K cache with hot keys (§V-B training).
+// On a sharded DB every key is trained into its owning shard's cache.
 func (db *DB) Warm(hot []Key) { db.eng.Train(hot) }
 
-// Save writes a snapshot of the store (cache flushed first) that Load
-// can restore. Snapshots are order-portable.
+// Rebalance re-splits a sharded DB's boundaries so every shard holds an
+// equal share of the stored keys, migrating keys between shards. Call
+// it between batches (not concurrently with Run, RunStream, or an open
+// Service). Semantics are unaffected — only the partition moves. It
+// returns the number of keys that changed shard; on an unsharded DB it
+// is a no-op.
+func (db *DB) Rebalance() (migrated int, err error) {
+	if db.sharded == nil {
+		return 0, nil
+	}
+	return db.sharded.Rebalance()
+}
+
+// ShardStats exposes the routing/rebalance counters of a sharded DB
+// (nil when unsharded).
+func (db *DB) ShardStats() *stats.Shard {
+	if db.sharded == nil {
+		return nil
+	}
+	return db.sharded.ShardStats()
+}
+
+// Save writes a snapshot of the store (caches flushed first) that Load
+// can restore. Snapshots are order-portable and shard-count-portable:
+// a sharded DB writes the same single-tree snapshot format as an
+// unsharded one.
 func (db *DB) Save(w io.Writer) error {
+	if db.sharded != nil {
+		ks, vs := db.sharded.Dump()
+		tree, err := btree.BulkLoad(db.sharded.Order(), ks, vs)
+		if err != nil {
+			return err
+		}
+		return tree.Save(w)
+	}
 	db.eng.Flush()
-	return db.eng.Processor().Tree().Save(w)
+	return db.single.Processor().Tree().Save(w)
 }
 
 // Load restores a snapshot written by Save into a fresh DB configured
-// by opts (opts.Order <= 0 keeps the snapshot's order).
+// by opts (opts.Order <= 0 keeps the snapshot's order). With
+// opts.Shards > 1 the snapshot is split across the shards by key
+// range.
 func Load(r io.Reader, opts Options) (*DB, error) {
 	tree, err := btree.Load(r, opts.Order)
 	if err != nil {
 		return nil, err
 	}
-	capacity := opts.CacheCapacity
-	if capacity == 0 {
-		capacity = 1 << 16
+	opts.Order = tree.Order()
+	if opts.Shards > 1 {
+		se, err := shard.NewFromTree(shard.Config{
+			Shards: opts.Shards,
+			Engine: opts.engineConfig(),
+			KeyMax: opts.ShardKeyMax,
+		}, tree)
+		if err != nil {
+			return nil, err
+		}
+		return &DB{eng: se, sharded: se, pipelined: opts.Pipeline}, nil
 	}
-	eng, err := core.NewEngineWithTree(core.EngineConfig{
-		Mode: opts.Optimization.mode(),
-		Palm: palm.Config{
-			Order:       tree.Order(),
-			Workers:     opts.Workers,
-			LoadBalance: true,
-		},
-		CacheCapacity: capacity,
-		CachePolicy:   cache.LRU,
-		Pipeline:      opts.Pipeline,
-	}, tree)
+	eng, err := core.NewEngineWithTree(opts.engineConfig(), tree)
 	if err != nil {
 		return nil, err
 	}
-	return &DB{eng: eng, pipelined: opts.Pipeline}, nil
+	return &DB{eng: eng, single: eng, pipelined: opts.Pipeline}, nil
 }
 
 // LastBatchStats exposes the instrumentation of the most recent Run.

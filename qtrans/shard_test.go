@@ -1,0 +1,323 @@
+package qtrans
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/keys"
+	"repro/internal/oracle"
+)
+
+// TestShardedRunMatchesUnsharded: identical batch sequences through a
+// sharded DB (several shard counts) and an unsharded DB produce
+// byte-identical results and final stores.
+func TestShardedRunMatchesUnsharded(t *testing.T) {
+	const span = 256
+	for _, shards := range []int{2, 3, 8} {
+		sharded, err := Open(Options{Order: 8, Workers: 2, CacheCapacity: 32,
+			Shards: shards, ShardKeyMax: span - 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := Open(Options{Order: 8, Workers: 2, CacheCapacity: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		r := rand.New(rand.NewSource(int64(shards)))
+		for batch := 0; batch < 8; batch++ {
+			a, b := NewBatch(), NewBatch()
+			for i := 0; i < 150; i++ {
+				k := Key(r.Intn(span))
+				switch r.Intn(3) {
+				case 0:
+					a.Search(k)
+					b.Search(k)
+				case 1:
+					v := Value(r.Intn(1000))
+					a.Insert(k, v)
+					b.Insert(k, v)
+				default:
+					a.Delete(k)
+					b.Delete(k)
+				}
+			}
+			got := sharded.Run(a)
+			want := plain.Run(b)
+			for pos := 0; pos < 150; pos++ {
+				w, wok := want.Search(pos)
+				g, gok := got.Search(pos)
+				if wok != gok || w != g {
+					t.Fatalf("shards=%d batch %d pos %d: got %+v (%v), want %+v (%v)",
+						shards, batch, pos, g, gok, w, wok)
+				}
+			}
+		}
+		if sl, pl := sharded.Len(), plain.Len(); sl != pl {
+			t.Fatalf("shards=%d: Len %d vs unsharded %d", shards, sl, pl)
+		}
+		if st := sharded.ShardStats(); st == nil || st.RoutedTotal() == 0 {
+			t.Fatalf("shards=%d: ShardStats missing routing counts: %v", shards, st)
+		}
+		if plain.ShardStats() != nil {
+			t.Fatal("unsharded DB reports ShardStats")
+		}
+		sharded.Close()
+		plain.Close()
+	}
+}
+
+// TestShardedStreamConcurrentProducers hammers one sharded, pipelined
+// RunStream with several producer goroutines sharing the input channel
+// (run under -race in CI). Producer key ranges deliberately straddle
+// the shard boundaries: with 3 shards over [0, 400) and 4 producers
+// owning 100-key ranges, every producer's traffic crosses a boundary.
+func TestShardedStreamConcurrentProducers(t *testing.T) {
+	const (
+		producers = 4
+		perProd   = 10
+		span      = 100 // keys per producer
+		batchLen  = 120
+	)
+	db, err := Open(Options{Order: 8, Workers: 2, CacheCapacity: 32,
+		Pipeline: true, Shards: 3, ShardKeyMax: producers*span - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	in := make(chan *Batch)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(p) + 1))
+			base := p * span
+			for b := 0; b < perProd; b++ {
+				batch := NewBatch()
+				for i := 0; i < batchLen; i++ {
+					k := Key(base + r.Intn(span))
+					switch r.Intn(3) {
+					case 0:
+						batch.Search(k)
+					case 1:
+						batch.Insert(k, Value(r.Intn(10000)))
+					default:
+						batch.Delete(k)
+					}
+				}
+				in <- batch
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		close(in)
+	}()
+
+	oracles := make([]*oracle.Oracle, producers)
+	for i := range oracles {
+		oracles[i] = oracle.New()
+	}
+	seen := 0
+	db.RunStream(in, func(b *Batch, res *Results) {
+		p := int(b.qs[0].Key) / span
+		want := keys.NewResultSet(len(b.qs))
+		oracles[p].ApplyAll(b.qs, want)
+		for i := int32(0); i < int32(len(b.qs)); i++ {
+			w, wok := want.Get(i)
+			g, gok := res.rs.Get(i)
+			if wok != gok || w != g {
+				t.Errorf("producer %d batch: idx %d got %+v (%v), want %+v (%v)", p, i, g, gok, w, wok)
+			}
+		}
+		seen++
+	})
+	if seen != producers*perProd {
+		t.Fatalf("emitted %d of %d batches", seen, producers*perProd)
+	}
+
+	want := make(map[Key]Value)
+	for _, o := range oracles {
+		ks, vs := o.Dump()
+		for i := range ks {
+			want[ks[i]] = vs[i]
+		}
+	}
+	got := make(map[Key]Value)
+	db.Scan(func(k Key, v Value) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("final store: %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("final store[%d] = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+// TestShardedRebalanceUnderLoad interleaves Rebalance between batches
+// of a skewed workload and re-verifies every result against the
+// oracle: the partition moves, the semantics must not.
+func TestShardedRebalanceUnderLoad(t *testing.T) {
+	db, err := Open(Options{Order: 8, Workers: 2, CacheCapacity: 16,
+		Shards: 4}) // no ShardKeyMax: worst-case bounds, everything in shard 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	orc := oracle.New()
+	r := rand.New(rand.NewSource(7))
+	rebalances := 0
+	for batch := 0; batch < 12; batch++ {
+		b := NewBatch()
+		// Skewed: hot range drifts with the batch number so each
+		// rebalance's boundaries are stale by the next batch.
+		base := batch * 40
+		for i := 0; i < 100; i++ {
+			k := Key(base + r.Intn(80))
+			switch r.Intn(3) {
+			case 0:
+				b.Search(k)
+			case 1:
+				b.Insert(k, Value(r.Intn(10000)))
+			default:
+				b.Delete(k)
+			}
+		}
+		qs := append([]keys.Query(nil), b.qs...)
+		keys.Number(qs)
+		want := keys.NewResultSet(len(qs))
+		orc.ApplyAll(qs, want)
+
+		got := db.Run(b)
+		for i := int32(0); i < int32(len(qs)); i++ {
+			w, wok := want.Get(i)
+			g, gok := got.rs.Get(i)
+			if wok != gok || w != g {
+				t.Fatalf("batch %d idx %d: got %+v (%v), want %+v (%v)", batch, i, g, gok, w, wok)
+			}
+		}
+
+		if batch%3 == 2 {
+			if _, err := db.Rebalance(); err != nil {
+				t.Fatalf("rebalance after batch %d: %v", batch, err)
+			}
+			rebalances++
+		}
+	}
+
+	if st := db.ShardStats(); st.Rebalances != int64(rebalances) {
+		t.Fatalf("Rebalances = %d, want %d", st.Rebalances, rebalances)
+	}
+	oks, ovs := orc.Dump()
+	if n := db.Len(); n != len(oks) {
+		t.Fatalf("final Len = %d, want %d", n, len(oks))
+	}
+	i := 0
+	db.Scan(func(k Key, v Value) bool {
+		if k != oks[i] || v != ovs[i] {
+			t.Fatalf("scan[%d] = (%d,%d), want (%d,%d)", i, k, v, oks[i], ovs[i])
+		}
+		i++
+		return true
+	})
+
+	// Rebalance on an unsharded DB is a documented no-op.
+	plain, err := Open(Options{Order: 8, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if n, err := plain.Rebalance(); n != 0 || err != nil {
+		t.Fatalf("unsharded Rebalance = %d, %v; want 0, nil", n, err)
+	}
+}
+
+// TestServeSharded runs the online Service over a sharded, pipelined
+// DB with concurrent clients (run under -race in CI): the batcher path
+// must work transparently on top of the shard engine.
+func TestServeSharded(t *testing.T) {
+	db, err := Open(Options{Order: 8, Workers: 2, Shards: 4,
+		ShardKeyMax: 4*1000 + 200, Pipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	svc := db.Serve(ServiceOptions{MaxBatch: 64})
+
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			base := Key(c * 1000)
+			for i := 0; i < 200; i++ {
+				k := base + Key(i)
+				if err := svc.Put(k, Value(i)); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				v, found, err := svc.Get(k)
+				if err != nil || !found || v != Value(i) {
+					t.Errorf("Get(%d) = %d,%v,%v; want %d", k, v, found, err, i)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	svc.Close()
+
+	if n := db.Len(); n != 4*200 {
+		t.Fatalf("Len = %d, want %d", n, 4*200)
+	}
+}
+
+// TestShardedSaveLoad round-trips a snapshot across shard counts: a
+// sharded DB saves the same single-tree format as an unsharded one, and
+// a snapshot can be re-opened with any shard count.
+func TestShardedSaveLoad(t *testing.T) {
+	src, err := Open(Options{Order: 8, Workers: 2, Shards: 3, ShardKeyMax: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatch()
+	for i := 0; i < 300; i++ {
+		b.Insert(Key(i*3), Value(i))
+	}
+	src.Run(b)
+
+	var snap bytes.Buffer
+	if err := src.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	src.Close()
+
+	for _, shards := range []int{0, 2, 8} {
+		db, err := Load(bytes.NewReader(snap.Bytes()), Options{Workers: 2,
+			Shards: shards, ShardKeyMax: 999})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if n := db.Len(); n != 300 {
+			t.Fatalf("shards=%d: Len = %d, want 300", shards, n)
+		}
+		for _, i := range []int{0, 7, 150, 299} {
+			if v, ok := db.Get(Key(i * 3)); !ok || v != Value(i) {
+				t.Fatalf("shards=%d: Get(%d) = %d,%v; want %d", shards, i*3, v, ok, i)
+			}
+		}
+		if _, ok := db.Get(1); ok {
+			t.Fatalf("shards=%d: Get(1) found a key that was never stored", shards)
+		}
+		db.Close()
+	}
+}
