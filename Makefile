@@ -5,9 +5,13 @@
 #   test         full unit/differential suite
 #   race         the concurrency-heavy packages under the race detector
 #                (the pipeline, the PALM BSP stages, the sharded engine,
-#                the facade stream and service hammers)
-#   fuzz-smoke   a 10s run of the shard differential fuzzer (the
+#                the facade stream and service hammers, the WAL syncer,
+#                and the batcher close/submit races)
+#   fuzz-smoke   10s runs of the shard differential fuzzer (the
 #                sharded/serial equivalence property of DESIGN.md §6)
+#                and the crash-recovery fuzzer (the durability property
+#                of DESIGN.md §7: power cut at an arbitrary byte, then
+#                recover to an acked whole-batch prefix)
 #   bench-smoke  one-iteration compile-and-run of the pipeline benchmark
 #                (catches bit-rot in the bench harness without paying
 #                for a measurement)
@@ -28,13 +32,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core ./internal/palm ./internal/shard ./qtrans
+	$(GO) test -race ./internal/core ./internal/palm ./internal/shard ./internal/wal ./internal/batcher ./qtrans
 
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzShardEquivalence -fuzztime=10s ./internal/shard
+	$(GO) test -run=^$$ -fuzz=FuzzCrashRecovery -fuzztime=10s ./qtrans
 
 bench-smoke:
 	$(GO) test -run=XXX -bench=BenchmarkPipeline -benchtime=1x .
+	$(GO) test -run=XXX -bench=BenchmarkDurability -benchtime=1x ./qtrans
 
 # Full benchmark sweep with allocation reporting (not part of ci).
 bench:

@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/btree"
 	"repro/internal/harness"
 	"repro/internal/textplot"
 )
@@ -47,6 +48,21 @@ func run(args []string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *scale <= 0 || *scale > 1 {
+		return fmt.Errorf("-scale %v out of range (0,1]", *scale)
+	}
+	if *workers < 1 {
+		return fmt.Errorf("-workers %d must be >= 1", *workers)
+	}
+	if *order != 0 && *order < btree.MinOrder {
+		return fmt.Errorf("-order %d below minimum %d (0 selects the default)", *order, btree.MinOrder)
+	}
+	if *cacheCap < 0 {
+		return fmt.Errorf("-cache %d must be >= 0", *cacheCap)
+	}
+	if *batches < 0 {
+		return fmt.Errorf("-batches %d must be >= 0 (0 = whole dataset)", *batches)
 	}
 
 	if *list {

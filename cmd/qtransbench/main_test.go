@@ -26,6 +26,30 @@ func TestRunBadFlag(t *testing.T) {
 	}
 }
 
+func TestRunRejectsBadValues(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"zero scale", []string{"-experiment", "table1", "-scale", "0"}},
+		{"negative scale", []string{"-experiment", "table1", "-scale", "-1"}},
+		{"scale above one", []string{"-experiment", "table1", "-scale", "2"}},
+		{"zero workers", []string{"-experiment", "table1", "-workers", "0"}},
+		{"negative workers", []string{"-experiment", "table1", "-workers", "-1"}},
+		{"order below minimum", []string{"-experiment", "table1", "-order", "2"}},
+		{"negative order", []string{"-experiment", "table1", "-order", "-8"}},
+		{"negative cache", []string{"-experiment", "table1", "-cache", "-1"}},
+		{"negative batches", []string{"-experiment", "table1", "-batches", "-3"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := run(tc.args); err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+		})
+	}
+}
+
 func TestRunTinyExperiment(t *testing.T) {
 	// table1 is computation-free; fig4 exercises the generators.
 	if err := run([]string{"-experiment", "table1", "-scale", "0.0001"}); err != nil {

@@ -45,6 +45,27 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *scale <= 0 || *scale > 1 {
+		return fmt.Errorf("-scale %v out of range (0,1]", *scale)
+	}
+	if *u < 0 || *u > 1 {
+		return fmt.Errorf("-u %v out of range [0,1]", *u)
+	}
+	if *workers < 1 {
+		return fmt.Errorf("-workers %d must be >= 1", *workers)
+	}
+	if *batches < 1 {
+		return fmt.Errorf("-batches %d must be >= 1", *batches)
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards %d must be >= 1", *shards)
+	}
+	if *rebal < 0 {
+		return fmt.Errorf("-rebalance %d must be >= 0", *rebal)
+	}
+	if *rebal > 0 && *shards <= 1 {
+		return fmt.Errorf("-rebalance %d needs -shards > 1", *rebal)
+	}
 
 	rn := harness.NewRunner(harness.Options{
 		Scale: *scale, Workers: *workers, Seed: *seed,

@@ -26,3 +26,32 @@ func TestRunBadFlag(t *testing.T) {
 		t.Fatal("bad flag accepted")
 	}
 }
+
+func TestRunRejectsBadValues(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"zero scale", []string{"-scale", "0"}},
+		{"negative scale", []string{"-scale", "-0.5"}},
+		{"scale above one", []string{"-scale", "1.5"}},
+		{"negative u", []string{"-u", "-0.1"}},
+		{"u above one", []string{"-u", "1.1"}},
+		{"zero workers", []string{"-workers", "0"}},
+		{"negative workers", []string{"-workers", "-2"}},
+		{"zero batches", []string{"-batches", "0"}},
+		{"negative batches", []string{"-batches", "-1"}},
+		{"zero shards", []string{"-shards", "0"}},
+		{"negative shards", []string{"-shards", "-4"}},
+		{"negative rebalance", []string{"-rebalance", "-1"}},
+		{"rebalance without shards", []string{"-rebalance", "5"}},
+		{"rebalance with one shard", []string{"-rebalance", "5", "-shards", "1"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := run(tc.args); err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+		})
+	}
+}

@@ -102,7 +102,14 @@ type Batcher struct {
 	pending []keys.Query
 	futures []*Future
 	timer   *time.Timer
-	closed  bool
+	// timerGen guards deadline callbacks against staleness: a fired
+	// callback that lost the race with a flush (or with Close) parks on
+	// mu and would otherwise clear a *newer* timer's handle, causing
+	// spurious early flushes and duplicate armed timers. Every flush and
+	// Close bumps the generation; a callback acts only if its generation
+	// is still current.
+	timerGen uint64
+	closed   bool
 
 	dispatch chan dispatchReq
 	wg       sync.WaitGroup
@@ -245,18 +252,25 @@ func (b *Batcher) Submit(q keys.Query) (*Future, error) {
 	if len(b.pending) >= int(b.batchCap.Load()) {
 		b.flushLocked()
 	} else if b.timer == nil {
-		b.timer = time.AfterFunc(b.cfg.MaxDelay, b.deadline)
+		b.timerGen++
+		gen := b.timerGen
+		b.timer = time.AfterFunc(b.cfg.MaxDelay, func() { b.deadline(gen) })
 	}
 	b.mu.Unlock()
 	return f, nil
 }
 
 // deadline fires when the oldest pending query has waited MaxDelay.
-func (b *Batcher) deadline() {
+// gen identifies the timer that scheduled it; a stale callback (its
+// batch already flushed, or the batcher closed) is a no-op.
+func (b *Batcher) deadline(gen uint64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.closed || gen != b.timerGen {
+		return
+	}
 	b.timer = nil
-	if !b.closed && len(b.pending) > 0 {
+	if len(b.pending) > 0 {
 		b.flushLocked()
 	}
 }
@@ -277,6 +291,7 @@ func (b *Batcher) flushLocked() {
 		b.timer.Stop()
 		b.timer = nil
 	}
+	b.timerGen++ // invalidate any fired-but-not-yet-run deadline
 	req := dispatchReq{qs: b.pending, futs: b.futures}
 	b.pending = nil
 	b.futures = nil
@@ -297,6 +312,13 @@ func (b *Batcher) Close() {
 	if len(b.pending) > 0 {
 		b.flushLocked()
 	}
+	// Defensively stop any armed timer so no callback outlives Close
+	// (flushLocked normally did it, but keep Close self-sufficient).
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	b.timerGen++
 	b.closed = true
 	b.mu.Unlock()
 	close(b.dispatch)

@@ -1,0 +1,150 @@
+package batcher
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/keys"
+)
+
+// TestCloseLeaksNoGoroutines opens and closes many batchers — with
+// armed deadline timers and in-flight batches — and checks the process
+// goroutine count returns to baseline (dispatcher and timer callbacks
+// all released).
+func TestCloseLeaksNoGoroutines(t *testing.T) {
+	eng := newEngine(t)
+	runtime.GC()
+	base := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		b := New(eng, Config{MaxBatch: 1000, MaxDelay: time.Hour})
+		// Arm the deadline timer (batch far below cap) and leave work
+		// in flight at Close.
+		f, err := b.Submit(keys.Insert(keys.Key(i), 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Close()
+		if _, ok := <-f.Done(); ok {
+			t.Fatal("future channel yielded a value")
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d -> %d", base, runtime.NumGoroutine())
+}
+
+// TestCloseWhileSubmitting hammers Submit from many goroutines racing a
+// Close: every future that Submit returned must complete (its batch was
+// dispatched, not dropped), and Submits that lose the race must fail
+// with ErrClosed — never hang, never panic on the closed dispatch
+// channel.
+func TestCloseWhileSubmitting(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		b := New(newEngine(t), Config{MaxBatch: 4, MaxDelay: time.Microsecond})
+		const workers = 8
+		var wg sync.WaitGroup
+		futs := make(chan *Future, workers*64)
+		start := make(chan struct{})
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				<-start
+				for i := 0; ; i++ {
+					f, err := b.Submit(keys.Insert(keys.Key(w*1000+i), keys.Value(i)))
+					if err != nil {
+						if !errors.Is(err, ErrClosed) {
+							t.Errorf("Submit: %v", err)
+						}
+						return
+					}
+					futs <- f
+				}
+			}(w)
+		}
+		close(start)
+		time.Sleep(time.Duration(round%5) * 100 * time.Microsecond)
+		b.Close()
+		wg.Wait()
+		close(futs)
+		done := make(chan struct{})
+		go func() {
+			for f := range futs {
+				f.Get()
+			}
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("a returned future never completed after Close")
+		}
+	}
+}
+
+// TestConcurrentClose verifies double and concurrent Close are safe and
+// all of them return only after the dispatcher has drained.
+func TestConcurrentClose(t *testing.T) {
+	b := New(newEngine(t), Config{MaxBatch: 8, MaxDelay: time.Hour})
+	var futs []*Future
+	for i := 0; i < 20; i++ {
+		f, err := b.Submit(keys.Insert(keys.Key(i), keys.Value(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.Close()
+		}()
+	}
+	wg.Wait()
+	for i, f := range futs {
+		select {
+		case <-f.Done():
+		default:
+			t.Fatalf("future %d incomplete after Close returned", i)
+		}
+	}
+	if _, err := b.Submit(keys.Search(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: %v", err)
+	}
+	b.Close() // idempotent
+}
+
+// TestStaleDeadlineDoesNotDisturbNewTimer pins the timer-generation
+// fix: a deadline callback that fired for an already-flushed batch must
+// not clear the live timer of the next batch (which would orphan it and
+// strand its queries until some later Submit flushes incidentally).
+func TestStaleDeadlineDoesNotDisturbNewTimer(t *testing.T) {
+	b := New(newEngine(t), Config{MaxBatch: 2, MaxDelay: 20 * time.Millisecond})
+	defer b.Close()
+	// Batch 1 flushes by size the moment the deadline is about to fire,
+	// racing the callback against flushLocked.
+	b.Submit(keys.Insert(1, 1))
+	time.Sleep(19 * time.Millisecond)
+	b.Submit(keys.Insert(2, 2))
+	// Batch 2: a single query that only the (new) deadline can flush.
+	f, err := b.Submit(keys.Insert(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-f.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("query stranded: its deadline timer was cleared by a stale callback")
+	}
+}

@@ -1,0 +1,48 @@
+package btree
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+// TestLoadRejectsCorruption flips every single byte of a small snapshot
+// (and tries every truncation length) and demands that Load reports an
+// error rather than silently producing a wrong tree. This is the
+// regression lock for the pre-checksum format, which validated only the
+// magic bytes.
+func TestLoadRejectsCorruption(t *testing.T) {
+	tr, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		tr.Insert(keys.Key(i*3+1), keys.Value(i*7))
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.Bytes()
+
+	if _, err := Load(bytes.NewReader(snap), 0); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+
+	for off := 0; off < len(snap); off++ {
+		for _, flip := range []byte{0x01, 0xFF} {
+			mut := append([]byte(nil), snap...)
+			mut[off] ^= flip
+			if _, err := Load(bytes.NewReader(mut), 0); err == nil {
+				t.Fatalf("snapshot with byte %d xor %#x accepted", off, flip)
+			}
+		}
+	}
+
+	for n := 0; n < len(snap); n++ {
+		if _, err := Load(bytes.NewReader(snap[:n]), 0); err == nil {
+			t.Fatalf("snapshot truncated to %d/%d bytes accepted", n, len(snap))
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 
 	"repro/internal/keys"
@@ -11,15 +13,35 @@ import (
 
 // Snapshot format (little-endian):
 //
-//	magic   [4]byte  "QBT1"
+//	magic   [4]byte  "QBT2"
 //	order   uint32
 //	count   uint64
 //	pairs   count × { key uint64, value uint64 }  (ascending keys)
+//	crc     uint32   CRC32C over order..pairs (everything after magic)
 //
 // Only the key-value contents are stored; Load rebuilds node structure
 // with the bulk loader, which produces an equivalent (validated) tree.
+// The trailing checksum means a truncated or bit-flipped snapshot is
+// reported as an error instead of silently loading a wrong tree
+// (load_corruption_test.go corrupts every byte offset and demands so).
 
-var snapshotMagic = [4]byte{'Q', 'B', 'T', '1'}
+var snapshotMagic = [4]byte{'Q', 'B', 'T', '2'}
+
+// castagnoli is the CRC32C table shared by every persisted format in
+// this repository (snapshots, traces, WAL records).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// crcWriter tees writes into a running CRC32C.
+type crcWriter struct {
+	w   io.Writer
+	sum hash.Hash32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.sum.Write(p[:n])
+	return n, err
+}
 
 // Save writes a snapshot of the tree's contents.
 func (t *Tree) Save(w io.Writer) error {
@@ -27,10 +49,11 @@ func (t *Tree) Save(w io.Writer) error {
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
 		return fmt.Errorf("btree: save magic: %w", err)
 	}
+	cw := &crcWriter{w: bw, sum: crc32.New(castagnoli)}
 	var hdr [12]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(t.order))
 	binary.LittleEndian.PutUint64(hdr[4:12], uint64(t.size))
-	if _, err := bw.Write(hdr[:]); err != nil {
+	if _, err := cw.Write(hdr[:]); err != nil {
 		return fmt.Errorf("btree: save header: %w", err)
 	}
 	var rec [16]byte
@@ -38,7 +61,7 @@ func (t *Tree) Save(w io.Writer) error {
 	t.Scan(func(k keys.Key, v keys.Value) bool {
 		binary.LittleEndian.PutUint64(rec[0:8], uint64(k))
 		binary.LittleEndian.PutUint64(rec[8:16], uint64(v))
-		if _, err := bw.Write(rec[:]); err != nil {
+		if _, err := cw.Write(rec[:]); err != nil {
 			saveErr = fmt.Errorf("btree: save pair: %w", err)
 			return false
 		}
@@ -47,12 +70,18 @@ func (t *Tree) Save(w io.Writer) error {
 	if saveErr != nil {
 		return saveErr
 	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], cw.sum.Sum32())
+	if _, err := bw.Write(tail[:]); err != nil {
+		return fmt.Errorf("btree: save checksum: %w", err)
+	}
 	return bw.Flush()
 }
 
 // Load reconstructs a tree from a snapshot written by Save. order <= 0
 // keeps the snapshot's recorded order; otherwise the tree is rebuilt
-// at the given order (snapshots are order-portable).
+// at the given order (snapshots are order-portable). Load verifies the
+// checksum trailer and fails on any truncation or corruption.
 func Load(r io.Reader, order int) (*Tree, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var m [4]byte
@@ -62,10 +91,12 @@ func Load(r io.Reader, order int) (*Tree, error) {
 	if m != snapshotMagic {
 		return nil, fmt.Errorf("btree: bad snapshot magic %q", m)
 	}
+	sum := crc32.New(castagnoli)
 	var hdr [12]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("btree: load header: %w", err)
 	}
+	sum.Write(hdr[:])
 	savedOrder := int(binary.LittleEndian.Uint32(hdr[0:4]))
 	count := binary.LittleEndian.Uint64(hdr[4:12])
 	if order <= 0 {
@@ -87,6 +118,7 @@ func Load(r io.Reader, order int) (*Tree, error) {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
 			return nil, fmt.Errorf("btree: load pair %d: %w", i, err)
 		}
+		sum.Write(rec[:])
 		k := keys.Key(binary.LittleEndian.Uint64(rec[0:8]))
 		if i > 0 && k <= prev {
 			return nil, fmt.Errorf("btree: snapshot keys not ascending at pair %d", i)
@@ -94,6 +126,13 @@ func Load(r io.Reader, order int) (*Tree, error) {
 		prev = k
 		ks = append(ks, k)
 		vs = append(vs, keys.Value(binary.LittleEndian.Uint64(rec[8:16])))
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(br, tail[:]); err != nil {
+		return nil, fmt.Errorf("btree: load checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(tail[:]); got != sum.Sum32() {
+		return nil, fmt.Errorf("btree: snapshot checksum mismatch (stored %08x, computed %08x)", got, sum.Sum32())
 	}
 	return BulkLoad(order, ks, vs)
 }

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/keys"
+)
+
+// Committer is the durability hook (DESIGN.md §7): when set, every
+// batch's post-QSAT surviving queries are handed to CommitBatch *before*
+// any of the batch's effects reach tree or cache (append-then-apply).
+// The intra-batch transform is independent of tree and cache state, so
+// the surviving queries alone determine the batch's state effect —
+// replaying them into a recovered engine reproduces it exactly.
+//
+// A non-nil error from CommitBatch poisons the engine: the failing batch
+// and every later one are dropped without being applied (state never
+// runs ahead of the log), and CommitErr reports the failure.
+type Committer interface {
+	CommitBatch(qs []keys.Query) error
+}
+
+// CommitterFunc adapts a function to the Committer interface.
+type CommitterFunc func(qs []keys.Query) error
+
+// CommitBatch calls f.
+func (f CommitterFunc) CommitBatch(qs []keys.Query) error { return f(qs) }
+
+// SetCommitter installs (or, with nil, removes) the durability hook.
+// Must not be called while batches are in flight.
+func (e *Engine) SetCommitter(c Committer) { e.committer = c }
+
+// SetGate installs the scheduling gate: each batch application holds
+// gate.RLock for its full tree/cache effect, so a writer (snapshot)
+// acquiring gate.Lock observes the engine exactly at a batch boundary.
+// Must not be called while batches are in flight.
+func (e *Engine) SetGate(gate *sync.RWMutex) { e.gate = gate }
+
+// CommitErr reports the sticky commit failure, if any. Once set, every
+// subsequent batch is dropped unapplied.
+func (e *Engine) CommitErr() error { return e.commitErr }
+
+// commit runs the durability hook for one batch's surviving queries.
+// It reports whether the batch may be applied.
+func (e *Engine) commit(qs []keys.Query) bool {
+	if e.commitErr != nil {
+		return false
+	}
+	if e.committer == nil {
+		return true
+	}
+	if err := e.committer.CommitBatch(qs); err != nil {
+		e.commitErr = err
+		return false
+	}
+	return true
+}

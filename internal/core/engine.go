@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/bsp"
 	"repro/internal/btree"
@@ -99,6 +100,11 @@ type Engine struct {
 	// ProcessStream call; see pipeline.go).
 	tfPool *bsp.Pool
 	slots  []*pipeSlot
+
+	// Durability hooks (nil/zero when durability is off; see commit.go).
+	committer Committer
+	commitErr error
+	gate      *sync.RWMutex
 }
 
 type flushState struct {
@@ -170,6 +176,11 @@ func (e *Engine) Mode() Mode { return e.cfg.Mode }
 
 // ProcessBatch evaluates one batch, writing search results into rs
 // (which must have been Reset to len(qs)). qs is reordered in place.
+//
+// With a Committer installed, the batch's surviving queries are logged
+// before any effect reaches tree or cache; a commit failure drops the
+// batch (rs contents are then unspecified) and poisons the engine — see
+// CommitErr.
 func (e *Engine) ProcessBatch(qs []keys.Query, rs *keys.ResultSet) {
 	e.st.Reset()
 	e.st.BatchSize = len(qs)
@@ -177,7 +188,17 @@ func (e *Engine) ProcessBatch(qs []keys.Query, rs *keys.ResultSet) {
 		return
 	}
 
+	if e.gate != nil {
+		e.gate.RLock()
+		defer e.gate.RUnlock()
+	}
+
 	if e.cfg.Mode == Original {
+		// Original mode has no QSAT: the whole (pre-sort) batch is its
+		// own surviving set.
+		if !e.commit(qs) {
+			return
+		}
 		e.proc.ProcessBatch(qs, rs)
 		e.mergeProcStats(e.st)
 		e.st.RemainingQueries = len(qs)
@@ -189,6 +210,11 @@ func (e *Engine) ProcessBatch(qs []keys.Query, rs *keys.ResultSet) {
 		remaining = e.tf.TransformSim(qs, rs, e.st)
 	} else {
 		remaining = e.tf.Transform(qs, rs, e.st)
+	}
+
+	// Commit point: after QSAT, before the cache pass mutates anything.
+	if !e.commit(remaining) {
+		return
 	}
 
 	if e.topK != nil {

@@ -182,7 +182,18 @@ func (e *Engine) treeStage(slot *pipeSlot) {
 		return
 	}
 
+	// Batch application: gate + commit point, exactly as in
+	// ProcessBatch. treeStage runs strictly in batch order, so commits
+	// are logged in arrival order even though transforms overlap.
+	if e.gate != nil {
+		e.gate.RLock()
+		defer e.gate.RUnlock()
+	}
+
 	if e.cfg.Mode == Original {
+		if !e.commit(job.Qs) {
+			return
+		}
 		e.st.RemainingQueries = len(job.Qs)
 		e.proc.ProcessBatchSorted(job.Qs, job.RS)
 		e.mergeProcStats(e.st)
@@ -190,6 +201,9 @@ func (e *Engine) treeStage(slot *pipeSlot) {
 	}
 
 	remaining := slot.remaining
+	if !e.commit(remaining) {
+		return
+	}
 	if e.topK != nil {
 		sw := e.st.Timer(stats.StageCache)
 		remaining = e.cachePass(remaining, job.RS, &slot.tf.Router, e.st)

@@ -1,0 +1,321 @@
+// Package faultfs is the fault-injection filesystem behind the crash
+// recovery proof (DESIGN.md §7): an in-memory wal.FS whose writes can
+// fail, short-write, and power-cut at the Nth byte, and which models
+// the volatile page cache — bytes written but not fsynced may or may
+// not survive a crash, decided per file when the crash happens.
+//
+// Lifecycle in a test:
+//
+//	fs := faultfs.New()
+//	fs.CutAfter(n)          // arm: the write crossing byte n is short-
+//	                        // written and every operation after fails
+//	... run the engine; at some point writes start failing ...
+//	fs.Crash(seed)          // power cut: each file keeps its durable
+//	                        // (synced) bytes plus a seed-chosen prefix
+//	                        // of its unsynced tail; faults are disarmed
+//	... recover from the same fs and check the survivor state ...
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/wal"
+)
+
+// ErrPowerCut is returned by every operation once the byte budget is
+// exhausted — the moment of the simulated power failure.
+var ErrPowerCut = errors.New("faultfs: power cut")
+
+// FS is an in-memory filesystem with fault injection. It implements
+// wal.FS. Safe for concurrent use.
+type FS struct {
+	mu      sync.Mutex
+	files   map[string]*node
+	budget  int64 // data bytes until the cut; < 0 = unlimited
+	armed   bool
+	tripped bool
+
+	// stats
+	writes int
+	syncs  int
+}
+
+// node is one file: synced (durable) content plus the unsynced tail
+// still sitting in the "page cache".
+type node struct {
+	durable  []byte
+	volatile []byte
+}
+
+// New returns an empty, unarmed FS.
+func New() *FS {
+	return &FS{files: make(map[string]*node), budget: -1}
+}
+
+// CutAfter arms the power cut: after n more data bytes have been
+// written, the write in progress is short-written and every subsequent
+// operation fails with ErrPowerCut.
+func (f *FS) CutAfter(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.budget = n
+	f.armed = true
+	f.tripped = false
+}
+
+// Tripped reports whether the power cut has fired.
+func (f *FS) Tripped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tripped
+}
+
+// Stats reports how many writes and syncs the FS has served.
+func (f *FS) Stats() (writes, syncs int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes, f.syncs
+}
+
+// Crash simulates the machine going down and coming back: for every
+// file, the synced content survives and a seed-chosen prefix of the
+// unsynced tail may survive with it (the kernel flushes dirty pages in
+// arbitrary order — any per-file prefix split is a real outcome).
+// Afterwards the FS is fully usable again (faults disarmed).
+func (f *FS) Crash(seed int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, 0, len(f.files))
+	for name := range f.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := f.files[name]
+		if len(n.volatile) > 0 {
+			keep := rng.Intn(len(n.volatile) + 1)
+			n.durable = append(n.durable, n.volatile[:keep]...)
+		}
+		n.volatile = nil
+	}
+	f.budget = -1
+	f.armed = false
+	f.tripped = false
+}
+
+// SyncAll makes every file's pending writes durable (a convenience for
+// tests that want a clean baseline before arming faults).
+func (f *FS) SyncAll() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, n := range f.files {
+		n.durable = append(n.durable, n.volatile...)
+		n.volatile = nil
+	}
+}
+
+func (f *FS) checkLocked() error {
+	if f.tripped {
+		return ErrPowerCut
+	}
+	return nil
+}
+
+func clean(name string) string { return filepath.Clean(name) }
+
+// Create truncates/creates name for writing.
+func (f *FS) Create(name string) (wal.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.checkLocked(); err != nil {
+		return nil, err
+	}
+	name = clean(name)
+	n := &node{}
+	f.files[name] = n
+	return &file{fs: f, name: name, n: n, writable: true}, nil
+}
+
+// Open opens name for reading; the reader sees the file's current
+// content (durable + pending) at open time.
+func (f *FS) Open(name string) (wal.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	name = clean(name)
+	n, ok := f.files[name]
+	if !ok {
+		return nil, fmt.Errorf("faultfs: open %s: file does not exist", name)
+	}
+	snap := make([]byte, 0, len(n.durable)+len(n.volatile))
+	snap = append(snap, n.durable...)
+	snap = append(snap, n.volatile...)
+	return &file{fs: f, name: name, r: bytes.NewReader(snap)}, nil
+}
+
+// Rename replaces newname with oldname (metadata updates are modeled as
+// immediately durable).
+func (f *FS) Rename(oldname, newname string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.checkLocked(); err != nil {
+		return err
+	}
+	oldname, newname = clean(oldname), clean(newname)
+	n, ok := f.files[oldname]
+	if !ok {
+		return fmt.Errorf("faultfs: rename %s: file does not exist", oldname)
+	}
+	f.files[newname] = n
+	delete(f.files, oldname)
+	return nil
+}
+
+// Remove deletes name.
+func (f *FS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.checkLocked(); err != nil {
+		return err
+	}
+	name = clean(name)
+	if _, ok := f.files[name]; !ok {
+		return fmt.Errorf("faultfs: remove %s: file does not exist", name)
+	}
+	delete(f.files, name)
+	return nil
+}
+
+// Truncate shortens name to size bytes.
+func (f *FS) Truncate(name string, size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.checkLocked(); err != nil {
+		return err
+	}
+	name = clean(name)
+	n, ok := f.files[name]
+	if !ok {
+		return fmt.Errorf("faultfs: truncate %s: file does not exist", name)
+	}
+	total := len(n.durable) + len(n.volatile)
+	if size < 0 || size > int64(total) {
+		return fmt.Errorf("faultfs: truncate %s to %d (size %d)", name, size, total)
+	}
+	if size <= int64(len(n.durable)) {
+		n.durable = n.durable[:size]
+		n.volatile = nil
+	} else {
+		n.volatile = n.volatile[:size-int64(len(n.durable))]
+	}
+	return nil
+}
+
+// MkdirAll is a no-op (the FS is flat; List filters by directory).
+func (f *FS) MkdirAll(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.checkLocked()
+}
+
+// List returns the file names directly inside dir, sorted.
+func (f *FS) List(dir string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	dir = clean(dir)
+	var names []string
+	for name := range f.files {
+		d, base := filepath.Split(name)
+		if clean(d) == dir && !strings.Contains(base, "/") {
+			names = append(names, base)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Content returns name's current visible content (tests).
+func (f *FS) Content(name string) ([]byte, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, ok := f.files[clean(name)]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, 0, len(n.durable)+len(n.volatile))
+	out = append(out, n.durable...)
+	return append(out, n.volatile...), true
+}
+
+// file is one open handle.
+type file struct {
+	fs       *FS
+	name     string
+	n        *node
+	r        *bytes.Reader
+	writable bool
+	closed   bool
+}
+
+func (h *file) Read(p []byte) (int, error) {
+	if h.r == nil {
+		return 0, fmt.Errorf("faultfs: %s not open for reading", h.name)
+	}
+	return h.r.Read(p)
+}
+
+func (h *file) Write(p []byte) (int, error) {
+	if !h.writable {
+		return 0, fmt.Errorf("faultfs: %s not open for writing", h.name)
+	}
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.checkLocked(); err != nil {
+		return 0, err
+	}
+	h.fs.writes++
+	if h.fs.armed && h.fs.budget >= 0 && int64(len(p)) > h.fs.budget {
+		// The write crossing the cut is short-written; the cut fires.
+		keep := int(h.fs.budget)
+		h.n.volatile = append(h.n.volatile, p[:keep]...)
+		h.fs.budget = 0
+		h.fs.tripped = true
+		return keep, ErrPowerCut
+	}
+	h.n.volatile = append(h.n.volatile, p...)
+	if h.fs.armed {
+		h.fs.budget -= int64(len(p))
+	}
+	return len(p), nil
+}
+
+func (h *file) Sync() error {
+	if !h.writable {
+		return nil
+	}
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.checkLocked(); err != nil {
+		return err
+	}
+	h.fs.syncs++
+	h.n.durable = append(h.n.durable, h.n.volatile...)
+	h.n.volatile = nil
+	return nil
+}
+
+func (h *file) Close() error {
+	h.closed = true
+	return nil
+}
+
+var _ wal.FS = (*FS)(nil)
+var _ io.Reader = (*file)(nil)

@@ -1,0 +1,168 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+func write(t *testing.T, fs *FS, name, data string, sync bool) {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(data)); err != nil {
+		t.Fatal(err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+}
+
+func TestDurableVsVolatile(t *testing.T) {
+	fs := New()
+	write(t, fs, "d/a", "synced", true)
+	f, _ := fs.Create("d/b")
+	f.Write([]byte("never-synced"))
+	f.Close()
+
+	// Crash with a seed whose first Intn(13) draw we don't control —
+	// but "d/a" must always survive intact and "d/b" must come back as
+	// some prefix of what was written.
+	fs.Crash(42)
+	got, ok := fs.Content("d/a")
+	if !ok || string(got) != "synced" {
+		t.Fatalf("durable file lost: %q %v", got, ok)
+	}
+	b, ok := fs.Content("d/b")
+	if !ok {
+		t.Fatal("volatile file node vanished")
+	}
+	if len(b) > len("never-synced") || string(b) != "never-synced"[:len(b)] {
+		t.Fatalf("volatile survivor %q is not a prefix", b)
+	}
+}
+
+func TestCutAfterShortWrites(t *testing.T) {
+	fs := New()
+	f, _ := fs.Create("x")
+	fs.CutAfter(4)
+	n, err := f.Write([]byte("abcdefgh"))
+	if n != 4 || !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("crossing write: n=%d err=%v", n, err)
+	}
+	if !fs.Tripped() {
+		t.Fatal("cut did not trip")
+	}
+	// Every subsequent operation fails until Crash.
+	if _, err := f.Write([]byte("z")); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("post-cut write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("post-cut sync: %v", err)
+	}
+	if _, err := fs.Create("y"); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("post-cut create: %v", err)
+	}
+	if err := fs.Rename("x", "w"); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("post-cut rename: %v", err)
+	}
+	fs.Crash(0)
+	// Disarmed and usable again; the short-written prefix may survive.
+	write(t, fs, "x2", "ok", true)
+	got, _ := fs.Content("x2")
+	if string(got) != "ok" {
+		t.Fatalf("post-crash write: %q", got)
+	}
+	x, _ := fs.Content("x")
+	if len(x) > 4 || string(x) != "abcd"[:len(x)] {
+		t.Fatalf("short-written survivor %q", x)
+	}
+}
+
+func TestBudgetCountsAcrossFiles(t *testing.T) {
+	fs := New()
+	a, _ := fs.Create("a")
+	b, _ := fs.Create("b")
+	fs.CutAfter(6)
+	if _, err := a.Write([]byte("1234")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := b.Write([]byte("5678")) // crosses at 2 remaining
+	if n != 2 || !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestOpenSnapshotsContent(t *testing.T) {
+	fs := New()
+	write(t, fs, "f", "hello", false)
+	r, err := fs.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writes after open are invisible to this handle.
+	w, _ := fs.Create("g")
+	w.Write([]byte("x"))
+	got, _ := io.ReadAll(r)
+	if string(got) != "hello" {
+		t.Fatalf("read %q", got)
+	}
+	r.Close()
+	if _, err := fs.Open("missing"); err == nil {
+		t.Fatal("open of missing file succeeded")
+	}
+}
+
+func TestRenameRemoveTruncateList(t *testing.T) {
+	fs := New()
+	write(t, fs, "d/one", "aaaa", true)
+	write(t, fs, "d/two", "bb", false)
+	write(t, fs, "other/x", "c", true)
+	names, err := fs.List("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "one" || names[1] != "two" {
+		t.Fatalf("List(d) = %v", names)
+	}
+	if err := fs.Rename("d/one", "d/uno"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fs.Content("d/one"); ok {
+		t.Fatal("old name still present after rename")
+	}
+	if got, _ := fs.Content("d/uno"); string(got) != "aaaa" {
+		t.Fatalf("renamed content %q", got)
+	}
+	// Truncate across the durable/volatile boundary.
+	if err := fs.Truncate("d/two", 1); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.Content("d/two"); string(got) != "b" {
+		t.Fatalf("truncated content %q", got)
+	}
+	if err := fs.Truncate("d/two", 5); err == nil {
+		t.Fatal("truncate past end succeeded")
+	}
+	if err := fs.Remove("d/uno"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("d/uno"); err == nil {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func TestStats(t *testing.T) {
+	fs := New()
+	write(t, fs, "a", "x", true)
+	write(t, fs, "b", "y", true)
+	w, s := fs.Stats()
+	if w != 2 || s != 2 {
+		t.Fatalf("stats = %d writes %d syncs", w, s)
+	}
+}

@@ -67,6 +67,13 @@ type Engine struct {
 
 	// stream state (stream.go)
 	lendRS *keys.ResultSet
+
+	// Durability hooks (nil/zero when durability is off; see commit.go).
+	committer GroupCommitter
+	partCs    []*partCommitter
+	cmu       sync.Mutex // guards commitErr (merge loop vs. shard commits)
+	commitErr error
+	gate      *sync.RWMutex
 }
 
 // New builds a sharded engine of cfg.Shards partitions.
@@ -238,8 +245,20 @@ func (e *Engine) ProcessBatch(qs []keys.Query, rs *keys.ResultSet) {
 		return
 	}
 
+	// The gate spans the whole batch application — split, every shard's
+	// sub-batch, merge — so a snapshot never observes a half-applied
+	// batch (see commit.go).
+	if e.gate != nil {
+		e.gate.RLock()
+		defer e.gate.RUnlock()
+	}
+	if e.committer != nil && e.groupErr() != nil {
+		return // poisoned: drop unapplied
+	}
+
 	e.sp.split(qs)
 	e.recordRouting(e.sp)
+	lsn := e.beginCommit(e.sp)
 
 	if s := e.sp.sole; s >= 0 {
 		// Partial batch: one shard owns every query, so its engine can
@@ -248,6 +267,7 @@ func (e *Engine) ProcessBatch(qs []keys.Query, rs *keys.ResultSet) {
 		e.shards[s].ProcessBatch(qs, rs)
 		e.st.Reset()
 		e.shards[s].Stats().AddTo(e.st)
+		e.endCommit(lsn, e.sp)
 		return
 	}
 
@@ -273,6 +293,7 @@ func (e *Engine) ProcessBatch(qs []keys.Query, rs *keys.ResultSet) {
 			e.shards[s].Stats().AddTo(e.st)
 		}
 	}
+	e.endCommit(lsn, e.sp)
 }
 
 // recordRouting folds one split's routing into the shard counters.

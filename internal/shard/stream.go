@@ -35,6 +35,9 @@ type streamJob struct {
 	subs  []core.Job
 	subRS []*keys.ResultSet
 	wg    sync.WaitGroup
+	// lsn is the batch's reserved commit LSN (0 = durability off or
+	// empty batch); the merge loop seals it with the commit marker.
+	lsn uint64
 }
 
 func (e *Engine) newStreamJob() *streamJob {
@@ -90,8 +93,26 @@ func (e *Engine) ProcessStream(in <-chan *core.Job, emit func(*core.Job)) {
 		for job := range in {
 			sj := <-free
 			sj.job = job
+			// Gate held per job from dispatch until its merge completes
+			// (RLock here, RUnlock in the merge loop — legal for a
+			// counted RWMutex): a snapshot writer waits for every
+			// in-flight job and blocks new dispatches.
+			if e.gate != nil {
+				e.gate.RLock()
+			}
 			sj.sp.split(job.Qs)
 			e.recordRouting(sj.sp)
+			sj.lsn = e.beginCommit(sj.sp)
+			if e.committer != nil && sj.lsn == 0 && len(job.Qs) > 0 {
+				// Poisoned group: no LSN was reserved (and nothing
+				// queued at the shards), so the batch must be dropped
+				// unapplied — dispatching would desynchronize the
+				// per-shard LSN queues. The job still flows through the
+				// merge loop for ordering; its results are unspecified,
+				// matching the ProcessBatch drop path.
+				ordered <- sj
+				continue
+			}
 			for s := 0; s < n; s++ {
 				sub := sj.sp.subs[s]
 				if len(sub) == 0 {
@@ -115,6 +136,10 @@ func (e *Engine) ProcessStream(in <-chan *core.Job, emit func(*core.Job)) {
 	}
 	for sj := range ordered {
 		sj.wg.Wait()
+		// All parts are logged (each shard commits before it applies);
+		// the merge loop runs in arrival order, so markers are sealed in
+		// arrival order too.
+		e.endCommit(sj.lsn, sj.sp)
 		job := sj.job
 		sj.job = nil
 		if job.RS == nil {
@@ -125,6 +150,9 @@ func (e *Engine) ProcessStream(in <-chan *core.Job, emit func(*core.Job)) {
 		emit(job)
 		// Ownership returns to the caller at emit; no accesses past it.
 		free <- sj
+		if e.gate != nil {
+			e.gate.RUnlock()
+		}
 	}
 	shardWG.Wait()
 }

@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+// TestReadRejectsCorruption flips every byte of a small trace (and
+// tries every truncation) and demands an error — the pre-checksum
+// format accepted bit-flipped payloads silently.
+func TestReadRejectsCorruption(t *testing.T) {
+	qs := []keys.Query{
+		keys.Insert(10, 1),
+		keys.Search(10),
+		keys.Delete(3),
+		keys.Insert(999, 42),
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, qs); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	if _, err := Read(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("pristine trace rejected: %v", err)
+	}
+
+	for off := 0; off < len(raw); off++ {
+		for _, flip := range []byte{0x01, 0xFF} {
+			mut := append([]byte(nil), raw...)
+			mut[off] ^= flip
+			if _, err := Read(bytes.NewReader(mut)); err == nil {
+				t.Fatalf("trace with byte %d xor %#x accepted", off, flip)
+			}
+		}
+	}
+
+	for n := 0; n < len(raw); n++ {
+		if _, err := Read(bytes.NewReader(raw[:n])); err == nil {
+			t.Fatalf("trace truncated to %d/%d bytes accepted", n, len(raw))
+		}
+	}
+}

@@ -3,19 +3,27 @@ package trace
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/keys"
 )
 
 // FuzzRead feeds arbitrary bytes to the trace decoder: it must either
 // decode cleanly or return an error — never panic or over-allocate.
 func FuzzRead(f *testing.F) {
 	// Valid empty trace.
-	f.Add([]byte("QTR1\x00\x00\x00\x00\x00\x00\x00\x00"))
+	var empty bytes.Buffer
+	if err := Write(&empty, nil); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
 	// Valid one-record trace.
 	var buf bytes.Buffer
-	buf.WriteString("QTR1")
-	buf.Write([]byte{1, 0, 0, 0, 0, 0, 0, 0})
-	buf.Write([]byte{1, 7, 0, 0, 0, 0, 0, 0, 0, 9, 0, 0, 0, 0, 0, 0, 0})
+	if err := Write(&buf, []keys.Query{keys.Insert(7, 9)}); err != nil {
+		f.Fatal(err)
+	}
 	f.Add(buf.Bytes())
+	// Pre-checksum format (must now be rejected, not mis-read).
+	f.Add([]byte("QTR1\x00\x00\x00\x00\x00\x00\x00\x00"))
 	// Garbage.
 	f.Add([]byte("not a trace at all"))
 	f.Add([]byte{})

@@ -5,17 +5,21 @@
 //
 // Binary format (little-endian):
 //
-//	magic   [4]byte  "QTR1"
+//	magic   [4]byte  "QTR2"
 //	count   uint64
 //	records count × { op uint8, key uint64, value uint64 }
+//	crc     uint32   CRC32C over count..records (everything after magic)
 //
-// Query indices are not stored; Load renumbers 0..n-1.
+// Query indices are not stored; Load renumbers 0..n-1. The trailing
+// checksum makes truncated or bit-flipped traces an error instead of a
+// silently wrong workload.
 package trace
 
 import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"strconv"
 	"strings"
@@ -23,7 +27,9 @@ import (
 	"repro/internal/keys"
 )
 
-var magic = [4]byte{'Q', 'T', 'R', '1'}
+var magic = [4]byte{'Q', 'T', 'R', '2'}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Write serializes a query sequence.
 func Write(w io.Writer, qs []keys.Query) error {
@@ -31,8 +37,10 @@ func Write(w io.Writer, qs []keys.Query) error {
 	if _, err := bw.Write(magic[:]); err != nil {
 		return fmt.Errorf("trace: write magic: %w", err)
 	}
+	sum := crc32.New(castagnoli)
 	var hdr [8]byte
 	binary.LittleEndian.PutUint64(hdr[:], uint64(len(qs)))
+	sum.Write(hdr[:])
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return fmt.Errorf("trace: write count: %w", err)
 	}
@@ -41,9 +49,15 @@ func Write(w io.Writer, qs []keys.Query) error {
 		rec[0] = byte(qs[i].Op)
 		binary.LittleEndian.PutUint64(rec[1:9], uint64(qs[i].Key))
 		binary.LittleEndian.PutUint64(rec[9:17], uint64(qs[i].Value))
+		sum.Write(rec[:])
 		if _, err := bw.Write(rec[:]); err != nil {
 			return fmt.Errorf("trace: write record %d: %w", i, err)
 		}
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], sum.Sum32())
+	if _, err := bw.Write(tail[:]); err != nil {
+		return fmt.Errorf("trace: write checksum: %w", err)
 	}
 	return bw.Flush()
 }
@@ -59,10 +73,12 @@ func Read(r io.Reader) ([]keys.Query, error) {
 	if m != magic {
 		return nil, fmt.Errorf("trace: bad magic %q", m)
 	}
+	sum := crc32.New(castagnoli)
 	var hdr [8]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: read count: %w", err)
 	}
+	sum.Write(hdr[:])
 	count := binary.LittleEndian.Uint64(hdr[:])
 	const maxCount = 1 << 31
 	if count > maxCount {
@@ -81,6 +97,7 @@ func Read(r io.Reader) ([]keys.Query, error) {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
 			return nil, fmt.Errorf("trace: read record %d: %w", i, err)
 		}
+		sum.Write(rec[:])
 		op := keys.Op(rec[0])
 		if op != keys.OpSearch && op != keys.OpInsert && op != keys.OpDelete {
 			return nil, fmt.Errorf("trace: record %d has invalid op %d", i, rec[0])
@@ -91,6 +108,13 @@ func Read(r io.Reader) ([]keys.Query, error) {
 			Value: keys.Value(binary.LittleEndian.Uint64(rec[9:17])),
 			Idx:   int32(i),
 		})
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(br, tail[:]); err != nil {
+		return nil, fmt.Errorf("trace: read checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(tail[:]); got != sum.Sum32() {
+		return nil, fmt.Errorf("trace: checksum mismatch (stored %08x, computed %08x)", got, sum.Sum32())
 	}
 	return qs, nil
 }

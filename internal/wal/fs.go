@@ -1,0 +1,75 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the filesystem surface the WAL and snapshot machinery uses. It
+// exists so fault-injection tests (internal/faultfs) can interpose on
+// every write, sync, and rename the durability layer performs; the
+// default implementation is the real OS filesystem.
+type FS interface {
+	// Create truncates/creates name for writing.
+	Create(name string) (File, error)
+	// Open opens name for reading.
+	Open(name string) (File, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Truncate shortens name to size bytes.
+	Truncate(name string, size int64) error
+	// MkdirAll ensures dir (and parents) exist.
+	MkdirAll(dir string) error
+	// List returns the file names (not paths) inside dir, sorted.
+	List(dir string) ([]string, error)
+}
+
+// File is one open file. Write/Sync/Close on files opened with Create;
+// Read on files opened with Open.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync makes previously written data durable.
+	Sync() error
+}
+
+// OS returns the real-filesystem FS.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+func (osFS) Open(name string) (File, error)   { return os.Open(name) }
+func (osFS) Rename(o, n string) error {
+	if err := os.Rename(o, n); err != nil {
+		return err
+	}
+	// Make the rename itself durable: sync the containing directory.
+	if d, err := os.Open(filepath.Dir(n)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) Truncate(name string, sz int64) error { return os.Truncate(name, sz) }
+func (osFS) MkdirAll(dir string) error            { return os.MkdirAll(dir, 0o755) }
+func (osFS) List(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,242 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+
+	"repro/internal/keys"
+)
+
+// Recovery is the result of scanning a durability directory: the latest
+// snapshot (if any) and every committed batch logged after it, in
+// commit order. Feed the snapshot and batches back into an engine, then
+// call OpenLog to resume appending.
+type Recovery struct {
+	// SnapshotPayload is the snapshot's payload bytes (nil = none).
+	SnapshotPayload []byte
+	// SnapshotLSN is the LSN the snapshot covers (0 = none).
+	SnapshotLSN uint64
+	// Batches are the committed batches with LSN > SnapshotLSN, in
+	// commit order. Queries carry op/key/value only; renumber with
+	// keys.Number before applying.
+	Batches [][]keys.Query
+
+	fs   FS
+	dir  string
+	opts Options
+
+	maxLSN   uint64            // highest LSN referenced by any valid record
+	segMaxes map[uint64]uint64 // per-segment highest LSN (for truncation)
+	lastSeq  uint64            // highest segment sequence scanned (0 = none)
+	haveSegs bool
+	tornSeq  uint64 // segment holding the first invalid frame
+	tornOff  int64  // valid-prefix length of that segment
+	torn     bool
+	dropSegs []string // segments past the torn point (unreachable)
+}
+
+// Recover scans dir (created if missing): it reads the snapshot
+// envelope, replays every segment in order reassembling committed
+// batches, and stops at the first invalid frame (truncated-tail
+// tolerance — everything after a torn write is treated as lost, which
+// keeps the result a whole-batch prefix).
+func Recover(dir string, opts Options) (*Recovery, error) {
+	opts = opts.withDefaults()
+	fs := opts.FS
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("wal: mkdir %s: %w", dir, err)
+	}
+	r := &Recovery{fs: fs, dir: dir, opts: opts, segMaxes: make(map[uint64]uint64)}
+
+	payload, lsn, ok, err := readSnapshot(fs, dir)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		r.SnapshotPayload = payload
+		r.SnapshotLSN = lsn
+		r.maxLSN = lsn
+	}
+
+	names, err := fs.List(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list %s: %w", dir, err)
+	}
+	parts := make(map[uint64][]keys.Query)
+	for _, name := range names {
+		seq, isSeg := parseSegName(name)
+		if !isSeg {
+			continue
+		}
+		if r.torn {
+			// Unreachable segments beyond a torn point: slated for
+			// removal so future replays see a contiguous log.
+			r.dropSegs = append(r.dropSegs, name)
+			continue
+		}
+		r.haveSegs = true
+		r.lastSeq = seq
+		if err := r.scanSegment(name, seq, parts); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// scanSegment replays one segment file, accumulating committed batches
+// into r.Batches. An invalid frame marks the log torn at that offset.
+func (r *Recovery) scanSegment(name string, seq uint64, parts map[uint64][]keys.Query) error {
+	r.segMaxes[seq] = 0 // known, even if empty
+	f, err := r.fs.Open(filepath.Join(r.dir, name))
+	if err != nil {
+		return fmt.Errorf("wal: open segment %s: %w", name, err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return fmt.Errorf("wal: read segment %s: %w", name, err)
+	}
+
+	markTorn := func(off int64) {
+		r.torn = true
+		r.tornSeq = seq
+		r.tornOff = off
+	}
+
+	if len(data) < len(segMagic) || [4]byte(data[:4]) != segMagic {
+		// A segment without even a magic header: created but cut before
+		// the header write survived. Treat the whole file as torn.
+		markTorn(0)
+		return nil
+	}
+	off := int64(len(segMagic))
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return nil // clean segment end
+		}
+		if len(rest) < 8 {
+			markTorn(off)
+			return nil
+		}
+		plen := binary.LittleEndian.Uint32(rest[0:4])
+		want := binary.LittleEndian.Uint32(rest[4:8])
+		if plen < 13 || plen > maxFrame || (plen-13)%17 != 0 {
+			markTorn(off)
+			return nil
+		}
+		if int64(len(rest)) < 8+int64(plen) {
+			markTorn(off)
+			return nil
+		}
+		payload := rest[8 : 8+plen]
+		if crc32.Checksum(payload, crcTable) != want {
+			markTorn(off)
+			return nil
+		}
+		kind := payload[0]
+		lsn := binary.LittleEndian.Uint64(payload[1:9])
+		count := binary.LittleEndian.Uint32(payload[9:13])
+		if uint32(len(payload)-13)/17 != count || kind < kindBatch || kind > kindCommit {
+			markTorn(off)
+			return nil
+		}
+		qs, ok := decodeQueries(payload[13:], int(count))
+		if !ok {
+			markTorn(off)
+			return nil
+		}
+		if lsn > r.maxLSN {
+			r.maxLSN = lsn
+		}
+		if lsn > r.segMaxes[seq] {
+			r.segMaxes[seq] = lsn
+		}
+		switch kind {
+		case kindBatch:
+			if lsn > r.SnapshotLSN {
+				r.Batches = append(r.Batches, qs)
+			}
+		case kindPart:
+			parts[lsn] = append(parts[lsn], qs...)
+		case kindCommit:
+			if sub := parts[lsn]; lsn > r.SnapshotLSN && len(sub) > 0 {
+				r.Batches = append(r.Batches, sub)
+			}
+			delete(parts, lsn)
+		}
+		off += 8 + int64(plen)
+	}
+}
+
+// decodeQueries parses count records of {op, key, value}. ok is false
+// on an invalid op byte.
+func decodeQueries(p []byte, count int) ([]keys.Query, bool) {
+	if count == 0 {
+		return nil, true
+	}
+	qs := make([]keys.Query, count)
+	o := 0
+	for i := 0; i < count; i++ {
+		op := keys.Op(p[o])
+		if op != keys.OpSearch && op != keys.OpInsert && op != keys.OpDelete {
+			return nil, false
+		}
+		qs[i] = keys.Query{
+			Op:    op,
+			Key:   keys.Key(binary.LittleEndian.Uint64(p[o+1 : o+9])),
+			Value: keys.Value(binary.LittleEndian.Uint64(p[o+9 : o+17])),
+			Idx:   int32(i),
+		}
+		o += 17
+	}
+	return qs, true
+}
+
+// OpenLog finalizes recovery and returns an append-ready Log: the torn
+// tail (if any) is truncated, unreachable segments are removed, any
+// stale snapshot temp file is deleted, and a fresh segment is opened
+// with LSNs continuing after the highest recovered one.
+func (r *Recovery) OpenLog() (*Log, error) {
+	if r.torn {
+		if r.tornOff <= int64(len(segMagic)) {
+			// Nothing valid in the torn segment: drop it whole.
+			if err := r.fs.Remove(filepath.Join(r.dir, segName(r.tornSeq))); err != nil {
+				return nil, fmt.Errorf("wal: drop torn segment: %w", err)
+			}
+			delete(r.segMaxes, r.tornSeq)
+		} else if err := r.fs.Truncate(filepath.Join(r.dir, segName(r.tornSeq)), r.tornOff); err != nil {
+			return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		for _, name := range r.dropSegs {
+			if err := r.fs.Remove(filepath.Join(r.dir, name)); err != nil {
+				return nil, fmt.Errorf("wal: drop unreachable segment: %w", err)
+			}
+		}
+	}
+	// A snapshot temp file is, by construction, an unfinished
+	// checkpoint; discard it.
+	r.fs.Remove(filepath.Join(r.dir, snapTemp))
+
+	nextSeq := uint64(1)
+	if r.haveSegs {
+		nextSeq = r.lastSeq + 1
+	}
+	l, err := newLog(r.fs, r.dir, r.opts, r.maxLSN+1, nextSeq)
+	if err != nil {
+		return nil, err
+	}
+	// Seed the truncation bookkeeping with the recovered segments'
+	// LSN bounds so a later checkpoint can collect them.
+	l.mu.Lock()
+	for seq, max := range r.segMaxes {
+		if seq != l.segSeq {
+			l.segMax[seq] = max
+		}
+	}
+	l.mu.Unlock()
+	return l, nil
+}

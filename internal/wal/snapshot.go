@@ -1,0 +1,109 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+)
+
+// Snapshot envelope (little-endian):
+//
+//	magic   [4]byte "QSN1"
+//	lsn     uint64   every batch with LSN <= lsn is reflected
+//	plen    uint64   payload length
+//	payload plen bytes (the engine's own checksummed tree snapshot)
+//	crc     uint32   CRC32C over lsn|plen|payload
+//
+// Snapshots are written atomically: the whole envelope goes to a temp
+// file which is fsynced and then renamed over the live snapshot, so a
+// crash mid-checkpoint leaves the previous snapshot (and the full WAL
+// that goes with it) intact.
+
+var snapEnvMagic = [4]byte{'Q', 'S', 'N', '1'}
+
+// WriteSnapshot atomically replaces dir's snapshot with one at snapLSN
+// whose payload is produced by write (typically btree.Tree.Save).
+func WriteSnapshot(fs FS, dir string, snapLSN uint64, write func(io.Writer) error) error {
+	var payload bytes.Buffer
+	if err := write(&payload); err != nil {
+		return fmt.Errorf("wal: snapshot payload: %w", err)
+	}
+
+	var hdr [20]byte
+	copy(hdr[0:4], snapEnvMagic[:])
+	binary.LittleEndian.PutUint64(hdr[4:12], snapLSN)
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(payload.Len()))
+	sum := crc32.New(crcTable)
+	sum.Write(hdr[4:20])
+	sum.Write(payload.Bytes())
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], sum.Sum32())
+
+	tmp := filepath.Join(dir, snapTemp)
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot create: %w", err)
+	}
+	for _, chunk := range [][]byte{hdr[:], payload.Bytes(), tail[:]} {
+		if _, err := f.Write(chunk); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: snapshot write: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: snapshot close: %w", err)
+	}
+	if err := fs.Rename(tmp, filepath.Join(dir, snapName)); err != nil {
+		return fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	return nil
+}
+
+// readSnapshot loads and verifies dir's snapshot envelope. ok is false
+// (with a nil error) when no snapshot exists; corruption is an error —
+// a present-but-unreadable snapshot must not silently recover as empty.
+func readSnapshot(fs FS, dir string) (payload []byte, lsn uint64, ok bool, err error) {
+	names, err := fs.List(dir)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("wal: snapshot list: %w", err)
+	}
+	present := false
+	for _, n := range names {
+		if n == snapName {
+			present = true
+			break
+		}
+	}
+	if !present {
+		return nil, 0, false, nil
+	}
+	f, err := fs.Open(filepath.Join(dir, snapName))
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("wal: snapshot open: %w", err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("wal: snapshot read: %w", err)
+	}
+	if len(data) < 24 || [4]byte(data[0:4]) != snapEnvMagic {
+		return nil, 0, false, fmt.Errorf("wal: snapshot envelope corrupt (bad magic or short file)")
+	}
+	lsn = binary.LittleEndian.Uint64(data[4:12])
+	plen := binary.LittleEndian.Uint64(data[12:20])
+	if plen != uint64(len(data)-24) {
+		return nil, 0, false, fmt.Errorf("wal: snapshot payload length mismatch (header %d, file %d)", plen, len(data)-24)
+	}
+	stored := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(data[4:len(data)-4], crcTable); got != stored {
+		return nil, 0, false, fmt.Errorf("wal: snapshot checksum mismatch (stored %08x, computed %08x)", stored, got)
+	}
+	return data[20 : len(data)-4], lsn, true, nil
+}

@@ -1,0 +1,432 @@
+// Package wal implements the crash-safe durability layer of the engine
+// (DESIGN.md §7): a length-framed, CRC32C-checksummed write-ahead log
+// of committed batches, plus atomic snapshot files.
+//
+// The commit point is the batch — the atomic unit of evaluation in the
+// PALM/QTrans design — and what is logged per batch is its post-QSAT
+// surviving queries, appended *before* any of the batch's effects reach
+// tree or cache (append-then-apply). A crash therefore loses at most a
+// whole-batch suffix: replay recovers exactly the state after some
+// whole-batch prefix of the committed stream.
+//
+// Segment format (little-endian):
+//
+//	magic  [4]byte "QWL1"
+//	frames:
+//	  length uint32   payload bytes
+//	  crc    uint32   CRC32C of payload
+//	  payload:
+//	    kind   uint8    1=batch  2=part  3=commit
+//	    lsn    uint64
+//	    count  uint32   queries (0 for commit markers)
+//	    count × { op uint8, key uint64, value uint64 }
+//
+// A `batch` record is one whole committed batch (the single-engine
+// path). The sharded engine appends one `part` record per shard
+// sub-batch followed by a `commit` marker once every shard's part is in
+// the log; a batch without its commit marker is discarded on replay, so
+// multi-shard batches stay atomic. Records are serialized through one
+// Log, so commit-marker order equals batch arrival order.
+//
+// Replay tolerates a truncated tail: scanning stops at the first
+// invalid frame (torn write, CRC mismatch, short segment) and everything
+// from that point on — including later segments — is treated as lost,
+// which keeps the recovered stream a prefix in batch order.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/keys"
+)
+
+// SyncPolicy selects when the log fsyncs (the durability/throughput
+// trade documented in EXPERIMENTS.md).
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs every committed batch before it is applied —
+	// the zero value, and the only policy under which an acknowledged
+	// batch is guaranteed to survive a power cut.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs from a background ticker every SyncInterval;
+	// a crash loses at most the last interval's batches.
+	SyncInterval
+	// SyncOff never fsyncs (the OS decides); a crash may lose any
+	// unflushed suffix. Replay still recovers a whole-batch prefix.
+	SyncOff
+)
+
+// String names the policy as used by flags and benchmarks.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// Options tunes a Log.
+type Options struct {
+	// FS is the filesystem to operate on (nil = the real OS one).
+	FS FS
+	// SegmentSize rotates to a new segment file once the current one
+	// exceeds this many bytes (0 = 4 MiB).
+	SegmentSize int64
+	// Sync is the fsync policy (zero value = SyncAlways).
+	Sync SyncPolicy
+	// SyncInterval is the background fsync period for SyncInterval
+	// (0 = 50ms).
+	SyncInterval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = OS()
+	}
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = 4 << 20
+	}
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = 50 * time.Millisecond
+	}
+	return o
+}
+
+var (
+	segMagic  = [4]byte{'Q', 'W', 'L', '1'}
+	crcTable  = crc32.MakeTable(crc32.Castagnoli)
+	snapName  = "snapshot"
+	snapTemp  = "snapshot.tmp"
+	segPrefix = "wal-"
+	segSuffix = ".seg"
+)
+
+// maxFrame bounds one record's payload so a corrupt length field cannot
+// force a huge allocation during replay.
+const maxFrame = 64 << 20
+
+const (
+	kindBatch  = 1
+	kindPart   = 2
+	kindCommit = 3
+)
+
+func segName(seq uint64) string { return fmt.Sprintf("%s%016d%s", segPrefix, seq, segSuffix) }
+
+func parseSegName(name string) (seq uint64, ok bool) {
+	if len(name) != len(segPrefix)+16+len(segSuffix) {
+		return 0, false
+	}
+	if name[:len(segPrefix)] != segPrefix || name[len(name)-len(segSuffix):] != segSuffix {
+		return 0, false
+	}
+	if _, err := fmt.Sscanf(name[len(segPrefix):len(segPrefix)+16], "%d", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Log is the append side of the write-ahead log. All methods are safe
+// for concurrent use (appends from parallel shards serialize on an
+// internal mutex). A Log is obtained from Recovery.OpenLog.
+type Log struct {
+	mu   sync.Mutex
+	fs   FS
+	dir  string
+	opts Options
+
+	seg     File   // current segment (nil after Close)
+	segSeq  uint64 // current segment's sequence number
+	segSize int64
+	// segMax records, per live segment sequence number, the highest LSN
+	// any of its records references — the conservative bound
+	// TruncateObsolete uses.
+	segMax map[uint64]uint64
+
+	next    uint64 // next LSN to assign (LSNs start at 1)
+	dirty   bool   // unsynced appends pending (interval mode)
+	err     error  // sticky failure; the log is poisoned once set
+	closed  bool
+	scratch []byte // frame build buffer; guarded by mu
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// newLog opens a fresh segment for appending. next is the first LSN to
+// assign; seq is the segment sequence number to create.
+func newLog(fs FS, dir string, opts Options, next, seq uint64) (*Log, error) {
+	l := &Log{
+		fs:     fs,
+		dir:    dir,
+		opts:   opts,
+		next:   next,
+		segMax: make(map[uint64]uint64),
+	}
+	if err := l.rotateLocked(seq); err != nil {
+		return nil, err
+	}
+	if opts.Sync == SyncInterval {
+		l.stop = make(chan struct{})
+		l.wg.Add(1)
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// syncLoop is the SyncInterval background fsync.
+func (l *Log) syncLoop() {
+	defer l.wg.Done()
+	t := time.NewTicker(l.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			l.syncLocked()
+			l.mu.Unlock()
+		}
+	}
+}
+
+// syncLocked fsyncs the current segment if it has unsynced appends.
+func (l *Log) syncLocked() {
+	if l.err != nil || !l.dirty || l.seg == nil {
+		return
+	}
+	if err := l.seg.Sync(); err != nil {
+		l.err = fmt.Errorf("wal: sync: %w", err)
+		return
+	}
+	l.dirty = false
+}
+
+// rotateLocked closes the current segment (fsyncing it first unless the
+// policy is SyncOff) and opens segment seq.
+func (l *Log) rotateLocked(seq uint64) error {
+	if l.seg != nil {
+		if l.opts.Sync != SyncOff {
+			l.syncLocked()
+		}
+		if err := l.seg.Close(); err != nil && l.err == nil {
+			l.err = fmt.Errorf("wal: close segment: %w", err)
+		}
+		l.seg = nil
+		if l.err != nil {
+			return l.err
+		}
+	}
+	f, err := l.fs.Create(filepath.Join(l.dir, segName(seq)))
+	if err != nil {
+		l.err = fmt.Errorf("wal: create segment: %w", err)
+		return l.err
+	}
+	if _, err := f.Write(segMagic[:]); err != nil {
+		f.Close()
+		l.err = fmt.Errorf("wal: segment magic: %w", err)
+		return l.err
+	}
+	l.seg = f
+	l.segSeq = seq
+	l.segSize = int64(len(segMagic))
+	l.segMax[seq] = 0
+	l.dirty = true
+	return nil
+}
+
+// encodeFrame appends one framed record to buf and returns it.
+func encodeFrame(buf []byte, kind uint8, lsn uint64, qs []keys.Query) []byte {
+	plen := 1 + 8 + 4 + 17*len(qs)
+	start := len(buf)
+	buf = append(buf, make([]byte, 8+plen)...)
+	p := buf[start+8:]
+	p[0] = kind
+	binary.LittleEndian.PutUint64(p[1:9], lsn)
+	binary.LittleEndian.PutUint32(p[9:13], uint32(len(qs)))
+	o := 13
+	for i := range qs {
+		p[o] = byte(qs[i].Op)
+		binary.LittleEndian.PutUint64(p[o+1:o+9], uint64(qs[i].Key))
+		binary.LittleEndian.PutUint64(p[o+9:o+17], uint64(qs[i].Value))
+		o += 17
+	}
+	binary.LittleEndian.PutUint32(buf[start:start+4], uint32(plen))
+	binary.LittleEndian.PutUint32(buf[start+4:start+8], crc32.Checksum(p, crcTable))
+	return buf
+}
+
+// appendLocked writes one record, rotating segments as needed, and
+// applies the per-record fsync policy when sync is true.
+func (l *Log) appendLocked(kind uint8, lsn uint64, qs []keys.Query, sync bool) error {
+	if l.err != nil {
+		return l.err
+	}
+	if l.closed {
+		l.err = fmt.Errorf("wal: append after Close")
+		return l.err
+	}
+	if l.segSize >= l.opts.SegmentSize {
+		if err := l.rotateLocked(l.segSeq + 1); err != nil {
+			return err
+		}
+	}
+	l.scratch = encodeFrame(l.scratch[:0], kind, lsn, qs)
+	frame := l.scratch
+	if _, err := l.seg.Write(frame); err != nil {
+		l.err = fmt.Errorf("wal: append: %w", err)
+		return l.err
+	}
+	l.segSize += int64(len(frame))
+	if lsn > l.segMax[l.segSeq] {
+		l.segMax[l.segSeq] = lsn
+	}
+	l.dirty = true
+	if sync && l.opts.Sync == SyncAlways {
+		l.syncLocked()
+		return l.err
+	}
+	return nil
+}
+
+// CommitBatch appends one whole batch's surviving queries as a single
+// committed record, durable per the sync policy before it returns.
+// This is the single-engine commit path (core.Committer).
+func (l *Log) CommitBatch(qs []keys.Query) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lsn := l.next
+	l.next++
+	return l.appendLocked(kindBatch, lsn, qs, true)
+}
+
+// BeginBatch reserves the LSN for a multi-part (sharded) batch.
+func (l *Log) BeginBatch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lsn := l.next
+	l.next++
+	return lsn
+}
+
+// CommitPart appends one shard's surviving sub-batch for the batch at
+// lsn. Parts are not individually fsynced — the EndBatch marker's sync
+// covers them (same file, sequential offsets; rotation syncs too).
+func (l *Log) CommitPart(lsn uint64, qs []keys.Query) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(kindPart, lsn, qs, false)
+}
+
+// EndBatch appends the commit marker for the batch at lsn: the batch
+// becomes replayable only once this record is in the log.
+func (l *Log) EndBatch(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(kindCommit, lsn, nil, true)
+}
+
+// LastLSN returns the most recently assigned LSN (0 = none yet).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next - 1
+}
+
+// Err returns the sticky failure, if any: once an append or sync has
+// failed the log is poisoned and every later operation returns the same
+// error, so the engine stops acknowledging batches.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Sync forces an fsync of the current segment regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	l.syncLocked()
+	return l.err
+}
+
+// TruncateObsolete removes closed segments made obsolete by a durable
+// snapshot at snapLSN: the longest prefix of segments whose every
+// record has lsn <= snapLSN. The current segment is rotated first so it
+// can be collected too. Call only while no batch is in flight (the
+// facade holds its snapshot gate).
+func (l *Log) TruncateObsolete(snapLSN uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if err := l.rotateLocked(l.segSeq + 1); err != nil {
+		return err
+	}
+	names, err := l.fs.List(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: truncate list: %w", err)
+	}
+	for _, name := range names {
+		seq, ok := parseSegName(name)
+		if !ok || seq == l.segSeq {
+			continue
+		}
+		max, known := l.segMax[seq]
+		if !known || max > snapLSN {
+			break // prefix only: keep everything from here on
+		}
+		if err := l.fs.Remove(filepath.Join(l.dir, name)); err != nil {
+			return fmt.Errorf("wal: truncate remove %s: %w", name, err)
+		}
+		delete(l.segMax, seq)
+	}
+	return nil
+}
+
+// Close fsyncs (a clean shutdown is not a crash, regardless of policy)
+// and closes the current segment. The Log is unusable afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return l.err
+	}
+	l.closed = true
+	if l.stop != nil {
+		close(l.stop)
+	}
+	l.mu.Unlock()
+	l.wg.Wait()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seg != nil {
+		if l.err == nil && l.dirty {
+			if err := l.seg.Sync(); err != nil {
+				l.err = fmt.Errorf("wal: close sync: %w", err)
+			}
+		}
+		if err := l.seg.Close(); err != nil && l.err == nil {
+			l.err = fmt.Errorf("wal: close: %w", err)
+		}
+		l.seg = nil
+	}
+	return l.err
+}

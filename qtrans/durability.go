@@ -1,0 +1,168 @@
+package qtrans
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/keys"
+	"repro/internal/wal"
+)
+
+// SyncPolicy selects when the write-ahead log fsyncs; see the
+// durability model in DESIGN.md §7 and the fsync sweep in
+// EXPERIMENTS.md.
+type SyncPolicy = wal.SyncPolicy
+
+// Fsync policies (the zero value is SyncAlways).
+const (
+	// SyncAlways fsyncs every batch before it is applied: an
+	// acknowledged batch survives any crash.
+	SyncAlways = wal.SyncAlways
+	// SyncInterval fsyncs from a background ticker; a crash loses at
+	// most the last interval's batches.
+	SyncInterval = wal.SyncInterval
+	// SyncOff leaves flushing to the OS; a crash may lose any unflushed
+	// suffix. Recovery still restores a whole-batch prefix.
+	SyncOff = wal.SyncOff
+)
+
+// Durability configures crash-safe operation (DESIGN.md §7). The zero
+// value — no directory — leaves durability off with semantics and
+// performance identical to previous releases.
+//
+// With Dir set, Open recovers the directory's snapshot and write-ahead
+// log before serving, every batch's post-QSAT surviving queries are
+// logged before any effect reaches tree or cache, and Checkpoint
+// writes an atomic snapshot that truncates the log. After any crash —
+// even mid-write — reopening yields the state after a whole-batch
+// prefix of the committed stream; under SyncAlways that prefix
+// includes every acknowledged batch.
+type Durability struct {
+	// Dir is the durability directory (snapshot + log segments). Empty
+	// means durability off.
+	Dir string
+	// Sync is the fsync policy (zero value = SyncAlways).
+	Sync SyncPolicy
+	// SyncInterval is the flush period under the SyncInterval policy
+	// (0 = 50ms).
+	SyncInterval time.Duration
+	// SegmentSize rotates log segments at this size (0 = 4 MiB).
+	SegmentSize int64
+
+	// fs overrides the filesystem (fault-injection tests only).
+	fs wal.FS
+}
+
+func (d Durability) walOptions() wal.Options {
+	return wal.Options{
+		FS:           d.fs,
+		SegmentSize:  d.SegmentSize,
+		Sync:         d.Sync,
+		SyncInterval: d.SyncInterval,
+	}
+}
+
+// openDurable recovers Dir's snapshot and log into a fresh DB and
+// attaches the commit hooks, so every later batch is logged before it
+// is applied. Works identically for single-engine and sharded DBs: the
+// log records query streams, not shard assignments, so a directory
+// written with one shard count reopens under any other.
+func openDurable(opts Options) (*DB, error) {
+	rec, err := wal.Recover(opts.Durability.Dir, opts.Durability.walOptions())
+	if err != nil {
+		return nil, err
+	}
+	var tree *btree.Tree
+	if rec.SnapshotPayload != nil {
+		tree, err = btree.Load(bytes.NewReader(rec.SnapshotPayload), opts.Order)
+		if err != nil {
+			return nil, fmt.Errorf("qtrans: corrupt snapshot in %s: %w", opts.Durability.Dir, err)
+		}
+		opts.Order = tree.Order()
+	}
+	db, err := build(opts, tree)
+	if err != nil {
+		return nil, err
+	}
+
+	// Replay committed batches logged after the snapshot, in commit
+	// order, through the normal batch path (the surviving queries fully
+	// determine each batch's state effect). The commit hook is not yet
+	// attached, so replay does not re-log.
+	rs := keys.NewResultSet(0)
+	for _, b := range rec.Batches {
+		keys.Number(b)
+		rs.Reset(len(b))
+		db.eng.ProcessBatch(b, rs)
+	}
+
+	log, err := rec.OpenLog()
+	if err != nil {
+		db.eng.Close()
+		return nil, err
+	}
+	db.log = log
+	db.durDir = opts.Durability.Dir
+	db.durFS = opts.Durability.fs
+	if db.durFS == nil {
+		db.durFS = wal.OS()
+	}
+	if db.single != nil {
+		db.single.SetCommitter(log)
+	} else {
+		db.sharded.SetCommitter(log)
+	}
+	return db, nil
+}
+
+// Checkpoint writes an atomic snapshot of the current state into the
+// durability directory and truncates the log segments it makes
+// obsolete, bounding recovery time. It waits for in-flight batches at
+// a batch boundary (it may be called while a RunStream or Service is
+// active) and is crash-safe at every point: until the snapshot's
+// final rename the previous snapshot and full log remain authoritative.
+func (db *DB) Checkpoint() error {
+	if db.log == nil {
+		return fmt.Errorf("qtrans: Checkpoint requires Options.Durability.Dir")
+	}
+	if err := db.Err(); err != nil {
+		return err
+	}
+	db.gate.Lock()
+	defer db.gate.Unlock()
+	// No batch is in flight: every batch with LSN <= lsn is fully
+	// applied and none beyond is started, so the dump is exactly the
+	// log's prefix state.
+	lsn := db.log.LastLSN()
+	if err := wal.WriteSnapshot(db.durFS, db.durDir, lsn, func(w io.Writer) error {
+		return db.saveLocked(w)
+	}); err != nil {
+		return err
+	}
+	return db.log.TruncateObsolete(lsn)
+}
+
+// Err reports the DB's sticky durability failure, if any. Once a log
+// append or fsync has failed, the failing batch and every later one
+// are dropped without being applied (state never runs ahead of the
+// log) and Err returns the cause; results produced after the failure
+// are unspecified and no further mutations reach the store.
+func (db *DB) Err() error {
+	if db.single != nil {
+		if err := db.single.CommitErr(); err != nil {
+			return err
+		}
+	}
+	if db.sharded != nil {
+		if err := db.sharded.CommitErr(); err != nil {
+			return err
+		}
+	}
+	if db.log != nil {
+		return db.log.Err()
+	}
+	return nil
+}

@@ -1,0 +1,317 @@
+package qtrans
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+)
+
+// durOpts returns small-footprint Options with durability on fs.
+func durOpts(fs *faultfs.FS, shards int, pipeline bool) Options {
+	return Options{
+		Order:         8,
+		Workers:       2,
+		CacheCapacity: 16,
+		Shards:        shards,
+		Pipeline:      pipeline,
+		ShardKeyMax:   1 << 20,
+		Durability:    Durability{Dir: "dur", fs: fs},
+	}
+}
+
+func dump(db *DB) (ks []Key, vs []Value) {
+	db.Scan(func(k Key, v Value) bool {
+		ks = append(ks, k)
+		vs = append(vs, v)
+		return true
+	})
+	return
+}
+
+func TestDurableRoundTrip(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		fs := faultfs.New()
+		db, err := Open(durOpts(fs, shards, false))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		for i := 0; i < 50; i++ {
+			db.Put(Key(i*3), Value(i))
+		}
+		db.Remove(9)
+		if err := db.Err(); err != nil {
+			t.Fatal(err)
+		}
+		db.Close()
+
+		db2, err := Open(durOpts(fs, shards, false))
+		if err != nil {
+			t.Fatalf("shards=%d reopen: %v", shards, err)
+		}
+		if n := db2.Len(); n != 49 {
+			t.Fatalf("shards=%d: recovered %d keys, want 49", shards, n)
+		}
+		if v, ok := db2.Get(3); !ok || v != 1 {
+			t.Fatalf("shards=%d: Get(3) = %d %v", shards, v, ok)
+		}
+		if _, ok := db2.Get(9); ok {
+			t.Fatalf("shards=%d: deleted key recovered", shards)
+		}
+		// The reopened DB keeps logging.
+		db2.Put(777, 42)
+		db2.Close()
+		db3, err := Open(durOpts(fs, shards, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, ok := db3.Get(777); !ok || v != 42 {
+			t.Fatalf("shards=%d: post-recovery write lost", shards)
+		}
+		db3.Close()
+	}
+}
+
+func TestDurableShardCountPortable(t *testing.T) {
+	fs := faultfs.New()
+	db, err := Open(durOpts(fs, 4, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		db.Put(Key(i*11), Value(i))
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 100; i < 150; i++ {
+		db.Put(Key(i*11), Value(i))
+	}
+	db.Close()
+
+	// Same directory, different shard count: snapshot + log replay must
+	// be shard-count-portable.
+	db2, err := Open(durOpts(fs, 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if n := db2.Len(); n != 150 {
+		t.Fatalf("recovered %d keys under different shard count, want 150", n)
+	}
+	for _, i := range []int{0, 99, 100, 149} {
+		if v, ok := db2.Get(Key(i * 11)); !ok || v != Value(i) {
+			t.Fatalf("key %d: %d %v", i*11, v, ok)
+		}
+	}
+}
+
+func TestCheckpointTruncatesLog(t *testing.T) {
+	fs := faultfs.New()
+	opts := durOpts(fs, 1, false)
+	opts.Durability.SegmentSize = 256 // force many segments
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		db.Put(Key(i), Value(i))
+	}
+	before, _ := fs.List("dur")
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := fs.List("dur")
+	segs := func(names []string) (n int) {
+		for _, s := range names {
+			if strings.HasPrefix(s, "wal-") {
+				n++
+			}
+		}
+		return
+	}
+	if segs(after) >= segs(before) || segs(after) != 1 {
+		t.Fatalf("checkpoint did not truncate: %d -> %d segments", segs(before), segs(after))
+	}
+	db.Close()
+	db2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if n := db2.Len(); n != 200 {
+		t.Fatalf("recovered %d keys after checkpoint, want 200", n)
+	}
+}
+
+func TestDurablePowerCutPoisons(t *testing.T) {
+	fs := faultfs.New()
+	db, err := Open(durOpts(fs, 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		db.Put(Key(i), Value(i))
+	}
+	if err := db.Err(); err != nil {
+		t.Fatal(err)
+	}
+	fs.CutAfter(10)
+	for i := 20; i < 40; i++ {
+		db.Put(Key(i), Value(i))
+	}
+	if db.Err() == nil {
+		t.Fatal("engine not poisoned after power cut")
+	}
+	// Dropped batches must not have been applied: the live tree still
+	// matches the pre-cut state (at most one batch may have committed
+	// on the remaining budget).
+	n := db.Len()
+	if n > 21 {
+		t.Fatalf("poisoned engine applied dropped batches: %d keys", n)
+	}
+	fs.Crash(7)
+	db.Close()
+
+	db2, err := Open(durOpts(fs, 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	// SyncAlways: every acked (pre-cut) batch survives.
+	for i := 0; i < 20; i++ {
+		if v, ok := db2.Get(Key(i)); !ok || v != Value(i) {
+			t.Fatalf("acked key %d lost: %d %v", i, v, ok)
+		}
+	}
+}
+
+// TestDirtyCacheSavedAndRecovered pins the satellite-3 bug class: keys
+// whose latest value lives only in the top-K cache (dirty, never
+// flushed) must appear in portable Save exports, in Checkpoint
+// snapshots, and in WAL-only recovery.
+func TestDirtyCacheSavedAndRecovered(t *testing.T) {
+	fs := faultfs.New()
+	db, err := Open(durOpts(fs, 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CacheCapacity is 16: these 8 hot keys stay resident and dirty.
+	for i := 0; i < 8; i++ {
+		db.Put(Key(i), Value(100+i))
+		db.Put(Key(i), Value(200+i)) // second write: cache-resident update
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lo, err := Load(bytes.NewReader(buf.Bytes()), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if v, ok := lo.Get(Key(i)); !ok || v != Value(200+i) {
+			t.Fatalf("Save/Load lost dirty cache entry %d: %d %v", i, v, ok)
+		}
+	}
+	lo.Close()
+
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	db2, err := Open(durOpts(fs, 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for i := 0; i < 8; i++ {
+		if v, ok := db2.Get(Key(i)); !ok || v != Value(200+i) {
+			t.Fatalf("checkpoint lost dirty cache entry %d: %d %v", i, v, ok)
+		}
+	}
+}
+
+// TestSaveDuringStream pins the satellite-2 race: Save (and Checkpoint)
+// while a pipelined sharded stream is running must observe a whole-batch
+// boundary. Batch N writes keys 0..K-1 := N, so any batch-boundary
+// snapshot holds K equal values; a torn snapshot shows a mix. Run under
+// -race this also proves the locking discipline.
+func TestSaveDuringStream(t *testing.T) {
+	const K, batches = 32, 200
+	for _, tc := range []struct {
+		shards   int
+		pipeline bool
+	}{{1, false}, {1, true}, {4, false}, {4, true}} {
+		fs := faultfs.New()
+		db, err := Open(durOpts(fs, tc.shards, tc.pipeline))
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := make(chan *Batch)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			db.RunStream(in, func(*Batch, *Results) {})
+		}()
+		done := make(chan struct{})
+		var saveErr error
+		var snaps [][]byte
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				var buf bytes.Buffer
+				if err := db.Save(&buf); err != nil {
+					saveErr = err
+					return
+				}
+				snaps = append(snaps, buf.Bytes())
+				if err := db.Checkpoint(); err != nil {
+					saveErr = err
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+		for n := 1; n <= batches; n++ {
+			b := NewBatch()
+			for k := 0; k < K; k++ {
+				b.Insert(Key(k*311), Value(n))
+			}
+			in <- b
+		}
+		close(in)
+		close(done)
+		wg.Wait()
+		if saveErr != nil {
+			t.Fatalf("%+v: save during stream: %v", tc, saveErr)
+		}
+		for si, snap := range snaps {
+			lo, err := Load(bytes.NewReader(snap), Options{Workers: 2})
+			if err != nil {
+				t.Fatalf("%+v: snapshot %d corrupt: %v", tc, si, err)
+			}
+			_, vs := dump(lo)
+			for _, v := range vs {
+				if v != vs[0] {
+					t.Fatalf("%+v: snapshot %d caught a half-applied batch: %v", tc, si, vs)
+				}
+			}
+			lo.Close()
+		}
+		if err := db.Err(); err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		db.Close()
+	}
+}

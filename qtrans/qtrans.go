@@ -24,7 +24,9 @@
 package qtrans
 
 import (
+	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/batcher"
@@ -35,6 +37,7 @@ import (
 	"repro/internal/palm"
 	"repro/internal/shard"
 	"repro/internal/stats"
+	"repro/internal/wal"
 )
 
 // Key is a B+ tree key.
@@ -106,6 +109,11 @@ type Options struct {
 	// (0 = the full uint64 space). A poor hint only skews load, never
 	// correctness; DB.Rebalance re-splits from the stored keys.
 	ShardKeyMax Key
+	// Durability enables crash-safe operation (write-ahead log +
+	// atomic snapshots) when its Dir is set; the zero value keeps
+	// durability off with semantics identical to previous releases.
+	// See durability.go.
+	Durability Durability
 }
 
 // engineConfig translates Options to the per-engine configuration
@@ -147,31 +155,78 @@ type DB struct {
 	single    *core.Engine  // non-nil when Shards <= 1
 	sharded   *shard.Engine // non-nil when Shards > 1
 	pipelined bool
+
+	// gate serializes snapshots against batch application: every batch
+	// holds it for reading, Save/Checkpoint for writing, so a snapshot
+	// always observes a whole-batch boundary — even while a RunStream
+	// or Service is active.
+	gate sync.RWMutex
+
+	// Durability state (nil/zero when durability is off).
+	log    *wal.Log
+	durDir string
+	durFS  wal.FS
 }
 
 // Open creates a DB. The zero Options selects the fully-optimized
-// pipeline with default sizes.
+// pipeline with default sizes. With Options.Durability.Dir set, Open
+// first recovers whatever the directory holds — snapshot, committed
+// batches, torn crash debris — and then serves with write-ahead
+// logging on.
 func Open(opts Options) (*DB, error) {
+	if opts.Durability.Dir != "" {
+		return openDurable(opts)
+	}
+	return build(opts, nil)
+}
+
+// build constructs the engine stack for opts — sharded or single,
+// over a restored tree or fresh — and installs the snapshot gate.
+func build(opts Options, tree *btree.Tree) (*DB, error) {
+	db := &DB{pipelined: opts.Pipeline}
 	if opts.Shards > 1 {
-		se, err := shard.New(shard.Config{
+		cfg := shard.Config{
 			Shards: opts.Shards,
 			Engine: opts.engineConfig(),
 			KeyMax: opts.ShardKeyMax,
-		})
+		}
+		var se *shard.Engine
+		var err error
+		if tree != nil {
+			se, err = shard.NewFromTree(cfg, tree)
+		} else {
+			se, err = shard.New(cfg)
+		}
 		if err != nil {
 			return nil, err
 		}
-		return &DB{eng: se, sharded: se, pipelined: opts.Pipeline}, nil
+		db.eng, db.sharded = se, se
+		se.SetGate(&db.gate)
+		return db, nil
 	}
-	eng, err := core.NewEngine(opts.engineConfig())
+	var eng *core.Engine
+	var err error
+	if tree != nil {
+		eng, err = core.NewEngineWithTree(opts.engineConfig(), tree)
+	} else {
+		eng, err = core.NewEngine(opts.engineConfig())
+	}
 	if err != nil {
 		return nil, err
 	}
-	return &DB{eng: eng, single: eng, pipelined: opts.Pipeline}, nil
+	db.eng, db.single = eng, eng
+	eng.SetGate(&db.gate)
+	return db, nil
 }
 
-// Close releases the DB's worker pools.
-func (db *DB) Close() { db.eng.Close() }
+// Close releases the DB's worker pools and, when durability is on,
+// fsyncs and closes the write-ahead log.
+func (db *DB) Close() {
+	if db.log != nil {
+		db.log.Close()
+	}
+	db.eng.Close()
+}
 
 // Batch assembles queries for one Run. Positions (0-based submission
 // order) identify queries in the Results.
@@ -338,8 +393,18 @@ func (db *DB) ShardStats() *stats.Shard {
 // Save writes a snapshot of the store (caches flushed first) that Load
 // can restore. Snapshots are order-portable and shard-count-portable:
 // a sharded DB writes the same single-tree snapshot format as an
-// unsharded one.
+// unsharded one. Save waits for in-flight batches at a batch boundary,
+// so it may be called while a RunStream or Service is active.
 func (db *DB) Save(w io.Writer) error {
+	db.gate.Lock()
+	defer db.gate.Unlock()
+	return db.saveLocked(w)
+}
+
+// saveLocked dumps the store (dirty cache entries flushed first) with
+// the snapshot gate held: no batch is mid-application, so the dump is
+// exactly the state after the last completed batch.
+func (db *DB) saveLocked(w io.Writer) error {
 	if db.sharded != nil {
 		ks, vs := db.sharded.Dump()
 		tree, err := btree.BulkLoad(db.sharded.Order(), ks, vs)
@@ -355,29 +420,18 @@ func (db *DB) Save(w io.Writer) error {
 // Load restores a snapshot written by Save into a fresh DB configured
 // by opts (opts.Order <= 0 keeps the snapshot's order). With
 // opts.Shards > 1 the snapshot is split across the shards by key
-// range.
+// range. Load restores portable exports only; to reopen a durable
+// directory, pass its Options.Durability to Open instead.
 func Load(r io.Reader, opts Options) (*DB, error) {
+	if opts.Durability.Dir != "" {
+		return nil, fmt.Errorf("qtrans: Load does not take Options.Durability; Open recovers a durable directory")
+	}
 	tree, err := btree.Load(r, opts.Order)
 	if err != nil {
 		return nil, err
 	}
 	opts.Order = tree.Order()
-	if opts.Shards > 1 {
-		se, err := shard.NewFromTree(shard.Config{
-			Shards: opts.Shards,
-			Engine: opts.engineConfig(),
-			KeyMax: opts.ShardKeyMax,
-		}, tree)
-		if err != nil {
-			return nil, err
-		}
-		return &DB{eng: se, sharded: se, pipelined: opts.Pipeline}, nil
-	}
-	eng, err := core.NewEngineWithTree(opts.engineConfig(), tree)
-	if err != nil {
-		return nil, err
-	}
-	return &DB{eng: eng, single: eng, pipelined: opts.Pipeline}, nil
+	return build(opts, tree)
 }
 
 // LastBatchStats exposes the instrumentation of the most recent Run.
