@@ -4,9 +4,11 @@
 #   build        compile everything
 #   test         full unit/differential suite
 #   race         the concurrency-heavy packages under the race detector
-#                (the pipeline, the PALM BSP stages, the sharded engine,
-#                the facade stream and service hammers, the WAL syncer,
-#                and the batcher close/submit races)
+#                (the pipeline, the PALM BSP stages — including the
+#                kernel-ablation matrix, all 2^3 sorted-batch kernel
+#                flag combos differentially vs the oracle — the sharded
+#                engine, the facade stream and service hammers, the WAL
+#                syncer, and the batcher close/submit races)
 #   fuzz-smoke   10s runs of the shard differential fuzzer (the
 #                sharded/serial equivalence property of DESIGN.md §6)
 #                and the crash-recovery fuzzer (the durability property
@@ -18,9 +20,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-smoke bench-smoke bench
+.PHONY: ci vet build test race race-kernels fuzz-smoke bench-smoke bench bench-kernels
 
-ci: vet build test race fuzz-smoke bench-smoke
+ci: vet build test race race-kernels fuzz-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -34,6 +36,13 @@ test:
 race:
 	$(GO) test -race ./internal/core ./internal/palm ./internal/shard ./internal/wal ./internal/batcher ./qtrans
 
+# The sorted-batch kernel ablation matrix (all 2^3 flag combos, small
+# differential workloads vs the oracle) under the race detector. Also
+# part of the plain `race` target's ./internal/palm run; kept callable
+# on its own for quick kernel work.
+race-kernels:
+	$(GO) test -race -run 'KernelAblation' -count=1 ./internal/palm
+
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzShardEquivalence -fuzztime=10s ./internal/shard
 	$(GO) test -run=^$$ -fuzz=FuzzCrashRecovery -fuzztime=10s ./qtrans
@@ -41,7 +50,15 @@ fuzz-smoke:
 bench-smoke:
 	$(GO) test -run=XXX -bench=BenchmarkPipeline -benchtime=1x .
 	$(GO) test -run=XXX -bench=BenchmarkDurability -benchtime=1x ./qtrans
+	$(GO) test -run=XXX -bench=BenchmarkKernels -benchtime=1x ./internal/palm
 
 # Full benchmark sweep with allocation reporting (not part of ci).
 bench:
 	$(GO) test -run=XXX -bench=. -benchmem .
+
+# Sorted-batch tree kernel measurements (DESIGN.md §8): the isolated
+# descend/leafapply/endtoend microbenchmarks, then the harness ablation
+# sweep written to BENCH_kernels.json (not part of ci).
+bench-kernels:
+	$(GO) test -run=XXX -bench=BenchmarkKernels -benchtime=200ms ./internal/palm
+	$(GO) run ./cmd/qtransbench -experiment kernels -scale 0.05 -json BENCH_kernels.json

@@ -14,6 +14,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,7 +37,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("qtransbench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "", "experiment id (fig4, fig9a..d, fig10a..d, fig11a..d, fig12a..b, fig13, fig14a..c, fig15, abl1, abl2, pipe, shard, table1, table2) or 'all'")
+		experiment = fs.String("experiment", "", "experiment id (fig4, fig9a..d, fig10a..d, fig11a..d, fig12a..b, fig13, fig14a..c, fig15, abl1, abl2, pipe, shard, kernels, table1, table2) or 'all'")
 		list       = fs.Bool("list", false, "list available experiments and exit")
 		scale      = fs.Float64("scale", 0.002, "dataset scale factor in (0,1]; 1 = paper scale (Table I sizes)")
 		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "BSP worker threads")
@@ -45,6 +46,11 @@ func run(args []string) error {
 		cacheCap   = fs.Int("cache", 1<<16, "top-K cache capacity for inter-batch runs")
 		batches    = fs.Int("batches", 0, "cap on batches per measurement (0 = whole dataset)")
 		plot       = fs.Bool("plot", false, "render each experiment's rows as an ASCII chart too")
+		jsonPath   = fs.String("json", "", "also write the experiment rows to FILE as JSON")
+
+		pathReuse  = fs.Bool("pathreuse", true, "path-reuse descent kernel (false = fresh root descent per query)")
+		branchless = fs.Bool("branchless", true, "branchless intra-node search kernel (false = closure-based binary search)")
+		mergeApply = fs.Bool("mergeapply", true, "merge-based leaf application kernel (false = per-query leaf updates)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,12 +83,15 @@ func run(args []string) error {
 	}
 
 	rn := harness.NewRunner(harness.Options{
-		Scale:         *scale,
-		Workers:       *workers,
-		Order:         *order,
-		Seed:          *seed,
-		CacheCapacity: *cacheCap,
-		Batches:       *batches,
+		Scale:              *scale,
+		Workers:            *workers,
+		Order:              *order,
+		Seed:               *seed,
+		CacheCapacity:      *cacheCap,
+		Batches:            *batches,
+		NoPathReuse:        !*pathReuse,
+		NoBranchlessSearch: !*branchless,
+		NoMergeApply:       !*mergeApply,
 	})
 
 	exps := harness.Experiments()
@@ -93,6 +102,7 @@ func run(args []string) error {
 		}
 		exps = []harness.Experiment{e}
 	}
+	var jsonOut []jsonExperiment
 	for _, e := range exps {
 		fmt.Printf("== %s: %s\n", e.ID, e.Title)
 		var buf bytes.Buffer
@@ -100,6 +110,9 @@ func run(args []string) error {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		os.Stdout.WriteString(buf.String())
+		if *jsonPath != "" {
+			jsonOut = append(jsonOut, jsonFromRows(e, buf.String()))
+		}
 		if *plot {
 			if chart := chartFromRows(e.Title, buf.String()); chart != nil {
 				fmt.Println()
@@ -110,7 +123,44 @@ func run(args []string) error {
 		}
 		fmt.Println()
 	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(jsonOut, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// jsonExperiment is one experiment's rows in the -json output: the
+// tab-separated text table split into a header and string cells, so
+// downstream tooling need not re-parse column alignment.
+type jsonExperiment struct {
+	Experiment string     `json:"experiment"`
+	Title      string     `json:"title"`
+	Header     []string   `json:"header"`
+	Rows       [][]string `json:"rows"`
+}
+
+// jsonFromRows splits an experiment's text output into the JSON shape.
+func jsonFromRows(e harness.Experiment, raw string) jsonExperiment {
+	out := jsonExperiment{Experiment: e.ID, Title: e.Title}
+	lines := strings.Split(strings.TrimRight(raw, "\n"), "\n")
+	for i, line := range lines {
+		if line == "" {
+			continue
+		}
+		cols := strings.Split(line, "\t")
+		if i == 0 {
+			out.Header = cols
+		} else {
+			out.Rows = append(out.Rows, cols)
+		}
+	}
+	return out
 }
 
 // chartFromRows converts an experiment's tab-separated rows (header +

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -40,6 +44,10 @@ func TestRunRejectsBadValues(t *testing.T) {
 		{"negative order", []string{"-experiment", "table1", "-order", "-8"}},
 		{"negative cache", []string{"-experiment", "table1", "-cache", "-1"}},
 		{"negative batches", []string{"-experiment", "table1", "-batches", "-3"}},
+		{"non-bool pathreuse", []string{"-experiment", "table1", "-pathreuse=maybe"}},
+		{"non-bool branchless", []string{"-experiment", "table1", "-branchless=2"}},
+		{"non-bool mergeapply", []string{"-experiment", "table1", "-mergeapply=yep"}},
+		{"json to unwritable path", []string{"-experiment", "table1", "-scale", "0.0001", "-json", "/no/such/dir/out.json"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -53,6 +61,37 @@ func TestRunRejectsBadValues(t *testing.T) {
 func TestRunTinyExperiment(t *testing.T) {
 	// table1 is computation-free; fig4 exercises the generators.
 	if err := run([]string{"-experiment", "table1", "-scale", "0.0001"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTinyExperimentJSON(t *testing.T) {
+	path := t.TempDir() + "/out.json"
+	if err := run([]string{"-experiment", "table1", "-scale", "0.0001", "-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []jsonExperiment
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Experiment != "table1" {
+		t.Fatalf("json = %+v", out)
+	}
+	if len(out[0].Header) == 0 || len(out[0].Rows) == 0 {
+		t.Fatalf("empty header/rows: %+v", out[0])
+	}
+}
+
+func TestRunKernelFlagsAccepted(t *testing.T) {
+	// Kernel toggles must parse and reach the harness without error;
+	// table1 keeps the run computation-free.
+	err := run([]string{"-experiment", "table1", "-scale", "0.0001",
+		"-pathreuse=false", "-branchless=false", "-mergeapply=false"})
+	if err != nil {
 		t.Fatal(err)
 	}
 }

@@ -41,6 +41,10 @@ func run(args []string) error {
 		modes   = fs.String("modes", "org,intra,inter,sim", "comma-separated modes")
 		shards  = fs.Int("shards", 1, "range-partitioned shard count (>1 splits the worker budget across shards)")
 		rebal   = fs.Int("rebalance", 0, "rebalance shard boundaries every N batches (0 = never; needs -shards > 1)")
+
+		pathReuse  = fs.Bool("pathreuse", true, "path-reuse descent kernel (false = fresh root descent per query)")
+		branchless = fs.Bool("branchless", true, "branchless intra-node search kernel (false = closure-based binary search)")
+		mergeApply = fs.Bool("mergeapply", true, "merge-based leaf application kernel (false = per-query leaf updates)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +74,9 @@ func run(args []string) error {
 	rn := harness.NewRunner(harness.Options{
 		Scale: *scale, Workers: *workers, Seed: *seed,
 		CacheCapacity: 1 << 16, Batches: *batches,
+		NoPathReuse:        !*pathReuse,
+		NoBranchlessSearch: !*branchless,
+		NoMergeApply:       !*mergeApply,
 	})
 	spec, err := workload.SpecByName(*dataset, *scale)
 	if err != nil {

@@ -18,7 +18,6 @@ package btree
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/keys"
 )
@@ -116,16 +115,16 @@ func (t *Tree) minChildren() int { return (t.order + 1) / 2 }
 
 // searchKeys returns the index of the first key in ks >= k.
 func searchKeys(ks []keys.Key, k keys.Key) int {
-	// Binary search; this is the stand-in for the artifact's AVX-512
-	// intra-node SIMD search (see DESIGN.md §4.1).
-	return sort.Search(len(ks), func(i int) bool { return ks[i] >= k })
+	// Branchless binary search shared with the batch processors; the
+	// stand-in for the artifact's AVX-512 intra-node SIMD search (see
+	// DESIGN.md §4.1 and §8).
+	return SearchGE(ks, k)
 }
 
 // childIndex returns which child of internal node n covers key k.
 func childIndex(n *Node, k keys.Key) int {
 	// Keys[i] separates children i and i+1 with children[i] < Keys[i].
-	i := sort.Search(len(n.Keys), func(i int) bool { return k < n.Keys[i] })
-	return i
+	return SearchGT(n.Keys, k)
 }
 
 // FindLeaf descends from the root to the leaf that covers k, returning

@@ -1,0 +1,101 @@
+package btree
+
+import (
+	"sort"
+
+	"repro/internal/keys"
+)
+
+// This file holds the shared intra-node search kernels (DESIGN.md §8).
+// Every hot-path probe in the repository — the serial tree's descent,
+// PALM's Stage-1 leaf location, Stage-2 leaf evaluation, and the QTrans
+// find-and-answer fast path — routes through these two primitives, so a
+// kernel improvement lands everywhere at once.
+//
+// SearchGE/SearchGT use a branch-free binary search: the probe load is
+// unconditional and the narrowing step reduces to a conditional
+// register select (CMOV-class codegen), with a fixed iteration count
+// per node width. Against the closure-based sort.Search form this
+// removes the per-probe function-call indirection and the data-
+// dependent control flow that random probe keys inflict on a predicted
+// binary search; how much that buys varies by microarchitecture (see
+// BenchmarkSearchKernels), which is exactly what the NoBranchlessSearch
+// ablation measures. It is the software stand-in for the paper
+// artifact's AVX-512 intra-node SIMD search (DESIGN.md §4.1); BS-tree
+// (arXiv:2505.01180) measures the same branchless layout effect on CPU
+// B+ trees.
+//
+// The *Closure variants preserve the pre-kernel sort.Search form as the
+// ablation baseline (palm.Config.NoBranchlessSearch) so the win stays
+// benchmarkable.
+
+// SearchGE returns the index of the first key in ks >= k, or len(ks)
+// when every key is smaller — the leaf-probe kernel.
+func SearchGE(ks []keys.Key, k keys.Key) int {
+	// Invariant: the answer lies in [lo, lo+n]. The probe load is
+	// unconditional and the narrowing step is a pure register select,
+	// which the compiler lowers to CMOV — no data-dependent branch.
+	lo, n := 0, len(ks)
+	for n > 1 {
+		half := n >> 1
+		mid := lo + half
+		v := ks[mid-1]
+		n -= half
+		if v < k {
+			lo = mid
+		}
+	}
+	if n == 1 && ks[lo] < k {
+		lo++
+	}
+	return lo
+}
+
+// SearchGT returns the index of the first key in ks > k, or len(ks)
+// when every key is <= k — the inner-node child-step kernel: for an
+// internal node, SearchGT(n.Keys, k) is the child slot covering k.
+func SearchGT(ks []keys.Key, k keys.Key) int {
+	lo, n := 0, len(ks)
+	for n > 1 {
+		half := n >> 1
+		mid := lo + half
+		v := ks[mid-1]
+		n -= half
+		if v <= k {
+			lo = mid
+		}
+	}
+	if n == 1 && ks[lo] <= k {
+		lo++
+	}
+	return lo
+}
+
+// LeafFind looks key k up within a single leaf node.
+func LeafFind(leaf *Node, k keys.Key) (keys.Value, bool) {
+	i := SearchGE(leaf.Keys, k)
+	if i < len(leaf.Keys) && leaf.Keys[i] == k {
+		return leaf.Vals[i], true
+	}
+	return 0, false
+}
+
+// SearchGEClosure is the closure-based sort.Search form of SearchGE,
+// kept as the ablation baseline.
+func SearchGEClosure(ks []keys.Key, k keys.Key) int {
+	return sort.Search(len(ks), func(i int) bool { return ks[i] >= k })
+}
+
+// SearchGTClosure is the closure-based sort.Search form of SearchGT.
+func SearchGTClosure(ks []keys.Key, k keys.Key) int {
+	return sort.Search(len(ks), func(i int) bool { return k < ks[i] })
+}
+
+// LeafFindClosure is LeafFind over SearchGEClosure (ablation baseline).
+func LeafFindClosure(leaf *Node, k keys.Key) (keys.Value, bool) {
+	i := SearchGEClosure(leaf.Keys, k)
+	if i < len(leaf.Keys) && leaf.Keys[i] == k {
+		return leaf.Vals[i], true
+	}
+	return 0, false
+}

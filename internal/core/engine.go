@@ -229,8 +229,8 @@ func (e *Engine) ProcessBatch(qs []keys.Query, rs *keys.ResultSet) {
 	e.mergeProcStats(e.st)
 }
 
-// mergeProcStats folds the processor's stage timings and leaf-op
-// counters into st.
+// mergeProcStats folds the processor's stage timings, leaf-op counters
+// and Stage-1 fence hits into st.
 func (e *Engine) mergeProcStats(st *stats.Batch) {
 	ps := e.proc.Stats()
 	for _, s := range stats.Stages() {
@@ -239,6 +239,7 @@ func (e *Engine) mergeProcStats(st *stats.Batch) {
 	for i, v := range ps.LeafOps {
 		st.LeafOps[i] += v
 	}
+	st.FenceHits += ps.FenceHits
 }
 
 // cachePass runs the inter-batch top-K cache over the QTrans-reduced

@@ -35,6 +35,25 @@ type Options struct {
 	CacheCapacity int
 	// Batches caps the number of batches per run (0 = all queries).
 	Batches int
+
+	// NoPathReuse, NoBranchlessSearch and NoMergeApply disable the
+	// sorted-batch tree kernels (DESIGN.md §8, palm.Config ablations);
+	// the zero value keeps all three on.
+	NoPathReuse        bool
+	NoBranchlessSearch bool
+	NoMergeApply       bool
+}
+
+// palmConfig builds the tree-processor config for one measurement arm.
+func (o Options) palmConfig(workers int, loadBalance bool) palm.Config {
+	return palm.Config{
+		Order:              o.Order,
+		Workers:            workers,
+		LoadBalance:        loadBalance,
+		NoPathReuse:        o.NoPathReuse,
+		NoBranchlessSearch: o.NoBranchlessSearch,
+		NoMergeApply:       o.NoMergeApply,
+	}
 }
 
 // normalized fills defaults.
@@ -113,12 +132,8 @@ func (rn *Runner) runCustom(spec workload.Spec, mode core.Mode, updateRatio floa
 	}
 
 	eng, err := core.NewEngine(core.EngineConfig{
-		Mode: mode,
-		Palm: palm.Config{
-			Order:       o.Order,
-			Workers:     threads,
-			LoadBalance: loadBalance,
-		},
+		Mode:          mode,
+		Palm:          o.palmConfig(threads, loadBalance),
 		CacheCapacity: o.CacheCapacity,
 	})
 	if err != nil {
@@ -194,12 +209,8 @@ func (rn *Runner) RunStreamOne(spec workload.Spec, mode core.Mode, updateRatio f
 	}
 
 	eng, err := core.NewEngine(core.EngineConfig{
-		Mode: mode,
-		Palm: palm.Config{
-			Order:       o.Order,
-			Workers:     threads,
-			LoadBalance: true,
-		},
+		Mode:          mode,
+		Palm:          o.palmConfig(threads, true),
 		CacheCapacity: o.CacheCapacity,
 		Pipeline:      pipelined,
 	})
@@ -291,12 +302,8 @@ func (rn *Runner) RunShardOne(spec workload.Spec, mode core.Mode, updateRatio fl
 	eng, err := shard.New(shard.Config{
 		Shards: shards,
 		Engine: core.EngineConfig{
-			Mode: mode,
-			Palm: palm.Config{
-				Order:       o.Order,
-				Workers:     perShard,
-				LoadBalance: true,
-			},
+			Mode:          mode,
+			Palm:          o.palmConfig(perShard, true),
 			CacheCapacity: o.CacheCapacity,
 		},
 		KeyMax: keys.Key(gen.KeyRange()),

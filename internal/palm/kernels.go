@@ -1,0 +1,281 @@
+package palm
+
+// Sorted-batch tree kernels (DESIGN.md §8). A key-sorted batch gives
+// the tree stages structure that per-query code cannot see:
+//
+//   - Stage 1 visits leaves in strictly ascending key order against a
+//     tree that is read-only until Stage 2, so the previous descent
+//     path stays valid and most queries resolve with a fence check
+//     instead of a root-to-leaf walk (finder, below).
+//   - All node probes take the shared branchless kernels in
+//     internal/btree instead of closure-based sort.Search.
+//   - A leaf group is a sorted run of queries against a sorted leaf,
+//     so Stage 2 can apply the whole group in one merge pass instead
+//     of a binary search plus O(n) memmove per query (evalGroupMerge,
+//     in palm.go).
+//
+// Each kernel has an ablation flag in Config (NoPathReuse,
+// NoBranchlessSearch, NoMergeApply) that restores the pre-kernel code
+// path, keeping the win benchmarkable and differentially testable.
+
+import (
+	"repro/internal/btree"
+	"repro/internal/keys"
+)
+
+// probeGE returns the index of the first key in ks >= k, honoring the
+// branchless-search ablation.
+func (p *Processor) probeGE(ks []keys.Key, k keys.Key) int {
+	if p.cfg.NoBranchlessSearch {
+		return btree.SearchGEClosure(ks, k)
+	}
+	return btree.SearchGE(ks, k)
+}
+
+// probeChild returns the child slot of an internal node covering k,
+// honoring the branchless-search ablation.
+func (p *Processor) probeChild(ks []keys.Key, k keys.Key) int {
+	if p.cfg.NoBranchlessSearch {
+		return btree.SearchGTClosure(ks, k)
+	}
+	return btree.SearchGT(ks, k)
+}
+
+// probeLeaf looks k up within a leaf, honoring the branchless-search
+// ablation.
+func (p *Processor) probeLeaf(leaf *btree.Node, k keys.Key) (keys.Value, bool) {
+	if p.cfg.NoBranchlessSearch {
+		return btree.LeafFindClosure(leaf, k)
+	}
+	return btree.LeafFind(leaf, k)
+}
+
+// finder locates the leaf covering each key of an ascending probe
+// sequence, reusing the previous root-to-leaf path (path-reuse descent,
+// §IV-E/§V-A exploitation of pre-sorting): alongside the path it
+// records, per level, the cumulative key range [low, high) of the
+// subtree entered there — the "fences". If the next key still falls
+// inside the current leaf's fences the descent is skipped entirely; if
+// not, the finder climbs the recorded path to the lowest level whose
+// fences still cover the key and re-descends only the changed suffix.
+//
+// Correctness rests on the tree being read-only while the finder is in
+// use: Stage 1 (and the find-and-answer fast path) only read the tree,
+// and all structural modification happens in the later, barrier-
+// separated Stages 2-3, after which the finder is reset. The fences are
+// exact (derived from the separators actually passed, intersected down
+// the path), so reuse never returns a different leaf than a fresh root
+// descent — the property differentially enforced by the kernel tests.
+//
+// A finder is per-worker scratch: arrays keep their capacity across
+// batches, so steady-state descents allocate nothing.
+type finder struct {
+	proc *Processor
+	path btree.Path  // root-to-leaf internal path of the current leaf
+	leaf *btree.Node // current leaf; nil before the first descent
+	// Cumulative fences of the subtree entered at each path level.
+	// hasLow/hasHigh distinguish "unbounded" (edge of the tree) from a
+	// real separator, so no key value is sacrificed as a sentinel.
+	low, high       []keys.Key
+	hasLow, hasHigh []bool
+	fenceHits       int64 // descents skipped entirely (stats)
+}
+
+// reset invalidates the finder for a fresh batch (the tree may have
+// been restructured since the last one). Backing arrays are kept.
+func (f *finder) reset(p *Processor) {
+	f.proc = p
+	f.leaf = nil
+	f.path.Reset()
+	f.low = f.low[:0]
+	f.high = f.high[:0]
+	f.hasLow = f.hasLow[:0]
+	f.hasHigh = f.hasHigh[:0]
+}
+
+// covers reports whether the subtree entered at path level lvl covers k.
+func (f *finder) covers(lvl int, k keys.Key) bool {
+	if f.hasLow[lvl] && k < f.low[lvl] {
+		return false
+	}
+	if f.hasHigh[lvl] && k >= f.high[lvl] {
+		return false
+	}
+	return true
+}
+
+// find returns the leaf covering k. After find returns, f.path holds
+// the leaf's full root-to-leaf internal path (as btree.Tree.FindLeaf
+// would record it).
+func (f *finder) find(k keys.Key) *btree.Node {
+	p := f.proc
+	if p.cfg.NoPathReuse || f.leaf == nil {
+		return f.descendFrom(p.tree.Root(), 0, k)
+	}
+	d := f.path.Len()
+	// Fence ranges are nested (level l+1's range is contained in level
+	// l's), so the levels still covering k form a prefix of the path:
+	// climb from the bottom to the deepest covering level.
+	lvl := d - 1
+	for lvl >= 0 && !f.covers(lvl, k) {
+		lvl--
+	}
+	if lvl == d-1 {
+		// The current leaf's fences still cover k — no descent at all.
+		// (d == 0 means the root is a leaf, which covers every key.)
+		f.fenceHits++
+		return f.leaf
+	}
+	if lvl < 0 {
+		return f.descendFrom(p.tree.Root(), 0, k)
+	}
+	// The child entered at level lvl covers k; redo only the suffix.
+	return f.descendFrom(f.path.Nodes[lvl].Children[f.path.Slots[lvl]], lvl+1, k)
+}
+
+// evalGroupSerial applies a leaf group's queries one at a time, each
+// with an intra-leaf binary search and (for inserts/deletes) an O(n)
+// memmove — the pre-kernel Stage-2 code path, kept as the merge-apply
+// ablation baseline.
+func (p *Processor) evalGroupSerial(g *leafGroup, qs []keys.Query, rs *keys.ResultSet, w *workerScratch, answerDuringFind bool) {
+	leaf := g.leaf
+	for i := g.lo; i < g.hi; i++ {
+		q := qs[i]
+		switch q.Op {
+		case keys.OpSearch:
+			if !answerDuringFind {
+				v, ok := p.probeLeaf(leaf, q.Key)
+				rs.Set(q.Idx, v, ok)
+			}
+		case keys.OpInsert:
+			j := p.probeGE(leaf.Keys, q.Key)
+			if j < len(leaf.Keys) && leaf.Keys[j] == q.Key {
+				leaf.Vals[j] = q.Value
+			} else {
+				leaf.Keys = append(leaf.Keys, 0)
+				leaf.Vals = append(leaf.Vals, 0)
+				copy(leaf.Keys[j+1:], leaf.Keys[j:])
+				copy(leaf.Vals[j+1:], leaf.Vals[j:])
+				leaf.Keys[j] = q.Key
+				leaf.Vals[j] = q.Value
+				w.sizeDelta++
+			}
+		case keys.OpDelete:
+			j := p.probeGE(leaf.Keys, q.Key)
+			if j < len(leaf.Keys) && leaf.Keys[j] == q.Key {
+				leaf.Keys = append(leaf.Keys[:j], leaf.Keys[j+1:]...)
+				leaf.Vals = append(leaf.Vals[:j], leaf.Vals[j+1:]...)
+				w.sizeDelta--
+			}
+		}
+		w.leafOps++
+	}
+}
+
+// evalGroupMerge applies a whole leaf group in a single merge pass: the
+// group's queries and the leaf's entries are both sorted by key, so one
+// forward sweep rebuilds the leaf's key/value arrays in per-worker
+// scratch and copies them back — no per-query binary search and no
+// per-insert/delete memmove. Serial in-batch semantics are preserved by
+// consulting the rebuilt tail for same-key query runs: a search after
+// an insert of the same key sees the new value, after a delete sees an
+// absent key, exactly as the one-at-a-time path would.
+func (p *Processor) evalGroupMerge(g *leafGroup, qs []keys.Query, rs *keys.ResultSet, w *workerScratch, answerDuringFind bool) {
+	leaf := g.leaf
+	lk, lv := leaf.Keys, leaf.Vals
+	mk, mv := w.mergeKeys[:0], w.mergeVals[:0]
+	li := 0
+	for i := g.lo; i < g.hi; i++ {
+		q := qs[i]
+		k := q.Key
+		for li < len(lk) && lk[li] < k {
+			mk = append(mk, lk[li])
+			mv = append(mv, lv[li])
+			li++
+		}
+		// If the previous query in this group had the same key, its
+		// outcome is the tail of the rebuilt run — in-batch visibility.
+		tailIsK := len(mk) > 0 && mk[len(mk)-1] == k
+		switch q.Op {
+		case keys.OpSearch:
+			if !answerDuringFind {
+				switch {
+				case tailIsK:
+					rs.Set(q.Idx, mv[len(mv)-1], true)
+				case li < len(lk) && lk[li] == k:
+					rs.Set(q.Idx, lv[li], true)
+				default:
+					rs.Set(q.Idx, 0, false)
+				}
+			}
+		case keys.OpInsert:
+			switch {
+			case tailIsK: // overwrite the value this batch just wrote
+				mv[len(mv)-1] = q.Value
+			case li < len(lk) && lk[li] == k: // replace existing entry
+				mk = append(mk, k)
+				mv = append(mv, q.Value)
+				li++
+			default: // genuinely new key
+				mk = append(mk, k)
+				mv = append(mv, q.Value)
+				w.sizeDelta++
+			}
+		case keys.OpDelete:
+			switch {
+			case tailIsK: // remove the entry this batch just wrote
+				mk = mk[:len(mk)-1]
+				mv = mv[:len(mv)-1]
+				w.sizeDelta--
+			case li < len(lk) && lk[li] == k: // skip the existing entry
+				li++
+				w.sizeDelta--
+			}
+		}
+		w.leafOps++
+	}
+	mk = append(mk, lk[li:]...)
+	mv = append(mv, lv[li:]...)
+	leaf.Keys = append(lk[:0], mk...)
+	leaf.Vals = append(lv[:0], mv...)
+	w.mergeKeys, w.mergeVals = mk, mv
+}
+
+// descendFrom truncates the recorded path to depth levels and descends
+// from n (the node at that depth) to the leaf covering k, recording
+// path and fences.
+func (f *finder) descendFrom(n *btree.Node, depth int, k keys.Key) *btree.Node {
+	p := f.proc
+	f.path.Nodes = f.path.Nodes[:depth]
+	f.path.Slots = f.path.Slots[:depth]
+	f.low = f.low[:depth]
+	f.high = f.high[:depth]
+	f.hasLow = f.hasLow[:depth]
+	f.hasHigh = f.hasHigh[:depth]
+	for !n.Leaf() {
+		s := p.probeChild(n.Keys, k)
+		// The new level's fences: local separators where present,
+		// inherited from the level above at the node's edges (a child's
+		// keys are already bounded by every ancestor separator).
+		var lo, hi keys.Key
+		var hasLo, hasHi bool
+		if d := f.path.Len(); d > 0 {
+			lo, hi = f.low[d-1], f.high[d-1]
+			hasLo, hasHi = f.hasLow[d-1], f.hasHigh[d-1]
+		}
+		if s > 0 {
+			lo, hasLo = n.Keys[s-1], true
+		}
+		if s < len(n.Keys) {
+			hi, hasHi = n.Keys[s], true
+		}
+		f.path.Push(n, s)
+		f.low = append(f.low, lo)
+		f.high = append(f.high, hi)
+		f.hasLow = append(f.hasLow, hasLo)
+		f.hasHigh = append(f.hasHigh, hasHi)
+		n = n.Children[s]
+	}
+	f.leaf = n
+	return n
+}

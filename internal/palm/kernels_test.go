@@ -1,0 +1,356 @@
+package palm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/keys"
+	"repro/internal/oracle"
+)
+
+// kernelCombos enumerates all 2³ kernel ablation settings.
+func kernelCombos() []Config {
+	var out []Config
+	for bits := 0; bits < 8; bits++ {
+		out = append(out, Config{
+			NoPathReuse:        bits&1 != 0,
+			NoBranchlessSearch: bits&2 != 0,
+			NoMergeApply:       bits&4 != 0,
+		})
+	}
+	return out
+}
+
+func comboName(c Config) string {
+	return fmt.Sprintf("pathreuse=%v/branchless=%v/mergeapply=%v",
+		!c.NoPathReuse, !c.NoBranchlessSearch, !c.NoMergeApply)
+}
+
+// TestFinderMatchesFreshDescent is the path-reuse property test: over
+// random tree shapes (empty root-leaf, single-leaf, serially grown,
+// bulk-loaded) and random probe sequences (ascending, as Stage 1 sees,
+// and adversarially unordered), finder.find must return exactly the
+// leaf — and record exactly the path — that a fresh root descent does.
+func TestFinderMatchesFreshDescent(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 60; trial++ {
+		order := []int{3, 4, 5, 8, 64}[r.Intn(5)]
+		n := []int{0, 1, 2, order - 1, 30, 500, 4000}[r.Intn(7)]
+		span := keys.Key(3*n + 10)
+
+		var tree *btree.Tree
+		if r.Intn(2) == 0 {
+			// Serially grown tree (strict fill invariants).
+			tree = btree.MustNew(order)
+			for i := 0; i < n; i++ {
+				tree.Insert(keys.Key(r.Uint64())%span, keys.Value(i))
+			}
+		} else {
+			// Bulk-loaded tree (distinct leaf fill pattern).
+			ks := make([]keys.Key, 0, n)
+			seen := map[keys.Key]bool{}
+			for len(ks) < n {
+				k := keys.Key(r.Uint64()) % span
+				if !seen[k] {
+					seen[k] = true
+					ks = append(ks, k)
+				}
+			}
+			sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+			vs := make([]keys.Value, len(ks))
+			var err error
+			tree, err = btree.BulkLoad(order, ks, vs)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		p := NewWithTree(Config{Order: order, Workers: 1}, tree, nil)
+		var f finder
+		f.reset(p)
+
+		probes := make([]keys.Key, 300)
+		for i := range probes {
+			probes[i] = keys.Key(r.Uint64()) % (span + 4)
+		}
+		if r.Intn(2) == 0 {
+			// The Stage-1 ascending regime.
+			sort.Slice(probes, func(i, j int) bool { return probes[i] < probes[j] })
+		}
+		var fresh btree.Path
+		for _, k := range probes {
+			got := f.find(k)
+			want := tree.FindLeaf(k, &fresh)
+			if got != want {
+				t.Fatalf("order=%d n=%d: find(%d) returned wrong leaf", order, n, k)
+			}
+			if f.path.Len() != fresh.Len() {
+				t.Fatalf("order=%d n=%d: find(%d) path depth %d, want %d",
+					order, n, k, f.path.Len(), fresh.Len())
+			}
+			for l := 0; l < fresh.Len(); l++ {
+				if f.path.Nodes[l] != fresh.Nodes[l] || f.path.Slots[l] != fresh.Slots[l] {
+					t.Fatalf("order=%d n=%d: find(%d) path diverges at level %d", order, n, k, l)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestFinderResetAfterRestructure checks the Stage boundaries the
+// finder's correctness argument rests on: after a batch restructures the
+// tree, the next batch's descents (post-reset) are still exact.
+func TestFinderResetAfterRestructure(t *testing.T) {
+	p, _ := New(Config{Order: 3, Workers: 1}, nil)
+	defer p.Close()
+	r := rand.New(rand.NewSource(5))
+	for b := 0; b < 20; b++ {
+		batch := make([]keys.Query, 120)
+		for i := range batch {
+			k := keys.Key(r.Intn(400))
+			if r.Intn(2) == 0 {
+				batch[i] = keys.Insert(k, keys.Value(i))
+			} else {
+				batch[i] = keys.Delete(k)
+			}
+		}
+		p.ProcessBatch(keys.Number(batch), keys.NewResultSet(len(batch)))
+
+		f := &p.perW[0].finder
+		f.reset(p)
+		var fresh btree.Path
+		for k := keys.Key(0); k < 410; k += 3 {
+			if got, want := f.find(k), p.tree.FindLeaf(k, &fresh); got != want {
+				t.Fatalf("batch %d: stale finder after restructure at key %d", b, k)
+			}
+		}
+	}
+}
+
+// TestMergeApplyValidates drives merge-based leaf application across
+// every order and several leaf fill modes (empty tree, serially grown,
+// bulk-loaded full leaves) and checks btree.Validate plus oracle
+// equivalence after every batch.
+func TestMergeApplyValidates(t *testing.T) {
+	for _, order := range []int{3, 4, 5, 8, 64} {
+		for _, preload := range []int{0, 1, 700} {
+			r := rand.New(rand.NewSource(int64(order*1000 + preload)))
+			o := oracle.New()
+
+			var tree *btree.Tree
+			if preload > 0 && r.Intn(2) == 0 {
+				ks := make([]keys.Key, preload)
+				vs := make([]keys.Value, preload)
+				seed := make([]keys.Query, preload)
+				for i := range ks {
+					ks[i] = keys.Key(i * 3)
+					vs[i] = keys.Value(i)
+					seed[i] = keys.Insert(ks[i], vs[i])
+				}
+				var err error
+				tree, err = btree.BulkLoad(order, ks, vs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				o.ApplyAll(keys.Number(seed), keys.NewResultSet(preload))
+			} else {
+				tree = btree.MustNew(order)
+				seed := make([]keys.Query, preload)
+				for i := 0; i < preload; i++ {
+					tree.Insert(keys.Key(i*3), keys.Value(i))
+					seed[i] = keys.Insert(keys.Key(i*3), keys.Value(i))
+				}
+				o.ApplyAll(keys.Number(seed), keys.NewResultSet(preload))
+			}
+
+			p := NewWithTree(Config{Order: order, Workers: 4, LoadBalance: true}, tree, nil)
+			for b := 0; b < 4; b++ {
+				batch := make([]keys.Query, 900)
+				for i := range batch {
+					k := keys.Key(r.Intn(3*preload + 200))
+					switch r.Intn(3) {
+					case 0:
+						batch[i] = keys.Search(k)
+					case 1:
+						batch[i] = keys.Insert(k, keys.Value(r.Uint64()))
+					default:
+						batch[i] = keys.Delete(k)
+					}
+				}
+				keys.Number(batch)
+				want := keys.NewResultSet(len(batch))
+				o.ApplyAll(batch, want)
+				got := keys.NewResultSet(len(batch))
+				p.ProcessBatch(batch, got)
+				for i := int32(0); i < int32(len(batch)); i++ {
+					w, wok := want.Get(i)
+					g, gok := got.Get(i)
+					if wok != gok || w != g {
+						t.Fatalf("order=%d preload=%d batch %d query %d: %+v vs %+v", order, preload, b, i, g, w)
+					}
+				}
+				if err := p.Tree().Validate(btree.RelaxedFill); err != nil {
+					t.Fatalf("order=%d preload=%d batch %d: %v", order, preload, b, err)
+				}
+			}
+			gk, gv := p.Tree().Dump()
+			wk, wv := o.Dump()
+			if len(gk) != len(wk) {
+				t.Fatalf("order=%d preload=%d: dump %d vs %d entries", order, preload, len(gk), len(wk))
+			}
+			for i := range gk {
+				if gk[i] != wk[i] || gv[i] != wv[i] {
+					t.Fatalf("order=%d preload=%d: dump mismatch at %d", order, preload, i)
+				}
+			}
+			p.Close()
+		}
+	}
+}
+
+// TestKernelAblationMatrix runs the oracle differential over all 2³
+// kernel flag combinations — results and final stores must be identical
+// regardless of which kernels are enabled.
+func TestKernelAblationMatrix(t *testing.T) {
+	for _, combo := range kernelCombos() {
+		combo := combo
+		t.Run(comboName(combo), func(t *testing.T) {
+			cfg := combo
+			cfg.Order = 4
+			cfg.Workers = 4
+			cfg.LoadBalance = true
+			r := rand.New(rand.NewSource(77))
+			runDifferential(t, cfg, randomBatches(r, 3, 1500, 300, 0.5))
+		})
+	}
+}
+
+// TestKernelAblationTransformed exercises the QTrans-shaped entry points
+// (ProcessTransformed, FindAndAnswerSearches) under every kernel combo.
+func TestKernelAblationTransformed(t *testing.T) {
+	for _, combo := range kernelCombos() {
+		combo := combo
+		t.Run(comboName(combo), func(t *testing.T) {
+			cfg := combo
+			cfg.Order = 4
+			cfg.Workers = 4
+			cfg.LoadBalance = true
+			p, err := New(cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			o := oracle.New()
+			r := rand.New(rand.NewSource(13))
+
+			for b := 0; b < 5; b++ {
+				// A QTrans-reduced batch: per distinct key at most one
+				// representative search, preceding the key's defining
+				// queries; keys ascending (stable key-sorted by build).
+				var batch []keys.Query
+				for k := keys.Key(0); k < 400; k += keys.Key(1 + r.Intn(3)) {
+					if r.Intn(3) == 0 {
+						batch = append(batch, keys.Search(k))
+					}
+					for d := r.Intn(3); d > 0; d-- {
+						if r.Intn(2) == 0 {
+							batch = append(batch, keys.Insert(k, keys.Value(r.Uint64())))
+						} else {
+							batch = append(batch, keys.Delete(k))
+						}
+					}
+				}
+				keys.Number(batch)
+				want := keys.NewResultSet(len(batch))
+				o.ApplyAll(batch, want)
+				got := keys.NewResultSet(len(batch))
+				p.ProcessTransformed(batch, got)
+				for i := int32(0); i < int32(len(batch)); i++ {
+					w, wok := want.Get(i)
+					g, gok := got.Get(i)
+					if wok != gok || w != g {
+						t.Fatalf("batch %d query %d: %+v (%v) vs %+v (%v)", b, i, g, gok, w, wok)
+					}
+				}
+				if err := p.Tree().Validate(btree.RelaxedFill); err != nil {
+					t.Fatalf("batch %d: %v", b, err)
+				}
+			}
+
+			// Search-only fast path against the final store.
+			qs := make([]keys.Query, 600)
+			for i := range qs {
+				qs[i] = keys.Search(keys.Key(r.Intn(420)))
+			}
+			keys.Number(qs)
+			keys.SortByKey(qs)
+			want := keys.NewResultSet(len(qs))
+			o.ApplyAll(qs, want)
+			got := keys.NewResultSet(len(qs))
+			p.FindAndAnswerSearches(qs, got)
+			for i := int32(0); i < int32(len(qs)); i++ {
+				w, wok := want.Get(i)
+				g, gok := got.Get(i)
+				if wok != gok || w != g {
+					t.Fatalf("fast path query %d: %+v (%v) vs %+v (%v)", i, g, gok, w, wok)
+				}
+			}
+
+			gk, gv := p.Tree().Dump()
+			wk, wv := o.Dump()
+			if len(gk) != len(wk) {
+				t.Fatalf("dump %d vs %d entries", len(gk), len(wk))
+			}
+			for i := range gk {
+				if gk[i] != wk[i] || gv[i] != wv[i] {
+					t.Fatalf("dump mismatch at %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestFenceHitsCounted checks the path-reuse stat: a dense pre-sorted
+// batch against a deep tree must resolve mostly by fence checks, and
+// disabling the kernel must zero the counter.
+func TestFenceHitsCounted(t *testing.T) {
+	build := func(cfg Config) *Processor {
+		cfg.Order = 4
+		cfg.Workers = 1
+		p, _ := New(cfg, nil)
+		n := 4000
+		seed := make([]keys.Query, n)
+		for i := range seed {
+			seed[i] = keys.Insert(keys.Key(i), keys.Value(i))
+		}
+		p.ProcessBatch(keys.Number(seed), keys.NewResultSet(n))
+		return p
+	}
+
+	p := build(Config{})
+	defer p.Close()
+	batch := make([]keys.Query, 2000)
+	for i := range batch {
+		batch[i] = keys.Search(keys.Key(i * 2))
+	}
+	keys.Number(batch)
+	p.ProcessBatchSorted(batch, keys.NewResultSet(len(batch)))
+	if p.Stats().FenceHits == 0 {
+		t.Fatal("dense sorted batch recorded no fence hits")
+	}
+
+	off := build(Config{NoPathReuse: true})
+	defer off.Close()
+	for i := range batch {
+		batch[i] = keys.Search(keys.Key(i * 2))
+	}
+	keys.Number(batch)
+	off.ProcessBatchSorted(batch, keys.NewResultSet(len(batch)))
+	if off.Stats().FenceHits != 0 {
+		t.Fatalf("NoPathReuse recorded %d fence hits", off.Stats().FenceHits)
+	}
+}

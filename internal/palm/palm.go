@@ -26,8 +26,6 @@
 package palm
 
 import (
-	"sort"
-
 	"repro/internal/bsp"
 	"repro/internal/btree"
 	"repro/internal/keys"
@@ -52,6 +50,22 @@ type Config struct {
 	// pre-sorting step instead of the default parallel radix sort
 	// (ablation; radix is several times faster on integer keys).
 	CompareSort bool
+
+	// Sorted-batch tree kernel ablations (DESIGN.md §8). The zero value
+	// enables all three kernels; each flag disables one, restoring the
+	// pre-kernel code path for benchmarking and differential testing.
+
+	// NoPathReuse disables the path-reuse descent of Stage 1 and the
+	// find-and-answer fast path: every query (or distinct key) then
+	// re-descends from the root as the original design did.
+	NoPathReuse bool
+	// NoBranchlessSearch replaces the branchless intra-node search
+	// kernels with the closure-based sort.Search probes.
+	NoBranchlessSearch bool
+	// NoMergeApply disables the merge-based leaf application of Stage
+	// 2: each leaf group's queries are then applied one at a time with
+	// a binary search plus memmove per insert/delete.
+	NoMergeApply bool
 }
 
 // Processor evaluates query batches against a B+ tree using the PALM
@@ -84,6 +98,9 @@ type workerScratch struct {
 	reqs      []modRequest
 	paths     pathArena     // recycled root-to-leaf path snapshots
 	children  []*btree.Node // applyToParent child-list rebuild scratch
+	finder    finder        // Stage-1 path-reuse descent state
+	mergeKeys []keys.Key    // merge-based leaf application scratch
+	mergeVals []keys.Value
 	sizeDelta int64
 	leafOps   int64    // operations applied at the leaf level (Fig. 13)
 	_         [4]int64 // pad to keep hot counters off shared cache lines
@@ -239,8 +256,10 @@ func (p *Processor) finishStats() {
 	for i := range p.perW {
 		delta += p.perW[i].sizeDelta
 		p.batchStats.LeafOps[i] += p.perW[i].leafOps
+		p.batchStats.FenceHits += int(p.perW[i].finder.fenceHits)
 		p.perW[i].sizeDelta = 0
 		p.perW[i].leafOps = 0
+		p.perW[i].finder.fenceHits = 0
 	}
 	if delta != 0 {
 		p.tree.AddSize(int(delta))
@@ -255,23 +274,25 @@ func (p *Processor) findLeaves(qs []keys.Query) {
 	for i := range p.perW {
 		p.perW[i].groups = p.perW[i].groups[:0]
 		p.perW[i].paths.reset()
+		p.perW[i].finder.reset(p)
 	}
 	p.pool.Run(func(tid int) {
 		lo, hi := p.pool.Range(tid, n)
 		w := &p.perW[tid]
 		var cur *btree.Node
-		var path btree.Path
 		for i := lo; i < hi; i++ {
 			// The original design performs the leaf search for every
 			// query in the batch (§V-A contrasts this with QTrans's
 			// per-distinct-key FIND, which lives in findAndAnswer).
-			leaf := p.tree.FindLeaf(qs[i].Key, &path)
+			// With path reuse the search usually collapses to a fence
+			// check against the previous descent (kernels.go).
+			leaf := w.finder.find(qs[i].Key)
 			if leaf == cur && len(w.groups) > 0 {
 				w.groups[len(w.groups)-1].hi = i + 1
 				continue
 			}
 			cur = leaf
-			w.groups = append(w.groups, leafGroup{leaf: leaf, path: w.paths.clone(&path), lo: i, hi: i + 1})
+			w.groups = append(w.groups, leafGroup{leaf: leaf, path: w.paths.clone(&w.finder.path), lo: i, hi: i + 1})
 		}
 	})
 
@@ -296,29 +317,23 @@ func (p *Processor) findLeaves(qs []keys.Query) {
 // stage 1, avoiding the time consuming stage 2").
 func (p *Processor) FindAndAnswerSearches(qs []keys.Query, rs *keys.ResultSet) {
 	n := len(qs)
+	for i := range p.perW {
+		p.perW[i].finder.reset(p)
+	}
 	p.pool.Run(func(tid int) {
 		lo, hi := p.pool.Range(tid, n)
 		w := &p.perW[tid]
 		var leaf *btree.Node
 		for i := lo; i < hi; i++ {
 			if i == lo || qs[i].Key != qs[i-1].Key || leaf == nil {
-				leaf = p.tree.FindLeaf(qs[i].Key, nil)
+				leaf = w.finder.find(qs[i].Key)
 			}
-			v, ok := leafSearch(leaf, qs[i].Key)
+			v, ok := p.probeLeaf(leaf, qs[i].Key)
 			rs.Set(qs[i].Idx, v, ok)
 			w.leafOps++
 		}
 	})
 	p.finishStats()
-}
-
-// leafSearch looks key k up within a single leaf.
-func leafSearch(leaf *btree.Node, k keys.Key) (keys.Value, bool) {
-	i := sort.Search(len(leaf.Keys), func(i int) bool { return leaf.Keys[i] >= k })
-	if i < len(leaf.Keys) && leaf.Keys[i] == k {
-		return leaf.Vals[i], true
-	}
-	return 0, false
 }
 
 // evaluate runs Stage 2: leaf groups are assigned to workers (balanced
@@ -405,36 +420,10 @@ func prefixEnd(counts []int, i, total int) int {
 func (p *Processor) evalGroup(g *leafGroup, qs []keys.Query, rs *keys.ResultSet, w *workerScratch, answerDuringFind bool) {
 	leaf := g.leaf
 	maxEntries := p.tree.Order() - 1
-	for i := g.lo; i < g.hi; i++ {
-		q := qs[i]
-		switch q.Op {
-		case keys.OpSearch:
-			if !answerDuringFind {
-				v, ok := leafSearch(leaf, q.Key)
-				rs.Set(q.Idx, v, ok)
-			}
-		case keys.OpInsert:
-			j := sort.Search(len(leaf.Keys), func(i int) bool { return leaf.Keys[i] >= q.Key })
-			if j < len(leaf.Keys) && leaf.Keys[j] == q.Key {
-				leaf.Vals[j] = q.Value
-			} else {
-				leaf.Keys = append(leaf.Keys, 0)
-				leaf.Vals = append(leaf.Vals, 0)
-				copy(leaf.Keys[j+1:], leaf.Keys[j:])
-				copy(leaf.Vals[j+1:], leaf.Vals[j:])
-				leaf.Keys[j] = q.Key
-				leaf.Vals[j] = q.Value
-				w.sizeDelta++
-			}
-		case keys.OpDelete:
-			j := sort.Search(len(leaf.Keys), func(i int) bool { return leaf.Keys[i] >= q.Key })
-			if j < len(leaf.Keys) && leaf.Keys[j] == q.Key {
-				leaf.Keys = append(leaf.Keys[:j], leaf.Keys[j+1:]...)
-				leaf.Vals = append(leaf.Vals[:j], leaf.Vals[j+1:]...)
-				w.sizeDelta--
-			}
-		}
-		w.leafOps++
+	if p.cfg.NoMergeApply {
+		p.evalGroupSerial(g, qs, rs, w, answerDuringFind)
+	} else {
+		p.evalGroupMerge(g, qs, rs, w, answerDuringFind)
 	}
 
 	switch {

@@ -51,18 +51,18 @@ func (p *Processor) findAndAnswer(qs []keys.Query, rs *keys.ResultSet) bool {
 	for i := range p.perW {
 		p.perW[i].groups = p.perW[i].groups[:0]
 		p.perW[i].paths.reset()
+		p.perW[i].finder.reset(p)
 	}
 	p.pool.Run(func(tid int) {
 		lo, hi := p.pool.Range(tid, n)
 		w := &p.perW[tid]
 		var leaf *btree.Node
-		var path btree.Path
 		for i := lo; i < hi; i++ {
 			if i == lo || qs[i].Key != qs[i-1].Key {
-				leaf = p.tree.FindLeaf(qs[i].Key, &path)
+				leaf = w.finder.find(qs[i].Key)
 			}
 			if qs[i].Op == keys.OpSearch {
-				v, ok := leafSearch(leaf, qs[i].Key)
+				v, ok := p.probeLeaf(leaf, qs[i].Key)
 				rs.Set(qs[i].Idx, v, ok)
 				w.leafOps++
 				continue
@@ -73,7 +73,7 @@ func (p *Processor) findAndAnswer(qs []keys.Query, rs *keys.ResultSet) bool {
 			if len(w.groups) > 0 && w.groups[len(w.groups)-1].leaf == leaf {
 				w.groups[len(w.groups)-1].hi = i + 1
 			} else {
-				w.groups = append(w.groups, leafGroup{leaf: leaf, path: w.paths.clone(&path), lo: i, hi: i + 1})
+				w.groups = append(w.groups, leafGroup{leaf: leaf, path: w.paths.clone(&w.finder.path), lo: i, hi: i + 1})
 			}
 		}
 	})

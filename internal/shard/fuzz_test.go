@@ -86,6 +86,20 @@ func FuzzShardEquivalence(f *testing.F) {
 				arms = append(arms, arm{name: armName(n, pipelined), eng: e})
 			}
 		}
+		// Kernels-off arm: disabling every sorted-batch tree kernel
+		// (palm.Config ablations) must not change a byte of results or
+		// stores relative to the kernels-on arms above.
+		offCfg := testEngineConfig(core.IntraInter, false)
+		offCfg.Palm.NoPathReuse = true
+		offCfg.Palm.NoBranchlessSearch = true
+		offCfg.Palm.NoMergeApply = true
+		eOff, err := New(Config{Shards: 2, Engine: offCfg, KeyMax: fuzzSpan - 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eOff.Close()
+		arms = append(arms, arm{name: "shards=2+kernels-off", eng: eOff})
+
 		plain, err := core.NewEngine(testEngineConfig(core.IntraInter, false))
 		if err != nil {
 			t.Fatal(err)

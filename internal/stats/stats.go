@@ -74,6 +74,10 @@ type Batch struct {
 	// CacheHits / CacheMisses / CacheFlushes count top-K cache
 	// operations (inter-batch optimization).
 	CacheHits, CacheMisses, CacheFlushes int
+	// FenceHits counts Stage-1 descents skipped entirely because the
+	// previous descent's leaf fences covered the key (path-reuse kernel,
+	// DESIGN.md §8).
+	FenceHits int
 	// LeafOps[t] counts leaf-level operations performed by worker t
 	// (Fig. 13's load-balance metric).
 	LeafOps []int64
@@ -139,6 +143,7 @@ func (b *Batch) AddTo(dst *Batch) {
 	dst.CacheHits += b.CacheHits
 	dst.CacheMisses += b.CacheMisses
 	dst.CacheFlushes += b.CacheFlushes
+	dst.FenceHits += b.FenceHits
 	for i := range b.Elapsed {
 		dst.Elapsed[i] += b.Elapsed[i]
 	}

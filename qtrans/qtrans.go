@@ -114,6 +114,20 @@ type Options struct {
 	// durability off with semantics identical to previous releases.
 	// See durability.go.
 	Durability Durability
+
+	// Sorted-batch tree kernel ablations (DESIGN.md §8). The zero value
+	// keeps all three kernels on; each flag disables one, restoring the
+	// pre-kernel code path — results are identical either way.
+
+	// NoPathReuse disables the path-reuse descent of the leaf-search
+	// stage (every query re-descends from the root).
+	NoPathReuse bool
+	// NoBranchlessSearch replaces the branchless intra-node search
+	// kernels with closure-based binary search.
+	NoBranchlessSearch bool
+	// NoMergeApply disables the merge-based leaf application (queries
+	// are applied to leaves one at a time).
+	NoMergeApply bool
 }
 
 // engineConfig translates Options to the per-engine configuration
@@ -127,9 +141,12 @@ func (opts Options) engineConfig() core.EngineConfig {
 	return core.EngineConfig{
 		Mode: opts.Optimization.mode(),
 		Palm: palm.Config{
-			Order:       opts.Order,
-			Workers:     opts.Workers,
-			LoadBalance: true,
+			Order:              opts.Order,
+			Workers:            opts.Workers,
+			LoadBalance:        true,
+			NoPathReuse:        opts.NoPathReuse,
+			NoBranchlessSearch: opts.NoBranchlessSearch,
+			NoMergeApply:       opts.NoMergeApply,
 		},
 		CacheCapacity: capacity,
 		CachePolicy:   cache.LRU,

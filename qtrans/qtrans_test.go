@@ -153,6 +153,53 @@ func TestRunMatchesMapSemantics(t *testing.T) {
 	}
 }
 
+func TestKernelOptionsOffMatchesMapSemantics(t *testing.T) {
+	// The Options kernel ablations must reach the engine and change
+	// nothing observable: same map semantics with every kernel disabled.
+	db, err := Open(Options{Workers: 3, Order: 8,
+		NoPathReuse: true, NoBranchlessSearch: true, NoMergeApply: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	r := rand.New(rand.NewSource(23))
+	model := map[Key]Value{}
+	for round := 0; round < 3; round++ {
+		b := NewBatch()
+		type expect struct {
+			pos   int
+			v     Value
+			found bool
+		}
+		var expects []expect
+		for i := 0; i < 1500; i++ {
+			k := Key(r.Intn(250))
+			switch r.Intn(3) {
+			case 0:
+				v, found := model[k]
+				expects = append(expects, expect{b.Search(k), v, found})
+			case 1:
+				v := Value(r.Intn(10000))
+				b.Insert(k, v)
+				model[k] = v
+			default:
+				b.Delete(k)
+				delete(model, k)
+			}
+		}
+		res := db.Run(b)
+		for _, e := range expects {
+			got, ok := res.Search(e.pos)
+			if !ok || got.Found != e.found || (e.found && got.Value != e.v) {
+				t.Fatalf("round %d pos %d: got %+v (%v), want %v/%v", round, e.pos, got, ok, e.v, e.found)
+			}
+		}
+	}
+	if db.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", db.Len(), len(model))
+	}
+}
+
 func TestSaveLoadRoundTrip(t *testing.T) {
 	db, err := Open(Options{Workers: 2, Order: 8})
 	if err != nil {
