@@ -8,7 +8,9 @@
 #                kernel-ablation matrix, all 2^3 sorted-batch kernel
 #                flag combos differentially vs the oracle — the sharded
 #                engine, the facade stream and service hammers, the WAL
-#                syncer, and the batcher close/submit races)
+#                syncer, the batcher close/submit races, and the metrics
+#                registry's sharded counters under snapshot vs live
+#                Serve traffic)
 #   fuzz-smoke   10s runs of the shard differential fuzzer (the
 #                sharded/serial equivalence property of DESIGN.md §6)
 #                and the crash-recovery fuzzer (the durability property
@@ -34,7 +36,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core ./internal/palm ./internal/shard ./internal/wal ./internal/batcher ./qtrans
+	$(GO) test -race ./internal/core ./internal/palm ./internal/shard ./internal/wal ./internal/batcher ./internal/metrics ./qtrans
 
 # The sorted-batch kernel ablation matrix (all 2^3 flag combos, small
 # differential workloads vs the oracle) under the race detector. Also

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenPath is the committed schema snapshot. It lives with the other
+// facade-level fixtures so qtrans-level tooling can consume it too.
+const goldenPath = "../../qtrans/testdata/qtransbench_schema.json"
+
+// experimentSchema is the stable part of one experiment's -json output:
+// id, title, and header columns. Row values are measurements and vary
+// run to run; the schema must not.
+type experimentSchema struct {
+	Experiment string   `json:"experiment"`
+	Title      string   `json:"title"`
+	Header     []string `json:"header"`
+}
+
+// TestJSONSchemaGolden runs the full experiment roster at a tiny scale
+// through the real -json path and compares the output schema —
+// experiment ids, titles, and header columns — against the committed
+// golden. A schema drift fails with a line diff; refresh the golden
+// with UPDATE_GOLDEN=1 go test ./cmd/qtransbench.
+func TestJSONSchemaGolden(t *testing.T) {
+	jsonOut := filepath.Join(t.TempDir(), "out.json")
+
+	// run() streams row text to stdout; silence it for the test.
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	saved := os.Stdout
+	os.Stdout = devnull
+	err = run([]string{
+		"-experiment", "all",
+		"-scale", "0.0002", "-batches", "2", "-workers", "2",
+		"-json", jsonOut,
+	})
+	os.Stdout = saved
+	if err != nil {
+		t.Fatalf("qtransbench run: %v", err)
+	}
+
+	data, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exps []jsonExperiment
+	if err := json.Unmarshal(data, &exps); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if len(exps) == 0 {
+		t.Fatal("-json output holds no experiments")
+	}
+
+	// Structural invariants that hold regardless of measured values.
+	var schema []experimentSchema
+	for _, e := range exps {
+		if len(e.Header) == 0 {
+			t.Errorf("%s: empty header", e.Experiment)
+		}
+		if len(e.Rows) == 0 {
+			t.Errorf("%s: no data rows", e.Experiment)
+		}
+		for i, r := range e.Rows {
+			if len(r) != len(e.Header) {
+				t.Errorf("%s row %d: %d cells for %d header columns", e.Experiment, i, len(r), len(e.Header))
+			}
+		}
+		schema = append(schema, experimentSchema{Experiment: e.Experiment, Title: e.Title, Header: e.Header})
+	}
+
+	got, err := json.MarshalIndent(schema, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s", goldenPath)
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if diff := lineDiff(string(want), string(got)); diff != "" {
+		t.Fatalf("-json schema drifted from %s\n(refresh with UPDATE_GOLDEN=1 go test ./cmd/qtransbench)\n%s", goldenPath, diff)
+	}
+}
+
+// lineDiff renders a minimal readable diff ("" when equal): every line
+// present on only one side, prefixed -want / +got, with line numbers.
+func lineDiff(want, got string) string {
+	if want == got {
+		return ""
+	}
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	var sb strings.Builder
+	n := len(wl)
+	if len(gl) > n {
+		n = len(gl)
+	}
+	shown := 0
+	for i := 0; i < n && shown < 20; i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			fmt.Fprintf(&sb, "line %d:\n  -want %s\n  +got  %s\n", i+1, w, g)
+			shown++
+		}
+	}
+	if shown == 20 {
+		sb.WriteString("  ... (diff truncated)\n")
+	}
+	return sb.String()
+}

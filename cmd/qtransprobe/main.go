@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -45,6 +46,8 @@ func run(args []string) error {
 		pathReuse  = fs.Bool("pathreuse", true, "path-reuse descent kernel (false = fresh root descent per query)")
 		branchless = fs.Bool("branchless", true, "branchless intra-node search kernel (false = closure-based binary search)")
 		mergeApply = fs.Bool("mergeapply", true, "merge-based leaf application kernel (false = per-query leaf updates)")
+
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address during the run (e.g. :9100); also prints the final metrics table")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,12 +74,24 @@ func run(args []string) error {
 		return fmt.Errorf("-rebalance %d needs -shards > 1", *rebal)
 	}
 
+	var reg *metrics.Registry
+	if *metricsAddr != "" {
+		reg = metrics.New()
+		bound, stop, err := metrics.Serve(*metricsAddr, reg, nil)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Printf("metrics: serving http://%s/metrics\n", bound)
+	}
+
 	rn := harness.NewRunner(harness.Options{
 		Scale: *scale, Workers: *workers, Seed: *seed,
 		CacheCapacity: 1 << 16, Batches: *batches,
 		NoPathReuse:        !*pathReuse,
 		NoBranchlessSearch: !*branchless,
 		NoMergeApply:       !*mergeApply,
+		Metrics:            reg,
 	})
 	spec, err := workload.SpecByName(*dataset, *scale)
 	if err != nil {
@@ -116,6 +131,12 @@ func run(args []string) error {
 				allocs, bytes/1024, time.Duration(res.Mem.PauseNs).Round(time.Microsecond))
 		}
 		fmt.Println()
+	}
+	if reg != nil {
+		fmt.Println()
+		if err := reg.Snapshot().WriteText(os.Stdout); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/keys"
+	"repro/internal/metrics"
 )
 
 // Processor evaluates one batch; core.Engine and palm.Processor both
@@ -82,6 +83,11 @@ type Config struct {
 	// batch's processing time cannot be attributed — Pipeline takes
 	// precedence and the cap stays at MaxBatch.
 	Pipeline bool
+	// Metrics, when non-nil, receives queue-depth (batcher_queue_depth
+	// gauge), dispatched batch sizes (batcher_batch_size histogram) and
+	// batch-fill ratio in per-mille of the current cap
+	// (batcher_fill_permille histogram). Nil adds no overhead.
+	Metrics *metrics.Registry
 }
 
 // Batcher accumulates queries into batches for a Processor. Safe for
@@ -117,6 +123,11 @@ type Batcher struct {
 	// stats
 	batches int64
 	queries int64
+
+	// Metric handles (nil when Config.Metrics is nil).
+	queueDepth   *metrics.Gauge
+	batchSize    *metrics.Histogram
+	fillPermille *metrics.Histogram
 }
 
 type dispatchReq struct {
@@ -152,6 +163,11 @@ func New(proc Processor, cfg Config) *Batcher {
 		proc:     proc,
 		cfg:      cfg,
 		dispatch: make(chan dispatchReq, 4),
+	}
+	if cfg.Metrics != nil {
+		b.queueDepth = cfg.Metrics.Gauge("batcher_queue_depth")
+		b.batchSize = cfg.Metrics.Histogram("batcher_batch_size")
+		b.fillPermille = cfg.Metrics.Histogram("batcher_fill_permille")
 	}
 	b.batchCap.Store(int64(cfg.MaxBatch))
 	b.wg.Add(1)
@@ -249,6 +265,9 @@ func (b *Batcher) Submit(q keys.Query) (*Future, error) {
 	b.pending = append(b.pending, q)
 	b.futures = append(b.futures, f)
 	b.queries++
+	if b.queueDepth != nil {
+		b.queueDepth.Set(int64(len(b.pending)))
+	}
 	if len(b.pending) >= int(b.batchCap.Load()) {
 		b.flushLocked()
 	} else if b.timer == nil {
@@ -296,6 +315,14 @@ func (b *Batcher) flushLocked() {
 	b.pending = nil
 	b.futures = nil
 	b.batches++
+	if b.batchSize != nil {
+		n := int64(len(req.qs))
+		b.batchSize.Record(n)
+		if cap := b.batchCap.Load(); cap > 0 {
+			b.fillPermille.Record(n * 1000 / cap)
+		}
+		b.queueDepth.Set(0)
+	}
 	b.dispatch <- req
 }
 

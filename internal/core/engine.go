@@ -9,6 +9,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/cache"
 	"repro/internal/keys"
+	"repro/internal/metrics"
 	"repro/internal/palm"
 	"repro/internal/stats"
 )
@@ -73,6 +74,10 @@ type EngineConfig struct {
 	// ProcessStream consults this; ProcessBatch is always serial. See
 	// pipeline.go for the handoff rule that keeps semantics identical.
 	Pipeline bool
+	// Metrics, when non-nil, receives per-batch timings and counters
+	// (batch wall, per-stage wall, query/cache/fence counters). Nil
+	// keeps the batch path identical to the uninstrumented build.
+	Metrics *metrics.Registry
 }
 
 // Engine is the integrated query processing system: PALM with QTrans,
@@ -94,7 +99,8 @@ type Engine struct {
 	flushQ []keys.Query
 	mergeQ []keys.Query
 
-	st *stats.Batch
+	st  *stats.Batch
+	met *engineMetrics // nil when metrics are off
 
 	// Pipelined stream execution state (nil until the first pipelined
 	// ProcessStream call; see pipeline.go).
@@ -149,6 +155,7 @@ func newEngine(cfg EngineConfig, tree *btree.Tree) (*Engine, error) {
 		st:   stats.NewBatch(pool.N()),
 	}
 	e.tf.CompareSort = cfg.CompareSort
+	e.met = newEngineMetrics(cfg.Metrics)
 	if cfg.Mode == IntraInter && cfg.CacheCapacity > 0 {
 		e.topK = cache.New(cfg.CacheCapacity, cfg.CachePolicy)
 		e.flushed = make(map[keys.Key]flushState)
@@ -182,6 +189,16 @@ func (e *Engine) Mode() Mode { return e.cfg.Mode }
 // batch (rs contents are then unspecified) and poisons the engine — see
 // CommitErr.
 func (e *Engine) ProcessBatch(qs []keys.Query, rs *keys.ResultSet) {
+	if e.met == nil {
+		e.processBatch(qs, rs)
+		return
+	}
+	start := e.met.reg.Now()
+	e.processBatch(qs, rs)
+	e.met.recordBatch(e.st, e.met.reg.Since(start))
+}
+
+func (e *Engine) processBatch(qs []keys.Query, rs *keys.ResultSet) {
 	e.st.Reset()
 	e.st.BatchSize = len(qs)
 	if len(qs) == 0 {
@@ -260,7 +277,7 @@ func (e *Engine) cachePass(remaining []keys.Query, rs *keys.ResultSet, rt *Route
 	}
 
 	out := remaining[:0]
-	h1, m1, _ := e.topK.Stats()
+	h1, m1, ev1 := e.topK.Stats()
 
 	keys.KeyRuns(remaining, func(lo, hi int) {
 		k := remaining[lo].Key
@@ -319,9 +336,10 @@ func (e *Engine) cachePass(remaining []keys.Query, rs *keys.ResultSet, rt *Route
 		}
 	})
 
-	h2, m2, _ := e.topK.Stats()
+	h2, m2, ev2 := e.topK.Stats()
 	st.CacheHits += int(h2 - h1)
 	st.CacheMisses += int(m2 - m1)
+	st.CacheEvictions += int(ev2 - ev1)
 	st.CacheFlushes += len(e.flushQ)
 
 	if len(e.flushQ) == 0 {

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/keys"
+	"repro/internal/palm"
+	"repro/internal/stats"
+)
+
+// TestMergeProcStatsFoldsAllFields is the regression gate for
+// mergeProcStats: every field the PALM processor reports — all stage
+// timings, per-worker leaf ops, and the Stage-1 fence-hit counter —
+// must fold into the engine's batch stats, additively on top of what
+// is already there.
+func TestMergeProcStatsFoldsAllFields(t *testing.T) {
+	eng, err := NewEngine(EngineConfig{Mode: Original, Palm: palm.Config{Order: 16, Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	cases := []struct {
+		name string
+		prep func(ps *stats.Batch)
+		want func(t *testing.T, st *stats.Batch)
+	}{
+		{
+			"stage timings",
+			func(ps *stats.Batch) {
+				for i, s := range stats.Stages() {
+					ps.Elapsed[s] = time.Duration(i+1) * time.Millisecond
+				}
+			},
+			func(t *testing.T, st *stats.Batch) {
+				for i, s := range stats.Stages() {
+					if want := time.Duration(i+1) * time.Millisecond; st.Elapsed[s] != want {
+						t.Errorf("Elapsed[%s] = %v, want %v", s, st.Elapsed[s], want)
+					}
+				}
+			},
+		},
+		{
+			"leaf ops per worker",
+			func(ps *stats.Batch) {
+				for i := range ps.LeafOps {
+					ps.LeafOps[i] = int64(100 + i)
+				}
+			},
+			func(t *testing.T, st *stats.Batch) {
+				for i := range st.LeafOps {
+					if want := int64(100 + i); st.LeafOps[i] != want {
+						t.Errorf("LeafOps[%d] = %d, want %d", i, st.LeafOps[i], want)
+					}
+				}
+			},
+		},
+		{
+			"fence hits",
+			func(ps *stats.Batch) { ps.FenceHits = 42 },
+			func(t *testing.T, st *stats.Batch) {
+				if st.FenceHits != 42 {
+					t.Errorf("FenceHits = %d, want 42", st.FenceHits)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ps := eng.proc.Stats()
+			ps.Reset()
+			tc.prep(ps)
+			st := stats.NewBatch(eng.pool.N())
+			eng.mergeProcStats(st)
+			tc.want(t, st)
+		})
+	}
+
+	// Additivity: merging twice on top of existing totals accumulates.
+	ps := eng.proc.Stats()
+	ps.Reset()
+	ps.FenceHits = 5
+	ps.Elapsed[stats.StageFind] = time.Millisecond
+	ps.LeafOps[0] = 3
+	st := stats.NewBatch(eng.pool.N())
+	eng.mergeProcStats(st)
+	eng.mergeProcStats(st)
+	if st.FenceHits != 10 || st.Elapsed[stats.StageFind] != 2*time.Millisecond || st.LeafOps[0] != 6 {
+		t.Fatalf("merge not additive: fence=%d find=%v leaf0=%d",
+			st.FenceHits, st.Elapsed[stats.StageFind], st.LeafOps[0])
+	}
+}
+
+// TestCachePassCountsEvictions checks the eviction delta captured from
+// the top-K cache reaches the batch stats: a cache of capacity 1 under
+// inserts to distinct keys must evict on every admission after the
+// first.
+func TestCachePassCountsEvictions(t *testing.T) {
+	eng, err := NewEngine(EngineConfig{
+		Mode:          IntraInter,
+		Palm:          palm.Config{Order: 16, Workers: 2},
+		CacheCapacity: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	// Distinct keys, one insert each: every batch admits its key into
+	// the capacity-1 cache, evicting the previous dirty entry.
+	rs := keys.NewResultSet(1)
+	var total int
+	for k := keys.Key(1); k <= 4; k++ {
+		qs := keys.Number([]keys.Query{keys.Insert(k, keys.Value(k))})
+		rs.Reset(len(qs))
+		eng.ProcessBatch(qs, rs)
+		total += eng.Stats().CacheEvictions
+	}
+	if total != 3 {
+		t.Fatalf("CacheEvictions total = %d, want 3 (capacity-1 cache, 4 distinct keys)", total)
+	}
+}

@@ -126,7 +126,16 @@ func (e *Engine) ProcessStream(in <-chan *Job, emit func(*Job)) {
 	}()
 
 	for slot := range handoff {
-		e.treeStage(slot)
+		if e.met == nil {
+			e.treeStage(slot)
+		} else {
+			// Pipelined batch wall is the tree-stage wall: the transform
+			// overlapped the previous batch, and its time is already in
+			// the slot's stage timings folded by treeStage.
+			start := e.met.reg.Now()
+			e.treeStage(slot)
+			e.met.recordBatch(e.st, e.met.reg.Since(start))
+		}
 		job := slot.job
 		slot.job = nil
 		emit(job)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/core"
 	"repro/internal/keys"
+	"repro/internal/metrics"
 	"repro/internal/palm"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -70,6 +71,7 @@ func Experiments() []Experiment {
 		Experiment{"shard", "range-partitioned sharding sweep: throughput and imbalance per shard count", ShardExp},
 		Experiment{"abl2", "tree utilization under churn: relaxed batched deletes vs strict serial", Ablation2},
 		Experiment{"kernels", "sorted-batch tree kernel ablation: path-reuse / branchless search / merge apply", KernelsExp},
+		Experiment{"metrics", "per-stage time breakdown from the metrics registry (org and inter)", MetricsExp},
 		Experiment{"table1", "dataset configurations", Table1},
 		Experiment{"table2", "latency per dataset (opt vs org, U-0 and U-0.75)", Table2},
 	)
@@ -479,6 +481,57 @@ func KernelsExp(rn *Runner, w io.Writer) error {
 				row(w, mode.String(), u, c.name, res.Throughput, res.Throughput/base, fenceRate)
 			}
 		}
+	}
+	return nil
+}
+
+// MetricsExp runs org and inter arms with a live metrics registry
+// (internal/metrics) attached and prints the per-stage time breakdown
+// the registry collected: per stage, total time, share of the summed
+// batch wall, and the p50/p99 of the per-batch stage latency. The
+// coverage row reports sum-of-stages / batch-wall — how much of the
+// measured wall the stage timers account for (transform, cache, and
+// tree stages; the small remainder is commit/broadcast/merge glue).
+func MetricsExp(rn *Runner, w io.Writer) error {
+	spec, err := workload.SpecByName("self-similar", rn.Opts.Scale)
+	if err != nil {
+		return err
+	}
+	row(w, "mode", "stage", "total_ms", "share_of_wall", "p50_us", "p99_us")
+	for _, mode := range []core.Mode{core.Original, core.IntraInter} {
+		reg := metrics.New()
+		arm := *rn
+		arm.Opts.Metrics = reg
+		if _, err := arm.RunOne(spec, mode, 0.25, 0, 0); err != nil {
+			return err
+		}
+		snap := reg.Snapshot()
+		wall := snap.Histograms["batch_wall_ns"]
+		var stageSum int64
+		for _, s := range stats.Stages() {
+			h, ok := snap.Histograms["stage_"+s.String()+"_ns"]
+			if !ok || h.Count == 0 {
+				continue
+			}
+			stageSum += h.Sum
+			share := 0.0
+			if wall.Sum > 0 {
+				share = float64(h.Sum) / float64(wall.Sum)
+			}
+			row(w, mode.String(), s.String(),
+				float64(h.Sum)/float64(time.Millisecond), share,
+				float64(h.P50)/float64(time.Microsecond),
+				float64(h.P99)/float64(time.Microsecond))
+		}
+		coverage := 0.0
+		if wall.Sum > 0 {
+			coverage = float64(stageSum) / float64(wall.Sum)
+		}
+		row(w, mode.String(), "batch_wall",
+			float64(wall.Sum)/float64(time.Millisecond), 1.0,
+			float64(wall.P50)/float64(time.Microsecond),
+			float64(wall.P99)/float64(time.Microsecond))
+		row(w, mode.String(), "coverage(sum/wall)", float64(stageSum)/float64(time.Millisecond), coverage, "-", "-")
 	}
 	return nil
 }

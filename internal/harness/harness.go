@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/keys"
+	"repro/internal/metrics"
 	"repro/internal/palm"
 	"repro/internal/shard"
 	"repro/internal/stats"
@@ -42,6 +43,11 @@ type Options struct {
 	NoPathReuse        bool
 	NoBranchlessSearch bool
 	NoMergeApply       bool
+
+	// Metrics, when non-nil, instruments every engine the harness builds
+	// into the given registry (nil keeps runs uninstrumented, identical
+	// to before).
+	Metrics *metrics.Registry
 }
 
 // palmConfig builds the tree-processor config for one measurement arm.
@@ -135,6 +141,7 @@ func (rn *Runner) runCustom(spec workload.Spec, mode core.Mode, updateRatio floa
 		Mode:          mode,
 		Palm:          o.palmConfig(threads, loadBalance),
 		CacheCapacity: o.CacheCapacity,
+		Metrics:       o.Metrics,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("harness: %w", err)
@@ -213,6 +220,7 @@ func (rn *Runner) RunStreamOne(spec workload.Spec, mode core.Mode, updateRatio f
 		Palm:          o.palmConfig(threads, true),
 		CacheCapacity: o.CacheCapacity,
 		Pipeline:      pipelined,
+		Metrics:       o.Metrics,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("harness: %w", err)
@@ -305,6 +313,7 @@ func (rn *Runner) RunShardOne(spec workload.Spec, mode core.Mode, updateRatio fl
 			Mode:          mode,
 			Palm:          o.palmConfig(perShard, true),
 			CacheCapacity: o.CacheCapacity,
+			Metrics:       o.Metrics,
 		},
 		KeyMax: keys.Key(gen.KeyRange()),
 	})

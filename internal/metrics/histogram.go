@@ -1,0 +1,248 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Log-linear bucket scheme (HdrHistogram-style): values below subCount
+// get exact unit buckets; above that, every power-of-two octave is
+// divided into subCount linear sub-buckets, so a bucket's width is at
+// most 1/subCount (12.5%) of its lower bound. The scheme covers the
+// full non-negative int64 range (nanoseconds: 1ns up to ~292 years)
+// with numBuckets fixed slots — no resizing, no allocation on Record.
+const (
+	subBits    = 3
+	subCount   = 1 << subBits                     // 8 sub-buckets per octave
+	numBuckets = subCount + subCount*(63-subBits) // 488
+)
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < subCount {
+		return int(v)
+	}
+	exp := 63 - bits.LeadingZeros64(uint64(v)) // >= subBits
+	return subCount + (exp-subBits)*subCount + int((uint64(v)>>uint(exp-subBits))&(subCount-1))
+}
+
+// bucketBounds returns bucket idx's half-open value range [lo, hi).
+func bucketBounds(idx int) (lo, hi int64) {
+	if idx < subCount {
+		return int64(idx), int64(idx) + 1
+	}
+	rel := idx - subCount
+	exp := rel/subCount + subBits
+	sub := rel % subCount
+	width := int64(1) << uint(exp-subBits)
+	lo = (int64(subCount) + int64(sub)) * width
+	hi = lo + width
+	if hi < lo { // top octave: lo+width exceeds MaxInt64
+		hi = math.MaxInt64
+	}
+	return lo, hi
+}
+
+// BucketWidth returns the width of the bucket that value v falls into —
+// the quantile error bound at v (Quantile is exact to within one bucket
+// width, clamped by the exact min/max).
+func BucketWidth(v int64) int64 {
+	lo, hi := bucketBounds(bucketIndex(v))
+	return hi - lo
+}
+
+// Histogram is a concurrent log-bucketed histogram of non-negative
+// int64 values (by convention nanoseconds for latency metrics, but any
+// unit works — e.g. batch sizes or per-mille ratios). Record is
+// lock-free and allocation-free; Snapshot may run concurrently with
+// recording.
+type Histogram struct {
+	name    string
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // math.MaxInt64 until the first Record
+	max     atomic.Int64 // -1 until the first Record
+	buckets [numBuckets]atomic.Int64
+}
+
+func newHistogram(name string) *Histogram {
+	h := &Histogram{name: name}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(-1)
+	return h
+}
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// Record adds one value. Negative values are clamped to 0.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Observe records a duration in nanoseconds.
+func (h *Histogram) Observe(d time.Duration) { h.Record(int64(d)) }
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Snapshot captures a point-in-time copy of the histogram. It is safe
+// concurrently with Record; the copy is internally consistent enough
+// for monitoring (counts are read bucket by bucket).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+	}
+	if min := h.min.Load(); min != math.MaxInt64 {
+		s.Min = min
+	}
+	if max := h.max.Load(); max >= 0 {
+		s.Max = max
+	}
+	for i := range h.buckets {
+		if c := h.buckets[i].Load(); c > 0 {
+			lo, hi := bucketBounds(i)
+			s.Buckets = append(s.Buckets, Bucket{Lo: lo, Hi: hi, Count: c})
+		}
+	}
+	s.fillQuantiles()
+	return s
+}
+
+// Bucket is one non-empty histogram bucket covering [Lo, Hi).
+type Bucket struct {
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time histogram summary. Buckets holds
+// only non-empty buckets, ascending by Lo.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+	// P50..P999 are the quantiles the serving layer watches; each is
+	// exact to within one bucket width (see Quantile).
+	P50  int64 `json:"p50"`
+	P90  int64 `json:"p90"`
+	P99  int64 `json:"p99"`
+	P999 int64 `json:"p999"`
+	// Buckets is the sparse bucket list backing the quantiles.
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the arithmetic mean of the recorded values (exact: sum
+// and count are tracked outside the buckets).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns the q-quantile (q in [0,1]) of the recorded values:
+// the midpoint of the bucket holding the rank-⌈q·count⌉ value, clamped
+// to the exact [Min, Max]. The result is within one bucket width of the
+// true quantile. An empty snapshot returns 0.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			mid := b.Lo + (b.Hi-b.Lo)/2
+			if mid < s.Min {
+				mid = s.Min
+			}
+			if mid > s.Max {
+				mid = s.Max
+			}
+			return mid
+		}
+	}
+	return s.Max
+}
+
+// fillQuantiles populates the fixed quantile fields from Buckets.
+func (s *HistogramSnapshot) fillQuantiles() {
+	s.P50 = s.Quantile(0.50)
+	s.P90 = s.Quantile(0.90)
+	s.P99 = s.Quantile(0.99)
+	s.P999 = s.Quantile(0.999)
+}
+
+// Merge combines two snapshots into one, as if all values had been
+// recorded into a single histogram. Merge is commutative and
+// associative (the bucket scheme is global, so equal bounds align).
+func Merge(a, b HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{
+		Count: a.Count + b.Count,
+		Sum:   a.Sum + b.Sum,
+	}
+	switch {
+	case a.Count == 0:
+		out.Min, out.Max = b.Min, b.Max
+	case b.Count == 0:
+		out.Min, out.Max = a.Min, a.Max
+	default:
+		out.Min, out.Max = a.Min, a.Max
+		if b.Min < out.Min {
+			out.Min = b.Min
+		}
+		if b.Max > out.Max {
+			out.Max = b.Max
+		}
+	}
+	i, j := 0, 0
+	for i < len(a.Buckets) || j < len(b.Buckets) {
+		switch {
+		case j >= len(b.Buckets) || (i < len(a.Buckets) && a.Buckets[i].Lo < b.Buckets[j].Lo):
+			out.Buckets = append(out.Buckets, a.Buckets[i])
+			i++
+		case i >= len(a.Buckets) || b.Buckets[j].Lo < a.Buckets[i].Lo:
+			out.Buckets = append(out.Buckets, b.Buckets[j])
+			j++
+		default: // same bucket
+			m := a.Buckets[i]
+			m.Count += b.Buckets[j].Count
+			out.Buckets = append(out.Buckets, m)
+			i, j = i+1, j+1
+		}
+	}
+	out.fillQuantiles()
+	return out
+}

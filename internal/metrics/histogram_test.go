@@ -1,0 +1,247 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestBucketIndexMonotonic checks the bucket mapping is monotonic,
+// total, and consistent with bucketBounds over a dense + random sweep.
+func TestBucketIndexMonotonic(t *testing.T) {
+	prev := -1
+	for v := int64(0); v < 4096; v++ {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex(%d)=%d below previous %d", v, idx, prev)
+		}
+		prev = idx
+		lo, hi := bucketBounds(idx)
+		if v < lo || v >= hi {
+			t.Fatalf("value %d outside its bucket [%d,%d)", v, lo, hi)
+		}
+	}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100_000; i++ {
+		v := int64(r.Uint64() >> 1) // non-negative
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= numBuckets {
+			t.Fatalf("bucketIndex(%d)=%d out of range", v, idx)
+		}
+		lo, hi := bucketBounds(idx)
+		if v < lo || v >= hi {
+			t.Fatalf("value %d outside its bucket [%d,%d)", v, lo, hi)
+		}
+		if w := hi - lo; w > lo/subCount+1 {
+			t.Fatalf("bucket [%d,%d): width %d above relative bound", lo, hi, w)
+		}
+	}
+	if idx := bucketIndex(math.MaxInt64); idx >= numBuckets {
+		t.Fatalf("MaxInt64 bucket %d out of range", idx)
+	}
+}
+
+// TestHistogramBucketCounts records a fixed-seed stream and asserts the
+// per-bucket counts match an exact recount through the same mapping,
+// and count/sum/min/max are exact.
+func TestHistogramBucketCounts(t *testing.T) {
+	h := newHistogram("test")
+	r := rand.New(rand.NewSource(42))
+	want := make(map[int]int64)
+	var sum, min, max int64
+	min = math.MaxInt64
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		v := int64(r.ExpFloat64() * 1e6) // latency-like spread
+		h.Record(v)
+		want[bucketIndex(v)]++
+		sum += v
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	s := h.Snapshot()
+	if s.Count != n || s.Sum != sum || s.Min != min || s.Max != max {
+		t.Fatalf("summary mismatch: got count=%d sum=%d min=%d max=%d want %d/%d/%d/%d",
+			s.Count, s.Sum, s.Min, s.Max, n, sum, min, max)
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		idx := bucketIndex(b.Lo)
+		if want[idx] != b.Count {
+			t.Fatalf("bucket [%d,%d): got %d want %d", b.Lo, b.Hi, b.Count, want[idx])
+		}
+		total += b.Count
+	}
+	if total != n {
+		t.Fatalf("bucket counts sum to %d, want %d", total, n)
+	}
+}
+
+// TestHistogramQuantileErrorBound asserts every reported quantile is
+// within one bucket width of the exact order statistic, across several
+// fixed-seed distributions.
+func TestHistogramQuantileErrorBound(t *testing.T) {
+	dists := map[string]func(r *rand.Rand) int64{
+		"exponential": func(r *rand.Rand) int64 { return int64(r.ExpFloat64() * 5e5) },
+		"uniform":     func(r *rand.Rand) int64 { return r.Int63n(1 << 30) },
+		"bimodal": func(r *rand.Rand) int64 {
+			if r.Intn(10) == 0 {
+				return 1_000_000 + r.Int63n(1000)
+			}
+			return 100 + r.Int63n(50)
+		},
+		"constant": func(r *rand.Rand) int64 { return 12345 },
+	}
+	qs := []float64{0, 0.5, 0.9, 0.99, 0.999, 1}
+	for name, gen := range dists {
+		h := newHistogram(name)
+		r := rand.New(rand.NewSource(7))
+		const n = 20_000
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = gen(r)
+			h.Record(vals[i])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		s := h.Snapshot()
+		for _, q := range qs {
+			got := s.Quantile(q)
+			rank := int(math.Ceil(q * n))
+			if rank < 1 {
+				rank = 1
+			}
+			exact := vals[rank-1]
+			bound := BucketWidth(exact)
+			if diff := got - exact; diff < -bound || diff > bound {
+				t.Errorf("%s q=%v: got %d, exact %d, |err| %d > bucket width %d",
+					name, q, got, exact, got-exact, bound)
+			}
+		}
+		// The fixed quantile fields match Quantile.
+		if s.P50 != s.Quantile(0.5) || s.P90 != s.Quantile(0.9) ||
+			s.P99 != s.Quantile(0.99) || s.P999 != s.Quantile(0.999) {
+			t.Errorf("%s: fixed quantile fields diverge from Quantile()", name)
+		}
+	}
+}
+
+// TestHistogramMergeCommutativeAssociative checks Merge(a,b)==Merge(b,a)
+// and Merge(Merge(a,b),c)==Merge(a,Merge(b,c)) on fixed-seed snapshots,
+// and that the merge equals recording every value into one histogram.
+func TestHistogramMergeCommutativeAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	mk := func(n int, scale float64) (*Histogram, []int64) {
+		h := newHistogram("m")
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(r.ExpFloat64() * scale)
+			h.Record(vals[i])
+		}
+		return h, vals
+	}
+	ha, va := mk(1000, 1e5)
+	hb, vb := mk(500, 1e7)
+	hc, vc := mk(2000, 1e3)
+	a, b, c := ha.Snapshot(), hb.Snapshot(), hc.Snapshot()
+
+	if ab, ba := Merge(a, b), Merge(b, a); !reflect.DeepEqual(ab, ba) {
+		t.Fatalf("Merge not commutative:\n%+v\n%+v", ab, ba)
+	}
+	abc1 := Merge(Merge(a, b), c)
+	abc2 := Merge(a, Merge(b, c))
+	if !reflect.DeepEqual(abc1, abc2) {
+		t.Fatalf("Merge not associative:\n%+v\n%+v", abc1, abc2)
+	}
+
+	all := newHistogram("all")
+	for _, vs := range [][]int64{va, vb, vc} {
+		for _, v := range vs {
+			all.Record(v)
+		}
+	}
+	if want := all.Snapshot(); !reflect.DeepEqual(abc1, want) {
+		t.Fatalf("merge diverges from single histogram:\n%+v\n%+v", abc1, want)
+	}
+}
+
+// TestHistogramEmpty checks the empty-histogram edge cases: zero
+// summary, zero quantiles, and merges with empty snapshots.
+func TestHistogramEmpty(t *testing.T) {
+	h := newHistogram("empty")
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Min != 0 || s.Max != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %d", q, got)
+		}
+	}
+	if s.Mean() != 0 {
+		t.Fatalf("empty Mean = %v", s.Mean())
+	}
+
+	h2 := newHistogram("one")
+	h2.Record(500)
+	one := h2.Snapshot()
+	if got := Merge(s, one); !reflect.DeepEqual(got, one) {
+		t.Fatalf("empty+one != one:\n%+v\n%+v", got, one)
+	}
+	if got := Merge(one, s); !reflect.DeepEqual(got, one) {
+		t.Fatalf("one+empty != one:\n%+v\n%+v", got, one)
+	}
+	if got := Merge(s, s); !reflect.DeepEqual(got, s) {
+		t.Fatalf("empty+empty != empty: %+v", got)
+	}
+}
+
+// TestHistogramNegativeClamped checks negative values clamp to 0
+// instead of corrupting the bucket array.
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := newHistogram("neg")
+	h.Observe(-5 * time.Second)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("negative not clamped: %+v", s)
+	}
+}
+
+// TestManualClockDeterministicTiming drives a timing loop off a Manual
+// clock and asserts the histogram contents exactly — no sleeps, no
+// tolerance.
+func TestManualClockDeterministicTiming(t *testing.T) {
+	clock := NewManual(time.Unix(0, 0))
+	reg := NewWithClock(clock)
+	h := reg.Histogram("op_ns")
+	steps := []time.Duration{time.Millisecond, 3 * time.Millisecond, time.Millisecond, 10 * time.Microsecond}
+	for _, d := range steps {
+		start := reg.Now()
+		clock.Advance(d)
+		h.Observe(reg.Since(start))
+	}
+	s := h.Snapshot()
+	if s.Count != int64(len(steps)) {
+		t.Fatalf("count %d", s.Count)
+	}
+	if s.Min != int64(10*time.Microsecond) || s.Max != int64(3*time.Millisecond) {
+		t.Fatalf("min/max %d/%d", s.Min, s.Max)
+	}
+	var sum time.Duration
+	for _, d := range steps {
+		sum += d
+	}
+	if s.Sum != int64(sum) {
+		t.Fatalf("sum %d want %d", s.Sum, int64(sum))
+	}
+	// p50 must land in 1ms's bucket: within one bucket width.
+	if diff := s.P50 - int64(time.Millisecond); diff < -BucketWidth(int64(time.Millisecond)) || diff > BucketWidth(int64(time.Millisecond)) {
+		t.Fatalf("p50 %d not within a bucket of 1ms", s.P50)
+	}
+}

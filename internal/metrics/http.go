@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// HealthFunc reports the serving process's sticky error state; nil
+// error means healthy. qtrans.DB.Err satisfies it.
+type HealthFunc func() error
+
+// Handler returns the exporter's HTTP handler:
+//
+//	/metrics          registry snapshot as JSON (expvar-style); add
+//	                  ?format=text for an aligned plain-text table
+//	/healthz          200 "ok" while health() is nil, 503 + the error
+//	                  text once the process is poisoned (health may be
+//	                  nil: always healthy)
+//	/debug/pprof/*    the standard net/http/pprof profiling surface
+//
+// The handler holds no locks across requests; /metrics takes a
+// Registry snapshot per request.
+func Handler(r *Registry, health HealthFunc) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			snap.WriteText(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if health != nil {
+			if err := health(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				w.Write([]byte(err.Error() + "\n"))
+				return
+			}
+		}
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the exporter on addr (e.g. ":9100" or "127.0.0.1:0") in
+// a background goroutine. It returns the bound address (useful with
+// port 0) and a function that shuts the listener down.
+func Serve(addr string, r *Registry, health HealthFunc) (bound string, stop func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(r, health)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}

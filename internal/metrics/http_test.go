@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestMetricsEndpointJSON asserts /metrics serves JSON that decodes
+// back into the Snapshot struct with the recorded values intact.
+func TestMetricsEndpointJSON(t *testing.T) {
+	reg := New()
+	reg.Counter("req_total").Add(42)
+	reg.Gauge("depth").Set(3)
+	reg.Histogram("lat_ns").Record(1500)
+
+	srv := httptest.NewServer(Handler(reg, nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if snap.Counters["req_total"] != 42 || snap.Gauges["depth"] != 3 {
+		t.Fatalf("decoded snapshot mismatch: %+v", snap)
+	}
+	h := snap.Histograms["lat_ns"]
+	if h.Count != 1 || h.Min != 1500 || h.Max != 1500 {
+		t.Fatalf("decoded histogram mismatch: %+v", h)
+	}
+}
+
+// TestMetricsEndpointText asserts the ?format=text table view.
+func TestMetricsEndpointText(t *testing.T) {
+	reg := New()
+	reg.Counter("req_total").Add(7)
+	srv := httptest.NewServer(Handler(reg, nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(resp.Header.Get("Content-Type"), "text/plain") {
+		t.Fatalf("content type %q", resp.Header.Get("Content-Type"))
+	}
+	if !strings.Contains(string(body), "counter req_total") || !strings.Contains(string(body), "7") {
+		t.Fatalf("text body missing counter row:\n%s", body)
+	}
+}
+
+// TestHealthz asserts /healthz flips from 200 to 503 when the health
+// func starts returning the sticky error.
+func TestHealthz(t *testing.T) {
+	var sticky error
+	srv := httptest.NewServer(Handler(New(), func() error { return sticky }))
+	defer srv.Close()
+
+	get := func() (int, string) {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get(); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthy: %d %q", code, body)
+	}
+	sticky = errors.New("wal: append: disk gone")
+	if code, body := get(); code != http.StatusServiceUnavailable || !strings.Contains(body, "disk gone") {
+		t.Fatalf("poisoned: %d %q", code, body)
+	}
+}
+
+// TestHealthzNilHealth asserts a nil health func reads as always
+// healthy.
+func TestHealthzNilHealth(t *testing.T) {
+	srv := httptest.NewServer(Handler(New(), nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// TestPprofRoutesRegistered asserts the /debug/pprof/* surface is wired
+// (index plus a cheap sub-profile).
+func TestPprofRoutesRegistered(t *testing.T) {
+	srv := httptest.NewServer(Handler(New(), nil))
+	defer srv.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/goroutine?debug=1", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestServe binds an ephemeral port, serves a request, and shuts down.
+func TestServe(t *testing.T) {
+	reg := New()
+	reg.Counter("served_total").Add(1)
+	addr, stop, err := Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["served_total"] != 1 {
+		t.Fatalf("snapshot over the wire: %+v", snap)
+	}
+}

@@ -1,0 +1,220 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// counterSlot is one cache-line-padded counter shard, so per-worker
+// increments from different threads never contend on one line.
+type counterSlot struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing counter, sharded across
+// cache-line-padded slots. Single-goroutine paths use Add (slot 0);
+// parallel workers use AddAt with their worker id so increments stay on
+// private cache lines. Value folds all slots on read.
+type Counter struct {
+	name  string
+	slots []counterSlot
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Add increments the counter by n (slot 0).
+func (c *Counter) Add(n int64) { c.slots[0].v.Add(n) }
+
+// AddAt increments via worker w's shard (w is reduced modulo the shard
+// count, so any non-negative worker id is valid).
+func (c *Counter) AddAt(w int, n int64) { c.slots[w%len(c.slots)].v.Add(n) }
+
+// Value folds every shard and returns the total.
+func (c *Counter) Value() int64 {
+	var sum int64
+	for i := range c.slots {
+		sum += c.slots[i].v.Load()
+	}
+	return sum
+}
+
+// Gauge is an instantaneous value (queue depth, cap, last LSN).
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the gauge's registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry owns a namespace of metrics and the clock that times them.
+// Metric handles are created once (get-or-create under a mutex, usually
+// at engine construction) and then used lock-free; Snapshot may be
+// called from any goroutine at any time.
+type Registry struct {
+	clock  Clock
+	shards int
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New returns a Registry on the real wall clock.
+func New() *Registry { return NewWithClock(Wall()) }
+
+// NewWithClock returns a Registry reading time from clock (tests pass a
+// Manual clock for deterministic timings).
+func NewWithClock(clock Clock) *Registry {
+	if clock == nil {
+		clock = Wall()
+	}
+	shards := runtime.GOMAXPROCS(0)
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > 64 {
+		shards = 64
+	}
+	return &Registry{
+		clock:    clock,
+		shards:   shards,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Now reads the registry's clock.
+func (r *Registry) Now() time.Time { return r.clock.Now() }
+
+// Since returns the elapsed time from start per the registry's clock.
+func (r *Registry) Since(start time.Time) time.Duration {
+	return r.clock.Now().Sub(start)
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name, slots: make([]counterSlot, r.shards)}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(name)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every registered metric, the
+// shape served as JSON by the /metrics endpoint.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every registered metric. Safe concurrently with
+// live recording (values are read atomically, metric by metric).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// WriteText renders the snapshot as an aligned plain-text table (the
+// /metrics?format=text view): counters and gauges as name/value pairs,
+// histograms with count, mean, quantiles, and exact min/max.
+func (s Snapshot) WriteText(w io.Writer) error {
+	var names []string
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "counter %-32s %d\n", n, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "gauge   %-32s %d\n", n, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		if _, err := fmt.Fprintf(w,
+			"hist    %-32s count=%d mean=%.0f min=%d p50=%d p90=%d p99=%d p999=%d max=%d\n",
+			n, h.Count, h.Mean(), h.Min, h.P50, h.P90, h.P99, h.P999, h.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}

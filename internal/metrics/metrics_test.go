@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterShardedFold(t *testing.T) {
+	reg := New()
+	c := reg.Counter("ops_total")
+	c.Add(5)
+	for w := 0; w < 100; w++ { // wraps modulo the shard count
+		c.AddAt(w, 2)
+	}
+	if got := c.Value(); got != 205 {
+		t.Fatalf("Value = %d, want 205", got)
+	}
+	if reg.Counter("ops_total") != c {
+		t.Fatal("get-or-create returned a different counter")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	reg := New()
+	g := reg.Gauge("depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("Value = %d, want 4", got)
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	clock := NewManual(time.Unix(100, 0))
+	reg := NewWithClock(clock)
+	reg.Counter("a_total").Add(3)
+	reg.Gauge("b").Set(-1)
+	reg.Histogram("c_ns").Record(1000)
+
+	s := reg.Snapshot()
+	if s.Counters["a_total"] != 3 || s.Gauges["b"] != -1 || s.Histograms["c_ns"].Count != 1 {
+		t.Fatalf("snapshot mismatch: %+v", s)
+	}
+
+	var sb strings.Builder
+	if err := s.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{"counter a_total", "gauge   b", "hist    c_ns", "count=1"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text table missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestConcurrentRecordAndSnapshot hammers counters, gauges, and
+// histograms from many goroutines while snapshots are taken — the
+// package-level race gate (run under -race in make ci).
+func TestConcurrentRecordAndSnapshot(t *testing.T) {
+	reg := New()
+	c := reg.Counter("hammer_total")
+	g := reg.Gauge("hammer_depth")
+	h := reg.Histogram("hammer_ns")
+
+	const workers, iters = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.AddAt(w, 1)
+				g.Set(int64(i))
+				h.Record(int64(i % 1000))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			s := reg.Snapshot()
+			if s.Counters["hammer_total"] < 0 {
+				t.Error("negative counter")
+				return
+			}
+			s.Histograms["hammer_ns"].Quantile(0.99)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.Value(); got != workers*iters {
+		t.Fatalf("final counter %d, want %d", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Fatalf("final histogram count %d, want %d", got, workers*iters)
+	}
+}
+
+// TestRecordDoesNotAllocate pins the no-allocation guarantee of the hot
+// recording paths.
+func TestRecordDoesNotAllocate(t *testing.T) {
+	reg := New()
+	c := reg.Counter("alloc_total")
+	g := reg.Gauge("alloc_g")
+	h := reg.Histogram("alloc_ns")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		c.AddAt(3, 1)
+		g.Set(9)
+		h.Record(12345)
+	}); n != 0 {
+		t.Fatalf("recording allocates %v allocs/op, want 0", n)
+	}
+}

@@ -1,0 +1,66 @@
+package shard
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// shardMetrics caches the shard-layer metric handles: routing fan-out
+// plus the split/merge overhead the sharded engine adds around the
+// per-shard core engines (whose own metrics record into the same
+// registry). Nil when metrics are off.
+type shardMetrics struct {
+	reg     *metrics.Registry
+	splitNS *metrics.Histogram
+	mergeNS *metrics.Histogram
+	routed  *metrics.Counter // AddAt(shard, n): per-shard slots, folded on read
+	batches *metrics.Counter
+}
+
+func newShardMetrics(reg *metrics.Registry) *shardMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &shardMetrics{
+		reg:     reg,
+		splitNS: reg.Histogram("shard_split_ns"),
+		mergeNS: reg.Histogram("shard_merge_ns"),
+		routed:  reg.Counter("shard_routed_total"),
+		batches: reg.Counter("shard_batches_total"),
+	}
+}
+
+// The recording helpers are nil-safe so call sites stay single-line;
+// with metrics off they reduce to one branch and never read the clock.
+
+func (m *shardMetrics) now() (t time.Time, ok bool) {
+	if m == nil {
+		return time.Time{}, false
+	}
+	return m.reg.Now(), true
+}
+
+func (m *shardMetrics) observeSplit(start time.Time) {
+	if m != nil {
+		m.splitNS.Observe(m.reg.Since(start))
+	}
+}
+
+func (m *shardMetrics) observeMerge(start time.Time) {
+	if m != nil {
+		m.mergeNS.Observe(m.reg.Since(start))
+	}
+}
+
+func (m *shardMetrics) recordRouted(shard int, n int) {
+	if m != nil {
+		m.routed.AddAt(shard, int64(n))
+	}
+}
+
+func (m *shardMetrics) recordBatch() {
+	if m != nil {
+		m.batches.Add(1)
+	}
+}

@@ -64,6 +64,7 @@ type Engine struct {
 
 	st   *stats.Batch
 	shst *stats.Shard
+	met  *shardMetrics // nil when metrics are off
 
 	// stream state (stream.go)
 	lendRS *keys.ResultSet
@@ -151,6 +152,7 @@ func NewFromTree(cfg Config, tree *btree.Tree) (*Engine, error) {
 }
 
 func (e *Engine) finishInit() {
+	e.met = newShardMetrics(e.cfg.Engine.Metrics)
 	e.sp = newSplitter(e.bounds)
 	e.subRS = make([]*keys.ResultSet, len(e.shards))
 	for i := range e.subRS {
@@ -240,6 +242,8 @@ func (e *Engine) ProcessBatch(qs []keys.Query, rs *keys.ResultSet) {
 		e.shards[0].ProcessBatch(qs, rs)
 		e.shst.RecordRouted(0, len(qs))
 		e.shst.RecordBatch()
+		e.met.recordRouted(0, len(qs))
+		e.met.recordBatch()
 		e.st.Reset()
 		e.shards[0].Stats().AddTo(e.st)
 		return
@@ -256,7 +260,9 @@ func (e *Engine) ProcessBatch(qs []keys.Query, rs *keys.ResultSet) {
 		return // poisoned: drop unapplied
 	}
 
+	splitStart, _ := e.met.now()
 	e.sp.split(qs)
+	e.met.observeSplit(splitStart)
 	e.recordRouting(e.sp)
 	lsn := e.beginCommit(e.sp)
 
@@ -285,7 +291,9 @@ func (e *Engine) ProcessBatch(qs []keys.Query, rs *keys.ResultSet) {
 		}(s, sub)
 	}
 	wg.Wait()
+	mergeStart, _ := e.met.now()
 	e.sp.merge(e.subRS, rs)
+	e.met.observeMerge(mergeStart)
 
 	e.st.Reset()
 	for s := range e.shards {
@@ -301,9 +309,11 @@ func (e *Engine) recordRouting(sp *splitter) {
 	for s := range sp.subs {
 		if n := len(sp.subs[s]); n > 0 {
 			e.shst.RecordRouted(s, n)
+			e.met.recordRouted(s, n)
 		}
 	}
 	e.shst.RecordBatch()
+	e.met.recordBatch()
 }
 
 // Flush writes every shard's dirty cache entries back to its tree.

@@ -64,6 +64,8 @@ func (e *Engine) ProcessStream(in <-chan *core.Job, emit func(*core.Job)) {
 		e.shards[0].ProcessStream(in, func(j *core.Job) {
 			e.shst.RecordRouted(0, len(j.Qs))
 			e.shst.RecordBatch()
+			e.met.recordRouted(0, len(j.Qs))
+			e.met.recordBatch()
 			emit(j)
 		})
 		return
@@ -100,7 +102,9 @@ func (e *Engine) ProcessStream(in <-chan *core.Job, emit func(*core.Job)) {
 			if e.gate != nil {
 				e.gate.RLock()
 			}
+			splitStart, _ := e.met.now()
 			sj.sp.split(job.Qs)
+			e.met.observeSplit(splitStart)
 			e.recordRouting(sj.sp)
 			sj.lsn = e.beginCommit(sj.sp)
 			if e.committer != nil && sj.lsn == 0 && len(job.Qs) > 0 {
@@ -146,7 +150,9 @@ func (e *Engine) ProcessStream(in <-chan *core.Job, emit func(*core.Job)) {
 			job.RS = e.lendRS
 		}
 		job.RS.Reset(len(job.Qs))
+		mergeStart, _ := e.met.now()
 		sj.sp.merge(sj.subRS, job.RS)
+		e.met.observeMerge(mergeStart)
 		emit(job)
 		// Ownership returns to the caller at emit; no accesses past it.
 		free <- sj

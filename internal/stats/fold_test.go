@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// fillDistinct sets every field of b to a distinct non-zero value via
+// reflection, so a field AddTo forgets to fold shows up as a mismatch.
+// It fails the test if Batch ever grows a field kind it doesn't know
+// how to fill — the forcing function for keeping AddTo complete.
+func fillDistinct(t *testing.T, b *Batch, base int64) {
+	t.Helper()
+	v := reflect.ValueOf(b).Elem()
+	next := base
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		name := v.Type().Field(i).Name
+		switch f.Kind() {
+		case reflect.Int:
+			f.SetInt(next)
+			next++
+		case reflect.Slice: // LeafOps
+			if f.Type().Elem().Kind() != reflect.Int64 {
+				t.Fatalf("unknown slice field %s: update fillDistinct and AddTo", name)
+			}
+			for j := 0; j < f.Len(); j++ {
+				f.Index(j).SetInt(next)
+				next++
+			}
+		case reflect.Array: // Elapsed
+			if f.Type().Elem() != reflect.TypeOf(time.Duration(0)) {
+				t.Fatalf("unknown array field %s: update fillDistinct and AddTo", name)
+			}
+			for j := 0; j < f.Len(); j++ {
+				f.Index(j).SetInt(next)
+				next++
+			}
+		default:
+			t.Fatalf("Batch grew field %s of kind %s: update fillDistinct and AddTo", name, f.Kind())
+		}
+	}
+}
+
+// TestAddToFoldsEveryField fills a source batch with distinct values
+// and checks AddTo reproduces it exactly in an empty destination and
+// doubles it on a second fold — any counter or timing missing from
+// AddTo fails both comparisons.
+func TestAddToFoldsEveryField(t *testing.T) {
+	const workers = 3
+	src := NewBatch(workers)
+	fillDistinct(t, src, 100)
+
+	dst := NewBatch(workers)
+	src.AddTo(dst)
+	if !reflect.DeepEqual(src, dst) {
+		t.Fatalf("AddTo into empty batch diverges:\nsrc %+v\ndst %+v", src, dst)
+	}
+
+	src.AddTo(dst)
+	want := NewBatch(workers)
+	fillDistinct(t, want, 100)
+	wv := reflect.ValueOf(want).Elem()
+	for i := 0; i < wv.NumField(); i++ {
+		f := wv.Field(i)
+		switch f.Kind() {
+		case reflect.Int:
+			f.SetInt(2 * f.Int())
+		case reflect.Slice, reflect.Array:
+			for j := 0; j < f.Len(); j++ {
+				f.Index(j).SetInt(2 * f.Index(j).Int())
+			}
+		}
+	}
+	if !reflect.DeepEqual(want, dst) {
+		t.Fatalf("double AddTo diverges:\nwant %+v\ngot  %+v", want, dst)
+	}
+}
+
+// TestAddToShorterDst checks the documented LeafOps truncation rule:
+// folding into a destination with fewer workers keeps the overlapping
+// prefix and drops the rest (no panic, no silent growth).
+func TestAddToShorterDst(t *testing.T) {
+	src := NewBatch(4)
+	for i := range src.LeafOps {
+		src.LeafOps[i] = int64(10 + i)
+	}
+	dst := NewBatch(2)
+	src.AddTo(dst)
+	if len(dst.LeafOps) != 2 || dst.LeafOps[0] != 10 || dst.LeafOps[1] != 11 {
+		t.Fatalf("LeafOps fold into shorter dst: %v", dst.LeafOps)
+	}
+}

@@ -71,9 +71,10 @@ type Batch struct {
 	// InferredReturns counts search answers produced by inference
 	// rather than tree evaluation.
 	InferredReturns int
-	// CacheHits / CacheMisses / CacheFlushes count top-K cache
-	// operations (inter-batch optimization).
-	CacheHits, CacheMisses, CacheFlushes int
+	// CacheHits / CacheMisses / CacheFlushes / CacheEvictions count
+	// top-K cache operations (inter-batch optimization). Evictions can
+	// exceed flushes: evicting a clean entry owes no write-back.
+	CacheHits, CacheMisses, CacheFlushes, CacheEvictions int
 	// FenceHits counts Stage-1 descents skipped entirely because the
 	// previous descent's leaf fences covered the key (path-reuse kernel,
 	// DESIGN.md §8).
@@ -143,6 +144,7 @@ func (b *Batch) AddTo(dst *Batch) {
 	dst.CacheHits += b.CacheHits
 	dst.CacheMisses += b.CacheMisses
 	dst.CacheFlushes += b.CacheFlushes
+	dst.CacheEvictions += b.CacheEvictions
 	dst.FenceHits += b.FenceHits
 	for i := range b.Elapsed {
 		dst.Elapsed[i] += b.Elapsed[i]

@@ -71,7 +71,9 @@ func (d Durability) walOptions() wal.Options {
 // log records query streams, not shard assignments, so a directory
 // written with one shard count reopens under any other.
 func openDurable(opts Options) (*DB, error) {
-	rec, err := wal.Recover(opts.Durability.Dir, opts.Durability.walOptions())
+	wo := opts.Durability.walOptions()
+	wo.Metrics = opts.Metrics
+	rec, err := wal.Recover(opts.Durability.Dir, wo)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,59 @@
+// Metrics surface of the facade: Options.Metrics turns on the
+// zero-dependency instrumentation of internal/metrics across the whole
+// batch path (QSAT transform, PALM stages, shard split/merge, WAL
+// append/fsync, batcher queue/fill, top-K cache counters). With
+// Options.Metrics nil — the zero Options — every hot path stays
+// byte-identical to the uninstrumented build: no clock reads, no
+// atomics, no allocations (metrics_test.go pins all three).
+package qtrans
+
+import (
+	"errors"
+	"net/http"
+
+	"repro/internal/metrics"
+)
+
+// errNoMetrics is returned by ServeMetrics on a DB opened without
+// Options.Metrics.
+var errNoMetrics = errors.New("qtrans: DB opened without Options.Metrics")
+
+// Metrics is the engine's metrics registry: lock-cheap counters and
+// gauges plus log-bucketed latency histograms, snapshotted on demand.
+// One registry may be shared by several DBs (their counters then
+// aggregate) or inspected directly via Snapshot.
+type Metrics = metrics.Registry
+
+// MetricsSnapshot is a point-in-time copy of every metric in a
+// registry; it JSON-encodes in the same shape the /metrics endpoint
+// serves.
+type MetricsSnapshot = metrics.Snapshot
+
+// NewMetrics returns an empty registry to pass as Options.Metrics.
+func NewMetrics() *Metrics { return metrics.New() }
+
+// Metrics returns the registry the DB records into, or nil when the DB
+// was opened without one.
+func (db *DB) Metrics() *Metrics { return db.met }
+
+// MetricsHandler returns the HTTP exporter for the DB's registry:
+// /metrics (JSON; ?format=text for a table), /healthz (503 once the
+// DB's sticky durability error is set), and /debug/pprof/*. It returns
+// nil when the DB was opened without Options.Metrics.
+func (db *DB) MetricsHandler() http.Handler {
+	if db.met == nil {
+		return nil
+	}
+	return metrics.Handler(db.met, db.Err)
+}
+
+// ServeMetrics starts the exporter on addr (e.g. ":9100", or
+// "127.0.0.1:0" for an ephemeral port) in a background goroutine,
+// returning the bound address and a stop function. The DB must have
+// been opened with Options.Metrics.
+func (db *DB) ServeMetrics(addr string) (bound string, stop func() error, err error) {
+	if db.met == nil {
+		return "", nil, errNoMetrics
+	}
+	return metrics.Serve(addr, db.met, db.Err)
+}

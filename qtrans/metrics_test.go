@@ -1,0 +1,267 @@
+package qtrans
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/faultfs"
+)
+
+// mixedBatch builds a deterministic insert/search/delete mix keyed off
+// round, so two DBs fed the same rounds see byte-identical workloads.
+func mixedBatch(round int) *Batch {
+	b := NewBatch()
+	base := Key(round * 100)
+	for i := 0; i < 50; i++ {
+		b.Insert(base+Key(i), Value(round)*1000+Value(i))
+	}
+	for i := 0; i < 40; i++ {
+		b.Search(base + Key(i*2)) // half hit keys from this round, half miss
+	}
+	for i := 0; i < 10; i++ {
+		b.Delete(base + Key(i*5))
+	}
+	return b
+}
+
+// TestMetricsOffIdenticalResults is the differential half of the
+// zero-overhead contract: the same workload through a DB with
+// Options.Metrics set and one without must produce identical results —
+// instrumentation may observe the batch path but never steer it.
+func TestMetricsOffIdenticalResults(t *testing.T) {
+	base := Options{Order: 8, Workers: 2, CacheCapacity: 16}
+	plain, err := Open(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	withMet := base
+	withMet.Metrics = NewMetrics()
+	metered, err := Open(withMet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metered.Close()
+
+	for round := 0; round < 8; round++ {
+		bp, bm := mixedBatch(round), mixedBatch(round)
+		n := bp.Len()
+		rp, rm := plain.Run(bp), metered.Run(bm)
+		for pos := 0; pos < n; pos++ {
+			gp, okp := rp.Search(pos)
+			gm, okm := rm.Search(pos)
+			if gp != gm || okp != okm {
+				t.Fatalf("round %d pos %d: plain (%+v,%v) != metered (%+v,%v)",
+					round, pos, gp, okp, gm, okm)
+			}
+		}
+	}
+	if plain.Len() != metered.Len() {
+		t.Fatalf("tree size diverged: plain %d, metered %d", plain.Len(), metered.Len())
+	}
+	// Sanity: the metered DB actually recorded something.
+	snap := metered.Metrics().Snapshot()
+	if snap.Counters["batches_total"] != 8 {
+		t.Fatalf("batches_total = %d, want 8", snap.Counters["batches_total"])
+	}
+}
+
+// TestMetricsAccessorsOff pins the metrics-off facade surface: no
+// registry, no handler, and ServeMetrics refuses with a clear error.
+func TestMetricsAccessorsOff(t *testing.T) {
+	db, err := Open(Options{Order: 8, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.Metrics() != nil {
+		t.Error("Metrics() non-nil on metrics-off DB")
+	}
+	if db.MetricsHandler() != nil {
+		t.Error("MetricsHandler() non-nil on metrics-off DB")
+	}
+	if _, _, err := db.ServeMetrics("127.0.0.1:0"); err != errNoMetrics {
+		t.Errorf("ServeMetrics error = %v, want %v", err, errNoMetrics)
+	}
+}
+
+// TestMetricsHandlerEndToEnd drives the DB-level exporter: /metrics
+// must decode as a MetricsSnapshot holding the batch-path metrics, and
+// /healthz reports 200 on a healthy DB.
+func TestMetricsHandlerEndToEnd(t *testing.T) {
+	db, err := Open(Options{Order: 8, Workers: 2, Metrics: NewMetrics()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	b := NewBatch()
+	for i := 0; i < 100; i++ {
+		b.Insert(Key(i), Value(i))
+	}
+	db.Run(b)
+
+	srv := httptest.NewServer(db.MetricsHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("/metrics did not decode: %v", err)
+	}
+	if snap.Counters["queries_total"] != 100 {
+		t.Errorf("queries_total = %d, want 100", snap.Counters["queries_total"])
+	}
+	if h, ok := snap.Histograms["batch_wall_ns"]; !ok || h.Count != 1 {
+		t.Errorf("batch_wall_ns missing or count != 1: %+v", h)
+	}
+
+	hz, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Errorf("/healthz = %d on healthy DB, want 200", hz.StatusCode)
+	}
+}
+
+// TestMetricsHealthzFlipsOnStickyError ties the exporter's health to
+// the durability layer: once a power cut poisons the WAL, /healthz
+// must flip to 503 and carry the sticky error text.
+func TestMetricsHealthzFlipsOnStickyError(t *testing.T) {
+	fs := faultfs.New()
+	opts := Options{
+		Order: 8, Workers: 2, CacheCapacity: 16,
+		Durability: Durability{Dir: "dur", fs: fs},
+		Metrics:    NewMetrics(),
+	}
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	srv := httptest.NewServer(db.MetricsHandler())
+	defer srv.Close()
+
+	get := func() (int, string) {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 512)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	db.Put(1, 1)
+	if code, body := get(); code != http.StatusOK {
+		t.Fatalf("/healthz = %d (%q) before fault, want 200", code, body)
+	}
+
+	fs.CutAfter(0)
+	for i := Key(2); i < 64 && db.Err() == nil; i++ {
+		db.Put(i, Value(i))
+	}
+	if db.Err() == nil {
+		t.Fatal("power cut did not poison the DB")
+	}
+	code, body := get()
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz = %d after poison, want 503", code)
+	}
+	if !strings.Contains(body, db.Err().Error()) {
+		t.Errorf("/healthz body %q does not carry sticky error %q", body, db.Err())
+	}
+}
+
+// TestMetricsSnapshotRaceHammer runs Registry snapshots and exporter
+// HTTP traffic concurrently with live Serve traffic — the lock-cheap
+// counter sharding and atomic histogram buckets must survive the race
+// detector (part of `make race`).
+func TestMetricsSnapshotRaceHammer(t *testing.T) {
+	reg := NewMetrics()
+	db, err := Open(Options{Order: 8, Workers: 2, CacheCapacity: 64, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	svc := db.Serve(ServiceOptions{MaxBatch: 32})
+	defer svc.Close()
+	srv := httptest.NewServer(db.MetricsHandler())
+	defer srv.Close()
+
+	const (
+		clients = 4
+		puts    = 60
+		reads   = 40
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < puts; i++ {
+				k := Key(c*puts + i)
+				if err := svc.Put(k, Value(i)); err != nil {
+					t.Errorf("client %d put: %v", c, err)
+					return
+				}
+				if _, ok, err := svc.Get(k); err != nil || !ok {
+					t.Errorf("client %d lost key %d (ok=%v err=%v)", c, k, ok, err)
+					return
+				}
+			}
+		}(c)
+	}
+	// Snapshot readers race the writers above.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reads; i++ {
+				snap := reg.Snapshot()
+				if snap.Counters["queries_total"] < 0 {
+					t.Error("negative counter fold")
+					return
+				}
+			}
+		}()
+	}
+	// HTTP scrapes race them too.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < reads; i++ {
+			resp, err := http.Get(srv.URL + "/metrics")
+			if err != nil {
+				t.Errorf("scrape: %v", err)
+				return
+			}
+			resp.Body.Close()
+		}
+	}()
+	wg.Wait()
+
+	snap := reg.Snapshot()
+	if want := int64(clients * puts * 2); snap.Counters["queries_total"] != want {
+		t.Fatalf("queries_total = %d, want %d", snap.Counters["queries_total"], want)
+	}
+}

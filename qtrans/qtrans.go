@@ -114,6 +114,13 @@ type Options struct {
 	// durability off with semantics identical to previous releases.
 	// See durability.go.
 	Durability Durability
+	// Metrics, when non-nil, instruments the full batch path into the
+	// given registry (see metrics.go and DESIGN.md §9): per-stage and
+	// batch-wall latency histograms, cache/fence/query counters, shard
+	// split/merge and WAL append/fsync timings, batcher queue depth and
+	// fill. Nil (the zero value) keeps every hot path identical to the
+	// uninstrumented build — same results, zero extra allocations.
+	Metrics *Metrics
 
 	// Sorted-batch tree kernel ablations (DESIGN.md §8). The zero value
 	// keeps all three kernels on; each flag disables one, restoring the
@@ -151,6 +158,7 @@ func (opts Options) engineConfig() core.EngineConfig {
 		CacheCapacity: capacity,
 		CachePolicy:   cache.LRU,
 		Pipeline:      opts.Pipeline,
+		Metrics:       opts.Metrics,
 	}
 }
 
@@ -183,6 +191,9 @@ type DB struct {
 	log    *wal.Log
 	durDir string
 	durFS  wal.FS
+
+	// met is the registry from Options.Metrics (nil when metrics off).
+	met *Metrics
 }
 
 // Open creates a DB. The zero Options selects the fully-optimized
@@ -200,7 +211,7 @@ func Open(opts Options) (*DB, error) {
 // build constructs the engine stack for opts — sharded or single,
 // over a restored tree or fresh — and installs the snapshot gate.
 func build(opts Options, tree *btree.Tree) (*DB, error) {
-	db := &DB{pipelined: opts.Pipeline}
+	db := &DB{pipelined: opts.Pipeline, met: opts.Metrics}
 	if opts.Shards > 1 {
 		cfg := shard.Config{
 			Shards: opts.Shards,
@@ -494,6 +505,7 @@ func (db *DB) Serve(opts ServiceOptions) *Service {
 			MaxDelay:      opts.MaxDelay,
 			TargetLatency: opts.TargetLatency,
 			Pipeline:      db.pipelined,
+			Metrics:       db.met,
 		}),
 	}
 }
