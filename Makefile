@@ -5,26 +5,29 @@
 #   test         full unit/differential suite
 #   race         the concurrency-heavy packages under the race detector
 #                (the pipeline, the PALM BSP stages — including the
-#                kernel-ablation matrix, all 2^3 sorted-batch kernel
-#                flag combos differentially vs the oracle — the sharded
-#                engine, the facade stream and service hammers, the WAL
-#                syncer, the batcher close/submit races, and the metrics
-#                registry's sharded counters under snapshot vs live
-#                Serve traffic)
+#                kernel-ablation matrix, all 2^4 sorted-batch kernel ×
+#                layout flag combos differentially vs the oracle — the
+#                sharded engine, the facade stream and service hammers,
+#                the WAL syncer, the batcher close/submit races, and the
+#                metrics registry's sharded counters under snapshot vs
+#                live Serve traffic)
 #   fuzz-smoke   10s runs of the shard differential fuzzer (the
-#                sharded/serial equivalence property of DESIGN.md §6)
-#                and the crash-recovery fuzzer (the durability property
-#                of DESIGN.md §7: power cut at an arbitrary byte, then
-#                recover to an acked whole-batch prefix)
+#                sharded/serial equivalence property of DESIGN.md §6,
+#                including a dense-layout arm), the crash-recovery
+#                fuzzer (the durability property of DESIGN.md §7: power
+#                cut at an arbitrary byte, then recover to an acked
+#                whole-batch prefix — with gapped and dense pre-crash
+#                configs), and the dual-layout tree fuzzer (gapped and
+#                dense trees in lockstep vs a map oracle, DESIGN.md §10)
 #   bench-smoke  one-iteration compile-and-run of the pipeline benchmark
 #                (catches bit-rot in the bench harness without paying
 #                for a measurement)
 
 GO ?= go
 
-.PHONY: ci vet build test race race-kernels fuzz-smoke bench-smoke bench bench-kernels
+.PHONY: ci vet build test race race-kernels race-layout fuzz-smoke bench-smoke bench bench-kernels bench-layout
 
-ci: vet build test race race-kernels fuzz-smoke bench-smoke
+ci: vet build test race race-kernels race-layout fuzz-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -38,21 +41,30 @@ test:
 race:
 	$(GO) test -race ./internal/core ./internal/palm ./internal/shard ./internal/wal ./internal/batcher ./internal/metrics ./qtrans
 
-# The sorted-batch kernel ablation matrix (all 2^3 flag combos, small
+# The sorted-batch kernel ablation matrix (all 2^4 flag combos, small
 # differential workloads vs the oracle) under the race detector. Also
 # part of the plain `race` target's ./internal/palm run; kept callable
 # on its own for quick kernel work.
 race-kernels:
 	$(GO) test -race -run 'KernelAblation' -count=1 ./internal/palm
 
+# The gapped-layout property tests (DESIGN.md §10) under the race
+# detector: random-op differential runs at several orders plus the
+# dense/gapped conversion round-trips. The PALM-level gapped race
+# coverage is the gapped half of the 2^4 race-kernels matrix.
+race-layout:
+	$(GO) test -race -run 'Gapped|Layout' -count=1 ./internal/btree
+
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzShardEquivalence -fuzztime=10s ./internal/shard
 	$(GO) test -run=^$$ -fuzz=FuzzCrashRecovery -fuzztime=10s ./qtrans
+	$(GO) test -run=^$$ -fuzz=FuzzTreeOps -fuzztime=10s ./internal/btree
 
 bench-smoke:
 	$(GO) test -run=XXX -bench=BenchmarkPipeline -benchtime=1x .
 	$(GO) test -run=XXX -bench=BenchmarkDurability -benchtime=1x ./qtrans
 	$(GO) test -run=XXX -bench=BenchmarkKernels -benchtime=1x ./internal/palm
+	$(GO) test -run=XXX -bench=BenchmarkLayout -benchtime=1x ./internal/palm
 
 # Full benchmark sweep with allocation reporting (not part of ci).
 bench:
@@ -64,3 +76,12 @@ bench:
 bench-kernels:
 	$(GO) test -run=XXX -bench=BenchmarkKernels -benchtime=200ms ./internal/palm
 	$(GO) run ./cmd/qtransbench -experiment kernels -scale 0.05 -json BENCH_kernels.json
+
+# Gapped vs dense node layout (DESIGN.md §10): the single-threaded
+# search/churn microbenchmarks, then the harness ablation sweep —
+# gapped vs dense across query organizations and update ratios, with
+# splits-per-batch and shifted-slots-per-batch — written to
+# BENCH_layout.json (not part of ci).
+bench-layout:
+	$(GO) test -run=XXX -bench=BenchmarkLayout -benchtime=200ms ./internal/palm
+	$(GO) run ./cmd/qtransbench -experiment layout -scale 0.05 -json BENCH_layout.json

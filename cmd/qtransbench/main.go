@@ -51,6 +51,7 @@ func run(args []string) error {
 		pathReuse  = fs.Bool("pathreuse", true, "path-reuse descent kernel (false = fresh root descent per query)")
 		branchless = fs.Bool("branchless", true, "branchless intra-node search kernel (false = closure-based binary search)")
 		mergeApply = fs.Bool("mergeapply", true, "merge-based leaf application kernel (false = per-query leaf updates)")
+		gapped     = fs.Bool("gapped", true, "gapped (BS-tree) node layout (false = classic dense nodes)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,6 +93,7 @@ func run(args []string) error {
 		NoPathReuse:        !*pathReuse,
 		NoBranchlessSearch: !*branchless,
 		NoMergeApply:       !*mergeApply,
+		NoGappedLayout:     !*gapped,
 	})
 
 	exps := harness.Experiments()

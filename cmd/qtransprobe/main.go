@@ -46,6 +46,7 @@ func run(args []string) error {
 		pathReuse  = fs.Bool("pathreuse", true, "path-reuse descent kernel (false = fresh root descent per query)")
 		branchless = fs.Bool("branchless", true, "branchless intra-node search kernel (false = closure-based binary search)")
 		mergeApply = fs.Bool("mergeapply", true, "merge-based leaf application kernel (false = per-query leaf updates)")
+		gapped     = fs.Bool("gapped", true, "gapped (BS-tree) node layout (false = classic dense nodes)")
 
 		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this address during the run (e.g. :9100); also prints the final metrics table")
 	)
@@ -91,6 +92,7 @@ func run(args []string) error {
 		NoPathReuse:        !*pathReuse,
 		NoBranchlessSearch: !*branchless,
 		NoMergeApply:       !*mergeApply,
+		NoGappedLayout:     !*gapped,
 		Metrics:            reg,
 	})
 	spec, err := workload.SpecByName(*dataset, *scale)

@@ -23,8 +23,11 @@ import (
 )
 
 // DefaultOrder is the default maximum fanout. The paper's artifact uses
-// wide nodes tuned to KNL cache lines; 64 keeps nodes around one to two
-// cache pages for uint64 keys.
+// wide nodes tuned to KNL cache lines; with the default gapped layout a
+// node is a fixed 63-slot key array (504 B, ~8 cache lines — about one
+// 4-line sector pair per half), small enough that the unconditional
+// full-width scan stays L1-resident while leaving real gap slack
+// between the ~⌈b/2⌉ minimum fill and capacity.
 const DefaultOrder = 64
 
 // MinOrder is the smallest supported order: a 3-order tree as in Fig. 2.
@@ -34,37 +37,61 @@ const MinOrder = 3
 // PALM processor in a sibling package can stage bottom-up modifications;
 // user code should treat nodes as opaque.
 type Node struct {
-	// Keys holds the node's keys in ascending order. For a leaf, Keys[i]
-	// pairs with Vals[i]. For an internal node, Keys[i] separates
-	// Children[i] (< Keys[i]) from Children[i+1] (>= Keys[i]).
+	// Keys holds the node's keys in ascending slot order. For a dense
+	// node every slot is a real entry; for a gapped node (Gapped()) the
+	// array has fixed width Cap() and free slots duplicate the entry to
+	// their right (or hold SentinelKey), so Keys is sorted either way.
+	// For a leaf, Keys[i] pairs with Vals[i]. For an internal node,
+	// Keys[i] separates Children[i] (< Keys[i]) from Children[i+1]
+	// (>= Keys[i]); gapped internal nodes keep their Len() separators as
+	// a dense prefix with a sentinel tail.
 	Keys []keys.Key
-	// Vals holds leaf payloads; nil for internal nodes.
+	// Vals holds leaf payloads, one per key slot; nil for internal nodes.
 	Vals []keys.Value
-	// Children holds child pointers; nil for leaves.
+	// Children holds child pointers; nil for leaves. Always dense
+	// (len == Len()+1) in both layouts.
 	Children []*Node
 	// Next chains leaves left-to-right; nil for internal nodes and the
 	// rightmost leaf.
 	Next *Node
+
+	// occ is the gapped layout's presence bitmap over key slots; nil for
+	// dense nodes. count is the number of occupied slots. See Gapped.
+	occ   []uint64
+	count int32
 }
 
 // Leaf reports whether n is a leaf node.
 func (n *Node) Leaf() bool { return n.Children == nil }
 
-// Len returns the number of keys stored in the node.
-func (n *Node) Len() int { return len(n.Keys) }
+// Len returns the number of entries stored in the node (occupied slots
+// for a gapped node; every slot for a dense one).
+func (n *Node) Len() int {
+	if n.occ != nil {
+		return int(n.count)
+	}
+	return len(n.Keys)
+}
 
 // Tree is a B+ tree of a fixed order. The zero value is not usable; use
 // New. Tree's serial methods are not safe for concurrent use; the PALM
 // processor provides safe batched concurrency on top.
 type Tree struct {
-	root  *Node
-	order int // max children of an internal node; max leaf entries = order-1
-	size  int // number of key-value pairs
+	root   *Node
+	order  int // max children of an internal node; max leaf entries = order-1
+	size   int // number of key-value pairs
+	layout Layout
 }
 
-// New creates an empty tree of the given order. Orders below MinOrder
-// are rejected; order <= 0 selects DefaultOrder.
+// New creates an empty tree of the given order with the default gapped
+// layout. Orders below MinOrder are rejected; order <= 0 selects
+// DefaultOrder.
 func New(order int) (*Tree, error) {
+	return NewLayout(order, LayoutGapped)
+}
+
+// NewLayout creates an empty tree of the given order and node layout.
+func NewLayout(order int, layout Layout) (*Tree, error) {
 	if order <= 0 {
 		order = DefaultOrder
 	}
@@ -72,9 +99,20 @@ func New(order int) (*Tree, error) {
 		return nil, fmt.Errorf("btree: order %d below minimum %d", order, MinOrder)
 	}
 	return &Tree{
-		root:  &Node{Keys: make([]keys.Key, 0, order)},
-		order: order,
+		root:   NewLeafLayout(order, layout),
+		order:  order,
+		layout: layout,
 	}, nil
+}
+
+// NewLeafLayout returns an empty leaf node for a tree of the given
+// order and layout (used by Stage-3 restructuring to reset a drained
+// root).
+func NewLeafLayout(order int, layout Layout) *Node {
+	if layout == LayoutDense {
+		return &Node{Keys: make([]keys.Key, 0, order)}
+	}
+	return NewGappedLeaf(order - 1)
 }
 
 // MustNew is New for known-good orders; it panics on error. Intended for
@@ -89,6 +127,9 @@ func MustNew(order int) *Tree {
 
 // Order returns the tree's order (maximum internal fanout).
 func (t *Tree) Order() int { return t.order }
+
+// Layout returns the tree's node layout.
+func (t *Tree) Layout() Layout { return t.layout }
 
 // Len returns the number of key-value pairs stored.
 func (t *Tree) Len() int { return t.size }
@@ -124,7 +165,13 @@ func searchKeys(ks []keys.Key, k keys.Key) int {
 // childIndex returns which child of internal node n covers key k.
 func childIndex(n *Node, k keys.Key) int {
 	// Keys[i] separates children i and i+1 with children[i] < Keys[i].
-	return SearchGT(n.Keys, k)
+	// A gapped node's sentinel tail can push the probe past the last
+	// child when k == SentinelKey; clamping is a no-op for dense nodes.
+	i := SearchGT(n.Keys, k)
+	if i >= len(n.Children) {
+		i = len(n.Children) - 1
+	}
+	return i
 }
 
 // FindLeaf descends from the root to the leaf that covers k, returning
@@ -179,17 +226,15 @@ func (p *Path) Clone() Path {
 
 // Search returns the value stored for k.
 func (t *Tree) Search(k keys.Key) (keys.Value, bool) {
-	leaf := t.FindLeaf(k, nil)
-	i := searchKeys(leaf.Keys, k)
-	if i < len(leaf.Keys) && leaf.Keys[i] == k {
-		return leaf.Vals[i], true
-	}
-	return 0, false
+	return LeafFind(t.FindLeaf(k, nil), k)
 }
 
 // Insert stores v under k, replacing any existing value (the I(key, v)
 // semantics of §II-A). It reports whether a new entry was created.
 func (t *Tree) Insert(k keys.Key, v keys.Value) bool {
+	if t.layout == LayoutGapped {
+		return t.insertGapped(k, v)
+	}
 	var path Path
 	leaf := t.FindLeaf(k, &path)
 	i := searchKeys(leaf.Keys, k)
@@ -271,6 +316,9 @@ func (t *Tree) splitInternal(n *Node, path *Path, lvl int) {
 // borrow from or merge with a sibling under the same parent, cascading
 // upward.
 func (t *Tree) Delete(k keys.Key) bool {
+	if t.layout == LayoutGapped {
+		return t.deleteGapped(k)
+	}
 	var path Path
 	leaf := t.FindLeaf(k, &path)
 	i := searchKeys(leaf.Keys, k)
@@ -423,7 +471,7 @@ func (t *Tree) Scan(fn func(k keys.Key, v keys.Value) bool) {
 		n = n.Children[0]
 	}
 	for ; n != nil; n = n.Next {
-		for i := range n.Keys {
+		for i := n.FirstSlot(); i < len(n.Keys); i = n.NextSlot(i) {
 			if !fn(n.Keys[i], n.Vals[i]) {
 				return
 			}
@@ -435,7 +483,7 @@ func (t *Tree) Scan(fn func(k keys.Key, v keys.Value) bool) {
 func (t *Tree) ScanRange(lo, hi keys.Key, fn func(k keys.Key, v keys.Value) bool) {
 	leaf := t.FindLeaf(lo, nil)
 	for ; leaf != nil; leaf = leaf.Next {
-		for i := range leaf.Keys {
+		for i := leaf.FirstSlot(); i < len(leaf.Keys); i = leaf.NextSlot(i) {
 			k := leaf.Keys[i]
 			if k < lo {
 				continue

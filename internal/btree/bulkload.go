@@ -10,14 +10,22 @@ import (
 // BulkLoad builds a tree of the given order from key-value pairs in a
 // single bottom-up pass, the standard way to construct a large B+ tree
 // (the harness uses it to prefill paper-scale trees orders of magnitude
-// faster than repeated insertion). ks must be strictly ascending and
-// len(vs) == len(ks); violations are reported as errors.
+// faster than repeated insertion), using the default gapped layout.
+// ks must be strictly ascending and len(vs) == len(ks); violations are
+// reported as errors.
 //
 // Leaves are filled to a target of ~87% of capacity (like stx-btree's
 // bulk loader) so immediately-following inserts do not cascade splits,
-// while keeping the tree within strict fill invariants.
+// while keeping the tree within strict fill invariants; gapped leaves
+// additionally spread their free slots evenly so those inserts land on
+// a gap in O(1).
 func BulkLoad(order int, ks []keys.Key, vs []keys.Value) (*Tree, error) {
-	t, err := New(order)
+	return BulkLoadLayout(order, LayoutGapped, ks, vs)
+}
+
+// BulkLoadLayout is BulkLoad with an explicit node layout.
+func BulkLoadLayout(order int, layout Layout, ks []keys.Key, vs []keys.Value) (*Tree, error) {
+	t, err := NewLayout(order, layout)
 	if err != nil {
 		return nil, err
 	}
@@ -48,9 +56,15 @@ func BulkLoad(order int, ks []keys.Key, vs []keys.Value) (*Tree, error) {
 	pos := 0
 	var prev *Node
 	for _, sz := range leaves {
-		leaf := &Node{
-			Keys: append(make([]keys.Key, 0, maxLeaf+1), ks[pos:pos+sz]...),
-			Vals: append(make([]keys.Value, 0, maxLeaf+1), vs[pos:pos+sz]...),
+		var leaf *Node
+		if layout == LayoutGapped {
+			leaf = NewGappedLeaf(maxLeaf)
+			PackLeafGapped(leaf, ks[pos:pos+sz], vs[pos:pos+sz])
+		} else {
+			leaf = &Node{
+				Keys: append(make([]keys.Key, 0, maxLeaf+1), ks[pos:pos+sz]...),
+				Vals: append(make([]keys.Value, 0, maxLeaf+1), vs[pos:pos+sz]...),
+			}
 		}
 		if prev != nil {
 			prev.Next = leaf
@@ -75,9 +89,13 @@ func BulkLoad(order int, ks []keys.Key, vs []keys.Value) (*Tree, error) {
 		pos = 0
 		for _, sz := range groups {
 			n := &Node{Children: append(make([]*Node, 0, maxCh+1), level[pos:pos+sz]...)}
-			n.Keys = make([]keys.Key, 0, maxCh)
-			for i := 1; i < len(n.Children); i++ {
-				n.Keys = append(n.Keys, subtreeMin(n.Children[i]))
+			if layout == LayoutGapped {
+				PackInternalGapped(n, order)
+			} else {
+				n.Keys = make([]keys.Key, 0, maxCh)
+				for i := 1; i < len(n.Children); i++ {
+					n.Keys = append(n.Keys, subtreeMin(n.Children[i]))
+				}
 			}
 			next = append(next, n)
 			pos += sz
@@ -87,6 +105,44 @@ func BulkLoad(order int, ks []keys.Key, vs []keys.Value) (*Tree, error) {
 	t.root = level[0]
 	t.size = len(ks)
 	return t, nil
+}
+
+// PackInternalGapped rewrites gapped internal node n's key array from
+// its current (dense) child list: separator i becomes the minimum key
+// under child i+1, stored as a dense prefix with a sentinel tail at the
+// fixed order-1 width. The array grows past that width transiently when
+// the node is over-full; the caller resolves it by splitting.
+func PackInternalGapped(n *Node, order int) {
+	nsep := len(n.Children) - 1
+	width := order - 1
+	if nsep > width {
+		width = nsep
+	}
+	if cap(n.Keys) >= width {
+		n.Keys = n.Keys[:width]
+	} else {
+		n.Keys = make([]keys.Key, width)
+	}
+	for i := 1; i < len(n.Children); i++ {
+		n.Keys[i-1] = subtreeMin(n.Children[i])
+	}
+	for i := nsep; i < width; i++ {
+		n.Keys[i] = SentinelKey
+	}
+	words := occWords(width)
+	if cap(n.occ) >= words {
+		n.occ = n.occ[:words]
+	} else {
+		n.occ = make([]uint64, words)
+	}
+	for i := range n.occ {
+		n.occ[i] = 0
+	}
+	for i := 0; i < nsep; i++ {
+		n.setOcc(i)
+	}
+	n.count = int32(nsep)
+	n.Vals = nil
 }
 
 // chunkSizes splits n items into chunks of at most target items while

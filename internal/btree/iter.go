@@ -47,10 +47,11 @@ func (t *Tree) Max() (keys.Key, keys.Value, bool) {
 	}
 	// The rightmost leaf may be empty only when the tree is empty
 	// (relaxed trees remove empty leaves; the root leaf may be empty).
-	if len(n.Keys) == 0 {
+	i := n.LastSlot()
+	if i < 0 {
 		return 0, 0, false
 	}
-	return n.Keys[len(n.Keys)-1], n.Vals[len(n.Keys)-1], true
+	return n.Keys[i], n.Vals[i], true
 }
 
 // Successor returns the smallest pair with key strictly greater than k.
@@ -80,6 +81,9 @@ func (t *Tree) Predecessor(k keys.Key) (keys.Key, keys.Value, bool) {
 	}
 	i := searchKeys(n.Keys, k)
 	if i > 0 {
+		// Slot i-1 holds a key < k, so in a gapped leaf it cannot be a
+		// gap (a gap's anchor to the right would carry the same key, yet
+		// every slot from i on is >= k): it is always a real entry.
 		return n.Keys[i-1], n.Vals[i-1], true
 	}
 	if candidate == nil {
@@ -88,10 +92,11 @@ func (t *Tree) Predecessor(k keys.Key) (keys.Key, keys.Value, bool) {
 	for !candidate.Leaf() {
 		candidate = candidate.Children[len(candidate.Children)-1]
 	}
-	if len(candidate.Keys) == 0 {
+	j := candidate.LastSlot()
+	if j < 0 {
 		return 0, 0, false
 	}
-	return candidate.Keys[len(candidate.Keys)-1], candidate.Vals[len(candidate.Keys)-1], true
+	return candidate.Keys[j], candidate.Vals[j], true
 }
 
 // Valid reports whether the iterator is positioned on a pair.
@@ -119,9 +124,19 @@ func (it *Iter) Next() bool {
 	return it.Valid()
 }
 
-// skipEmpty moves past exhausted (or empty) leaves.
+// skipEmpty normalizes the position to the next occupied slot (gapped
+// leaves may put a free slot at the current position), moving past
+// exhausted or empty leaves.
 func (it *Iter) skipEmpty() {
-	for it.leaf != nil && it.pos >= len(it.leaf.Keys) {
+	for it.leaf != nil {
+		if it.leaf.occ == nil {
+			if it.pos < len(it.leaf.Keys) {
+				return
+			}
+		} else if p := it.leaf.nextOcc(it.pos); p < len(it.leaf.Keys) {
+			it.pos = p
+			return
+		}
 		it.leaf = it.leaf.Next
 		it.pos = 0
 	}

@@ -29,14 +29,14 @@ func (t *Tree) CollectMetrics() Metrics {
 	walk = func(n *Node) {
 		if n.Leaf() {
 			m.LeafNodes++
-			m.Entries += len(n.Keys)
-			leafSum += len(n.Keys)
+			m.Entries += n.Len()
+			leafSum += n.Len()
 			if n != t.root {
-				if len(n.Keys) < m.MinLeafEntries {
-					m.MinLeafEntries = len(n.Keys)
+				if n.Len() < m.MinLeafEntries {
+					m.MinLeafEntries = n.Len()
 				}
-				if len(n.Keys) > m.MaxLeafEntries {
-					m.MaxLeafEntries = len(n.Keys)
+				if n.Len() > m.MaxLeafEntries {
+					m.MaxLeafEntries = n.Len()
 				}
 			}
 			return
@@ -58,4 +58,21 @@ func (t *Tree) CollectMetrics() Metrics {
 		m.MinLeafEntries = 0
 	}
 	return m
+}
+
+// VisitLeaves calls fn for every leaf in chain order with its entry
+// count and slot capacity; the layout-metrics exporter feeds the
+// node-occupancy histogram from it without exposing node internals.
+func (t *Tree) VisitLeaves(fn func(entries, capacity int)) {
+	n := t.root
+	for !n.Leaf() {
+		n = n.Children[0]
+	}
+	for ; n != nil; n = n.Next {
+		c := t.maxLeafEntries()
+		if n.occ != nil {
+			c = len(n.Keys)
+		}
+		fn(n.Len(), c)
+	}
 }

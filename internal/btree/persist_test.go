@@ -2,6 +2,8 @@ package btree
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"math/rand"
 	"testing"
 
@@ -95,18 +97,143 @@ func TestLoadRejectsCorruptSnapshots(t *testing.T) {
 	if _, err := Load(bytes.NewReader(raw[:len(raw)-3]), 0); err == nil {
 		t.Fatal("truncated pairs accepted")
 	}
-	// Swap the two pairs so keys descend.
+	// Swap the two pairs so keys descend (v2 pairs start after the
+	// 4-byte magic + 13-byte header).
 	bad := append([]byte(nil), raw...)
-	copy(bad[16:32], raw[32:48])
-	copy(bad[32:48], raw[16:32])
+	copy(bad[17:33], raw[33:49])
+	copy(bad[33:49], raw[17:33])
 	if _, err := Load(bytes.NewReader(bad), 0); err == nil {
 		t.Fatal("descending keys accepted")
 	}
+	// Invalid layout byte (hdr[4] after magic).
+	badLayout := append([]byte(nil), raw...)
+	badLayout[8] = 0x7f
+	if _, err := Load(bytes.NewReader(badLayout), 0); err == nil {
+		t.Fatal("invalid layout byte accepted")
+	}
 	// Hostile count with no data must fail fast, not allocate.
-	hostile := append([]byte(nil), raw[:16]...)
-	hostile[4] = 0xff // count low byte
-	hostile[8] = 0xff
+	hostile := append([]byte(nil), raw[:17]...)
+	hostile[9] = 0xff // count low byte
+	hostile[13] = 0xff
 	if _, err := Load(bytes.NewReader(hostile), 0); err == nil {
 		t.Fatal("hostile count accepted")
+	}
+}
+
+// TestSaveLoadDenseLayout checks the layout byte round-trips: a dense
+// tree reloads dense, a gapped tree gapped, and LoadLayout overrides
+// whatever the snapshot recorded.
+func TestSaveLoadDenseLayout(t *testing.T) {
+	for _, l := range []Layout{LayoutGapped, LayoutDense} {
+		tr, err := NewLayout(8, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			tr.Insert(keys.Key(i*3), keys.Value(i))
+		}
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		raw := buf.Bytes()
+
+		got, err := Load(bytes.NewReader(raw), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Layout() != l {
+			t.Fatalf("saved %v, loaded %v", l, got.Layout())
+		}
+		for _, force := range []Layout{LayoutGapped, LayoutDense} {
+			forced, err := LoadLayout(bytes.NewReader(raw), 0, force)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if forced.Layout() != force {
+				t.Fatalf("LoadLayout(%v) built %v", force, forced.Layout())
+			}
+			if err := forced.Validate(StrictFill); err != nil {
+				t.Fatal(err)
+			}
+			if forced.Len() != tr.Len() {
+				t.Fatalf("LoadLayout(%v): %d entries, want %d", force, forced.Len(), tr.Len())
+			}
+		}
+	}
+}
+
+// v1Snapshot hand-writes a pre-gap ("QBT2") snapshot: 12-byte header
+// with no layout byte, same CRC trailer. Kept in the test only — the
+// writer for this format no longer exists in the tree.
+func v1Snapshot(order uint32, ks []keys.Key, vs []keys.Value) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("QBT2")
+	body := make([]byte, 12, 12+16*len(ks))
+	binary.LittleEndian.PutUint32(body[0:4], order)
+	binary.LittleEndian.PutUint64(body[4:12], uint64(len(ks)))
+	for i := range ks {
+		var rec [16]byte
+		binary.LittleEndian.PutUint64(rec[0:8], uint64(ks[i]))
+		binary.LittleEndian.PutUint64(rec[8:16], uint64(vs[i]))
+		body = append(body, rec[:]...)
+	}
+	buf.Write(body)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc32.Checksum(body, castagnoli))
+	buf.Write(tail[:])
+	return buf.Bytes()
+}
+
+// TestLoadLegacyV1Snapshot locks backward compatibility: a snapshot in
+// the pre-gap v1 format loads into a (default) gapped tree with the
+// same contents, LoadLayout can force it dense, and the v1 bytes are
+// still protected by their checksum.
+func TestLoadLegacyV1Snapshot(t *testing.T) {
+	n := 300
+	ks := make([]keys.Key, n)
+	vs := make([]keys.Value, n)
+	for i := range ks {
+		ks[i] = keys.Key(i*5 + 1)
+		vs[i] = keys.Value(i * 11)
+	}
+	snap := v1Snapshot(8, ks, vs)
+
+	got, err := Load(bytes.NewReader(snap), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Layout() != LayoutGapped {
+		t.Fatalf("v1 snapshot loaded as %v, want gapped default", got.Layout())
+	}
+	if got.Order() != 8 || got.Len() != n {
+		t.Fatalf("order %d len %d", got.Order(), got.Len())
+	}
+	if err := got.Validate(StrictFill); err != nil {
+		t.Fatal(err)
+	}
+	gk, gv := got.Dump()
+	for i := range ks {
+		if gk[i] != ks[i] || gv[i] != vs[i] {
+			t.Fatalf("pair %d mismatch", i)
+		}
+	}
+
+	dense, err := LoadLayout(bytes.NewReader(snap), 0, LayoutDense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.Layout() != LayoutDense || dense.Len() != n {
+		t.Fatalf("forced dense: layout %v len %d", dense.Layout(), dense.Len())
+	}
+
+	// Every single-byte corruption of the v1 snapshot must be rejected
+	// too (the legacy reader shares the checksum trailer).
+	for off := 0; off < len(snap); off++ {
+		mut := append([]byte(nil), snap...)
+		mut[off] ^= 0xFF
+		if _, err := Load(bytes.NewReader(mut), 0); err == nil {
+			t.Fatalf("v1 snapshot with byte %d flipped accepted", off)
+		}
 	}
 }

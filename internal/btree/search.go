@@ -29,9 +29,22 @@ import (
 // ablation baseline (palm.Config.NoBranchlessSearch) so the win stays
 // benchmarkable.
 
+// gappedWidth is the fixed key-array width of a gapped node at the
+// default order (DefaultOrder - 1). Gapped nodes at that order — every
+// node of every default-order gapped tree — hit the unrolled
+// fixed-width kernels below, the BS-tree payoff of the sentinel-padded
+// layout: the iteration count is a compile-time constant, the array
+// conversion erases every per-load bounds check, and each narrowing
+// step is an unconditional load plus a register select. Other widths
+// (non-default orders, dense nodes) fall back to the generic loop.
+const gappedWidth = DefaultOrder - 1
+
 // SearchGE returns the index of the first key in ks >= k, or len(ks)
 // when every key is smaller — the leaf-probe kernel.
 func SearchGE(ks []keys.Key, k keys.Key) int {
+	if len(ks) == gappedWidth {
+		return searchGE63((*[gappedWidth]keys.Key)(ks), k)
+	}
 	// Invariant: the answer lies in [lo, lo+n]. The probe load is
 	// unconditional and the narrowing step is a pure register select,
 	// which the compiler lowers to CMOV — no data-dependent branch.
@@ -51,10 +64,42 @@ func SearchGE(ks []keys.Key, k keys.Key) int {
 	return lo
 }
 
+// searchGE63 is SearchGE unrolled for the fixed gapped width: six
+// branch-free narrowing steps (n: 63→32→16→8→4→2→1) plus the final
+// element test, with all offsets known to be in bounds.
+func searchGE63(ks *[gappedWidth]keys.Key, k keys.Key) int {
+	lo := 0
+	if ks[lo+30] < k { // half=31
+		lo += 31
+	}
+	if ks[lo+15] < k { // half=16
+		lo += 16
+	}
+	if ks[lo+7] < k { // half=8
+		lo += 8
+	}
+	if ks[lo+3] < k { // half=4
+		lo += 4
+	}
+	if ks[lo+1] < k { // half=2
+		lo += 2
+	}
+	if ks[lo] < k { // half=1, then the n==1 tail merged in
+		lo++
+		if lo < gappedWidth && ks[lo] < k {
+			lo++
+		}
+	}
+	return lo
+}
+
 // SearchGT returns the index of the first key in ks > k, or len(ks)
 // when every key is <= k — the inner-node child-step kernel: for an
 // internal node, SearchGT(n.Keys, k) is the child slot covering k.
 func SearchGT(ks []keys.Key, k keys.Key) int {
+	if len(ks) == gappedWidth {
+		return searchGT63((*[gappedWidth]keys.Key)(ks), k)
+	}
 	lo, n := 0, len(ks)
 	for n > 1 {
 		half := n >> 1
@@ -71,10 +116,43 @@ func SearchGT(ks []keys.Key, k keys.Key) int {
 	return lo
 }
 
-// LeafFind looks key k up within a single leaf node.
+// searchGT63 is SearchGT unrolled for the fixed gapped width.
+func searchGT63(ks *[gappedWidth]keys.Key, k keys.Key) int {
+	lo := 0
+	if ks[lo+30] <= k {
+		lo += 31
+	}
+	if ks[lo+15] <= k {
+		lo += 16
+	}
+	if ks[lo+7] <= k {
+		lo += 8
+	}
+	if ks[lo+3] <= k {
+		lo += 4
+	}
+	if ks[lo+1] <= k {
+		lo += 2
+	}
+	if ks[lo] <= k {
+		lo++
+		if lo < gappedWidth && ks[lo] <= k {
+			lo++
+		}
+	}
+	return lo
+}
+
+// LeafFind looks key k up within a single leaf node. A gapped leaf's
+// free slots duplicate the entry to their right, so a hit on a gap
+// reads the correct pair; only a probe for SentinelKey itself needs
+// the bitmap to tell a real maximal entry from the sentinel tail.
 func LeafFind(leaf *Node, k keys.Key) (keys.Value, bool) {
 	i := SearchGE(leaf.Keys, k)
 	if i < len(leaf.Keys) && leaf.Keys[i] == k {
+		if leaf.occ != nil && !leaf.leafHasAt(i) {
+			return 0, false
+		}
 		return leaf.Vals[i], true
 	}
 	return 0, false
@@ -95,6 +173,9 @@ func SearchGTClosure(ks []keys.Key, k keys.Key) int {
 func LeafFindClosure(leaf *Node, k keys.Key) (keys.Value, bool) {
 	i := SearchGEClosure(leaf.Keys, k)
 	if i < len(leaf.Keys) && leaf.Keys[i] == k {
+		if leaf.occ != nil && !leaf.leafHasAt(i) {
+			return 0, false
+		}
 		return leaf.Vals[i], true
 	}
 	return 0, false

@@ -2,6 +2,7 @@ package btree
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/keys"
 )
@@ -32,6 +33,12 @@ const (
 //  5. The leaf chain visits exactly the leaves, left to right.
 //  6. Node sizes respect order and the fill policy.
 //  7. Tree.Len() equals the total number of leaf entries.
+//  8. Gapped nodes (checked per node, so PALM's staged rebuilds may mix
+//     layouts) additionally satisfy the slot invariants: fixed array
+//     width, count == bitmap popcount, occupied keys strictly ascend,
+//     and every free slot duplicates the nearest occupied entry to its
+//     right (or holds SentinelKey/0 past the last entry). Gapped
+//     internal nodes keep their separators as a dense prefix.
 func (t *Tree) Validate(policy FillPolicy) error {
 	type frame struct {
 		n     *Node
@@ -48,56 +55,88 @@ func (t *Tree) Validate(policy FillPolicy) error {
 	var walk func(f frame) error
 	walk = func(f frame) error {
 		n := f.n
-		for i := 1; i < len(n.Keys); i++ {
-			if n.Keys[i-1] >= n.Keys[i] {
-				return fmt.Errorf("btree: keys not strictly ascending in node at depth %d: %v", f.depth, n.Keys)
+		if n.Gapped() {
+			if err := t.validateGappedSlots(n, f.depth); err != nil {
+				return err
+			}
+		} else {
+			for i := 1; i < len(n.Keys); i++ {
+				if n.Keys[i-1] >= n.Keys[i] {
+					return fmt.Errorf("btree: keys not strictly ascending in node at depth %d: %v", f.depth, n.Keys)
+				}
 			}
 		}
-		for i, k := range n.Keys {
+		// Bounds apply to real entries only: a gapped node's sentinel
+		// tail legitimately exceeds any upper bound.
+		for i := n.FirstSlot(); i < len(n.Keys); i = n.NextSlot(i) {
+			k := n.Keys[i]
 			if f.hasLo && k < f.lo {
 				return fmt.Errorf("btree: key %d below lower bound %d at depth %d", k, f.lo, f.depth)
 			}
 			if f.hasHi && k >= f.hi {
 				return fmt.Errorf("btree: key %d not below upper bound %d at depth %d", k, f.hi, f.depth)
 			}
-			_ = i
 		}
 		if n.Leaf() {
 			if n.Children != nil {
 				return fmt.Errorf("btree: leaf with children at depth %d", f.depth)
 			}
 			if len(n.Vals) != len(n.Keys) {
-				return fmt.Errorf("btree: leaf with %d keys but %d vals", len(n.Keys), len(n.Vals))
+				return fmt.Errorf("btree: leaf with %d key slots but %d val slots", len(n.Keys), len(n.Vals))
+			}
+			if n.Gapped() {
+				if len(n.Keys) != t.maxLeafEntries() {
+					return fmt.Errorf("btree: gapped leaf has %d slots, want %d", len(n.Keys), t.maxLeafEntries())
+				}
+				if err := n.validateGapFill(f.depth); err != nil {
+					return err
+				}
 			}
 			if leafDepth == -1 {
 				leafDepth = f.depth
 			} else if leafDepth != f.depth {
 				return fmt.Errorf("btree: leaves at depths %d and %d", leafDepth, f.depth)
 			}
-			if len(n.Keys) > t.maxLeafEntries() {
-				return fmt.Errorf("btree: leaf overfull: %d > %d", len(n.Keys), t.maxLeafEntries())
+			if n.Len() > t.maxLeafEntries() {
+				return fmt.Errorf("btree: leaf overfull: %d > %d", n.Len(), t.maxLeafEntries())
 			}
 			if n != t.root {
 				switch policy {
 				case StrictFill:
-					if len(n.Keys) < t.minLeafEntries() {
-						return fmt.Errorf("btree: leaf underfull: %d < %d", len(n.Keys), t.minLeafEntries())
+					if n.Len() < t.minLeafEntries() {
+						return fmt.Errorf("btree: leaf underfull: %d < %d", n.Len(), t.minLeafEntries())
 					}
 				case RelaxedFill:
-					if len(n.Keys) == 0 {
+					if n.Len() == 0 {
 						return fmt.Errorf("btree: empty non-root leaf")
 					}
 				}
 			}
 			leaves = append(leaves, n)
-			entries += len(n.Keys)
+			entries += n.Len()
 			return nil
 		}
 		if n.Vals != nil {
 			return fmt.Errorf("btree: internal node with vals at depth %d", f.depth)
 		}
-		if len(n.Children) != len(n.Keys)+1 {
-			return fmt.Errorf("btree: internal node with %d keys but %d children", len(n.Keys), len(n.Children))
+		if len(n.Children) != n.Len()+1 {
+			return fmt.Errorf("btree: internal node with %d keys but %d children", n.Len(), len(n.Children))
+		}
+		if n.Gapped() {
+			if n.Len() <= t.sepCap() && len(n.Keys) != t.sepCap() {
+				return fmt.Errorf("btree: gapped internal node has %d slots, want %d", len(n.Keys), t.sepCap())
+			}
+			// Separators are a dense prefix with a free sentinel tail.
+			for i := 0; i < n.Len(); i++ {
+				if !n.Occupied(i) {
+					return fmt.Errorf("btree: gapped internal separator slot %d free at depth %d", i, f.depth)
+				}
+			}
+			for i := n.Len(); i < len(n.Keys); i++ {
+				if n.Occupied(i) || n.Keys[i] != SentinelKey {
+					return fmt.Errorf("btree: gapped internal tail slot %d not sentinel at depth %d", i, f.depth)
+				}
+			}
 		}
 		if len(n.Children) > t.order {
 			return fmt.Errorf("btree: internal node overfull: %d > %d children", len(n.Children), t.order)
@@ -121,7 +160,7 @@ func (t *Tree) Validate(policy FillPolicy) error {
 			if i > 0 {
 				cf.lo, cf.hasLo = n.Keys[i-1], true
 			}
-			if i < len(n.Keys) {
+			if i < n.Len() {
 				cf.hi, cf.hasHi = n.Keys[i], true
 			}
 			if err := walk(cf); err != nil {
@@ -162,6 +201,61 @@ func (t *Tree) Validate(policy FillPolicy) error {
 
 	if entries != t.size {
 		return fmt.Errorf("btree: size %d but %d leaf entries", t.size, entries)
+	}
+	return nil
+}
+
+// validateGappedSlots checks the layout invariants common to every
+// gapped node: bitmap sizing, count == popcount, the full slot array
+// non-decreasing, and occupied keys strictly ascending.
+func (t *Tree) validateGappedSlots(n *Node, depth int) error {
+	c := len(n.Keys)
+	if len(n.occ) != occWords(c) {
+		return fmt.Errorf("btree: gapped node bitmap has %d words for %d slots at depth %d", len(n.occ), c, depth)
+	}
+	pop := 0
+	for w, word := range n.occ {
+		pop += bits.OnesCount64(word)
+		lo := w * 64
+		if hi := lo + 64; hi > c && word>>(uint(c-lo)) != 0 {
+			return fmt.Errorf("btree: gapped node bitmap has bits past slot %d at depth %d", c, depth)
+		}
+	}
+	if pop != int(n.count) {
+		return fmt.Errorf("btree: gapped node count %d but %d occupied slots at depth %d", n.count, pop, depth)
+	}
+	for i := 1; i < c; i++ {
+		if n.Keys[i-1] > n.Keys[i] {
+			return fmt.Errorf("btree: gapped node slots not sorted at depth %d: %v", depth, n.Keys)
+		}
+	}
+	prev := -1
+	for i := n.FirstSlot(); i < c; i = n.NextSlot(i) {
+		if prev >= 0 && n.Keys[prev] >= n.Keys[i] {
+			return fmt.Errorf("btree: gapped entries not strictly ascending at depth %d: %v", depth, n.Keys)
+		}
+		prev = i
+	}
+	return nil
+}
+
+// validateGapFill checks a gapped leaf's duplicate-fill rule: every
+// free slot holds a copy of the nearest occupied entry to its right,
+// or (SentinelKey, 0) when there is none.
+func (n *Node) validateGapFill(depth int) error {
+	c := len(n.Keys)
+	for s := 0; s < c; s++ {
+		if n.Occupied(s) {
+			continue
+		}
+		if j := n.nextOcc(s); j < c {
+			if n.Keys[s] != n.Keys[j] || n.Vals[s] != n.Vals[j] {
+				return fmt.Errorf("btree: gap slot %d (%d,%d) does not duplicate anchor %d (%d,%d) at depth %d",
+					s, n.Keys[s], n.Vals[s], j, n.Keys[j], n.Vals[j], depth)
+			}
+		} else if n.Keys[s] != SentinelKey || n.Vals[s] != 0 {
+			return fmt.Errorf("btree: tail slot %d is (%d,%d), want sentinel at depth %d", s, n.Keys[s], n.Vals[s], depth)
+		}
 	}
 	return nil
 }

@@ -257,6 +257,9 @@ func (e *Engine) mergeProcStats(st *stats.Batch) {
 		st.LeafOps[i] += v
 	}
 	st.FenceHits += ps.FenceHits
+	st.Splits += ps.Splits
+	st.GapClaims += ps.GapClaims
+	st.ShiftedSlots += ps.ShiftedSlots
 }
 
 // cachePass runs the inter-batch top-K cache over the QTrans-reduced
@@ -431,3 +434,14 @@ func (e *Engine) Flush() {
 // Processor exposes the underlying PALM processor (e.g. for tree
 // access and validation in tests).
 func (e *Engine) Processor() *palm.Processor { return e.proc }
+
+// RecordLayoutMetrics samples the tree's current leaf-occupancy
+// distribution into the metrics registry ("leaf_occupancy_permille").
+// The walk is O(#leaves), so call it at run boundaries, not per batch.
+// A no-op when metrics are off. Not safe concurrently with batches.
+func (e *Engine) RecordLayoutMetrics() {
+	if e.met == nil {
+		return
+	}
+	e.met.recordLayout(e.proc.Tree())
+}

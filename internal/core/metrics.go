@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/btree"
 	"repro/internal/metrics"
 	"repro/internal/stats"
 )
@@ -23,10 +24,17 @@ type engineMetrics struct {
 	remaining   *metrics.Counter
 	inferred    *metrics.Counter
 	fenceHits   *metrics.Counter
+	splits      *metrics.Counter
+	gapClaims   *metrics.Counter
+	shifted     *metrics.Counter
 	cacheHits   *metrics.Counter
 	cacheMisses *metrics.Counter
 	cacheFlush  *metrics.Counter
 	cacheEvict  *metrics.Counter
+
+	// leafOcc records per-leaf fill (entries * 1000 / capacity) when
+	// RecordLayout is called; it is not touched on the batch path.
+	leafOcc *metrics.Histogram
 }
 
 func newEngineMetrics(reg *metrics.Registry) *engineMetrics {
@@ -41,10 +49,14 @@ func newEngineMetrics(reg *metrics.Registry) *engineMetrics {
 		remaining:   reg.Counter("queries_remaining_total"),
 		inferred:    reg.Counter("inferred_returns_total"),
 		fenceHits:   reg.Counter("fence_hits_total"),
+		splits:      reg.Counter("splits_total"),
+		gapClaims:   reg.Counter("gap_claims_total"),
+		shifted:     reg.Counter("shifted_slots_total"),
 		cacheHits:   reg.Counter("cache_hits_total"),
 		cacheMisses: reg.Counter("cache_misses_total"),
 		cacheFlush:  reg.Counter("cache_flushes_total"),
 		cacheEvict:  reg.Counter("cache_evictions_total"),
+		leafOcc:     reg.Histogram("leaf_occupancy_permille"),
 	}
 	for _, s := range stats.Stages() {
 		m.stageNS = append(m.stageNS, reg.Histogram("stage_"+s.String()+"_ns"))
@@ -62,6 +74,9 @@ func (m *engineMetrics) recordBatch(st *stats.Batch, wall time.Duration) {
 	m.remaining.Add(int64(st.RemainingQueries))
 	m.inferred.Add(int64(st.InferredReturns))
 	m.fenceHits.Add(int64(st.FenceHits))
+	m.splits.Add(int64(st.Splits))
+	m.gapClaims.Add(int64(st.GapClaims))
+	m.shifted.Add(int64(st.ShiftedSlots))
 	m.cacheHits.Add(int64(st.CacheHits))
 	m.cacheMisses.Add(int64(st.CacheMisses))
 	m.cacheFlush.Add(int64(st.CacheFlushes))
@@ -71,4 +86,15 @@ func (m *engineMetrics) recordBatch(st *stats.Batch, wall time.Duration) {
 			m.stageNS[s].Observe(d)
 		}
 	}
+}
+
+// recordLayout walks the tree's leaf chain and records each leaf's fill
+// as entries*1000/capacity. The walk is O(#leaves), so it runs on
+// demand (Engine.RecordLayoutMetrics), never on the batch path.
+func (m *engineMetrics) recordLayout(t *btree.Tree) {
+	t.VisitLeaves(func(entries, capacity int) {
+		if capacity > 0 {
+			m.leafOcc.Record(int64(entries) * 1000 / int64(capacity))
+		}
+	})
 }

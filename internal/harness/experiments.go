@@ -71,6 +71,7 @@ func Experiments() []Experiment {
 		Experiment{"shard", "range-partitioned sharding sweep: throughput and imbalance per shard count", ShardExp},
 		Experiment{"abl2", "tree utilization under churn: relaxed batched deletes vs strict serial", Ablation2},
 		Experiment{"kernels", "sorted-batch tree kernel ablation: path-reuse / branchless search / merge apply", KernelsExp},
+		Experiment{"layout", "gapped vs dense node layout: search cost and restructuring by ablation", LayoutExp},
 		Experiment{"metrics", "per-stage time breakdown from the metrics registry (org and inter)", MetricsExp},
 		Experiment{"table1", "dataset configurations", Table1},
 		Experiment{"table2", "latency per dataset (opt vs org, U-0 and U-0.75)", Table2},
@@ -479,6 +480,58 @@ func KernelsExp(rn *Runner, w io.Writer) error {
 					fenceRate = float64(res.Totals.FenceHits) / float64(res.Queries)
 				}
 				row(w, mode.String(), u, c.name, res.Throughput, res.Throughput/base, fenceRate)
+			}
+		}
+	}
+	return nil
+}
+
+// LayoutExp measures the gapped (BS-tree style) node layout by
+// ablation against the classic dense layout (DESIGN.md §10): org and
+// inter modes, at U-0 (search-only, so the branchless fixed-width probe
+// dominates) and U-0.5 (insert-heavy, so gap claiming vs memmove and
+// split counts dominate). Rows report throughput, mean per-query time,
+// leaf splits and shifted slots per batch, and the end-to-end speedup
+// of each arm over dense. Results are byte-identical across arms; only
+// the clock and the restructuring counters move.
+func LayoutExp(rn *Runner, w io.Writer) error {
+	spec, err := workload.SpecByName("self-similar", rn.Opts.Scale)
+	if err != nil {
+		return err
+	}
+	row(w, "mode", "update_ratio", "layout", "qps", "ns_per_query",
+		"splits_per_batch", "shifted_slots_per_batch", "speedup_vs_dense")
+	for _, mode := range []core.Mode{core.Original, core.IntraInter} {
+		for _, u := range []float64{0, 0.5} {
+			var base float64
+			for _, arm := range []struct {
+				name  string
+				dense bool
+			}{
+				{"dense", true},
+				{"gapped", false},
+			} {
+				run := *rn
+				run.Opts.NoGappedLayout = arm.dense
+				res, err := run.RunOne(spec, mode, u, 0, 0)
+				if err != nil {
+					return err
+				}
+				if arm.dense {
+					base = res.Throughput
+				}
+				nsq := 0.0
+				if res.Throughput > 0 {
+					nsq = 1e9 / res.Throughput
+				}
+				batches := res.Batches
+				if batches == 0 {
+					batches = 1
+				}
+				row(w, mode.String(), u, arm.name, res.Throughput, nsq,
+					float64(res.Totals.Splits)/float64(batches),
+					float64(res.Totals.ShiftedSlots)/float64(batches),
+					res.Throughput/base)
 			}
 		}
 	}

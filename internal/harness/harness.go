@@ -37,12 +37,14 @@ type Options struct {
 	// Batches caps the number of batches per run (0 = all queries).
 	Batches int
 
-	// NoPathReuse, NoBranchlessSearch and NoMergeApply disable the
-	// sorted-batch tree kernels (DESIGN.md §8, palm.Config ablations);
-	// the zero value keeps all three on.
+	// NoPathReuse, NoBranchlessSearch, NoMergeApply and NoGappedLayout
+	// disable the sorted-batch tree kernels and the gapped node layout
+	// (DESIGN.md §8 and §10, palm.Config ablations); the zero value
+	// keeps all four on.
 	NoPathReuse        bool
 	NoBranchlessSearch bool
 	NoMergeApply       bool
+	NoGappedLayout     bool
 
 	// Metrics, when non-nil, instruments every engine the harness builds
 	// into the given registry (nil keeps runs uninstrumented, identical
@@ -59,6 +61,7 @@ func (o Options) palmConfig(workers int, loadBalance bool) palm.Config {
 		NoPathReuse:        o.NoPathReuse,
 		NoBranchlessSearch: o.NoBranchlessSearch,
 		NoMergeApply:       o.NoMergeApply,
+		NoGappedLayout:     o.NoGappedLayout,
 	}
 }
 

@@ -152,6 +152,7 @@ func (p *Processor) evalGroupSerial(g *leafGroup, qs []keys.Query, rs *keys.Resu
 			if j < len(leaf.Keys) && leaf.Keys[j] == q.Key {
 				leaf.Vals[j] = q.Value
 			} else {
+				w.shiftedSlots += int64(len(leaf.Keys) - j)
 				leaf.Keys = append(leaf.Keys, 0)
 				leaf.Vals = append(leaf.Vals, 0)
 				copy(leaf.Keys[j+1:], leaf.Keys[j:])
@@ -163,6 +164,7 @@ func (p *Processor) evalGroupSerial(g *leafGroup, qs []keys.Query, rs *keys.Resu
 		case keys.OpDelete:
 			j := p.probeGE(leaf.Keys, q.Key)
 			if j < len(leaf.Keys) && leaf.Keys[j] == q.Key {
+				w.shiftedSlots += int64(len(leaf.Keys) - j - 1)
 				leaf.Keys = append(leaf.Keys[:j], leaf.Keys[j+1:]...)
 				leaf.Vals = append(leaf.Vals[:j], leaf.Vals[j+1:]...)
 				w.sizeDelta--
@@ -238,7 +240,186 @@ func (p *Processor) evalGroupMerge(g *leafGroup, qs []keys.Query, rs *keys.Resul
 	mv = append(mv, lv[li:]...)
 	leaf.Keys = append(lk[:0], mk...)
 	leaf.Vals = append(lv[:0], mv...)
+	// The whole leaf was rewritten to absorb the group's mutations.
+	w.shiftedSlots += int64(len(mk))
 	w.mergeKeys, w.mergeVals = mk, mv
+}
+
+// evalGroupGapped applies one leaf group to a gapped leaf (DESIGN.md
+// §10). Searches honor the branchless-search ablation via probeLeaf;
+// inserts and deletes go through the O(1)-ish gapped single-entry ops
+// (claim the gap at the insertion point, else shift to the nearest
+// gap). Mutation-dense groups are the dense merge kernel's regime —
+// one linear pass beats per-query probing once a sizable fraction of
+// the leaf turns over — so those hand off to the merge-and-repack path
+// up front (unless NoMergeApply, which pins this layout to per-query
+// application; the merge then runs only to resolve an overflow).
+func (p *Processor) evalGroupGapped(g *leafGroup, qs []keys.Query, rs *keys.ResultSet, w *workerScratch, answerDuringFind bool) {
+	leaf := g.leaf
+	if !p.cfg.NoMergeApply && g.hi-g.lo >= 8 {
+		muts := 0
+		for i := g.lo; i < g.hi; i++ {
+			if qs[i].Op != keys.OpSearch {
+				muts++
+			}
+		}
+		if muts >= 8 && muts*4 >= leaf.Len() {
+			p.evalGroupGappedOverflow(g, qs, rs, w, g.lo, answerDuringFind)
+			return
+		}
+	}
+	for i := g.lo; i < g.hi; i++ {
+		q := qs[i]
+		switch q.Op {
+		case keys.OpSearch:
+			if !answerDuringFind {
+				v, ok := p.probeLeaf(leaf, q.Key)
+				rs.Set(q.Idx, v, ok)
+			}
+		case keys.OpInsert:
+			ed := leaf.InsertGapped(q.Key, q.Value)
+			if ed.Full {
+				p.evalGroupGappedOverflow(g, qs, rs, w, i, answerDuringFind)
+				return
+			}
+			if ed.Added {
+				w.sizeDelta++
+			}
+			if ed.GapClaim {
+				w.gapClaims++
+			}
+			w.shiftedSlots += int64(ed.Shifted)
+		case keys.OpDelete:
+			ed := leaf.DeleteGapped(q.Key)
+			if ed.Removed {
+				w.sizeDelta--
+			}
+			w.shiftedSlots += int64(ed.Shifted)
+		}
+		w.leafOps++
+	}
+	if leaf.Len() == 0 {
+		w.reqs = append(w.reqs, modRequest{
+			parent: parentOf(&g.path), path: &g.path,
+			level: g.path.Len() - 1, slot: slotOf(&g.path),
+			repl: nil,
+		})
+	}
+}
+
+// evalGroupGappedOverflow finishes a gapped leaf group from query
+// index start (whose insert found the leaf full): the leaf's live
+// entries are compacted into worker scratch, the remaining queries are
+// merged over them with the same in-batch visibility rules as
+// evalGroupMerge, and the result is repacked — into the leaf itself
+// with fresh evenly spread gaps when it fits, or into multiple
+// ~7/8-full pieces (the PALM "big split", original node leftmost so
+// external Next pointers stay valid) when it does not.
+func (p *Processor) evalGroupGappedOverflow(g *leafGroup, qs []keys.Query, rs *keys.ResultSet, w *workerScratch, start int, answerDuringFind bool) {
+	leaf := g.leaf
+	lk, lv := leaf.AppendEntries(w.leafKeys[:0], w.leafVals[:0])
+	w.leafKeys, w.leafVals = lk, lv
+	mk, mv := w.mergeKeys[:0], w.mergeVals[:0]
+	li := 0
+	for i := start; i < g.hi; i++ {
+		q := qs[i]
+		k := q.Key
+		for li < len(lk) && lk[li] < k {
+			mk = append(mk, lk[li])
+			mv = append(mv, lv[li])
+			li++
+		}
+		tailIsK := len(mk) > 0 && mk[len(mk)-1] == k
+		switch q.Op {
+		case keys.OpSearch:
+			if !answerDuringFind {
+				switch {
+				case tailIsK:
+					rs.Set(q.Idx, mv[len(mv)-1], true)
+				case li < len(lk) && lk[li] == k:
+					rs.Set(q.Idx, lv[li], true)
+				default:
+					rs.Set(q.Idx, 0, false)
+				}
+			}
+		case keys.OpInsert:
+			switch {
+			case tailIsK:
+				mv[len(mv)-1] = q.Value
+			case li < len(lk) && lk[li] == k:
+				mk = append(mk, k)
+				mv = append(mv, q.Value)
+				li++
+			default:
+				mk = append(mk, k)
+				mv = append(mv, q.Value)
+				w.sizeDelta++
+			}
+		case keys.OpDelete:
+			switch {
+			case tailIsK:
+				mk = mk[:len(mk)-1]
+				mv = mv[:len(mv)-1]
+				w.sizeDelta--
+			case li < len(lk) && lk[li] == k:
+				li++
+				w.sizeDelta--
+			}
+		}
+		w.leafOps++
+	}
+	mk = append(mk, lk[li:]...)
+	mv = append(mv, lv[li:]...)
+	w.mergeKeys, w.mergeVals = mk, mv
+	w.shiftedSlots += int64(len(mk))
+
+	m := len(mk)
+	req := modRequest{
+		parent: parentOf(&g.path), path: &g.path,
+		level: g.path.Len() - 1, slot: slotOf(&g.path),
+	}
+	if m == 0 {
+		w.reqs = append(w.reqs, req) // nil repl: remove the emptied leaf
+		return
+	}
+	c := leaf.Cap()
+	if m <= c {
+		// Deletes made room again: repack in place, no split.
+		btree.PackLeafGapped(leaf, mk, mv)
+		return
+	}
+	// Genuinely full: big-split into balanced pieces at ~7/8 fill.
+	target := c * 7 / 8
+	if target < 1 {
+		target = 1
+	}
+	pieces := (m + target - 1) / target
+	base, rem := m/pieces, m%pieces
+	pieceSize := func(i int) int {
+		if i < rem {
+			return base + 1
+		}
+		return base
+	}
+	out := make([]*btree.Node, 0, pieces)
+	out = append(out, leaf)
+	next := leaf.Next
+	prev := leaf
+	pos := pieceSize(0)
+	for i := 1; i < pieces; i++ {
+		sz := pieceSize(i)
+		sib := btree.NewGappedLeaf(c)
+		btree.PackLeafGapped(sib, mk[pos:pos+sz], mv[pos:pos+sz])
+		prev.Next = sib
+		prev = sib
+		out = append(out, sib)
+		pos += sz
+	}
+	prev.Next = next
+	btree.PackLeafGapped(leaf, mk[:pieceSize(0)], mv[:pieceSize(0)])
+	w.splits += int64(pieces - 1)
+	req.repl = out
+	w.reqs = append(w.reqs, req)
 }
 
 // descendFrom truncates the recorded path to depth levels and descends
@@ -254,9 +435,19 @@ func (f *finder) descendFrom(n *btree.Node, depth int, k keys.Key) *btree.Node {
 	f.hasHigh = f.hasHigh[:depth]
 	for !n.Leaf() {
 		s := p.probeChild(n.Keys, k)
+		// A gapped node's sentinel tail can push the probe past the last
+		// child when k == SentinelKey (no-op for dense nodes).
+		if s >= len(n.Children) {
+			s = len(n.Children) - 1
+		}
 		// The new level's fences: local separators where present,
 		// inherited from the level above at the node's edges (a child's
-		// keys are already bounded by every ancestor separator).
+		// keys are already bounded by every ancestor separator). The
+		// separator tests use n.Len(), not len(n.Keys): a gapped node's
+		// sentinel tail is not a separator, and treating it as one would
+		// overwrite the tighter inherited ancestor fence with the
+		// sentinel — widening the fence and letting path reuse return a
+		// stale leaf for keys at and beyond the real ancestor bound.
 		var lo, hi keys.Key
 		var hasLo, hasHi bool
 		if d := f.path.Len(); d > 0 {
@@ -266,7 +457,7 @@ func (f *finder) descendFrom(n *btree.Node, depth int, k keys.Key) *btree.Node {
 		if s > 0 {
 			lo, hasLo = n.Keys[s-1], true
 		}
-		if s < len(n.Keys) {
+		if s < n.Len() {
 			hi, hasHi = n.Keys[s], true
 		}
 		f.path.Push(n, s)

@@ -139,3 +139,91 @@ func BenchmarkKernels(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkLayout compares the gapped and dense node layouts
+// single-threaded (DESIGN.md §10): a search-only regime (where the
+// gapped fixed-width branchless probe should win) and two mutation
+// regimes — sparse scattered inserts (gap claiming vs memmove) and a
+// churn mix with splits active.
+func BenchmarkLayout(b *testing.B) {
+	const treeKeys = 1 << 16
+	const batchLen = 1 << 14
+
+	arms := []struct {
+		name string
+		cfg  Config
+	}{
+		{"gapped", Config{}},
+		{"dense", Config{NoGappedLayout: true}},
+	}
+	build := func(b *testing.B, cfg Config) *Processor {
+		b.Helper()
+		cfg.Order = btree.DefaultOrder
+		cfg.Workers = 1
+		cfg.LoadBalance = true
+		p, err := New(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seed := make([]keys.Query, treeKeys)
+		for i := range seed {
+			seed[i] = keys.Insert(keys.Key(i*4), keys.Value(i))
+		}
+		p.ProcessBatch(keys.Number(seed), keys.NewResultSet(len(seed)))
+		return p
+	}
+
+	b.Run("search", func(b *testing.B) {
+		for _, arm := range arms {
+			b.Run(arm.name, func(b *testing.B) {
+				p := build(b, arm.cfg)
+				defer p.Close()
+				r := rand.New(rand.NewSource(3))
+				batch := make([]keys.Query, batchLen)
+				for i := range batch {
+					batch[i] = keys.Search(keys.Key(r.Intn(4 * treeKeys)))
+				}
+				keys.Number(batch)
+				rs := keys.NewResultSet(batchLen)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rs.Reset(batchLen)
+					p.ProcessBatch(batch, rs)
+				}
+				b.SetBytes(batchLen)
+			})
+		}
+	})
+
+	b.Run("churn", func(b *testing.B) {
+		for _, arm := range arms {
+			b.Run(arm.name, func(b *testing.B) {
+				p := build(b, arm.cfg)
+				defer p.Close()
+				r := rand.New(rand.NewSource(3))
+				batch := make([]keys.Query, batchLen)
+				rs := keys.NewResultSet(batchLen)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					for j := range batch {
+						k := keys.Key(r.Intn(8 * treeKeys))
+						switch r.Intn(4) {
+						case 0, 1:
+							batch[j] = keys.Insert(k, keys.Value(j))
+						case 2:
+							batch[j] = keys.Delete(k)
+						default:
+							batch[j] = keys.Search(k)
+						}
+					}
+					keys.Number(batch)
+					rs.Reset(batchLen)
+					b.StartTimer()
+					p.ProcessBatch(batch, rs)
+				}
+				b.SetBytes(batchLen)
+			})
+		}
+	})
+}

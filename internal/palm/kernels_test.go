@@ -11,22 +11,23 @@ import (
 	"repro/internal/oracle"
 )
 
-// kernelCombos enumerates all 2³ kernel ablation settings.
+// kernelCombos enumerates all 2⁴ kernel/layout ablation settings.
 func kernelCombos() []Config {
 	var out []Config
-	for bits := 0; bits < 8; bits++ {
+	for bits := 0; bits < 16; bits++ {
 		out = append(out, Config{
 			NoPathReuse:        bits&1 != 0,
 			NoBranchlessSearch: bits&2 != 0,
 			NoMergeApply:       bits&4 != 0,
+			NoGappedLayout:     bits&8 != 0,
 		})
 	}
 	return out
 }
 
 func comboName(c Config) string {
-	return fmt.Sprintf("pathreuse=%v/branchless=%v/mergeapply=%v",
-		!c.NoPathReuse, !c.NoBranchlessSearch, !c.NoMergeApply)
+	return fmt.Sprintf("pathreuse=%v/branchless=%v/mergeapply=%v/gapped=%v",
+		!c.NoPathReuse, !c.NoBranchlessSearch, !c.NoMergeApply, !c.NoGappedLayout)
 }
 
 // TestFinderMatchesFreshDescent is the path-reuse property test: over
@@ -333,9 +334,11 @@ func TestFenceHitsCounted(t *testing.T) {
 
 	p := build(Config{})
 	defer p.Close()
+	// Stride-1 searches guarantee consecutive queries share a leaf for
+	// any leaf fill >= 2, independent of the layout's split target.
 	batch := make([]keys.Query, 2000)
 	for i := range batch {
-		batch[i] = keys.Search(keys.Key(i * 2))
+		batch[i] = keys.Search(keys.Key(i))
 	}
 	keys.Number(batch)
 	p.ProcessBatchSorted(batch, keys.NewResultSet(len(batch)))
@@ -346,7 +349,7 @@ func TestFenceHitsCounted(t *testing.T) {
 	off := build(Config{NoPathReuse: true})
 	defer off.Close()
 	for i := range batch {
-		batch[i] = keys.Search(keys.Key(i * 2))
+		batch[i] = keys.Search(keys.Key(i))
 	}
 	keys.Number(batch)
 	off.ProcessBatchSorted(batch, keys.NewResultSet(len(batch)))

@@ -64,8 +64,24 @@ type Config struct {
 	NoBranchlessSearch bool
 	// NoMergeApply disables the merge-based leaf application of Stage
 	// 2: each leaf group's queries are then applied one at a time with
-	// a binary search plus memmove per insert/delete.
+	// a binary search plus memmove per insert/delete. On the gapped
+	// layout the flag is moot: per-query gap claiming already is the
+	// cheap one-at-a-time path, so one gapped applier serves both
+	// states (DESIGN.md §10).
 	NoMergeApply bool
+	// NoGappedLayout restores the dense node layout (variable-length
+	// packed key/value slices) instead of the default gapped BS-tree
+	// layout (fixed-width sentinel-padded slot arrays with a presence
+	// bitmap; DESIGN.md §10).
+	NoGappedLayout bool
+}
+
+// layout returns the tree layout the configuration selects.
+func (c Config) layout() btree.Layout {
+	if c.NoGappedLayout {
+		return btree.LayoutDense
+	}
+	return btree.LayoutGapped
 }
 
 // Processor evaluates query batches against a B+ tree using the PALM
@@ -101,9 +117,15 @@ type workerScratch struct {
 	finder    finder        // Stage-1 path-reuse descent state
 	mergeKeys []keys.Key    // merge-based leaf application scratch
 	mergeVals []keys.Value
+	leafKeys  []keys.Key   // gapped-leaf compaction scratch (overflow path)
+	leafVals  []keys.Value
 	sizeDelta int64
-	leafOps   int64    // operations applied at the leaf level (Fig. 13)
-	_         [4]int64 // pad to keep hot counters off shared cache lines
+	leafOps   int64 // operations applied at the leaf level (Fig. 13)
+	// Layout counters (stats.Batch Splits/GapClaims/ShiftedSlots).
+	splits       int64
+	gapClaims    int64
+	shiftedSlots int64
+	_            [4]int64 // pad to keep hot counters off shared cache lines
 }
 
 // pathArena recycles btree.Path snapshots across batches: each leaf
@@ -157,7 +179,7 @@ type modRequest struct {
 // which case the Processor creates (and owns) one with cfg.Workers
 // workers.
 func New(cfg Config, pool *bsp.Pool) (*Processor, error) {
-	tree, err := btree.New(cfg.Order)
+	tree, err := btree.NewLayout(cfg.Order, cfg.layout())
 	if err != nil {
 		return nil, err
 	}
@@ -165,8 +187,15 @@ func New(cfg Config, pool *bsp.Pool) (*Processor, error) {
 }
 
 // NewWithTree creates a Processor over an existing tree (e.g. one
-// pre-loaded serially). See New for pool semantics.
+// pre-loaded serially or restored from a snapshot). The tree is
+// converted in place when its layout differs from what the
+// configuration selects (a no-op otherwise), so the NoGappedLayout
+// ablation stays authoritative regardless of how the tree was built.
+// See New for pool semantics.
 func NewWithTree(cfg Config, tree *btree.Tree, pool *bsp.Pool) *Processor {
+	// SetLayout rebuilds from the tree's own dump at its own order;
+	// neither can fail for a tree that was constructible at all.
+	_ = tree.SetLayout(cfg.layout())
 	own := false
 	if pool == nil {
 		pool = bsp.NewPool(cfg.Workers)
@@ -257,9 +286,15 @@ func (p *Processor) finishStats() {
 		delta += p.perW[i].sizeDelta
 		p.batchStats.LeafOps[i] += p.perW[i].leafOps
 		p.batchStats.FenceHits += int(p.perW[i].finder.fenceHits)
+		p.batchStats.Splits += int(p.perW[i].splits)
+		p.batchStats.GapClaims += int(p.perW[i].gapClaims)
+		p.batchStats.ShiftedSlots += int(p.perW[i].shiftedSlots)
 		p.perW[i].sizeDelta = 0
 		p.perW[i].leafOps = 0
 		p.perW[i].finder.fenceHits = 0
+		p.perW[i].splits = 0
+		p.perW[i].gapClaims = 0
+		p.perW[i].shiftedSlots = 0
 	}
 	if delta != 0 {
 		p.tree.AddSize(int(delta))
@@ -416,9 +451,15 @@ func prefixEnd(counts []int, i, total int) int {
 }
 
 // evalGroup applies one leaf group's queries to its leaf and emits a
-// modification request if the leaf overflowed or emptied.
+// modification request if the leaf overflowed or emptied. The applier
+// is chosen per leaf (not per tree) so staged rebuilds that mix node
+// layouts stay correct.
 func (p *Processor) evalGroup(g *leafGroup, qs []keys.Query, rs *keys.ResultSet, w *workerScratch, answerDuringFind bool) {
 	leaf := g.leaf
+	if leaf.Gapped() {
+		p.evalGroupGapped(g, qs, rs, w, answerDuringFind)
+		return
+	}
 	maxEntries := p.tree.Order() - 1
 	if p.cfg.NoMergeApply {
 		p.evalGroupSerial(g, qs, rs, w, answerDuringFind)
@@ -428,10 +469,12 @@ func (p *Processor) evalGroup(g *leafGroup, qs []keys.Query, rs *keys.ResultSet,
 
 	switch {
 	case len(leaf.Keys) > maxEntries:
+		repl := splitLeafMulti(leaf, maxEntries)
+		w.splits += int64(len(repl) - 1)
 		w.reqs = append(w.reqs, modRequest{
 			parent: parentOf(&g.path), path: &g.path,
 			level: g.path.Len() - 1, slot: slotOf(&g.path),
-			repl: splitLeafMulti(leaf, maxEntries),
+			repl: repl,
 		})
 	case len(leaf.Keys) == 0:
 		w.reqs = append(w.reqs, modRequest{

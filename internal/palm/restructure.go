@@ -144,11 +144,27 @@ func (p *Processor) applyToParent(reqs []modRequest, w *workerScratch) {
 		parent.Children = make([]*btree.Node, len(buf))
 	}
 	copy(parent.Children, buf)
-	parent.Keys = rebuildSeps(parent.Keys[:0], parent.Children)
+	p.packSeps(parent)
 
 	if len(parent.Children) > p.tree.Order() {
-		up.repl = splitInternalMulti(parent, p.tree.Order())
+		if parent.Gapped() {
+			up.repl = splitInternalMultiGapped(parent, p.tree.Order())
+		} else {
+			up.repl = splitInternalMulti(parent, p.tree.Order())
+		}
+		w.splits += int64(len(up.repl) - 1)
 		w.reqs = append(w.reqs, up)
+	}
+}
+
+// packSeps recomputes a node's separator array for its current child
+// list, honoring the node's layout (per node, not per tree, so staged
+// rebuilds that mix layouts stay correct).
+func (p *Processor) packSeps(n *btree.Node) {
+	if n.Gapped() {
+		btree.PackInternalGapped(n, p.tree.Order())
+	} else {
+		n.Keys = rebuildSeps(n.Keys[:0], n.Children)
 	}
 }
 
@@ -204,24 +220,57 @@ func splitInternalMulti(n *btree.Node, maxChildren int) []*btree.Node {
 	return out
 }
 
+// splitInternalMultiGapped is splitInternalMulti for gapped internal
+// nodes: every piece is repacked at the fixed sentinel-padded width.
+func splitInternalMultiGapped(n *btree.Node, maxChildren int) []*btree.Node {
+	ct := len(n.Children)
+	pieces := (ct + maxChildren - 1) / maxChildren
+	base, rem := ct/pieces, ct%pieces
+	out := make([]*btree.Node, 0, pieces)
+	out = append(out, n)
+	first := base
+	if rem > 0 {
+		first++
+	}
+	start := first
+	for i := 1; i < pieces; i++ {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		sib := &btree.Node{
+			Children: append(make([]*btree.Node, 0, maxChildren+1), n.Children[start:start+sz]...),
+		}
+		btree.PackInternalGapped(sib, maxChildren)
+		out = append(out, sib)
+		start += sz
+	}
+	n.Children = n.Children[:first]
+	btree.PackInternalGapped(n, maxChildren)
+	return out
+}
+
 // finalizeRoot applies a request whose target child was the root itself.
 func (p *Processor) finalizeRoot(r *modRequest) {
 	switch {
 	case r.repl == nil:
 		// The root emptied. If it was a leaf it legally stays empty; if
 		// it was internal (all subtrees deleted), reset to a fresh
-		// empty leaf.
+		// empty leaf of the tree's layout.
 		root := p.tree.Root()
 		if !root.Leaf() {
-			p.tree.SetRoot(&btree.Node{})
+			p.tree.SetRoot(btree.NewLeafLayout(p.tree.Order(), p.tree.Layout()))
 		}
 	case len(r.repl) == 1:
 		p.tree.SetRoot(r.repl[0])
 	default:
 		// The root split into multiple pieces; build new levels above
-		// until a single root remains.
+		// until a single root remains. The split itself was already
+		// counted where the pieces were produced (Stage 2 or
+		// applyToParent), so only the tree grows here.
 		level := r.repl
 		order := p.tree.Order()
+		gapped := p.tree.Layout() == btree.LayoutGapped
 		for len(level) > 1 {
 			parents := make([]*btree.Node, 0, (len(level)+order-1)/order)
 			for lo := 0; lo < len(level); lo += order {
@@ -232,7 +281,11 @@ func (p *Processor) finalizeRoot(r *modRequest) {
 				parent := &btree.Node{
 					Children: append(make([]*btree.Node, 0, order+1), level[lo:hi]...),
 				}
-				parent.Keys = rebuildSeps(make([]keys.Key, 0, order), parent.Children)
+				if gapped {
+					btree.PackInternalGapped(parent, order)
+				} else {
+					parent.Keys = rebuildSeps(make([]keys.Key, 0, order), parent.Children)
+				}
 				parents = append(parents, parent)
 			}
 			level = parents

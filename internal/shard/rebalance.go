@@ -74,7 +74,7 @@ func (e *Engine) Rebalance() (migrated int, err error) {
 		if s < n-1 {
 			hi = lowerBound(ks, bounds[s], lo)
 		}
-		tree, terr := btree.BulkLoad(order, ks[lo:hi], vs[lo:hi])
+		tree, terr := btree.BulkLoadLayout(order, engineLayout(cfg), ks[lo:hi], vs[lo:hi])
 		if terr == nil {
 			fresh[s], terr = core.NewEngineWithTree(cfg, tree)
 		}

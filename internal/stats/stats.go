@@ -79,6 +79,17 @@ type Batch struct {
 	// previous descent's leaf fences covered the key (path-reuse kernel,
 	// DESIGN.md §8).
 	FenceHits int
+	// Splits counts node splits (leaf, internal, and root) performed by
+	// the batch's restructuring — the Stage-3 cost the gapped layout
+	// (DESIGN.md §10) exists to shrink.
+	Splits int
+	// GapClaims counts inserts absorbed by the gap at their insertion
+	// point in O(1) (gapped layout only).
+	GapClaims int
+	// ShiftedSlots counts key/value slots physically moved or rewritten
+	// to keep nodes sorted: memmove lengths on the dense layout,
+	// shift-to-nearest-gap and delete-run rewrites on the gapped one.
+	ShiftedSlots int
 	// LeafOps[t] counts leaf-level operations performed by worker t
 	// (Fig. 13's load-balance metric).
 	LeafOps []int64
@@ -146,6 +157,9 @@ func (b *Batch) AddTo(dst *Batch) {
 	dst.CacheFlushes += b.CacheFlushes
 	dst.CacheEvictions += b.CacheEvictions
 	dst.FenceHits += b.FenceHits
+	dst.Splits += b.Splits
+	dst.GapClaims += b.GapClaims
+	dst.ShiftedSlots += b.ShiftedSlots
 	for i := range b.Elapsed {
 		dst.Elapsed[i] += b.Elapsed[i]
 	}

@@ -18,7 +18,11 @@ import (
 //
 // The config byte sweeps the engine matrix: unsharded and Shards=4,
 // serial and pipelined streams, with and without a mid-run checkpoint,
-// reopening under the same or a different shard count.
+// reopening under the same or a different shard count, and running the
+// pre-crash DB with the dense node-layout ablation (bit 4). Recovery
+// always reopens with the default gapped layout, so that arm also
+// proves a dense-written snapshot (v2 layout byte = dense) restores
+// into a gapped tree.
 func FuzzCrashRecovery(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, byte(0), uint16(50), uint16(1))
 	f.Add([]byte{9, 9, 9, 1, 1, 200, 30, 4, 0, 255, 17, 23, 8, 8}, byte(1), uint16(200), uint16(7))
@@ -26,6 +30,7 @@ func FuzzCrashRecovery(f *testing.F) {
 	f.Add([]byte{5, 4, 3, 2, 1, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, byte(7), uint16(90), uint16(3))
 	f.Add([]byte{1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3}, byte(15), uint16(1000), uint16(9))
 	f.Add([]byte{42}, byte(31), uint16(0), uint16(0))
+	f.Add([]byte{7, 1, 40, 7, 3, 0, 9, 1, 41, 9, 2, 0, 11, 1, 42, 11, 0, 0}, byte(20), uint16(300), uint16(5))
 
 	f.Fuzz(func(t *testing.T, data []byte, cfg byte, cut uint16, crashSeed uint16) {
 		// Decode the workload: 3 bytes per query, batches of 5 queries.
@@ -61,6 +66,7 @@ func FuzzCrashRecovery(f *testing.F) {
 		if cfg&8 != 0 {
 			reopenShards = 4
 		}
+		denseRun := cfg&16 != 0
 
 		// The oracle state after every whole-batch prefix.
 		orc := oracle.New()
@@ -89,6 +95,7 @@ func FuzzCrashRecovery(f *testing.F) {
 		// (committed with no sticky error) before the cut.
 		fs := faultfs.New()
 		opts := durOpts(fs, shards, pipeline)
+		opts.NoGappedLayout = denseRun
 		opts.Durability.SegmentSize = 512 // rotate often under fuzzing
 		db, err := Open(opts)
 		if err != nil {

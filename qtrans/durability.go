@@ -79,7 +79,7 @@ func openDurable(opts Options) (*DB, error) {
 	}
 	var tree *btree.Tree
 	if rec.SnapshotPayload != nil {
-		tree, err = btree.Load(bytes.NewReader(rec.SnapshotPayload), opts.Order)
+		tree, err = btree.LoadLayout(bytes.NewReader(rec.SnapshotPayload), opts.Order, opts.layout())
 		if err != nil {
 			return nil, fmt.Errorf("qtrans: corrupt snapshot in %s: %w", opts.Durability.Dir, err)
 		}

@@ -135,6 +135,20 @@ type Options struct {
 	// NoMergeApply disables the merge-based leaf application (queries
 	// are applied to leaves one at a time).
 	NoMergeApply bool
+	// NoGappedLayout stores tree nodes in the classic dense layout
+	// instead of the default gapped (BS-tree style) layout, in which
+	// nodes keep a fixed-width key array with sentinel-filled gaps so
+	// intra-node search is branchless and inserts claim gaps instead of
+	// shifting (DESIGN.md §10). Results are identical either way.
+	NoGappedLayout bool
+}
+
+// layout translates the ablation flag to the tree-level layout choice.
+func (opts Options) layout() btree.Layout {
+	if opts.NoGappedLayout {
+		return btree.LayoutDense
+	}
+	return btree.LayoutGapped
 }
 
 // engineConfig translates Options to the per-engine configuration
@@ -154,6 +168,7 @@ func (opts Options) engineConfig() core.EngineConfig {
 			NoPathReuse:        opts.NoPathReuse,
 			NoBranchlessSearch: opts.NoBranchlessSearch,
 			NoMergeApply:       opts.NoMergeApply,
+			NoGappedLayout:     opts.NoGappedLayout,
 		},
 		CacheCapacity: capacity,
 		CachePolicy:   cache.LRU,
@@ -180,6 +195,7 @@ type DB struct {
 	single    *core.Engine  // non-nil when Shards <= 1
 	sharded   *shard.Engine // non-nil when Shards > 1
 	pipelined bool
+	layout    btree.Layout  // node layout from Options (for snapshots)
 
 	// gate serializes snapshots against batch application: every batch
 	// holds it for reading, Save/Checkpoint for writing, so a snapshot
@@ -211,7 +227,7 @@ func Open(opts Options) (*DB, error) {
 // build constructs the engine stack for opts — sharded or single,
 // over a restored tree or fresh — and installs the snapshot gate.
 func build(opts Options, tree *btree.Tree) (*DB, error) {
-	db := &DB{pipelined: opts.Pipeline, met: opts.Metrics}
+	db := &DB{pipelined: opts.Pipeline, layout: opts.layout(), met: opts.Metrics}
 	if opts.Shards > 1 {
 		cfg := shard.Config{
 			Shards: opts.Shards,
@@ -435,7 +451,7 @@ func (db *DB) Save(w io.Writer) error {
 func (db *DB) saveLocked(w io.Writer) error {
 	if db.sharded != nil {
 		ks, vs := db.sharded.Dump()
-		tree, err := btree.BulkLoad(db.sharded.Order(), ks, vs)
+		tree, err := btree.BulkLoadLayout(db.sharded.Order(), db.layout, ks, vs)
 		if err != nil {
 			return err
 		}
@@ -454,7 +470,7 @@ func Load(r io.Reader, opts Options) (*DB, error) {
 	if opts.Durability.Dir != "" {
 		return nil, fmt.Errorf("qtrans: Load does not take Options.Durability; Open recovers a durable directory")
 	}
-	tree, err := btree.Load(r, opts.Order)
+	tree, err := btree.LoadLayout(r, opts.Order, opts.layout())
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,8 @@ package qtrans
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"math/rand"
 	"sync"
 	"testing"
@@ -239,6 +241,44 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 func TestLoadRejectsGarbage(t *testing.T) {
 	if _, err := Load(bytes.NewReader([]byte("garbage")), Options{}); err == nil {
 		t.Fatal("garbage snapshot accepted")
+	}
+}
+
+// TestLoadLegacyV1Snapshot checks a pre-gap ("QBT2") snapshot still
+// opens: the DB rebuilds it under the configured layout (gapped by
+// default, dense under the ablation) with identical contents.
+func TestLoadLegacyV1Snapshot(t *testing.T) {
+	n := 200
+	body := make([]byte, 12, 12+16*n)
+	binary.LittleEndian.PutUint32(body[0:4], 8) // order
+	binary.LittleEndian.PutUint64(body[4:12], uint64(n))
+	for i := 0; i < n; i++ {
+		var rec [16]byte
+		binary.LittleEndian.PutUint64(rec[0:8], uint64(i*4+2))
+		binary.LittleEndian.PutUint64(rec[8:16], uint64(i*9))
+		body = append(body, rec[:]...)
+	}
+	var snap bytes.Buffer
+	snap.WriteString("QBT2")
+	snap.Write(body)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc32.Checksum(body, crc32.MakeTable(crc32.Castagnoli)))
+	snap.Write(tail[:])
+
+	for _, dense := range []bool{false, true} {
+		db, err := Load(bytes.NewReader(snap.Bytes()), Options{Workers: 2, NoGappedLayout: dense})
+		if err != nil {
+			t.Fatalf("dense=%v: %v", dense, err)
+		}
+		if db.Len() != n {
+			t.Fatalf("dense=%v: Len = %d, want %d", dense, db.Len(), n)
+		}
+		for i := 0; i < n; i++ {
+			if v, ok := db.Get(Key(i*4 + 2)); !ok || v != Value(i*9) {
+				t.Fatalf("dense=%v: Get(%d) = %d,%v", dense, i*4+2, v, ok)
+			}
+		}
+		db.Close()
 	}
 }
 
