@@ -1,0 +1,87 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+const sentK = ^keys.Key(0)
+
+func TestReviewSentinelSerial(t *testing.T) {
+	for _, order := range []int{3, 4, 5, 8, 64} {
+		tr := MustNew(order)
+		oracle := map[keys.Key]keys.Value{}
+		rng := rand.New(rand.NewSource(1))
+		ins := func(k keys.Key, v keys.Value) { tr.Insert(k, v); oracle[k] = v }
+		del := func(k keys.Key) { tr.Delete(k); delete(oracle, k) }
+		check := func() {
+			if err := tr.Validate(StrictFill); err != nil {
+				t.Fatalf("order %d: %v", order, err)
+			}
+			if tr.Len() != len(oracle) {
+				t.Fatalf("order %d: size %d want %d", order, tr.Len(), len(oracle))
+			}
+			for k, v := range oracle {
+				got, ok := tr.Search(k)
+				if !ok || got != v {
+					t.Fatalf("order %d: search %d = %d,%v want %d", order, k, got, ok, v)
+				}
+			}
+		}
+		for i := 0; i < 3000; i++ {
+			switch rng.Intn(5) {
+			case 0:
+				ins(sentK, keys.Value(i))
+			case 1:
+				ins(sentK-keys.Key(rng.Intn(50)), keys.Value(i))
+			case 2:
+				del(sentK)
+			case 3:
+				del(sentK - keys.Key(rng.Intn(50)))
+			default:
+				ins(keys.Key(rng.Intn(2000)), keys.Value(i))
+			}
+			if i%97 == 0 {
+				check()
+			}
+		}
+		check()
+		del(sentK)
+		if _, ok := tr.Search(sentK); ok {
+			t.Fatalf("order %d: found deleted sentinel", order)
+		}
+		ks, _ := tr.Dump()
+		for _, k := range ks {
+			del(k)
+		}
+		check()
+	}
+}
+
+func TestReviewSentinelMaxPred(t *testing.T) {
+	tr := MustNew(64)
+	for i := 0; i < 5000; i++ {
+		tr.Insert(keys.Key(i*3), keys.Value(i))
+	}
+	tr.Insert(sentK, 42)
+	if k, v, ok := tr.Max(); !ok || k != sentK || v != 42 {
+		t.Fatalf("max = %d,%d,%v", k, v, ok)
+	}
+	if k, _, ok := tr.Predecessor(sentK); !ok || k != keys.Key(4999*3) {
+		t.Fatalf("pred = %d,%v", k, ok)
+	}
+	if k, _, ok := tr.Successor(sentK - 1); !ok || k != sentK {
+		t.Fatalf("succ = %d,%v", k, ok)
+	}
+	n := 0
+	tr.Scan(func(k keys.Key, v keys.Value) bool { n++; return true })
+	if n != 5001 {
+		t.Fatalf("scan %d", n)
+	}
+	it := tr.Seek(sentK)
+	if !it.Valid() || it.Key() != sentK {
+		t.Fatalf("seek sentinel invalid")
+	}
+}
