@@ -11,23 +11,30 @@
 #                the WAL syncer, the batcher close/submit races, and the
 #                metrics registry's sharded counters under snapshot vs
 #                live Serve traffic)
+#   race-scan    the scan/RMW execution paths (epoch-fenced engine
+#                batches, the pipeline's extended path, shard scan
+#                split/merge, facade scans) under the race detector
 #   fuzz-smoke   10s runs of the shard differential fuzzer (the
 #                sharded/serial equivalence property of DESIGN.md §6,
-#                including a dense-layout arm), the crash-recovery
-#                fuzzer (the durability property of DESIGN.md §7: power
-#                cut at an arbitrary byte, then recover to an acked
-#                whole-batch prefix — with gapped and dense pre-crash
-#                configs), and the dual-layout tree fuzzer (gapped and
-#                dense trees in lockstep vs a map oracle, DESIGN.md §10)
+#                including scan/RMW and dense-layout arms), the
+#                range/RMW differential fuzzer (every engine mode and
+#                layout vs the oracle on batches mixing all five ops,
+#                DESIGN.md §11), the crash-recovery fuzzer (the
+#                durability property of DESIGN.md §7: power cut at an
+#                arbitrary byte, then recover to an acked whole-batch
+#                prefix — with gapped and dense pre-crash configs and
+#                RMW in the workload), and the dual-layout tree fuzzer
+#                (gapped and dense trees in lockstep vs a map oracle,
+#                DESIGN.md §10)
 #   bench-smoke  one-iteration compile-and-run of the pipeline benchmark
 #                (catches bit-rot in the bench harness without paying
 #                for a measurement)
 
 GO ?= go
 
-.PHONY: ci vet build test race race-kernels race-layout fuzz-smoke bench-smoke bench bench-kernels bench-layout
+.PHONY: ci vet build test race race-kernels race-layout race-scan fuzz-smoke bench-smoke bench bench-kernels bench-layout bench-scan
 
-ci: vet build test race race-kernels race-layout fuzz-smoke bench-smoke
+ci: vet build test race race-kernels race-layout race-scan fuzz-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -55,8 +62,19 @@ race-kernels:
 race-layout:
 	$(GO) test -race -run 'Gapped|Layout' -count=1 ./internal/btree
 
+# The scan/RMW paths (DESIGN.md §11) under the race detector: the
+# engine's epoch-fenced extended batches across all modes and layouts,
+# the pipeline's drain-and-fence tree stage, the shard splitter/merger
+# on straddling scans, and the facade-level batch API. Also part of the
+# plain `race` target's package runs; kept callable on its own.
+race-scan:
+	$(GO) test -race -run 'ScanRMW|ScanNeverReordered|CoveringKill|ScanStats|CacheDrained|PlanEpochs' -count=1 ./internal/core
+	$(GO) test -race -run 'SplitScan|Scan' -count=1 ./internal/shard
+	$(GO) test -race -run 'BatchScanAndRMW' -count=1 ./qtrans
+
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzShardEquivalence -fuzztime=10s ./internal/shard
+	$(GO) test -run=^$$ -fuzz=FuzzRangeRMWEquivalence -fuzztime=10s ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzCrashRecovery -fuzztime=10s ./qtrans
 	$(GO) test -run=^$$ -fuzz=FuzzTreeOps -fuzztime=10s ./internal/btree
 
@@ -85,3 +103,10 @@ bench-kernels:
 bench-layout:
 	$(GO) test -run=XXX -bench=BenchmarkLayout -benchtime=200ms ./internal/palm
 	$(GO) run ./cmd/qtransbench -experiment layout -scale 0.05 -json BENCH_layout.json
+
+# Range scans and read-modify-write (DESIGN.md §11): batched scans vs
+# the same coverage as repeated point gets, and AddDelta vs the
+# two-round search-then-insert a client without server-side RMW would
+# issue — written to BENCH_scan.json (not part of ci).
+bench-scan:
+	$(GO) run ./cmd/qtransbench -experiment scan -scale 0.05 -json BENCH_scan.json

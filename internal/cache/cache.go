@@ -246,6 +246,21 @@ func (c *TopK) FlushAll() []keys.Query {
 	return out
 }
 
+// Drain empties the cache entirely: every dirty entry is returned as
+// a flush query (order is unspecified; callers sort as needed) and
+// every entry — clean or dirty — is dropped. The engine drains before
+// batches that bypass the cache pass (scan/RMW batches): clean
+// residents would otherwise serve stale values once the tree mutates
+// underneath them. Drops are not counted as evictions and do not
+// invoke OnEvict.
+func (c *TopK) Drain() []keys.Query {
+	out := c.FlushAll()
+	if c.t != nil && c.t.used > 0 {
+		c.t = newTable(c.capacity)
+	}
+	return out
+}
+
 // selectVictim picks the slot to evict per the policy.
 func (c *TopK) selectVictim() int32 {
 	switch c.policy {

@@ -99,6 +99,10 @@ type Engine struct {
 	flushQ []keys.Query
 	mergeQ []keys.Query
 
+	// Scratch for the scan/RMW batch path (see processScanRMW).
+	extQ  []keys.Query
+	scanQ []keys.Query
+
 	st  *stats.Batch
 	met *engineMetrics // nil when metrics are off
 
@@ -210,6 +214,14 @@ func (e *Engine) processBatch(qs []keys.Query, rs *keys.ResultSet) {
 		defer e.gate.RUnlock()
 	}
 
+	// Batches carrying range scans or read-modify-writes take the
+	// epoch-planned path; pure point batches stay on the hot path below,
+	// byte-for-byte as before.
+	if scan, rmw := hasScanOrRMW(qs); scan || rmw {
+		e.processScanRMW(qs, rs, scan)
+		return
+	}
+
 	if e.cfg.Mode == Original {
 		// Original mode has no QSAT: the whole (pre-sort) batch is its
 		// own surviving set.
@@ -244,6 +256,142 @@ func (e *Engine) processBatch(qs []keys.Query, rs *keys.ResultSet) {
 	e.proc.ProcessTransformed(remaining, rs)
 	e.tf.Broadcast(rs)
 	e.mergeProcStats(e.st)
+}
+
+// processScanRMW evaluates a batch containing range scans and/or
+// read-modify-writes. The batch is split into alternating point epochs
+// and scan groups (epoch.go); each epoch is QSAT-transformed against
+// one shared Router (so cross-epoch representative chains still
+// broadcast once), all surviving point queries are logged as ONE
+// commit record before any effect reaches the tree (whole-batch crash
+// atomicity), and then epochs and scan groups execute in order.
+//
+// The top-K cache is drained first and the cache pass is skipped for
+// the whole batch: scans and RMWs read the tree directly, so clean
+// residents would go stale the moment an epoch mutates the tree
+// underneath them. Scan/RMW batches therefore pay full tree price —
+// the intended trade, since the cache's contract is point-only.
+func (e *Engine) processScanRMW(qs []keys.Query, rs *keys.ResultSet, hasScan bool) {
+	e.drainCache()
+
+	var plan batchPlan
+	if hasScan {
+		plan = planEpochs(qs)
+	} else {
+		// RMW-only batches need no fencing: one epoch, no scan groups.
+		plan = batchPlan{epochs: [][]keys.Query{qs}, scans: [][]keys.Query{nil}}
+	}
+
+	var plans [][]keys.Query
+	if e.cfg.Mode != Original {
+		plans = e.tf.TransformEpochs(plan.epochs, len(qs), rs, e.st, e.cfg.Mode == SimIntra)
+	}
+	if !e.commitPlan(plan, plans) {
+		return
+	}
+	e.executePlan(plan, plans, rs)
+	if e.cfg.Mode != Original {
+		e.tf.Broadcast(rs)
+	}
+}
+
+// drainCache empties the top-K cache, applying its dirty state to the
+// tree. Flushes carry Idx -1 and are not logged — they re-apply state
+// from previously committed batches (same reasoning as Engine.Flush).
+func (e *Engine) drainCache() {
+	if e.topK == nil {
+		return
+	}
+	fl := e.topK.Drain()
+	if len(fl) == 0 {
+		return
+	}
+	sort.Slice(fl, func(i, j int) bool { return fl[i].Key < fl[j].Key })
+	e.proc.ProcessTransformed(fl, keys.NewResultSet(0))
+}
+
+// commitPlan logs the batch's surviving point queries — every epoch's,
+// concatenated in epoch order — as one commit record before any effect.
+// Per-epoch commits would break the whole-batch-prefix property the
+// crash-recovery tests check. Scans are pure reads and are never
+// logged. plans is nil in Original mode (epochs commit untransformed).
+func (e *Engine) commitPlan(plan batchPlan, plans [][]keys.Query) bool {
+	if e.committer == nil {
+		return true
+	}
+	src := plans
+	if src == nil {
+		src = plan.epochs
+	}
+	e.extQ = e.extQ[:0]
+	for _, p := range src {
+		e.extQ = append(e.extQ, p...)
+	}
+	return e.commit(e.extQ)
+}
+
+// executePlan runs the planned epochs and scan groups in order against
+// the tree. plans (per-epoch QSAT survivors) is nil in Original mode,
+// where the raw epochs are processed via the full PALM pipeline.
+func (e *Engine) executePlan(plan batchPlan, plans [][]keys.Query, rs *keys.ResultSet) {
+	remaining := 0
+	for i := range plan.epochs {
+		ep := plan.epochs[i]
+		if plans != nil {
+			ep = plans[i]
+		}
+		if len(ep) > 0 {
+			remaining += len(ep)
+			if plans != nil {
+				e.proc.ProcessTransformed(ep, rs)
+			} else {
+				e.proc.ProcessBatch(ep, rs)
+			}
+			e.mergeProcStats(e.st)
+		}
+		remaining += e.evalScanGroup(plan.scans[i], rs)
+	}
+	e.st.RemainingQueries = remaining
+}
+
+// evalScanGroup evaluates one scan group against the quiescent tree.
+// Covered scans (the covering-scan kill, epoch.go) derive their rows
+// by clipping the covering scan's rows; the rest walk the tree in one
+// batched EvalScans pass. Returns the number of tree-evaluated scans.
+func (e *Engine) evalScanGroup(scans []keys.Query, rs *keys.ResultSet) int {
+	if len(scans) == 0 {
+		return 0
+	}
+	e.st.ScanQueries += len(scans)
+	tasks, killed := planScanGroup(scans)
+	e.st.ScanKills += killed
+
+	direct := e.scanQ[:0]
+	for i := range tasks {
+		if tasks[i].coveredBy < 0 {
+			direct = append(direct, tasks[i].q)
+		}
+	}
+	e.scanQ = direct
+
+	rs.EnsureScans()
+	e.proc.EvalScans(direct, rs)
+	e.mergeProcStats(e.st)
+
+	for i := range tasks {
+		t := &tasks[i]
+		if t.coveredBy < 0 {
+			continue
+		}
+		cover, _ := rs.ScanRows(tasks[t.coveredBy].q.Idx)
+		rs.SetScan(t.q.Idx, filterCoverRows(cover, t.q.Key, t.q.Key2, t.q.Value))
+	}
+	for i := range tasks {
+		if rows, ok := rs.ScanRows(tasks[i].q.Idx); ok {
+			e.st.ScanRows += len(rows)
+		}
+	}
+	return len(direct)
 }
 
 // mergeProcStats folds the processor's stage timings, leaf-op counters

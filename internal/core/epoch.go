@@ -1,0 +1,179 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/keys"
+)
+
+// This file plans the execution of batches containing range scans.
+//
+// QSAT's point-query algebra reorders freely within a batch because
+// per-key order is preserved. A scan breaks that freedom only for the
+// keys inside its range: point writes there must not move across the
+// scan. The planner therefore splits the batch into an alternating
+// sequence of point epochs and scan groups
+//
+//	E0  S0  E1  S1  ...  En  Sn
+//
+// processed in order: transform+apply E0, evaluate the S0 scans
+// against the tree, apply E1, and so on. The split rule is:
+//
+//   - a point search always joins the current epoch (searches commute
+//     with scans — scans are pure reads);
+//   - a scan joins the current scan group and activates its range;
+//   - a point write (insert/delete/RMW) whose key falls inside any
+//     active range of the current group closes the epoch: it becomes
+//     the first query of the next epoch, so it is applied only after
+//     the fenced scans ran. Writes outside every active range stay in
+//     the current epoch (sound: the scans cannot observe them).
+//
+// RMW-only batches (no scans) need no splitting and flow through as a
+// single epoch.
+
+// batchPlan is the planned execution of one scan-bearing batch.
+type batchPlan struct {
+	// epochs[i] holds point queries, in batch order, with original Idx
+	// values. epochs has len(scans)+1 entries when the batch ends in
+	// point ops, or len(scans) when it ends in scans; for uniformity
+	// the planner always emits len(scans)+1 epochs (possibly empty).
+	epochs [][]keys.Query
+	// scans[i] is the scan group evaluated between epochs[i] and
+	// epochs[i+1], in batch order.
+	scans [][]keys.Query
+}
+
+// hasScanOrRMW reports whether the batch needs the scan/RMW path at
+// all (used to keep the point-only hot path byte-for-byte untouched).
+func hasScanOrRMW(qs []keys.Query) (scan, rmw bool) {
+	for i := range qs {
+		switch qs[i].Op {
+		case keys.OpScan:
+			scan = true
+		case keys.OpRMW:
+			rmw = true
+		}
+		if scan && rmw {
+			return
+		}
+	}
+	return
+}
+
+// planEpochs splits a scan-bearing batch per the rule above. The
+// returned plan's slices are freshly built each call (scan batches pay
+// for their planning; point-only batches never reach here).
+func planEpochs(qs []keys.Query) batchPlan {
+	var p batchPlan
+	curE := make([]keys.Query, 0, len(qs))
+	var curS []keys.Query
+
+	flush := func() {
+		p.epochs = append(p.epochs, curE)
+		p.scans = append(p.scans, curS)
+		curE = make([]keys.Query, 0, len(qs))
+		curS = nil
+	}
+
+	inActiveRange := func(k keys.Key) bool {
+		for i := range curS {
+			if k >= curS[i].Key && k < curS[i].Key2 {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, q := range qs {
+		switch q.Op {
+		case keys.OpScan:
+			curS = append(curS, q)
+		case keys.OpSearch:
+			curE = append(curE, q)
+		default: // insert, delete, RMW
+			if len(curS) > 0 && inActiveRange(q.Key) {
+				flush()
+			}
+			curE = append(curE, q)
+		}
+	}
+	// Final epoch (possibly with a trailing scan group, possibly empty).
+	p.epochs = append(p.epochs, curE)
+	p.scans = append(p.scans, curS)
+	return p
+}
+
+// scanTask is one scan to evaluate against the tree, or to derive from
+// a covering scan in the same group.
+type scanTask struct {
+	q keys.Query
+	// coveredBy is the index (into the group's task list) of the
+	// unlimited scan whose rows cover this one, or -1 to evaluate
+	// against the tree directly.
+	coveredBy int
+}
+
+// planScanGroup applies the covering-scan kill inside one scan group.
+// All scans in a group observe the same tree state, so any scan whose
+// range is contained in another *unlimited* scan of the group can
+// derive its rows by filtering the cover's rows — the tree is walked
+// once per maximal range. Returns the tasks (in input order, with
+// coveredBy links) plus how many scans were killed. Callers evaluate
+// every uncovered task first, then derive the covered ones, so link
+// direction never matters.
+func planScanGroup(scans []keys.Query) ([]scanTask, int) {
+	tasks := make([]scanTask, len(scans))
+	for i, q := range scans {
+		tasks[i] = scanTask{q: q, coveredBy: -1}
+	}
+	if len(tasks) > 1 {
+		// Sweep in (lo asc, hi desc) order tracking the widest
+		// unlimited cover seen so far.
+		order := make([]int, len(tasks))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			qa, qb := tasks[order[a]].q, tasks[order[b]].q
+			if qa.Key != qb.Key {
+				return qa.Key < qb.Key
+			}
+			return qa.Key2 > qb.Key2
+		})
+		cover := -1 // task index of current best cover
+		for _, ti := range order {
+			q := tasks[ti].q
+			if cover >= 0 && q.Key2 <= tasks[cover].q.Key2 {
+				tasks[ti].coveredBy = cover
+				continue
+			}
+			// Not covered. An unlimited scan reaching further right
+			// becomes the new best cover (its lo bounds every later lo
+			// in the sweep); a limited one cannot cover others, and the
+			// previous cover may still serve narrower later ranges.
+			if q.Value == 0 {
+				cover = ti
+			}
+		}
+	}
+	killed := 0
+	for i := range tasks {
+		if tasks[i].coveredBy >= 0 {
+			killed++
+		}
+	}
+	return tasks, killed
+}
+
+// filterCoverRows derives a covered scan's rows from its cover's rows:
+// restrict to [lo, hi), then truncate to limit (0 = unlimited). The
+// cover's rows are ascending in key, so the result is a sub-slice.
+func filterCoverRows(cover []keys.KV, lo, hi keys.Key, limit keys.Value) []keys.KV {
+	a := sort.Search(len(cover), func(i int) bool { return cover[i].Key >= lo })
+	b := sort.Search(len(cover), func(i int) bool { return cover[i].Key >= hi })
+	rows := cover[a:b]
+	if limit > 0 && keys.Value(len(rows)) > limit {
+		rows = rows[:limit]
+	}
+	return rows
+}

@@ -56,14 +56,27 @@ func Explain(qs []keys.Query) Report {
 	r := Report{Total: len(qs)}
 
 	// Per-key streaming state, mirroring the one-pass QSAT semantics.
+	// Defining queries include RMWs: a run of defines and RMWs on one
+	// key folds into a single synthesized final define, so all but one
+	// count as overwritten. An RMW on a key whose in-batch state is
+	// unknown leaves the value "present but unknown"; searches behind it
+	// survive (answered at the leaf), neither redundant nor inferred.
 	type state struct {
 		leadingSearches int  // searches before any define
-		defines         int  // defining queries seen
-		inferred        int  // searches after a define
-		seen            bool // key encountered
+		defines         int  // defining queries seen (insert/delete/RMW)
+		inferred        int  // searches answered from known in-batch state
+		leafAnswered    int  // searches surviving behind an unknown-state RMW
+		unknownVal      bool // state is "present, value unknown"
 	}
 	perKey := map[keys.Key]*state{}
+	scans := 0
 	for _, q := range qs {
+		if q.Op == keys.OpScan {
+			// Scans are range reads: they fence, but Explain's per-key
+			// model cannot eliminate them. They always survive.
+			scans++
+			continue
+		}
 		st := perKey[q.Key]
 		if st == nil {
 			st = &state{}
@@ -72,24 +85,34 @@ func Explain(qs []keys.Query) Report {
 		switch {
 		case q.Op == keys.OpSearch && st.defines == 0:
 			st.leadingSearches++
+		case q.Op == keys.OpSearch && st.unknownVal:
+			st.leafAnswered++
 		case q.Op == keys.OpSearch:
 			st.inferred++
-		default:
+		case q.Op == keys.OpRMW:
+			if st.defines == 0 || st.unknownVal {
+				st.unknownVal = true
+			}
 			st.defines++
+		default: // insert, delete: state fully known again
+			st.defines++
+			st.unknownVal = false
 		}
 	}
 
 	r.DistinctKeys = len(perKey)
+	r.Surviving += scans
 	for _, st := range perKey {
 		if st.leadingSearches > 0 {
 			r.Redundancy += st.leadingSearches - 1 // one representative survives
 			r.Surviving++
 		}
 		if st.defines > 0 {
-			r.Overwriting += st.defines - 1 // only the last define survives
+			r.Overwriting += st.defines - 1 // folded into one final define
 			r.Surviving++
 		}
 		r.Inference += st.inferred
+		r.Surviving += st.leafAnswered
 	}
 	return r
 }

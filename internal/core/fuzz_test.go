@@ -37,7 +37,7 @@ func FuzzQSATEquivalence(f *testing.F) {
 		if len(qs) == 0 {
 			return
 		}
-		want := EvaluateReference(qs, map[keys.Key]keys.Value{})
+		want, _ := EvaluateReference(qs, map[keys.Key]keys.Value{})
 
 		// One-pass QSAT + replay.
 		rs := keys.NewResultSet(len(qs))

@@ -31,6 +31,9 @@ type engineMetrics struct {
 	cacheMisses *metrics.Counter
 	cacheFlush  *metrics.Counter
 	cacheEvict  *metrics.Counter
+	scanQueries *metrics.Counter
+	scanRows    *metrics.Counter
+	scanKills   *metrics.Counter
 
 	// leafOcc records per-leaf fill (entries * 1000 / capacity) when
 	// RecordLayout is called; it is not touched on the batch path.
@@ -56,6 +59,9 @@ func newEngineMetrics(reg *metrics.Registry) *engineMetrics {
 		cacheMisses: reg.Counter("cache_misses_total"),
 		cacheFlush:  reg.Counter("cache_flushes_total"),
 		cacheEvict:  reg.Counter("cache_evictions_total"),
+		scanQueries: reg.Counter("scan_queries_total"),
+		scanRows:    reg.Counter("scan_rows_total"),
+		scanKills:   reg.Counter("scan_kills_total"),
 		leafOcc:     reg.Histogram("leaf_occupancy_permille"),
 	}
 	for _, s := range stats.Stages() {
@@ -81,6 +87,9 @@ func (m *engineMetrics) recordBatch(st *stats.Batch, wall time.Duration) {
 	m.cacheMisses.Add(int64(st.CacheMisses))
 	m.cacheFlush.Add(int64(st.CacheFlushes))
 	m.cacheEvict.Add(int64(st.CacheEvictions))
+	m.scanQueries.Add(int64(st.ScanQueries))
+	m.scanRows.Add(int64(st.ScanRows))
+	m.scanKills.Add(int64(st.ScanKills))
 	for _, s := range stats.Stages() {
 		if d := st.Elapsed[s]; d > 0 {
 			m.stageNS[s].Observe(d)

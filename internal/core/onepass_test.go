@@ -285,7 +285,7 @@ func TestTransformerSerialEquivalence(t *testing.T) {
 		for k, v := range store {
 			ref[k] = v
 		}
-		wantRes := EvaluateReference(qs, ref)
+		wantRes, _ := EvaluateReference(qs, ref)
 
 		rs := keys.NewResultSet(len(qs))
 		work := append([]keys.Query(nil), qs...)

@@ -61,6 +61,13 @@ type pipeSlot struct {
 	rs        *keys.ResultSet
 	job       *Job
 	remaining []keys.Query
+
+	// Scan/RMW batches carry their epoch plan through the handoff; the
+	// per-epoch transform still runs in stage A (it is tree- and
+	// cache-independent), only execution waits for stage B.
+	extended bool
+	plan     batchPlan
+	plans    [][]keys.Query
 }
 
 // initPipeline lazily builds the transform pool and the double-buffered
@@ -155,7 +162,22 @@ func (e *Engine) transformStage(slot *pipeSlot) {
 	st.Reset()
 	st.BatchSize = len(job.Qs)
 	slot.remaining = nil
+	slot.extended = false
+	slot.plans = nil
 	if len(job.Qs) == 0 {
+		return
+	}
+
+	if scan, rmw := hasScanOrRMW(job.Qs); scan || rmw {
+		slot.extended = true
+		if scan {
+			slot.plan = planEpochs(job.Qs)
+		} else {
+			slot.plan = batchPlan{epochs: [][]keys.Query{job.Qs}, scans: [][]keys.Query{nil}}
+		}
+		if e.cfg.Mode != Original {
+			slot.plans = slot.tf.TransformEpochs(slot.plan.epochs, len(job.Qs), job.RS, st, e.cfg.Mode == SimIntra)
+		}
 		return
 	}
 
@@ -197,6 +219,22 @@ func (e *Engine) treeStage(slot *pipeSlot) {
 	if e.gate != nil {
 		e.gate.RLock()
 		defer e.gate.RUnlock()
+	}
+
+	if slot.extended {
+		// Scan/RMW batch: drain the cache, log all surviving point
+		// queries as one record, then run epochs and scan groups in
+		// order — same sequence as processScanRMW, with the transform
+		// already done in stage A.
+		e.drainCache()
+		if !e.commitPlan(slot.plan, slot.plans) {
+			return
+		}
+		e.executePlan(slot.plan, slot.plans, job.RS)
+		if e.cfg.Mode != Original {
+			slot.tf.Broadcast(job.RS)
+		}
+		return
 	}
 
 	if e.cfg.Mode == Original {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/keys"
@@ -43,12 +44,19 @@ func Analyze(qs []keys.Query) *Analysis {
 	}
 	cur := make(map[keys.Key]int)
 	for i, q := range qs {
-		if d, ok := cur[q.Key]; ok {
+		if q.Op == keys.OpScan {
+			// A scan uses a key *range*; it has no single reaching
+			// definition. Its fencing is handled by MarkSweep and
+			// sweepOverwritten directly against cur.
+			a.QUD[i] = -1
+		} else if d, ok := cur[q.Key]; ok {
 			a.QUD[i] = d
 		} else {
 			a.QUD[i] = -1
 		}
 		if q.Op.IsDefining() {
+			// OpRMW lands here too: it is a define (and, unlike
+			// insert/delete, also a use — its own QUD link above).
 			cur[q.Key] = i
 		}
 		snap := make(map[keys.Key]int, len(cur))
@@ -60,22 +68,42 @@ func Analyze(qs []keys.Query) *Analysis {
 	return a
 }
 
-// MarkSweep is Algorithm 1: useless-query elimination. It marks every
-// search query useful, marks each search's QUD-chained defining query
-// useful, and additionally keeps the last defining query of every key
-// (which determines the final key-value state of the tree, per the
-// round-1 goal stated in §IV-C). It returns the positions of useful
-// queries in order.
+// MarkSweep is Algorithm 1: useless-query elimination, extended to the
+// scan/RMW algebra. It marks every search useful along with its
+// QUD-chained defining query; marks every scan useful along with every
+// define whose effect reaches into the scanned range (a scan is a use
+// of *all* keys in [lo, hi), so in-range defines fence elimination);
+// marks every RMW useful (its result is observable) along with its
+// reaching define (the RMW's input); and additionally keeps the last
+// defining query of every key (which determines the final key-value
+// state of the tree, per the round-1 goal stated in §IV-C). It returns
+// the positions of useful queries in order.
 func (a *Analysis) MarkSweep() []int {
 	useful := make([]bool, len(a.Queries))
 	last := make(map[keys.Key]int)
 	for i, q := range a.Queries {
-		if q.Op == keys.OpSearch {
+		switch q.Op {
+		case keys.OpSearch:
 			useful[i] = true
 			if d := a.QUD[i]; d >= 0 {
 				useful[d] = true
 			}
-		} else {
+		case keys.OpScan:
+			useful[i] = true
+			if i > 0 {
+				for k, d := range a.Reaching[i-1] {
+					if k >= q.Key && k < q.Key2 {
+						useful[d] = true
+					}
+				}
+			}
+		case keys.OpRMW:
+			useful[i] = true
+			if d := a.QUD[i]; d >= 0 {
+				useful[d] = true
+			}
+			last[q.Key] = i
+		default:
 			last[q.Key] = i
 		}
 	}
@@ -140,8 +168,10 @@ func TwoRoundQSAT(qs []keys.Query) []TransformedOp {
 		// Round 1 may have eliminated the defining query d (it was
 		// overwritten but still reached this search — impossible:
 		// overwriting requires no intervening search, so d reaching a
-		// search means d was marked useful). Guard anyway.
-		if d >= 0 && keptSet[d] {
+		// search means d was marked useful). Guard anyway. An RMW
+		// reaching definition writes a value derived from tree state,
+		// so nothing can be inferred from it: keep the search.
+		if d >= 0 && keptSet[d] && qs[d].Op != keys.OpRMW {
 			def := qs[d]
 			op := TransformedOp{Return: true, Query: q}
 			if def.Op == keys.OpInsert {
@@ -166,7 +196,11 @@ func TwoRoundQSAT(qs []keys.Query) []TransformedOp {
 
 // sweepOverwritten removes defining queries that are overwritten by a
 // later defining query on the same key with no intervening remaining
-// search, iterating to a fixed point.
+// use, iterating to a fixed point. Uses fence kills: a search protects
+// its key's pending define, a scan protects every pending define whose
+// key lies in its range, and an RMW protects its own key's pending
+// define (its input) while itself never becoming killable — RMW
+// results are observable, so an RMW is never swept.
 func sweepOverwritten(ops []TransformedOp) []TransformedOp {
 	for {
 		changed := false
@@ -174,7 +208,18 @@ func sweepOverwritten(ops []TransformedOp) []TransformedOp {
 		dead := make([]bool, len(ops))
 		for i, op := range ops {
 			q := op.Query
-			if q.Op == keys.OpSearch {
+			switch q.Op {
+			case keys.OpSearch:
+				delete(lastDef, q.Key)
+				continue
+			case keys.OpScan:
+				for k := range lastDef {
+					if k >= q.Key && k < q.Key2 {
+						delete(lastDef, k)
+					}
+				}
+				continue
+			case keys.OpRMW:
 				delete(lastDef, q.Key)
 				continue
 			}
@@ -198,11 +243,12 @@ func sweepOverwritten(ops []TransformedOp) []TransformedOp {
 }
 
 // EvaluateReference evaluates a query sequence serially and returns,
-// for each search (by sequence position), its result. Used to check
-// transformed outputs against untransformed semantics in tests and the
-// demo.
-func EvaluateReference(qs []keys.Query, store map[keys.Key]keys.Value) map[int]keys.Result {
+// for each result-bearing query (by sequence position), its point
+// result, plus the row sets of any scans. Used to check transformed
+// outputs against untransformed semantics in tests and the demo.
+func EvaluateReference(qs []keys.Query, store map[keys.Key]keys.Value) (map[int]keys.Result, map[int][]keys.KV) {
 	res := make(map[int]keys.Result)
+	var scans map[int][]keys.KV
 	for i, q := range qs {
 		switch q.Op {
 		case keys.OpSearch:
@@ -212,9 +258,36 @@ func EvaluateReference(qs []keys.Query, store map[keys.Key]keys.Value) map[int]k
 			store[q.Key] = q.Value
 		case keys.OpDelete:
 			delete(store, q.Key)
+		case keys.OpScan:
+			var rows []keys.KV
+			for k, v := range store {
+				if k >= q.Key && k < q.Key2 {
+					rows = append(rows, keys.KV{Key: k, Value: v})
+				}
+			}
+			sort.Slice(rows, func(a, b int) bool { return rows[a].Key < rows[b].Key })
+			if q.Value > 0 && keys.Value(len(rows)) > q.Value {
+				rows = rows[:q.Value]
+			}
+			if scans == nil {
+				scans = make(map[int][]keys.KV)
+			}
+			scans[i] = rows
+			res[i] = keys.Result{Value: keys.Value(len(rows)), Found: len(rows) > 0}
+		case keys.OpRMW:
+			old, found := store[q.Key]
+			switch q.RMW {
+			case keys.RMWAdd:
+				store[q.Key] = old + q.Value
+			case keys.RMWSetIfAbsent:
+				if !found {
+					store[q.Key] = q.Value
+				}
+			}
+			res[i] = keys.Result{Value: old, Found: found}
 		}
 	}
-	return res
+	return res, scans
 }
 
 // FormatAnalysis renders the analysis like Fig. 7-(a): each query with

@@ -192,7 +192,7 @@ func TestTwoRoundEquivalence(t *testing.T) {
 		for k, v := range store {
 			refStore[k] = v
 		}
-		wantRes := EvaluateReference(qs, refStore)
+		wantRes, _ := EvaluateReference(qs, refStore)
 
 		// Transformed evaluation: inferred returns are taken as-is;
 		// remaining queries evaluate against the same initial store.

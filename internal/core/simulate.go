@@ -22,6 +22,12 @@ type simState struct {
 	// only searches that precede every define survive.
 	rep    int32
 	hasRep bool
+	// survivors holds RMW queries over unknown pre-batch state (their
+	// results need the tree) and searches that follow them (tagged
+	// LeafAnswer), in arrival order. While unknownPresent and !hasDef
+	// the key is present but its value is unknown.
+	survivors      []keys.Query
+	unknownPresent bool
 }
 
 // SimQSAT eliminates redundant and unnecessary queries by simulating
@@ -55,11 +61,38 @@ func SimQSAT(qs []keys.Query, router *Router, rs *keys.ResultSet) (out []keys.Qu
 				}
 				continue
 			}
+			if st.unknownPresent {
+				// A surviving RMW precedes this search: the key is
+				// present but its value needs the tree. Stage 2 answers
+				// it at the leaf after applying that RMW.
+				q.LeafAnswer = true
+				st.survivors = append(st.survivors, q)
+				continue
+			}
 			if st.hasRep {
 				router.Append(st.rep, q.Idx)
 			} else {
 				st.rep, st.hasRep = q.Idx, true
 			}
+		case keys.OpRMW:
+			if st.hasDef {
+				// Known simulated state: resolve the result and fold
+				// the transform into the surviving define.
+				if st.def.Op == keys.OpInsert {
+					inferred += router.Resolve(rs, q.Idx, st.def.Value, true)
+					if q.RMW == keys.RMWAdd {
+						st.def.Value += q.Value
+					}
+				} else {
+					inferred += router.Resolve(rs, q.Idx, 0, false)
+					st.def = keys.Query{Op: keys.OpInsert, Key: q.Key, Value: q.Value, Idx: q.Idx}
+				}
+				continue
+			}
+			// Unknown pre-batch state: the RMW survives. Both kinds
+			// leave the key present afterwards.
+			st.survivors = append(st.survivors, q)
+			st.unknownPresent = true
 		default:
 			st.def, st.hasDef = q, true
 		}
@@ -71,6 +104,7 @@ func SimQSAT(qs []keys.Query, router *Router, rs *keys.ResultSet) (out []keys.Qu
 			out = append(out, keys.Query{Op: keys.OpSearch, Key: k, Idx: st.rep})
 			reps = append(reps, st.rep)
 		}
+		out = append(out, st.survivors...)
 		if st.hasDef {
 			out = append(out, st.def)
 		}

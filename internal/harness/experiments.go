@@ -72,6 +72,7 @@ func Experiments() []Experiment {
 		Experiment{"abl2", "tree utilization under churn: relaxed batched deletes vs strict serial", Ablation2},
 		Experiment{"kernels", "sorted-batch tree kernel ablation: path-reuse / branchless search / merge apply", KernelsExp},
 		Experiment{"layout", "gapped vs dense node layout: search cost and restructuring by ablation", LayoutExp},
+		Experiment{"scan", "range scans vs repeated point gets, RMW vs get-then-insert pairs", ScanExp},
 		Experiment{"metrics", "per-stage time breakdown from the metrics registry (org and inter)", MetricsExp},
 		Experiment{"table1", "dataset configurations", Table1},
 		Experiment{"table2", "latency per dataset (opt vs org, U-0 and U-0.75)", Table2},
@@ -535,6 +536,182 @@ func LayoutExp(rn *Runner, w io.Writer) error {
 			}
 		}
 	}
+	return nil
+}
+
+// ScanExp measures the range-scan and read-modify-write paths
+// (DESIGN.md §11) against their point-query equivalents on a prefilled
+// uniform tree. The scan arms compare batched scans of span W against
+// W repeated point gets over the same ranges; both arms resolve the
+// same key range, so the fair metric is keys covered per second. The
+// RMW arm compares AddDelta batches against the two-round
+// search-then-insert sequence a client without server-side RMW would
+// issue (read the batch, compute, write the batch back). Not a paper
+// figure; the paper's query model is point-only.
+func ScanExp(rn *Runner, w io.Writer) error {
+	o := rn.Opts
+	spec, err := workload.SpecByName("uniform", o.Scale)
+	if err != nil {
+		return err
+	}
+	eng, err := core.NewEngine(core.EngineConfig{
+		Mode:          core.IntraInter,
+		Palm:          o.palmConfig(o.Workers, true),
+		CacheCapacity: o.CacheCapacity,
+		Metrics:       o.Metrics,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	gen := spec.Build()
+	r := rand.New(rand.NewSource(o.Seed))
+	prefill := workload.Prefill(gen, r, spec.UniqueKeys)
+	rs := keys.NewResultSet(spec.BatchSize)
+	for lo := 0; lo < len(prefill); lo += spec.BatchSize {
+		hi := lo + spec.BatchSize
+		if hi > len(prefill) {
+			hi = len(prefill)
+		}
+		chunk := keys.Number(prefill[lo:hi])
+		rs.Reset(len(chunk))
+		eng.ProcessBatch(chunk, rs)
+	}
+
+	rounds := 4
+	if o.Batches > 0 && o.Batches < rounds {
+		rounds = o.Batches
+	}
+	keyMax := gen.KeyRange()
+
+	row(w, "workload", "arm", "queries_per_batch", "keys_per_batch", "qps", "keys_per_sec", "speedup_vs_point")
+
+	for _, span := range []uint64{16, 128, 1024} {
+		if span >= keyMax {
+			continue
+		}
+		nScans := spec.BatchSize / int(span)
+		if nScans < 1 {
+			nScans = 1
+		}
+		coverage := nScans * int(span)
+		// Both arms draw the same range starts from the same seed, so
+		// they inspect identical key ranges.
+		drawLo := func(rr *rand.Rand) keys.Key {
+			lo := uint64(gen.Key(rr))
+			if lo+span > keyMax {
+				lo = keyMax - span
+			}
+			return keys.Key(lo)
+		}
+
+		var pointElapsed time.Duration
+		{
+			rr := rand.New(rand.NewSource(o.Seed + int64(span)))
+			batch := make([]keys.Query, coverage)
+			prs := keys.NewResultSet(coverage)
+			for b := 0; b < rounds; b++ {
+				qi := 0
+				for s := 0; s < nScans; s++ {
+					lo := drawLo(rr)
+					for j := uint64(0); j < span; j++ {
+						batch[qi] = keys.Search(lo + keys.Key(j))
+						qi++
+					}
+				}
+				keys.Number(batch)
+				prs.Reset(coverage)
+				start := time.Now()
+				eng.ProcessBatch(batch, prs)
+				pointElapsed += time.Since(start)
+			}
+		}
+
+		var scanElapsed time.Duration
+		{
+			rr := rand.New(rand.NewSource(o.Seed + int64(span)))
+			batch := make([]keys.Query, nScans)
+			srs := keys.NewResultSet(nScans)
+			for b := 0; b < rounds; b++ {
+				for s := 0; s < nScans; s++ {
+					lo := drawLo(rr)
+					batch[s] = keys.Scan(lo, lo+keys.Key(span), 0)
+				}
+				keys.Number(batch)
+				srs.Reset(nScans)
+				start := time.Now()
+				eng.ProcessBatch(batch, srs)
+				scanElapsed += time.Since(start)
+			}
+		}
+
+		name := fmt.Sprintf("scan_span%d", span)
+		pointKps := stats.Throughput(rounds*coverage, pointElapsed)
+		scanKps := stats.Throughput(rounds*coverage, scanElapsed)
+		row(w, name, "point_gets", coverage, coverage,
+			stats.Throughput(rounds*coverage, pointElapsed), pointKps, 1.0)
+		row(w, name, "batched_scan", nScans, coverage,
+			stats.Throughput(rounds*nScans, scanElapsed), scanKps, scanKps/pointKps)
+	}
+
+	// RMW vs the client-side equivalent: one search batch, then one
+	// insert batch writing old+1 back (two engine rounds per logical
+	// update batch, plus the value plumbing between them).
+	n := spec.BatchSize
+	ks := make([]keys.Key, n)
+	var pairElapsed time.Duration
+	{
+		rr := rand.New(rand.NewSource(o.Seed + 7))
+		b1 := make([]keys.Query, n)
+		b2 := make([]keys.Query, n)
+		rrs := keys.NewResultSet(n)
+		for b := 0; b < rounds; b++ {
+			for i := range ks {
+				ks[i] = gen.Key(rr)
+				b1[i] = keys.Search(ks[i])
+			}
+			keys.Number(b1)
+			rrs.Reset(n)
+			start := time.Now()
+			eng.ProcessBatch(b1, rrs)
+			pairElapsed += time.Since(start)
+			for i := range ks {
+				var old keys.Value
+				if res, ok := rrs.Get(int32(i)); ok && res.Found {
+					old = res.Value
+				}
+				b2[i] = keys.Insert(ks[i], old+1)
+			}
+			keys.Number(b2)
+			rrs.Reset(n)
+			start = time.Now()
+			eng.ProcessBatch(b2, rrs)
+			pairElapsed += time.Since(start)
+		}
+	}
+	var rmwElapsed time.Duration
+	{
+		rr := rand.New(rand.NewSource(o.Seed + 7))
+		batch := make([]keys.Query, n)
+		rrs := keys.NewResultSet(n)
+		for b := 0; b < rounds; b++ {
+			for i := range ks {
+				batch[i] = keys.AddDelta(gen.Key(rr), 1)
+			}
+			keys.Number(batch)
+			rrs.Reset(n)
+			start := time.Now()
+			eng.ProcessBatch(batch, rrs)
+			rmwElapsed += time.Since(start)
+		}
+	}
+	pairUps := stats.Throughput(rounds*n, pairElapsed)
+	rmwUps := stats.Throughput(rounds*n, rmwElapsed)
+	row(w, "rmw_add", "search_then_insert", 2*n, n,
+		stats.Throughput(rounds*2*n, pairElapsed), pairUps, 1.0)
+	row(w, "rmw_add", "rmw", n, n,
+		stats.Throughput(rounds*n, rmwElapsed), rmwUps, rmwUps/pairUps)
 	return nil
 }
 

@@ -29,7 +29,9 @@ type Value uint64
 // Op is the kind of a B+ tree query.
 type Op uint8
 
-// The three basic query types of Section II-A.
+// The three basic query types of Section II-A, plus the two richer
+// query types layered on by the QSAT range/RMW extension: a half-open
+// range scan and an atomic read-modify-write.
 const (
 	// OpSearch is S(key): a read-only lookup ("use" in QUD terms).
 	OpSearch Op = iota
@@ -37,6 +39,30 @@ const (
 	OpInsert
 	// OpDelete is D(key): remove-if-present ("define" in QUD terms).
 	OpDelete
+	// OpScan is R[lo, hi): return all present (key, value) pairs with
+	// lo <= key < hi in ascending key order, optionally truncated to
+	// the first `limit` rows. A scan is a pure "use" over every key in
+	// its range, so it fences reordering of point writes that fall
+	// inside the range.
+	OpScan
+	// OpRMW is an atomic read-transform-write on one key. It is both a
+	// "use" (the result reports the pre-state) and a "define" (the
+	// post-state is written), so it anchors QUD chains on both sides.
+	OpRMW
+)
+
+// RMWKind selects the transform applied by an OpRMW query.
+type RMWKind uint8
+
+const (
+	// RMWAdd sets key = old + delta, treating an absent key as 0. The
+	// result reports (old value, whether the key existed before). The
+	// key is always present afterwards.
+	RMWAdd RMWKind = iota
+	// RMWSetIfAbsent inserts the operand only when the key is absent.
+	// The result reports (old value, whether the key existed before);
+	// an existing value is left untouched.
+	RMWSetIfAbsent
 )
 
 // String implements fmt.Stringer using the paper's notation.
@@ -48,15 +74,37 @@ func (o Op) String() string {
 		return "I"
 	case OpDelete:
 		return "D"
+	case OpScan:
+		return "R"
+	case OpRMW:
+		return "M"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
 }
 
+// ValidOps is the single source of truth for the set of wire-visible
+// operations. Decoders (trace files, WAL replay) validate op bytes
+// against this table instead of hand-listing constants, so adding an
+// op here is the only change they need.
+var ValidOps = [...]Op{OpSearch, OpInsert, OpDelete, OpScan, OpRMW}
+
+var validOpTable = func() [256]bool {
+	var t [256]bool
+	for _, o := range ValidOps {
+		t[o] = true
+	}
+	return t
+}()
+
+// Valid reports whether o is one of ValidOps.
+func (o Op) Valid() bool { return validOpTable[o] }
+
 // IsDefining reports whether the operation defines B+ tree state
-// (insert/delete) as opposed to using it (search). This is the
-// define/use classification driving the QUD-chain analysis of §IV-B.
-func (o Op) IsDefining() bool { return o == OpInsert || o == OpDelete }
+// (insert/delete/RMW) as opposed to only using it (search/scan). This
+// is the define/use classification driving the QUD-chain analysis of
+// §IV-B; note OpRMW is *also* a use — see Op comment.
+func (o Op) IsDefining() bool { return o == OpInsert || o == OpDelete || o == OpRMW }
 
 // Query is one element of a query sequence.
 //
@@ -65,9 +113,16 @@ func (o Op) IsDefining() bool { return o == OpInsert || o == OpDelete }
 // issuer even after elimination and reordering.
 type Query struct {
 	Key   Key
-	Value Value // meaningful only for OpInsert
+	Value Value // insert value; RMW operand (delta / set value); scan row limit (0 = unlimited)
+	Key2  Key   // scan exclusive upper bound (meaningful only for OpScan)
 	Idx   int32 // position in the original batch
 	Op    Op
+	RMW   RMWKind // transform kind (meaningful only for OpRMW)
+	// LeafAnswer marks a surviving search that QSAT could not answer
+	// from the pre-batch tree state because a surviving RMW on the same
+	// key precedes it in batch order: Stage 2 must answer it at the
+	// leaf, after applying that RMW, instead of Stage 1.
+	LeafAnswer bool
 }
 
 // String renders the query in the paper's notation, e.g. "I(7,42)@3".
@@ -77,6 +132,16 @@ func (q Query) String() string {
 		return fmt.Sprintf("I(%d,%d)@%d", q.Key, q.Value, q.Idx)
 	case OpDelete:
 		return fmt.Sprintf("D(%d)@%d", q.Key, q.Idx)
+	case OpScan:
+		if q.Value != 0 {
+			return fmt.Sprintf("R[%d,%d)#%d@%d", q.Key, q.Key2, q.Value, q.Idx)
+		}
+		return fmt.Sprintf("R[%d,%d)@%d", q.Key, q.Key2, q.Idx)
+	case OpRMW:
+		if q.RMW == RMWSetIfAbsent {
+			return fmt.Sprintf("M?(%d,%d)@%d", q.Key, q.Value, q.Idx)
+		}
+		return fmt.Sprintf("M+(%d,%d)@%d", q.Key, q.Value, q.Idx)
 	default:
 		return fmt.Sprintf("S(%d)@%d", q.Key, q.Idx)
 	}
@@ -91,6 +156,24 @@ func Insert(k Key, v Value) Query { return Query{Op: OpInsert, Key: k, Value: v}
 // Delete constructs a delete query.
 func Delete(k Key) Query { return Query{Op: OpDelete, Key: k} }
 
+// Scan constructs a range scan over [lo, hi) returning at most limit
+// rows (limit 0 = unlimited).
+func Scan(lo, hi Key, limit Value) Query {
+	return Query{Op: OpScan, Key: lo, Key2: hi, Value: limit}
+}
+
+// AddDelta constructs an RMW that atomically sets key = old + delta
+// (absent keys read as 0) and reports the old state.
+func AddDelta(k Key, delta Value) Query {
+	return Query{Op: OpRMW, RMW: RMWAdd, Key: k, Value: delta}
+}
+
+// SetIfAbsent constructs an RMW that atomically inserts v only when k
+// is absent and reports the old state.
+func SetIfAbsent(k Key, v Value) Query {
+	return Query{Op: OpRMW, RMW: RMWSetIfAbsent, Key: k, Value: v}
+}
+
 // Number assigns Idx = position to every query in qs, in place, and
 // returns qs for chaining. Call it once on a freshly assembled batch
 // before handing it to a processor.
@@ -101,18 +184,33 @@ func Number(qs []Query) []Query {
 	return qs
 }
 
-// Result is the outcome of one search query. Insert and delete queries
-// produce no Result (their effect is observable only through the tree).
+// Result is the outcome of one search, scan, or RMW query. Insert and
+// delete queries produce no Result (their effect is observable only
+// through the tree).
+//
+//   - OpSearch: Value/Found report the looked-up state.
+//   - OpRMW: Value/Found report the key's state *before* the transform.
+//   - OpScan: Value is the row count and Found is rowcount > 0; the
+//     rows themselves live in the ResultSet's scan storage.
 type Result struct {
 	Value Value
 	Found bool
 }
 
+// KV is one row of a range-scan result.
+type KV struct {
+	Key   Key
+	Value Value
+}
+
 // ResultSet collects search results for a batch, indexed by Query.Idx.
 // Slots belonging to non-search queries stay zero and are ignored.
+// Scan rows are held in a lazily allocated side table so that
+// scan-free batches pay nothing for the feature.
 type ResultSet struct {
 	res   []Result
 	valid []bool
+	scans [][]KV
 }
 
 // NewResultSet returns a ResultSet with capacity for a batch of n queries.
@@ -122,6 +220,12 @@ func NewResultSet(n int) *ResultSet {
 
 // Reset resizes the set for a batch of n queries and clears all slots.
 func (rs *ResultSet) Reset(n int) {
+	if rs.scans != nil {
+		for i := range rs.scans {
+			rs.scans[i] = nil
+		}
+		rs.scans = nil
+	}
 	if cap(rs.res) < n {
 		rs.res = make([]Result, n)
 		rs.valid = make([]bool, n)
@@ -153,6 +257,54 @@ func (rs *ResultSet) Get(idx int32) (r Result, ok bool) {
 		return Result{}, false
 	}
 	return rs.res[idx], true
+}
+
+// EnsureScans allocates the scan side table for the current batch
+// size. Call it once, from a single goroutine, before any parallel
+// scan evaluation: SetScan does not allocate the table itself, so
+// concurrent SetScan calls on distinct indexes stay race-free.
+func (rs *ResultSet) EnsureScans() {
+	if rs.scans == nil || len(rs.scans) != len(rs.res) {
+		rs.scans = make([][]KV, len(rs.res))
+	}
+}
+
+// SetScan records the completed row set for the scan with original
+// index idx and marks the slot answered: the point Result becomes
+// (rowcount, rowcount > 0). The table must have been sized by
+// EnsureScans first.
+func (rs *ResultSet) SetScan(idx int32, rows []KV) {
+	rs.scans[idx] = rows
+	rs.res[idx] = Result{Value: Value(len(rows)), Found: len(rows) > 0}
+	rs.valid[idx] = true
+}
+
+// AppendScan appends rows to the scan result being assembled at idx
+// (used by the shard merger to concatenate per-shard sub-scans in key
+// order) without marking the slot answered; finish with FinishScan.
+func (rs *ResultSet) AppendScan(idx int32, rows []KV) {
+	rs.scans[idx] = append(rs.scans[idx], rows...)
+}
+
+// FinishScan seals a scan assembled via AppendScan: truncates to limit
+// (0 = unlimited) and records the point Result.
+func (rs *ResultSet) FinishScan(idx int32, limit Value) {
+	rows := rs.scans[idx]
+	if limit > 0 && Value(len(rows)) > limit {
+		rows = rows[:limit]
+		rs.scans[idx] = rows
+	}
+	rs.res[idx] = Result{Value: Value(len(rows)), Found: len(rows) > 0}
+	rs.valid[idx] = true
+}
+
+// ScanRows returns the rows recorded for the scan with original index
+// idx. ok is false if the slot was never answered.
+func (rs *ResultSet) ScanRows(idx int32) (rows []KV, ok bool) {
+	if int(idx) >= len(rs.res) || !rs.valid[idx] || rs.scans == nil {
+		return nil, false
+	}
+	return rs.scans[idx], true
 }
 
 // Answered returns how many slots hold a recorded result.
@@ -202,6 +354,8 @@ func KeyRuns(qs []Query, fn func(lo, hi int)) {
 }
 
 // CountOps tallies the number of searches, inserts, and deletes in qs.
+// Scans and RMWs are not included; use CountOpsFull when a batch may
+// mix all five ops.
 func CountOps(qs []Query) (searches, inserts, deletes int) {
 	for i := range qs {
 		switch qs[i].Op {
@@ -211,6 +365,25 @@ func CountOps(qs []Query) (searches, inserts, deletes int) {
 			inserts++
 		case OpDelete:
 			deletes++
+		}
+	}
+	return
+}
+
+// CountOpsFull tallies all five operation kinds in qs.
+func CountOpsFull(qs []Query) (searches, inserts, deletes, scans, rmws int) {
+	for i := range qs {
+		switch qs[i].Op {
+		case OpSearch:
+			searches++
+		case OpInsert:
+			inserts++
+		case OpDelete:
+			deletes++
+		case OpScan:
+			scans++
+		case OpRMW:
+			rmws++
 		}
 	}
 	return

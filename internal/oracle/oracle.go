@@ -26,8 +26,9 @@ func New() *Oracle {
 // Len returns the number of stored pairs.
 func (o *Oracle) Len() int { return len(o.m) }
 
-// Apply evaluates one query, recording a search result into rs when
-// non-nil.
+// Apply evaluates one query, recording a search/scan/RMW result into
+// rs when non-nil. Scan rows go through the ResultSet's scan storage
+// (EnsureScans is called here, so serial use needs no setup).
 func (o *Oracle) Apply(q keys.Query, rs *keys.ResultSet) {
 	switch q.Op {
 	case keys.OpSearch:
@@ -39,7 +40,42 @@ func (o *Oracle) Apply(q keys.Query, rs *keys.ResultSet) {
 		o.m[q.Key] = q.Value
 	case keys.OpDelete:
 		delete(o.m, q.Key)
+	case keys.OpScan:
+		rows := o.Scan(q.Key, q.Key2, q.Value)
+		if rs != nil {
+			rs.EnsureScans()
+			rs.SetScan(q.Idx, rows)
+		}
+	case keys.OpRMW:
+		old, found := o.m[q.Key]
+		switch q.RMW {
+		case keys.RMWAdd:
+			o.m[q.Key] = old + q.Value
+		case keys.RMWSetIfAbsent:
+			if !found {
+				o.m[q.Key] = q.Value
+			}
+		}
+		if rs != nil {
+			rs.Set(q.Idx, old, found)
+		}
 	}
+}
+
+// Scan returns all present pairs with lo <= key < hi in ascending key
+// order, truncated to the first limit rows (limit 0 = unlimited).
+func (o *Oracle) Scan(lo, hi keys.Key, limit keys.Value) []keys.KV {
+	var rows []keys.KV
+	for k, v := range o.m {
+		if k >= lo && k < hi {
+			rows = append(rows, keys.KV{Key: k, Value: v})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Key < rows[j].Key })
+	if limit > 0 && keys.Value(len(rows)) > limit {
+		rows = rows[:limit]
+	}
+	return rows
 }
 
 // ApplyAll evaluates a query sequence in order.

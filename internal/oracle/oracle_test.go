@@ -62,4 +62,137 @@ func TestApplyNilResultSet(t *testing.T) {
 	o.Apply(keys.Search(1), nil) // must not panic
 	o.Apply(keys.Insert(1, 1), nil)
 	o.Apply(keys.Delete(1), nil)
+	o.Apply(keys.Scan(0, 10, 0), nil)
+	o.Apply(keys.AddDelta(1, 1), nil)
+	o.Apply(keys.SetIfAbsent(2, 2), nil)
+}
+
+// wantRows compares a scan's rows and its point result against the
+// expected key list (values follow the k*10 fill convention).
+func wantRows(t *testing.T, rs *keys.ResultSet, idx int32, want []keys.Key) {
+	t.Helper()
+	rows, ok := rs.ScanRows(idx)
+	if !ok {
+		t.Fatalf("scan %d: no rows recorded", idx)
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("scan %d: %d rows, want %d (%v)", idx, len(rows), len(want), rows)
+	}
+	for i, k := range want {
+		if rows[i].Key != k || rows[i].Value != keys.Value(k*10) {
+			t.Fatalf("scan %d row %d = %+v, want key %d value %d", idx, i, rows[i], k, k*10)
+		}
+	}
+	r, _ := rs.Get(idx)
+	if int(r.Value) != len(want) || r.Found != (len(want) > 0) {
+		t.Fatalf("scan %d point result = %+v, want count %d", idx, r, len(want))
+	}
+}
+
+func TestScanSemantics(t *testing.T) {
+	o := New()
+	for _, k := range []keys.Key{2, 4, 6, 8, 10} {
+		o.Apply(keys.Insert(k, keys.Value(k*10)), nil)
+	}
+	qs := keys.Number([]keys.Query{
+		keys.Scan(0, 100, 0),  // 0: all five
+		keys.Scan(4, 8, 0),    // 1: half-open: 4 and 6, not 8
+		keys.Scan(5, 5, 0),    // 2: empty range (lo == hi)
+		keys.Scan(8, 4, 0),    // 3: inverted range: empty
+		keys.Scan(11, 100, 0), // 4: beyond last key: empty
+		keys.Scan(0, 100, 3),  // 5: limit truncates to first three
+		keys.Scan(0, 100, 99), // 6: limit above row count: all five
+		keys.Scan(6, 7, 0),    // 7: single-key hit
+	})
+	rs := keys.NewResultSet(len(qs))
+	o.ApplyAll(qs, rs)
+	wantRows(t, rs, 0, []keys.Key{2, 4, 6, 8, 10})
+	wantRows(t, rs, 1, []keys.Key{4, 6})
+	wantRows(t, rs, 2, nil)
+	wantRows(t, rs, 3, nil)
+	wantRows(t, rs, 4, nil)
+	wantRows(t, rs, 5, []keys.Key{2, 4, 6})
+	wantRows(t, rs, 6, []keys.Key{2, 4, 6, 8, 10})
+	wantRows(t, rs, 7, []keys.Key{6})
+}
+
+func TestRMWSemantics(t *testing.T) {
+	o := New()
+	qs := keys.Number([]keys.Query{
+		keys.AddDelta(1, 5),     // 0: absent -> 0+5, result (0, false)
+		keys.AddDelta(1, 3),     // 1: 5+3, result (5, true)
+		keys.Search(1),          // 2: 8
+		keys.SetIfAbsent(2, 7),  // 3: absent -> inserts, result (0, false)
+		keys.SetIfAbsent(2, 99), // 4: present -> no-op, result (7, true)
+		keys.Search(2),          // 5: 7
+		keys.Delete(1),          // 6
+		keys.AddDelta(1, 2),     // 7: delete resets the sum, result (0, false)
+		keys.Search(1),          // 8: 2
+	})
+	rs := keys.NewResultSet(len(qs))
+	o.ApplyAll(qs, rs)
+	check := func(idx int32, v keys.Value, found bool) {
+		t.Helper()
+		r, ok := rs.Get(idx)
+		if !ok || r.Found != found || r.Value != v {
+			t.Fatalf("query %d = %+v (%v), want (%d,%v)", idx, r, ok, v, found)
+		}
+	}
+	check(0, 0, false)
+	check(1, 5, true)
+	check(2, 8, true)
+	check(3, 0, false)
+	check(4, 7, true)
+	check(5, 7, true)
+	check(7, 0, false)
+	check(8, 2, true)
+	if o.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", o.Len())
+	}
+}
+
+// TestScanSeesEarlierWrites pins the in-batch visibility rule: a scan
+// observes every write sequenced before it in the same batch — inserts
+// appear, deletes disappear, RMW results land — and none sequenced
+// after it.
+func TestScanSeesEarlierWrites(t *testing.T) {
+	o := New()
+	o.Apply(keys.Insert(3, 30), nil)
+	o.Apply(keys.Insert(5, 50), nil)
+	qs := keys.Number([]keys.Query{
+		keys.Scan(0, 10, 0),  // 0: pre-state {3,5}
+		keys.Insert(4, 40),   // 1
+		keys.Delete(5),       // 2
+		keys.AddDelta(3, 12), // 3: 30 -> 42
+		keys.Scan(0, 10, 0),  // 4: {3:42, 4:40}
+		keys.Insert(6, 60),   // 5: after the scan — invisible to it
+	})
+	rs := keys.NewResultSet(len(qs))
+	o.ApplyAll(qs, rs)
+
+	wantRows(t, rs, 0, []keys.Key{3, 5})
+	rows, _ := rs.ScanRows(4)
+	want := []keys.KV{{Key: 3, Value: 42}, {Key: 4, Value: 40}}
+	if len(rows) != len(want) {
+		t.Fatalf("scan 4 rows = %v, want %v", rows, want)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("scan 4 row %d = %+v, want %+v", i, rows[i], want[i])
+		}
+	}
+}
+
+// TestScanLimitAppliesAfterOrdering pins that the limit keeps the
+// lowest keys (ascending order first, then truncate), not an arbitrary
+// subset.
+func TestScanLimitAppliesAfterOrdering(t *testing.T) {
+	o := New()
+	for _, k := range []keys.Key{9, 1, 7, 3, 5} {
+		o.Apply(keys.Insert(k, keys.Value(k*10)), nil)
+	}
+	rows := o.Scan(0, 100, 2)
+	if len(rows) != 2 || rows[0].Key != 1 || rows[1].Key != 3 {
+		t.Fatalf("Scan limit 2 = %v, want keys 1,3", rows)
+	}
 }

@@ -143,7 +143,7 @@ func (p *Processor) evalGroupSerial(g *leafGroup, qs []keys.Query, rs *keys.Resu
 		q := qs[i]
 		switch q.Op {
 		case keys.OpSearch:
-			if !answerDuringFind {
+			if !answerDuringFind || q.LeafAnswer {
 				v, ok := p.probeLeaf(leaf, q.Key)
 				rs.Set(q.Idx, v, ok)
 			}
@@ -168,6 +168,27 @@ func (p *Processor) evalGroupSerial(g *leafGroup, qs []keys.Query, rs *keys.Resu
 				leaf.Keys = append(leaf.Keys[:j], leaf.Keys[j+1:]...)
 				leaf.Vals = append(leaf.Vals[:j], leaf.Vals[j+1:]...)
 				w.sizeDelta--
+			}
+		case keys.OpRMW:
+			j := p.probeGE(leaf.Keys, q.Key)
+			if j < len(leaf.Keys) && leaf.Keys[j] == q.Key {
+				old := leaf.Vals[j]
+				rs.Set(q.Idx, old, true)
+				if q.RMW == keys.RMWAdd {
+					leaf.Vals[j] = old + q.Value
+				}
+			} else {
+				// Absent: both kinds insert q.Value (old+delta with
+				// old == 0, or the set-if-absent operand).
+				rs.Set(q.Idx, 0, false)
+				w.shiftedSlots += int64(len(leaf.Keys) - j)
+				leaf.Keys = append(leaf.Keys, 0)
+				leaf.Vals = append(leaf.Vals, 0)
+				copy(leaf.Keys[j+1:], leaf.Keys[j:])
+				copy(leaf.Vals[j+1:], leaf.Vals[j:])
+				leaf.Keys[j] = q.Key
+				leaf.Vals[j] = q.Value
+				w.sizeDelta++
 			}
 		}
 		w.leafOps++
@@ -200,7 +221,7 @@ func (p *Processor) evalGroupMerge(g *leafGroup, qs []keys.Query, rs *keys.Resul
 		tailIsK := len(mk) > 0 && mk[len(mk)-1] == k
 		switch q.Op {
 		case keys.OpSearch:
-			if !answerDuringFind {
+			if !answerDuringFind || q.LeafAnswer {
 				switch {
 				case tailIsK:
 					rs.Set(q.Idx, mv[len(mv)-1], true)
@@ -232,6 +253,30 @@ func (p *Processor) evalGroupMerge(g *leafGroup, qs []keys.Query, rs *keys.Resul
 			case li < len(lk) && lk[li] == k: // skip the existing entry
 				li++
 				w.sizeDelta--
+			}
+		case keys.OpRMW:
+			switch {
+			case tailIsK: // read the value this batch just wrote
+				old := mv[len(mv)-1]
+				rs.Set(q.Idx, old, true)
+				if q.RMW == keys.RMWAdd {
+					mv[len(mv)-1] = old + q.Value
+				}
+			case li < len(lk) && lk[li] == k: // transform existing entry
+				old := lv[li]
+				rs.Set(q.Idx, old, true)
+				nv := old
+				if q.RMW == keys.RMWAdd {
+					nv = old + q.Value
+				}
+				mk = append(mk, k)
+				mv = append(mv, nv)
+				li++
+			default: // absent: both kinds materialize q.Value
+				rs.Set(q.Idx, 0, false)
+				mk = append(mk, k)
+				mv = append(mv, q.Value)
+				w.sizeDelta++
 			}
 		}
 		w.leafOps++
@@ -272,7 +317,7 @@ func (p *Processor) evalGroupGapped(g *leafGroup, qs []keys.Query, rs *keys.Resu
 		q := qs[i]
 		switch q.Op {
 		case keys.OpSearch:
-			if !answerDuringFind {
+			if !answerDuringFind || q.LeafAnswer {
 				v, ok := p.probeLeaf(leaf, q.Key)
 				rs.Set(q.Idx, v, ok)
 			}
@@ -293,6 +338,31 @@ func (p *Processor) evalGroupGapped(g *leafGroup, qs []keys.Query, rs *keys.Resu
 			ed := leaf.DeleteGapped(q.Key)
 			if ed.Removed {
 				w.sizeDelta--
+			}
+			w.shiftedSlots += int64(ed.Shifted)
+		case keys.OpRMW:
+			old, found := p.probeLeaf(leaf, q.Key)
+			rs.Set(q.Idx, old, found)
+			if found && q.RMW == keys.RMWSetIfAbsent {
+				break // present: set-if-absent is a no-op
+			}
+			nv := q.Value
+			if found {
+				nv = old + q.Value // RMWAdd over the present value
+			}
+			ed := leaf.InsertGapped(q.Key, nv)
+			if ed.Full {
+				// Re-running query i in the overflow merge repeats the
+				// probe against unchanged state, so the re-recorded
+				// result is identical.
+				p.evalGroupGappedOverflow(g, qs, rs, w, i, answerDuringFind)
+				return
+			}
+			if ed.Added {
+				w.sizeDelta++
+			}
+			if ed.GapClaim {
+				w.gapClaims++
 			}
 			w.shiftedSlots += int64(ed.Shifted)
 		}
@@ -332,7 +402,7 @@ func (p *Processor) evalGroupGappedOverflow(g *leafGroup, qs []keys.Query, rs *k
 		tailIsK := len(mk) > 0 && mk[len(mk)-1] == k
 		switch q.Op {
 		case keys.OpSearch:
-			if !answerDuringFind {
+			if !answerDuringFind || q.LeafAnswer {
 				switch {
 				case tailIsK:
 					rs.Set(q.Idx, mv[len(mv)-1], true)
@@ -364,6 +434,30 @@ func (p *Processor) evalGroupGappedOverflow(g *leafGroup, qs []keys.Query, rs *k
 			case li < len(lk) && lk[li] == k:
 				li++
 				w.sizeDelta--
+			}
+		case keys.OpRMW:
+			switch {
+			case tailIsK:
+				old := mv[len(mv)-1]
+				rs.Set(q.Idx, old, true)
+				if q.RMW == keys.RMWAdd {
+					mv[len(mv)-1] = old + q.Value
+				}
+			case li < len(lk) && lk[li] == k:
+				old := lv[li]
+				rs.Set(q.Idx, old, true)
+				nv := old
+				if q.RMW == keys.RMWAdd {
+					nv = old + q.Value
+				}
+				mk = append(mk, k)
+				mv = append(mv, nv)
+				li++
+			default:
+				rs.Set(q.Idx, 0, false)
+				mk = append(mk, k)
+				mv = append(mv, q.Value)
+				w.sizeDelta++
 			}
 		}
 		w.leafOps++

@@ -46,6 +46,11 @@ func (p *Processor) ProcessTransformed(qs []keys.Query, rs *keys.ResultSet) {
 // findAndAnswer is the QTrans Stage 1: one leaf FIND per distinct key,
 // searches answered immediately, defining queries collected into leaf
 // groups for Stage 2. Reports whether any defining queries exist.
+//
+// Searches tagged LeafAnswer are NOT answered here: a surviving RMW on
+// the same key precedes them in batch order, so their answer depends
+// on Stage-2 state. They are grouped alongside the defines and
+// answered by the leaf appliers.
 func (p *Processor) findAndAnswer(qs []keys.Query, rs *keys.ResultSet) bool {
 	n := len(qs)
 	for i := range p.perW {
@@ -61,14 +66,15 @@ func (p *Processor) findAndAnswer(qs []keys.Query, rs *keys.ResultSet) bool {
 			if i == lo || qs[i].Key != qs[i-1].Key {
 				leaf = w.finder.find(qs[i].Key)
 			}
-			if qs[i].Op == keys.OpSearch {
+			if qs[i].Op == keys.OpSearch && !qs[i].LeafAnswer {
 				v, ok := p.probeLeaf(leaf, qs[i].Key)
 				rs.Set(qs[i].Idx, v, ok)
 				w.leafOps++
 				continue
 			}
-			// Defining query: group it. Groups may span searches of
-			// neighboring keys; evalGroup skips searches when
+			// Defining query (or a LeafAnswer search riding with one):
+			// group it. Groups may span searches of neighboring keys;
+			// evalGroup skips already-answered searches when
 			// answerDuringFind.
 			if len(w.groups) > 0 && w.groups[len(w.groups)-1].leaf == leaf {
 				w.groups[len(w.groups)-1].hi = i + 1

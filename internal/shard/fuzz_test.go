@@ -16,7 +16,10 @@ const fuzzSpan = 64
 // decodeFuzzBatches turns fuzz bytes into a sequence of batches over
 // the small key space: two bytes per query (op selector, key), with a
 // 0xFF op byte ending the current batch so the fuzzer can explore
-// inter-batch state (cache flushes, rebalances) too.
+// inter-batch state (cache flushes, rebalances) too. All five
+// operations are generated; scan widths regularly straddle shard
+// boundaries (the key space splits 2/3/8 ways), exercising the
+// split-and-merge path.
 func decodeFuzzBatches(data []byte) [][]keys.Query {
 	var batches [][]keys.Query
 	var cur []keys.Query
@@ -27,13 +30,20 @@ func decodeFuzzBatches(data []byte) [][]keys.Query {
 			continue
 		}
 		k := keys.Key(data[i+1] % fuzzSpan)
-		switch data[i] % 3 {
+		switch data[i] % 6 {
 		case 0:
 			cur = append(cur, keys.Search(k))
 		case 1:
 			cur = append(cur, keys.Insert(k, keys.Value(data[i])<<8|keys.Value(i)))
-		default:
+		case 2:
 			cur = append(cur, keys.Delete(k))
+		case 3:
+			hi := k + keys.Key(data[i]%fuzzSpan)
+			cur = append(cur, keys.Scan(k, hi, keys.Value(data[i]>>6))) // limit 0..3
+		case 4:
+			cur = append(cur, keys.AddDelta(k, keys.Value(data[i])))
+		default:
+			cur = append(cur, keys.SetIfAbsent(k, keys.Value(data[i])<<8|keys.Value(i)))
 		}
 	}
 	if len(cur) > 0 {
@@ -60,6 +70,13 @@ func FuzzShardEquivalence(f *testing.F) {
 	f.Add([]byte{2, 7, 2, 7, 2, 7, 1, 7, 0, 7, 2, 7, 0, 7})
 	// Empty-batch separators back to back.
 	f.Add([]byte{0xFF, 0, 0xFF, 0, 1, 9, 0xFF, 0, 0, 9})
+	// Straddling scans: op byte 63 -> scan of width 63 from key 0,
+	// crossing every boundary of the 2/3/8-way splits, with an RMW
+	// (op 4) fencing between two of them.
+	f.Add([]byte{1, 10, 1, 30, 1, 50, 63, 0, 4, 40, 63, 0})
+	// Limited straddling scan (op 195 -> width 3, limit 3) across the
+	// N=2 boundary at 32, plus set-if-absent (op 5) on the boundary.
+	f.Add([]byte{1, 31, 1, 32, 1, 33, 195, 31, 5, 32, 0, 32})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		batches := decodeFuzzBatches(data)
@@ -165,6 +182,19 @@ func diffResults(t *testing.T, tag string, batch int, want, got *keys.ResultSet,
 		g, gok := got.Get(i)
 		if wok != gok || w != g {
 			t.Fatalf("%s: batch %d idx %d: got %+v (%v), want %+v (%v)", tag, batch, i, g, gok, w, wok)
+		}
+		// Scan rows too: a missing row set and an empty one are
+		// equivalent (non-scan indices have neither).
+		wr, _ := want.ScanRows(i)
+		gr, _ := got.ScanRows(i)
+		if len(wr) != len(gr) {
+			t.Fatalf("%s: batch %d idx %d: %d scan rows, want %d\n got %v\nwant %v",
+				tag, batch, i, len(gr), len(wr), gr, wr)
+		}
+		for j := range wr {
+			if wr[j] != gr[j] {
+				t.Fatalf("%s: batch %d idx %d row %d: %+v, want %+v", tag, batch, i, j, gr[j], wr[j])
+			}
 		}
 	}
 }

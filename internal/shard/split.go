@@ -46,6 +46,12 @@ type splitter struct {
 	// sole is the only shard that received queries, or -1 when the
 	// batch spread over several shards (or was empty).
 	sole int
+	// scanIdx/scanLimit record, per scan in the batch, its original
+	// batch index and row limit, so the merger can assemble straddling
+	// scans (split into per-shard sub-ranges) back into one row set and
+	// apply the limit globally.
+	scanIdx   []int32
+	scanLimit []keys.Value
 }
 
 func newSplitter(bounds []keys.Key) *splitter {
@@ -66,7 +72,13 @@ func (sp *splitter) split(qs []keys.Query) {
 		sp.subs[s] = sp.subs[s][:0]
 		sp.orig[s] = sp.orig[s][:0]
 	}
+	sp.scanIdx = sp.scanIdx[:0]
+	sp.scanLimit = sp.scanLimit[:0]
 	for _, q := range qs {
+		if q.Op == keys.OpScan {
+			sp.splitScan(q)
+			continue
+		}
 		s := shardOf(sp.bounds, q.Key)
 		local := int32(len(sp.subs[s]))
 		sp.orig[s] = append(sp.orig[s], q.Idx)
@@ -85,26 +97,74 @@ func (sp *splitter) split(qs []keys.Query) {
 		sp.sole = s
 	}
 	if sp.sole >= 0 && len(sp.subs[sp.sole]) != len(qs) {
-		// Cannot happen (every query routes somewhere), but never let a
-		// bookkeeping bug silently drop the fast path's precondition.
+		// A straddling scan lands in several shards (defeating the fast
+		// path via multiple non-empty subs) — this guard additionally
+		// keeps a bookkeeping bug from silently faking the fast path's
+		// precondition.
 		sp.sole = -1
+	}
+}
+
+// splitScan routes one range scan. A scan whose range lies inside one
+// shard routes whole; a straddling scan is clipped into per-shard
+// sub-scans [max(lo, shardLo), min(hi, shardHi)), each keeping the
+// original row limit (the merger applies the limit globally after
+// concatenation — a per-shard share cannot be known in advance).
+func (sp *splitter) splitScan(q keys.Query) {
+	s1 := shardOf(sp.bounds, q.Key)
+	s2 := s1
+	if q.Key2 > q.Key {
+		s2 = shardOf(sp.bounds, q.Key2-1)
+	}
+	sp.scanIdx = append(sp.scanIdx, q.Idx)
+	sp.scanLimit = append(sp.scanLimit, q.Value)
+	orig := q.Idx
+	for s := s1; s <= s2; s++ {
+		sub := q
+		if s > s1 {
+			sub.Key = sp.bounds[s-1]
+		}
+		if s < s2 {
+			sub.Key2 = sp.bounds[s]
+		}
+		local := int32(len(sp.subs[s]))
+		sp.orig[s] = append(sp.orig[s], orig)
+		sub.Idx = local
+		sp.subs[s] = append(sp.subs[s], sub)
 	}
 }
 
 // merge copies every recorded sub-batch result back to its original
 // batch index in rs. subRS[s] must be the ResultSet shard s evaluated
 // subs[s] into; rs must be Reset to the original batch length.
+//
+// Scan rows are appended per shard in ascending shard order — shard
+// ranges are disjoint and ascending, so concatenation preserves global
+// key order — then sealed with the scan's global row limit.
 func (sp *splitter) merge(subRS []*keys.ResultSet, rs *keys.ResultSet) {
+	if len(sp.scanIdx) > 0 {
+		rs.EnsureScans()
+	}
 	for s := range sp.subs {
 		orig := sp.orig[s]
 		if len(orig) == 0 {
 			continue
 		}
 		sub := subRS[s]
+		qs := sp.subs[s]
 		for i, oi := range orig {
+			if qs[i].Op == keys.OpScan {
+				if rows, ok := sub.ScanRows(int32(i)); ok {
+					rs.AppendScan(oi, rows)
+				}
+				continue
+			}
 			if r, ok := sub.Get(int32(i)); ok {
 				rs.Set(oi, r.Value, r.Found)
 			}
 		}
+	}
+	for i, oi := range sp.scanIdx {
+		rs.FinishScan(oi, sp.scanLimit[i])
 	}
 }

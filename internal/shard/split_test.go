@@ -241,3 +241,140 @@ func TestMergeResultIndexStability(t *testing.T) {
 		t.Fatalf("Answered = %d, want 3", rs.Answered())
 	}
 }
+
+// TestSplitScanStraddling pins the scan split-and-merge rule: a scan
+// straddling shard boundaries is clipped into per-shard sub-ranges
+// that keep the original limit, its rows are concatenated in shard
+// (= key) order, and the limit is applied globally at the end.
+func TestSplitScanStraddling(t *testing.T) {
+	bounds := []keys.Key{100, 200} // shards: [0,100) [100,200) [200,..)
+	qs := keys.Number([]keys.Query{
+		keys.Scan(50, 250, 0),  // 0: straddles all three shards
+		keys.Scan(120, 180, 0), // 1: inside shard 1
+		keys.Scan(90, 110, 3),  // 2: straddles one boundary, limit 3
+		keys.Search(150),       // 3: point query rides along
+	})
+	sp := newSplitter(bounds)
+	sp.split(qs)
+
+	if sp.sole >= 0 {
+		t.Fatalf("sole = %d, want -1 (straddlers defeat the fast path)", sp.sole)
+	}
+	// Clip checks: shard 0 gets [50,100) and [90,100); shard 1 gets
+	// [100,200), [120,180), [100,110); shard 2 gets [200,250).
+	type rng struct{ lo, hi keys.Key }
+	wantRanges := [][]rng{
+		{{50, 100}, {90, 100}},
+		{{100, 200}, {120, 180}, {100, 110}},
+		{{200, 250}},
+	}
+	for s, want := range wantRanges {
+		var got []rng
+		for _, q := range sp.subs[s] {
+			if q.Op == keys.OpScan {
+				got = append(got, rng{q.Key, q.Key2})
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("shard %d: scan ranges %v, want %v", s, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shard %d scan %d: %v, want %v", s, i, got[i], want[i])
+			}
+		}
+	}
+	// Every sub-scan keeps the original limit (the merger applies it).
+	for s := range sp.subs {
+		for _, q := range sp.subs[s] {
+			if q.Op != keys.OpScan {
+				continue
+			}
+			orig := qs[sp.orig[s][q.Idx]]
+			if q.Value != orig.Value {
+				t.Fatalf("shard %d: sub-scan limit %d, want %d", s, q.Value, orig.Value)
+			}
+		}
+	}
+
+	// Simulate shard answers: each shard returns one row per 10-wide
+	// step of its clipped range (keys at multiples of 10).
+	subRS := make([]*keys.ResultSet, 3)
+	for s := range subRS {
+		subRS[s] = keys.NewResultSet(len(sp.subs[s]))
+		subRS[s].EnsureScans()
+		for i, q := range sp.subs[s] {
+			if q.Op != keys.OpScan {
+				subRS[s].Set(int32(i), 7, true)
+				continue
+			}
+			var rows []keys.KV
+			for k := (q.Key + 9) / 10 * 10; k < q.Key2; k += 10 {
+				rows = append(rows, keys.KV{Key: k, Value: keys.Value(k)})
+			}
+			subRS[s].SetScan(int32(i), rows)
+		}
+	}
+	rs := keys.NewResultSet(len(qs))
+	sp.merge(subRS, rs)
+
+	check := func(idx int32, want []keys.Key) {
+		t.Helper()
+		rows, ok := rs.ScanRows(idx)
+		if !ok {
+			t.Fatalf("scan %d: no merged rows", idx)
+		}
+		if len(rows) != len(want) {
+			t.Fatalf("scan %d: rows %v, want keys %v", idx, rows, want)
+		}
+		for i, k := range want {
+			if rows[i].Key != k {
+				t.Fatalf("scan %d row %d: key %d, want %d", idx, i, rows[i].Key, k)
+			}
+			if i > 0 && rows[i].Key <= rows[i-1].Key {
+				t.Fatalf("scan %d: rows out of order: %v", idx, rows)
+			}
+		}
+		r, _ := rs.Get(idx)
+		if int(r.Value) != len(want) {
+			t.Fatalf("scan %d point result = %+v, want count %d", idx, r, len(want))
+		}
+	}
+	check(0, []keys.Key{50, 60, 70, 80, 90, 100, 110, 120, 130, 140, 150, 160, 170, 180, 190, 200, 210, 220, 230, 240})
+	check(1, []keys.Key{120, 130, 140, 150, 160, 170})
+	check(2, []keys.Key{90, 100}) // hi 110 exclusive; 2 rows, under the limit
+	if r, ok := rs.Get(3); !ok || r.Value != 7 {
+		t.Fatalf("point query result = %+v (%v)", r, ok)
+	}
+}
+
+// TestSplitScanLimitAppliedGlobally: a limited straddling scan whose
+// per-shard row counts each exceed nothing individually must still be
+// truncated to the limit after concatenation.
+func TestSplitScanLimitAppliedGlobally(t *testing.T) {
+	bounds := []keys.Key{100}
+	qs := keys.Number([]keys.Query{keys.Scan(0, 200, 4)})
+	sp := newSplitter(bounds)
+	sp.split(qs)
+
+	subRS := []*keys.ResultSet{keys.NewResultSet(1), keys.NewResultSet(1)}
+	for s, rows := range [][]keys.KV{
+		{{Key: 10, Value: 1}, {Key: 20, Value: 2}, {Key: 30, Value: 3}},
+		{{Key: 110, Value: 4}, {Key: 120, Value: 5}, {Key: 130, Value: 6}},
+	} {
+		subRS[s].EnsureScans()
+		subRS[s].SetScan(0, rows)
+	}
+	rs := keys.NewResultSet(1)
+	sp.merge(subRS, rs)
+	rows, ok := rs.ScanRows(0)
+	if !ok || len(rows) != 4 {
+		t.Fatalf("rows = %v (%v), want 4 rows", rows, ok)
+	}
+	if rows[3].Key != 110 {
+		t.Fatalf("rows = %v, want truncation to keys 10..110", rows)
+	}
+	if r, _ := rs.Get(0); r.Value != 4 || !r.Found {
+		t.Fatalf("point result = %+v, want count 4", r)
+	}
+}

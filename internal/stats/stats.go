@@ -90,6 +90,14 @@ type Batch struct {
 	// to keep nodes sorted: memmove lengths on the dense layout,
 	// shift-to-nearest-gap and delete-run rewrites on the gapped one.
 	ShiftedSlots int
+	// ScanQueries counts range scans submitted in the batch.
+	ScanQueries int
+	// ScanRows counts rows returned across all of the batch's scans
+	// (covered scans count their derived rows).
+	ScanRows int
+	// ScanKills counts scans answered by clipping a covering scan's
+	// rows instead of walking the tree (the covering-scan kill).
+	ScanKills int
 	// LeafOps[t] counts leaf-level operations performed by worker t
 	// (Fig. 13's load-balance metric).
 	LeafOps []int64
@@ -160,6 +168,9 @@ func (b *Batch) AddTo(dst *Batch) {
 	dst.Splits += b.Splits
 	dst.GapClaims += b.GapClaims
 	dst.ShiftedSlots += b.ShiftedSlots
+	dst.ScanQueries += b.ScanQueries
+	dst.ScanRows += b.ScanRows
+	dst.ScanKills += b.ScanKills
 	for i := range b.Elapsed {
 		dst.Elapsed[i] += b.Elapsed[i]
 	}

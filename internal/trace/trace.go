@@ -5,14 +5,22 @@
 //
 // Binary format (little-endian):
 //
-//	magic   [4]byte  "QTR2"
+//	magic   [4]byte  "QTR3"
 //	count   uint64
-//	records count × { op uint8, key uint64, value uint64 }
+//	records count × { op uint8, key uint64, value uint64, key2 uint64, aux uint8 }
 //	crc     uint32   CRC32C over count..records (everything after magic)
+//
+// key2 is the scan upper bound (exclusive) and aux the RMW kind; both
+// are zero for point queries. Read also accepts the legacy "QTR2"
+// format (17-byte point-only records), so traces written before range
+// scans and RMW existed keep loading unchanged. Write always emits
+// QTR3.
 //
 // Query indices are not stored; Load renumbers 0..n-1. The trailing
 // checksum makes truncated or bit-flipped traces an error instead of a
-// silently wrong workload.
+// silently wrong workload. Op bytes are validated against
+// keys.ValidOps (the single source of truth for the op set), so a
+// corrupt op byte is an error, not a misparsed query.
 package trace
 
 import (
@@ -27,11 +35,20 @@ import (
 	"repro/internal/keys"
 )
 
-var magic = [4]byte{'Q', 'T', 'R', '2'}
+var (
+	magic   = [4]byte{'Q', 'T', 'R', '3'}
+	magicV2 = [4]byte{'Q', 'T', 'R', '2'}
+)
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// Write serializes a query sequence.
+const (
+	recSize   = 26 // QTR3: op + key + value + key2 + aux
+	recSizeV2 = 17 // QTR2: op + key + value
+)
+
+// Write serializes a query sequence (always in the current QTR3
+// format).
 func Write(w io.Writer, qs []keys.Query) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.Write(magic[:]); err != nil {
@@ -44,11 +61,13 @@ func Write(w io.Writer, qs []keys.Query) error {
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return fmt.Errorf("trace: write count: %w", err)
 	}
-	var rec [17]byte
+	var rec [recSize]byte
 	for i := range qs {
 		rec[0] = byte(qs[i].Op)
 		binary.LittleEndian.PutUint64(rec[1:9], uint64(qs[i].Key))
 		binary.LittleEndian.PutUint64(rec[9:17], uint64(qs[i].Value))
+		binary.LittleEndian.PutUint64(rec[17:25], uint64(qs[i].Key2))
+		rec[25] = byte(qs[i].RMW)
 		sum.Write(rec[:])
 		if _, err := bw.Write(rec[:]); err != nil {
 			return fmt.Errorf("trace: write record %d: %w", i, err)
@@ -62,15 +81,20 @@ func Write(w io.Writer, qs []keys.Query) error {
 	return bw.Flush()
 }
 
-// Read deserializes a query sequence written by Write, renumbering
-// indices 0..n-1.
+// Read deserializes a query sequence written by Write — current QTR3
+// or legacy QTR2, selected by magic — renumbering indices 0..n-1.
 func Read(r io.Reader) ([]keys.Query, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var m [4]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
 		return nil, fmt.Errorf("trace: read magic: %w", err)
 	}
-	if m != magic {
+	size := recSize
+	switch m {
+	case magic:
+	case magicV2:
+		size = recSizeV2
+	default:
 		return nil, fmt.Errorf("trace: bad magic %q", m)
 	}
 	sum := crc32.New(castagnoli)
@@ -92,22 +116,27 @@ func Read(r io.Reader) ([]keys.Query, error) {
 		capHint = 1 << 20
 	}
 	qs := make([]keys.Query, 0, capHint)
-	var rec [17]byte
+	var rec [recSize]byte
 	for i := uint64(0); i < count; i++ {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
+		if _, err := io.ReadFull(br, rec[:size]); err != nil {
 			return nil, fmt.Errorf("trace: read record %d: %w", i, err)
 		}
-		sum.Write(rec[:])
+		sum.Write(rec[:size])
 		op := keys.Op(rec[0])
-		if op != keys.OpSearch && op != keys.OpInsert && op != keys.OpDelete {
+		if !op.Valid() {
 			return nil, fmt.Errorf("trace: record %d has invalid op %d", i, rec[0])
 		}
-		qs = append(qs, keys.Query{
+		q := keys.Query{
 			Op:    op,
 			Key:   keys.Key(binary.LittleEndian.Uint64(rec[1:9])),
 			Value: keys.Value(binary.LittleEndian.Uint64(rec[9:17])),
 			Idx:   int32(i),
-		})
+		}
+		if size == recSize {
+			q.Key2 = keys.Key(binary.LittleEndian.Uint64(rec[17:25]))
+			q.RMW = keys.RMWKind(rec[25])
+		}
+		qs = append(qs, q)
 	}
 	var tail [4]byte
 	if _, err := io.ReadFull(br, tail[:]); err != nil {

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"math/rand"
 	"strings"
 	"testing"
@@ -15,6 +17,9 @@ func TestRoundTrip(t *testing.T) {
 		keys.Insert(1, 100),
 		keys.Search(2),
 		keys.Delete(3),
+		keys.Scan(10, 20, 5),
+		keys.AddDelta(4, 7),
+		keys.SetIfAbsent(5, 8),
 	})
 	var buf bytes.Buffer
 	if err := Write(&buf, qs); err != nil {
@@ -50,10 +55,17 @@ func TestRoundTripProperty(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		qs := make([]keys.Query, int(size)%2000)
 		for i := range qs {
+			op := keys.ValidOps[r.Intn(len(keys.ValidOps))]
 			qs[i] = keys.Query{
-				Op:    keys.Op(r.Intn(3)),
+				Op:    op,
 				Key:   keys.Key(r.Uint64()),
 				Value: keys.Value(r.Uint64()),
+			}
+			switch op {
+			case keys.OpScan:
+				qs[i].Key2 = keys.Key(r.Uint64())
+			case keys.OpRMW:
+				qs[i].RMW = keys.RMWKind(r.Intn(2))
 			}
 		}
 		keys.Number(qs)
@@ -74,6 +86,94 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// writeV2 hand-builds a legacy QTR2 byte stream (17-byte point-only
+// records), exactly as the pre-scan Write emitted it.
+func writeV2(qs []keys.Query) []byte {
+	var buf bytes.Buffer
+	buf.Write(magicV2[:])
+	body := make([]byte, 8, 8+len(qs)*recSizeV2+4)
+	binary.LittleEndian.PutUint64(body[:8], uint64(len(qs)))
+	for _, q := range qs {
+		var rec [recSizeV2]byte
+		rec[0] = byte(q.Op)
+		binary.LittleEndian.PutUint64(rec[1:9], uint64(q.Key))
+		binary.LittleEndian.PutUint64(rec[9:17], uint64(q.Value))
+		body = append(body, rec[:]...)
+	}
+	buf.Write(body)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc32.Checksum(body, castagnoli))
+	buf.Write(tail[:])
+	return buf.Bytes()
+}
+
+// TestReadLegacyQTR2 is the backward-compatibility regression: byte
+// streams written in the pre-scan QTR2 format must keep loading, with
+// the extended fields zero.
+func TestReadLegacyQTR2(t *testing.T) {
+	want := keys.Number([]keys.Query{
+		keys.Insert(1, 100),
+		keys.Search(2),
+		keys.Delete(3),
+		keys.Insert(1<<40, 1<<50),
+	})
+	got, err := Read(bytes.NewReader(writeV2(want)))
+	if err != nil {
+		t.Fatalf("legacy QTR2 rejected: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("len %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], want[i])
+		}
+		if got[i].Key2 != 0 || got[i].RMW != 0 {
+			t.Fatalf("record %d: extended fields nonzero: %+v", i, got[i])
+		}
+	}
+}
+
+func TestReadLegacyQTR2Empty(t *testing.T) {
+	got, err := Read(bytes.NewReader(writeV2(nil)))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty legacy trace: %v, %v", got, err)
+	}
+}
+
+// TestReadLegacyQTR2RejectsInvalidOp: op validation is shared between
+// both formats (table-driven off keys.ValidOps), so a corrupt op byte
+// in a legacy stream fails the same way.
+func TestReadLegacyQTR2RejectsInvalidOp(t *testing.T) {
+	raw := writeV2(keys.Number([]keys.Query{keys.Insert(1, 1)}))
+	raw[12] = 250 // op byte of the first record (4 magic + 8 count)
+	if _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Fatal("invalid legacy op accepted")
+	}
+}
+
+// TestReadRejectsCorruptOpByteOverValidChecksum re-seals the checksum
+// after corrupting the op byte, proving rejection comes from the op
+// table itself, not the CRC.
+func TestReadRejectsCorruptOpByteOverValidChecksum(t *testing.T) {
+	qs := keys.Number([]keys.Query{keys.Insert(1, 1)})
+	var buf bytes.Buffer
+	if err := Write(&buf, qs); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[12] = byte(len(keys.ValidOps)) // first op past the valid set
+	body := raw[4 : len(raw)-4]
+	binary.LittleEndian.PutUint32(raw[len(raw)-4:], crc32.Checksum(body, castagnoli))
+	_, err := Read(bytes.NewReader(raw))
+	if err == nil {
+		t.Fatal("corrupt op byte accepted")
+	}
+	if !strings.Contains(err.Error(), "invalid op") {
+		t.Fatalf("wrong rejection: %v", err)
 	}
 }
 

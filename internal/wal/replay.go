@@ -172,8 +172,10 @@ func (r *Recovery) scanSegment(name string, seq uint64, parts map[uint64][]keys.
 	}
 }
 
-// decodeQueries parses count records of {op, key, value}. ok is false
-// on an invalid op byte.
+// decodeQueries parses count records of {op, key, value}, mapping wire
+// op codes back to queries (see the format comment in wal.go). ok is
+// false on an invalid op byte — including the reserved scan code 3,
+// since scans are never logged.
 func decodeQueries(p []byte, count int) ([]keys.Query, bool) {
 	if count == 0 {
 		return nil, true
@@ -181,16 +183,26 @@ func decodeQueries(p []byte, count int) ([]keys.Query, bool) {
 	qs := make([]keys.Query, count)
 	o := 0
 	for i := 0; i < count; i++ {
-		op := keys.Op(p[o])
-		if op != keys.OpSearch && op != keys.OpInsert && op != keys.OpDelete {
-			return nil, false
-		}
-		qs[i] = keys.Query{
-			Op:    op,
+		q := keys.Query{
 			Key:   keys.Key(binary.LittleEndian.Uint64(p[o+1 : o+9])),
 			Value: keys.Value(binary.LittleEndian.Uint64(p[o+9 : o+17])),
 			Idx:   int32(i),
 		}
+		switch p[o] {
+		case wireSearch:
+			q.Op = keys.OpSearch
+		case wireInsert:
+			q.Op = keys.OpInsert
+		case wireDelete:
+			q.Op = keys.OpDelete
+		case wireRMWAdd:
+			q.Op, q.RMW = keys.OpRMW, keys.RMWAdd
+		case wireRMWSetIfAbs:
+			q.Op, q.RMW = keys.OpRMW, keys.RMWSetIfAbsent
+		default:
+			return nil, false
+		}
+		qs[i] = q
 		o += 17
 	}
 	return qs, true

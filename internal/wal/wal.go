@@ -21,6 +21,13 @@
 //	    count  uint32   queries (0 for commit markers)
 //	    count × { op uint8, key uint64, value uint64 }
 //
+// The record op byte is a wire code, not keys.Op: 0=search, 1=insert,
+// 2=delete, 4=RMW(add), 5=RMW(set-if-absent), with the RMW operand in
+// the value field. Range scans are pure reads and never reach the
+// commit path (wire code 3 is reserved and rejected on replay), so
+// point-only logs are byte-identical to those written before RMW
+// existed.
+//
 // A `batch` record is one whole committed batch (the single-engine
 // path). The sharded engine appends one `part` record per shard
 // sub-batch followed by a `commit` marker once every shard's part is in
@@ -268,6 +275,38 @@ func (l *Log) rotateLocked(seq uint64) error {
 	return nil
 }
 
+// Wire op codes for logged queries. 0-2 coincide with keys.Op; 3 is
+// reserved (scans are never logged); RMW splits into one code per kind
+// so the 17-byte record needs no extra field.
+const (
+	wireSearch      = 0
+	wireInsert      = 1
+	wireDelete      = 2
+	wireRMWAdd      = 4
+	wireRMWSetIfAbs = 5
+)
+
+// wireOp maps a query to its wire code. Scans must never reach the
+// commit path — the engine evaluates them without logging — so hitting
+// one here is a programming error, not an I/O condition.
+func wireOp(q *keys.Query) byte {
+	switch q.Op {
+	case keys.OpSearch:
+		return wireSearch
+	case keys.OpInsert:
+		return wireInsert
+	case keys.OpDelete:
+		return wireDelete
+	case keys.OpRMW:
+		if q.RMW == keys.RMWSetIfAbsent {
+			return wireRMWSetIfAbs
+		}
+		return wireRMWAdd
+	default:
+		panic(fmt.Sprintf("wal: query op %d cannot be logged", q.Op))
+	}
+}
+
 // encodeFrame appends one framed record to buf and returns it.
 func encodeFrame(buf []byte, kind uint8, lsn uint64, qs []keys.Query) []byte {
 	plen := 1 + 8 + 4 + 17*len(qs)
@@ -279,7 +318,7 @@ func encodeFrame(buf []byte, kind uint8, lsn uint64, qs []keys.Query) []byte {
 	binary.LittleEndian.PutUint32(p[9:13], uint32(len(qs)))
 	o := 13
 	for i := range qs {
-		p[o] = byte(qs[i].Op)
+		p[o] = wireOp(&qs[i])
 		binary.LittleEndian.PutUint64(p[o+1:o+9], uint64(qs[i].Key))
 		binary.LittleEndian.PutUint64(p[o+9:o+17], uint64(qs[i].Value))
 		o += 17

@@ -357,3 +357,35 @@ func TestSegNames(t *testing.T) {
 		_ = name
 	}
 }
+
+// TestRMWRoundTripBatches: read-modify-write queries commit and replay
+// with their kind intact (scans, by contrast, never reach the log —
+// the engine's commit plan excludes them before CommitBatch).
+func TestRMWRoundTripBatches(t *testing.T) {
+	fs := faultfs.New()
+	batches := [][]keys.Query{
+		batch(keys.AddDelta(1, 10), keys.Insert(2, 20)),
+		batch(keys.SetIfAbsent(3, 30), keys.Delete(2), keys.AddDelta(1, 1)),
+	}
+	_, l := openLog(t, fs, "d", wal.Options{})
+	for _, b := range batches {
+		if err := l.CommitBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, l2 := openLog(t, fs, "d", wal.Options{})
+	defer l2.Close()
+	if len(rec.Batches) != len(batches) {
+		t.Fatalf("recovered %d batches, want %d", len(rec.Batches), len(batches))
+	}
+	for bi, want := range batches {
+		got := rec.Batches[bi]
+		if !reflect.DeepEqual(got, stripIdx(want)) {
+			t.Fatalf("batch %d:\n got %+v\nwant %+v", bi, got, stripIdx(want))
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package wal
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+// TestWireOpMapping pins the on-disk op codes. Codes 0/1/2 predate
+// scans and RMW; changing them would silently misread existing logs,
+// so this is a format regression test, not a tautology.
+func TestWireOpMapping(t *testing.T) {
+	cases := []struct {
+		q    keys.Query
+		want byte
+	}{
+		{keys.Search(1), 0},
+		{keys.Insert(1, 2), 1},
+		{keys.Delete(1), 2},
+		{keys.AddDelta(1, 2), 4},
+		{keys.SetIfAbsent(1, 2), 5},
+	}
+	for _, c := range cases {
+		if got := wireOp(&c.q); got != c.want {
+			t.Errorf("wireOp(%v/%v) = %d, want %d", c.q.Op, c.q.RMW, got, c.want)
+		}
+	}
+}
+
+// TestWireOpPanicsOnScan: scans are pure reads and must never be
+// logged; reaching wireOp with one is a programming error asserted by
+// panic rather than silently writing a reserved code.
+func TestWireOpPanicsOnScan(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wireOp accepted a scan")
+		}
+	}()
+	q := keys.Scan(1, 2, 0)
+	wireOp(&q)
+}
+
+// TestEncodeFramePointOnlyBytes pins the exact record bytes of a
+// point-only frame: logs written by the pre-RMW code must be
+// byte-identical to ones written now (same codes, same 17-byte
+// layout), so old logs replay and new logs open under old readers.
+func TestEncodeFramePointOnlyBytes(t *testing.T) {
+	qs := keys.Number([]keys.Query{
+		keys.Insert(0x1122334455667788, 0x99),
+		keys.Search(7),
+		keys.Delete(8),
+	})
+	frame := encodeFrame(nil, kindBatch, 42, qs)
+	plen := binary.LittleEndian.Uint32(frame[0:4])
+	if int(plen) != 1+8+4+17*len(qs) {
+		t.Fatalf("plen = %d", plen)
+	}
+	p := frame[8:]
+	if p[0] != kindBatch || binary.LittleEndian.Uint64(p[1:9]) != 42 ||
+		binary.LittleEndian.Uint32(p[9:13]) != 3 {
+		t.Fatalf("header = % x", p[:13])
+	}
+	wantOps := []byte{1, 0, 2}
+	o := 13
+	for i, q := range qs {
+		if p[o] != wantOps[i] {
+			t.Fatalf("record %d op byte = %d, want %d", i, p[o], wantOps[i])
+		}
+		if binary.LittleEndian.Uint64(p[o+1:o+9]) != uint64(q.Key) ||
+			binary.LittleEndian.Uint64(p[o+9:o+17]) != uint64(q.Value) {
+			t.Fatalf("record %d bytes = % x", i, p[o:o+17])
+		}
+		o += 17
+	}
+}
+
+// TestDecodeQueriesWireCodes checks the decode side: RMW codes map
+// back to their kinds, and the reserved scan code 3 (plus anything
+// past the known set) is rejected.
+func TestDecodeQueriesWireCodes(t *testing.T) {
+	enc := func(op byte, k, v uint64) []byte {
+		rec := make([]byte, 17)
+		rec[0] = op
+		binary.LittleEndian.PutUint64(rec[1:9], k)
+		binary.LittleEndian.PutUint64(rec[9:17], v)
+		return rec
+	}
+
+	p := append(enc(4, 10, 3), enc(5, 11, 7)...)
+	qs, ok := decodeQueries(p, 2)
+	if !ok {
+		t.Fatal("RMW records rejected")
+	}
+	if qs[0].Op != keys.OpRMW || qs[0].RMW != keys.RMWAdd || qs[0].Key != 10 || qs[0].Value != 3 {
+		t.Fatalf("record 0 = %+v", qs[0])
+	}
+	if qs[1].Op != keys.OpRMW || qs[1].RMW != keys.RMWSetIfAbsent || qs[1].Key != 11 || qs[1].Value != 7 {
+		t.Fatalf("record 1 = %+v", qs[1])
+	}
+
+	for _, bad := range []byte{3, 6, 99, 255} {
+		if _, ok := decodeQueries(enc(bad, 1, 1), 1); ok {
+			t.Errorf("wire op %d accepted", bad)
+		}
+	}
+}

@@ -322,6 +322,65 @@ func FillBatch(gen Generator, r *rand.Rand, qs []keys.Query, updateRatio float64
 	keys.Number(qs)
 }
 
+// MixedConfig tunes FillBatchMixed's five-op blend.
+type MixedConfig struct {
+	// UpdateRatio is the fraction of point updates (split evenly
+	// between inserts and deletes), as in FillBatch.
+	UpdateRatio float64
+	// ScanFrac is the fraction of range scans.
+	ScanFrac float64
+	// RMWFrac is the fraction of read-modify-writes (split evenly
+	// between add-delta and set-if-absent).
+	RMWFrac float64
+	// ScanSpan is the key width of each scan's range (0 = 128).
+	ScanSpan uint64
+	// ScanLimit caps each scan's row count (0 = unlimited).
+	ScanLimit uint64
+}
+
+// FillBatchMixed builds a batch mixing all five ops: ScanFrac range
+// scans of width ScanSpan, RMWFrac read-modify-writes, UpdateRatio
+// point updates, the rest searches. Fractions are drawn independently
+// per slot (scan first, then RMW, then update), so they compose like
+// nested FillBatch calls. Queries are numbered 0..len-1.
+func FillBatchMixed(gen Generator, r *rand.Rand, qs []keys.Query, cfg MixedConfig) {
+	span := cfg.ScanSpan
+	if span == 0 {
+		span = 128
+	}
+	latest, isLatest := gen.(*Latest)
+	for i := range qs {
+		k := gen.Key(r)
+		switch u := r.Float64(); {
+		case u < cfg.ScanFrac:
+			lo := k
+			hi := lo + keys.Key(span)
+			if hi < lo { // key-space wrap: clamp to the top
+				hi = ^keys.Key(0)
+			}
+			qs[i] = keys.Scan(lo, hi, keys.Value(cfg.ScanLimit))
+		case u < cfg.ScanFrac+cfg.RMWFrac:
+			if r.Intn(2) == 0 {
+				qs[i] = keys.AddDelta(k, keys.Value(r.Intn(1000)+1))
+			} else {
+				qs[i] = keys.SetIfAbsent(k, keys.Value(r.Uint64()))
+			}
+		case u < cfg.ScanFrac+cfg.RMWFrac+cfg.UpdateRatio:
+			if r.Intn(2) == 0 {
+				qs[i] = keys.Insert(k, keys.Value(r.Uint64()))
+				if isLatest {
+					latest.Advance()
+				}
+			} else {
+				qs[i] = keys.Delete(k)
+			}
+		default:
+			qs[i] = keys.Search(k)
+		}
+	}
+	keys.Number(qs)
+}
+
 // Prefill returns count insert queries drawn from gen (duplicates
 // collapse on insertion), used to build the initial tree the way the
 // paper builds trees "based on the unique keys" of each dataset.

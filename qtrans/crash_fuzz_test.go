@@ -22,7 +22,9 @@ import (
 // pre-crash DB with the dense node-layout ablation (bit 4). Recovery
 // always reopens with the default gapped layout, so that arm also
 // proves a dense-written snapshot (v2 layout byte = dense) restores
-// into a gapped tree.
+// into a gapped tree. The workload mixes all five operations: range
+// scans take the extended execution path but add no log records, while
+// RMW effects must replay from the log like any other write.
 func FuzzCrashRecovery(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, byte(0), uint16(50), uint16(1))
 	f.Add([]byte{9, 9, 9, 1, 1, 200, 30, 4, 0, 255, 17, 23, 8, 8}, byte(1), uint16(200), uint16(7))
@@ -31,6 +33,10 @@ func FuzzCrashRecovery(f *testing.F) {
 	f.Add([]byte{1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3}, byte(15), uint16(1000), uint16(9))
 	f.Add([]byte{42}, byte(31), uint16(0), uint16(0))
 	f.Add([]byte{7, 1, 40, 7, 3, 0, 9, 1, 41, 9, 2, 0, 11, 1, 42, 11, 0, 0}, byte(20), uint16(300), uint16(5))
+	// Scan (op 4) and RMW (op 5) arms: scans never touch the log;
+	// RMW effects must be durably replayed like any other write.
+	f.Add([]byte{10, 1, 40, 10, 5, 2, 20, 4, 63, 10, 5, 3, 10, 0, 0, 20, 5, 9}, byte(5), uint16(150), uint16(11))
+	f.Add([]byte{1, 5, 8, 2, 5, 8, 3, 5, 9, 1, 4, 200, 2, 4, 100, 3, 3, 0}, byte(9), uint16(80), uint16(2))
 
 	f.Fuzz(func(t *testing.T, data []byte, cfg byte, cut uint16, crashSeed uint16) {
 		// Decode the workload: 3 bytes per query, batches of 5 queries.
@@ -39,13 +45,24 @@ func FuzzCrashRecovery(f *testing.F) {
 		var cur []keys.Query
 		for i := 0; i+2 < len(data) && len(batches) < 40; i += 3 {
 			k := Key(data[i] % 64) // small key space: collisions exercise QSAT
-			switch data[i+1] % 4 {
+			switch data[i+1] % 6 {
 			case 0:
 				cur = append(cur, keys.Search(k))
 			case 1, 2:
 				cur = append(cur, keys.Insert(k, Value(data[i+2])+1))
 			case 3:
 				cur = append(cur, keys.Delete(k))
+			case 4:
+				// Scans are pure reads: they exercise the extended
+				// execution path (cache drain, epoch fencing) without
+				// adding log records.
+				cur = append(cur, keys.Scan(k, k+Key(data[i+2]%32), Value(data[i+2]>>6)))
+			default:
+				if data[i+2]&1 == 0 {
+					cur = append(cur, keys.AddDelta(k, Value(data[i+2])+1))
+				} else {
+					cur = append(cur, keys.SetIfAbsent(k, Value(data[i+2])+1))
+				}
 			}
 			if len(cur) == batchLen {
 				batches = append(batches, cur)

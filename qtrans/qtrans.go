@@ -49,6 +49,9 @@ type Value = keys.Value
 // Result is the outcome of a search query.
 type Result = keys.Result
 
+// KV is one row of a range-scan result.
+type KV = keys.KV
+
 // Optimization selects how much of QTrans is applied.
 type Optimization int
 
@@ -303,6 +306,34 @@ func (b *Batch) Delete(k Key) int {
 	return len(b.qs) - 1
 }
 
+// Scan appends a range scan over [lo, hi) returning at most limit rows
+// in ascending key order (limit 0 = unlimited), and returns its
+// position. Retrieve the rows with Results.Scan; Results.Search at the
+// same position reports the row count. A scan observes every earlier
+// write in the batch and none of the later ones, exactly as in serial
+// evaluation.
+func (b *Batch) Scan(lo, hi Key, limit Value) int {
+	b.qs = append(b.qs, keys.Scan(lo, hi, Value(limit)))
+	return len(b.qs) - 1
+}
+
+// AddDelta appends an atomic read-modify-write that adds delta to the
+// key's value (treating an absent key as 0, so the key is present
+// afterwards) and returns its position. The result at this position is
+// the value *before* the update, with Found reporting prior presence.
+func (b *Batch) AddDelta(k Key, delta Value) int {
+	b.qs = append(b.qs, keys.AddDelta(k, delta))
+	return len(b.qs) - 1
+}
+
+// SetIfAbsent appends an atomic insert-if-absent: the key is set to v
+// only when not present. Returns its position; the result there is the
+// prior value and presence (Found == true means v was NOT stored).
+func (b *Batch) SetIfAbsent(k Key, v Value) int {
+	b.qs = append(b.qs, keys.SetIfAbsent(k, v))
+	return len(b.qs) - 1
+}
+
 // Results holds the answers of one Run, addressed by query position.
 type Results struct {
 	rs *keys.ResultSet
@@ -310,9 +341,18 @@ type Results struct {
 
 // Search returns the result of the search query at position pos.
 // found is false if the key was absent; ok distinguishes "query at pos
-// was not a search" (no result recorded).
+// was not a search" (no result recorded). RMW queries record their
+// pre-update value here; scans record their row count.
 func (r *Results) Search(pos int) (res Result, ok bool) {
 	return r.rs.Get(int32(pos))
+}
+
+// Scan returns the rows of the range scan at position pos, ascending
+// by key. ok is false when pos did not hold a scan. The slice aliases
+// internal storage; treat it as read-only (and, under RunStream, copy
+// it before the callback returns).
+func (r *Results) Scan(pos int) (rows []KV, ok bool) {
+	return r.rs.ScanRows(int32(pos))
 }
 
 // Run evaluates the batch with as-if-serial semantics and returns its
@@ -488,7 +528,9 @@ func Explain(b *Batch) core.Report { return core.Explain(b.qs) }
 
 // Service wraps a DB with an online, latency-bounded interface:
 // individual queries are submitted from any goroutine and batched
-// transparently (§VI-D's online-processing regime).
+// transparently (§VI-D's online-processing regime). The Service is
+// deliberately point-ops-only (Get/Put/Remove): range scans and RMW
+// are batch-level constructs — submit them via Batch and Run.
 type Service struct {
 	db *DB
 	b  *batcher.Batcher

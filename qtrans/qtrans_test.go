@@ -365,3 +365,71 @@ var errStale = &staleError{}
 type staleError struct{}
 
 func (*staleError) Error() string { return "stale read through service" }
+
+// TestBatchScanAndRMW exercises the extended facade API end to end —
+// range scans (with limit), AddDelta, and SetIfAbsent in one batch with
+// in-batch visibility — across the single-engine and sharded builds.
+func TestBatchScanAndRMW(t *testing.T) {
+	for _, shards := range []int{0, 3} {
+		db, err := Open(Options{Optimization: Full, Workers: 2, Order: 16,
+			CacheCapacity: 64, Shards: shards})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		for k := Key(0); k < 100; k += 10 {
+			db.Put(k, Value(k))
+		}
+
+		b := NewBatch()
+		all := b.Scan(0, 1000, 0)      // 10 rows
+		limited := b.Scan(0, 1000, 3)  // first 3
+		addNew := b.AddDelta(5, 7)     // absent: result (0,false), stores 7
+		addOld := b.AddDelta(20, 1)    // present: result (20,true), stores 21
+		setAbs := b.SetIfAbsent(6, 66) // absent: stores 66
+		setHit := b.SetIfAbsent(30, 1) // present: no-op, result (30,true)
+		after := b.Scan(0, 31, 0)      // sees 0,5,6,10,20(=21),30
+		res := db.Run(b)
+
+		rows, ok := res.Scan(all)
+		if !ok || len(rows) != 10 {
+			t.Fatalf("shards=%d: full scan %d rows (%v)", shards, len(rows), ok)
+		}
+		if r, _ := res.Search(all); !r.Found || r.Value != 10 {
+			t.Fatalf("shards=%d: scan point result = %+v", shards, r)
+		}
+		rows, _ = res.Scan(limited)
+		if len(rows) != 3 || rows[2].Key != 20 {
+			t.Fatalf("shards=%d: limited scan = %v", shards, rows)
+		}
+		if r, _ := res.Search(addNew); r.Found {
+			t.Fatalf("shards=%d: AddDelta on absent = %+v", shards, r)
+		}
+		if r, _ := res.Search(addOld); !r.Found || r.Value != 20 {
+			t.Fatalf("shards=%d: AddDelta on present = %+v", shards, r)
+		}
+		if r, _ := res.Search(setAbs); r.Found {
+			t.Fatalf("shards=%d: SetIfAbsent on absent = %+v", shards, r)
+		}
+		if r, _ := res.Search(setHit); !r.Found || r.Value != 30 {
+			t.Fatalf("shards=%d: SetIfAbsent on present = %+v", shards, r)
+		}
+		rows, _ = res.Scan(after)
+		want := []KV{
+			{Key: 0, Value: 0}, {Key: 5, Value: 7}, {Key: 6, Value: 66},
+			{Key: 10, Value: 10}, {Key: 20, Value: 21}, {Key: 30, Value: 30},
+		}
+		if len(rows) != len(want) {
+			t.Fatalf("shards=%d: after-scan = %v, want %v", shards, rows, want)
+		}
+		for i := range want {
+			if rows[i] != want[i] {
+				t.Fatalf("shards=%d: after-scan row %d = %+v, want %+v", shards, i, rows[i], want[i])
+			}
+		}
+
+		if v, ok := db.Get(5); !ok || v != 7 {
+			t.Fatalf("shards=%d: Get(5) = %d,%v after RMW", shards, v, ok)
+		}
+		db.Close()
+	}
+}
