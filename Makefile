@@ -1,6 +1,6 @@
 # Tier-1 CI gate (ROADMAP.md): `make ci` must pass on every PR.
 #
-#   vet          go vet over everything
+#   vet          go vet + a gofmt -l cleanliness check over everything
 #   build        compile everything
 #   test         full unit/differential suite
 #   race         the concurrency-heavy packages under the race detector
@@ -10,7 +10,8 @@
 #                sharded engine, the facade stream and service hammers,
 #                the WAL syncer, the batcher close/submit races, and the
 #                metrics registry's sharded counters under snapshot vs
-#                live Serve traffic)
+#                live Serve traffic, and the TCP server front end's
+#                connection/drain machinery)
 #   race-scan    the scan/RMW execution paths (epoch-fenced engine
 #                batches, the pipeline's extended path, shard scan
 #                split/merge, facade scans) under the race detector
@@ -25,19 +26,21 @@
 #                prefix — with gapped and dense pre-crash configs and
 #                RMW in the workload), and the dual-layout tree fuzzer
 #                (gapped and dense trees in lockstep vs a map oracle,
-#                DESIGN.md §10)
+#                DESIGN.md §10), and the wire-protocol frame decoder
+#                (canonical re-encode property, DESIGN.md §12)
 #   bench-smoke  one-iteration compile-and-run of the pipeline benchmark
 #                (catches bit-rot in the bench harness without paying
 #                for a measurement)
 
 GO ?= go
 
-.PHONY: ci vet build test race race-kernels race-layout race-scan fuzz-smoke bench-smoke bench bench-kernels bench-layout bench-scan
+.PHONY: ci vet build test race race-kernels race-layout race-scan race-server fuzz-smoke bench-smoke bench bench-kernels bench-layout bench-scan bench-serve
 
-ci: vet build test race race-kernels race-layout race-scan fuzz-smoke bench-smoke
+ci: vet build test race race-kernels race-layout race-scan race-server fuzz-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -46,7 +49,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core ./internal/palm ./internal/shard ./internal/wal ./internal/batcher ./internal/metrics ./qtrans
+	$(GO) test -race ./internal/core ./internal/palm ./internal/shard ./internal/wal ./internal/batcher ./internal/metrics ./internal/server ./qtrans
 
 # The sorted-batch kernel ablation matrix (all 2^4 flag combos, small
 # differential workloads vs the oracle) under the race detector. Also
@@ -72,11 +75,22 @@ race-scan:
 	$(GO) test -race -run 'SplitScan|Scan' -count=1 ./internal/shard
 	$(GO) test -race -run 'BatchScanAndRMW' -count=1 ./qtrans
 
+# The network front end (DESIGN.md §12) under the race detector: the
+# full client/server stack — pipelining, admission-control shedding,
+# and the mid-load graceful drain — plus the batcher stall regression
+# suite it depends on. Also part of the plain `race` target; kept
+# callable on its own for server work.
+race-server:
+	$(GO) test -race -count=1 ./internal/server
+	$(GO) test -race -run 'Stall|SubmitFlushClose' -count=1 ./internal/batcher
+	$(GO) test -race -count=1 ./cmd/qtransserver
+
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzShardEquivalence -fuzztime=10s ./internal/shard
 	$(GO) test -run=^$$ -fuzz=FuzzRangeRMWEquivalence -fuzztime=10s ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzCrashRecovery -fuzztime=10s ./qtrans
 	$(GO) test -run=^$$ -fuzz=FuzzTreeOps -fuzztime=10s ./internal/btree
+	$(GO) test -run=^$$ -fuzz=FuzzFrameDecode -fuzztime=10s ./internal/server
 
 bench-smoke:
 	$(GO) test -run=XXX -bench=BenchmarkPipeline -benchtime=1x .
@@ -110,3 +124,12 @@ bench-layout:
 # issue — written to BENCH_scan.json (not part of ci).
 bench-scan:
 	$(GO) run ./cmd/qtransbench -experiment scan -scale 0.05 -json BENCH_scan.json
+
+# Network front end load test (DESIGN.md §12): build qtransserver,
+# then drive >= 10k concurrent TCP connections against it from a
+# separate process (client and server each get their own fd budget)
+# through the steady / overload / graceful-drain phases — written to
+# BENCH_serve.json (not part of ci).
+bench-serve:
+	$(GO) build -o bin/qtransserver ./cmd/qtransserver
+	$(GO) run ./cmd/qtransbench -experiment serve -scale 1 -conns 12000 -serverbin bin/qtransserver -json BENCH_serve.json

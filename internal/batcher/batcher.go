@@ -9,6 +9,14 @@
 // while MaxDelay bounds the time any query waits before evaluation
 // begins, so worst-case response time is MaxDelay plus one batch's
 // processing time.
+//
+// The submit path never waits on the dispatcher: flushed batches are
+// handed off through an unbounded FIFO under the submit mutex and the
+// dispatcher drains it at its own pace, so a slow or backlogged
+// processor cannot stall Submit, Flush, Close, or the queue-depth
+// gauge. Backpressure is a policy decision for the caller: Load exposes
+// the congestion signals (pending queries, dispatched-but-unprocessed
+// batches) that admission control (internal/server) sheds on.
 package batcher
 
 import (
@@ -42,15 +50,28 @@ var ErrClosed = errors.New("batcher: closed")
 type Future struct {
 	done chan struct{}
 	res  keys.Result
-	ok   bool // a result was recorded (searches only)
+	rows []keys.KV // scan rows (copied out of batch storage; scans only)
+	ok   bool      // a result was recorded (searches, scans, RMWs)
+	scan bool      // the submitted query was a range scan
 }
 
-// Get blocks until the query's batch has executed, returning the
-// search result. ok is false for insert/delete futures (which carry no
-// result) — Get still blocks until the mutation is applied.
+// Get blocks until the query's batch has executed, returning the point
+// result. ok is false for insert/delete futures (which carry no
+// result) — Get still blocks until the mutation is applied. For scans
+// the result holds the row count; for RMWs the pre-update value.
 func (f *Future) Get() (res keys.Result, ok bool) {
 	<-f.done
 	return f.res, f.ok
+}
+
+// Rows blocks until the query's batch has executed and returns the
+// range-scan rows in ascending key order. ok is false when the
+// submitted query was not a scan; an empty scan yields ok == true with
+// no rows. The slice is owned by the caller (rows are copied out of the
+// batch's reusable storage before the future resolves).
+func (f *Future) Rows() (rows []keys.KV, ok bool) {
+	<-f.done
+	return f.rows, f.scan
 }
 
 // Done returns a channel closed when the batch has executed.
@@ -84,9 +105,11 @@ type Config struct {
 	// precedence and the cap stays at MaxBatch.
 	Pipeline bool
 	// Metrics, when non-nil, receives queue-depth (batcher_queue_depth
-	// gauge), dispatched batch sizes (batcher_batch_size histogram) and
-	// batch-fill ratio in per-mille of the current cap
-	// (batcher_fill_permille histogram). Nil adds no overhead.
+	// gauge), dispatch backlog (batcher_dispatch_backlog gauge:
+	// dispatched-but-unprocessed batches), dispatched batch sizes
+	// (batcher_batch_size histogram) and batch-fill ratio in per-mille
+	// of the current cap (batcher_fill_permille histogram). Nil adds no
+	// overhead.
 	Metrics *metrics.Registry
 }
 
@@ -99,9 +122,7 @@ type Batcher struct {
 	cfg  Config
 
 	// batchCap is the current flush threshold; atomic because the
-	// dispatcher goroutine retunes it while submitters read it (and
-	// the dispatcher must never need mu, which flushLocked holds while
-	// sending on the dispatch channel).
+	// dispatcher goroutine retunes it while submitters read it.
 	batchCap atomic.Int64
 
 	mu      sync.Mutex
@@ -117,8 +138,23 @@ type Batcher struct {
 	timerGen uint64
 	closed   bool
 
-	dispatch chan dispatchReq
-	wg       sync.WaitGroup
+	// sendq is the dispatch hand-off: flushLocked appends under mu (so
+	// batches leave in flush order) and the dispatcher pops from the
+	// front via next. It is unbounded on purpose — the submit path must
+	// never wait on the dispatcher (a bounded channel here once stalled
+	// every Submit/Flush/Close behind a slow processor, with b.mu held
+	// across the blocking send). wake (capacity 1) nudges a parked
+	// dispatcher; a buffered token is never lost, so no wakeup is
+	// missed. qdone tells the dispatcher to exit once sendq is empty.
+	sendq []dispatchReq
+	qdone bool
+	wake  chan struct{}
+	wg    sync.WaitGroup
+
+	// inflight counts batches handed to the dispatcher and not yet
+	// fully processed — the congestion signal admission control sheds
+	// on (see Load).
+	inflight atomic.Int64
 
 	// stats
 	batches int64
@@ -126,6 +162,7 @@ type Batcher struct {
 
 	// Metric handles (nil when Config.Metrics is nil).
 	queueDepth   *metrics.Gauge
+	backlog      *metrics.Gauge
 	batchSize    *metrics.Histogram
 	fillPermille *metrics.Histogram
 }
@@ -160,12 +197,13 @@ func New(proc Processor, cfg Config) *Batcher {
 		}
 	}
 	b := &Batcher{
-		proc:     proc,
-		cfg:      cfg,
-		dispatch: make(chan dispatchReq, 4),
+		proc: proc,
+		cfg:  cfg,
+		wake: make(chan struct{}, 1),
 	}
 	if cfg.Metrics != nil {
 		b.queueDepth = cfg.Metrics.Gauge("batcher_queue_depth")
+		b.backlog = cfg.Metrics.Gauge("batcher_dispatch_backlog")
 		b.batchSize = cfg.Metrics.Histogram("batcher_batch_size")
 		b.fillPermille = cfg.Metrics.Histogram("batcher_fill_permille")
 	}
@@ -179,6 +217,51 @@ func New(proc Processor, cfg Config) *Batcher {
 	return b
 }
 
+// next blocks until a dispatched batch is available and pops it, or
+// returns ok == false once the batcher is closed and the hand-off queue
+// fully drained. Only the dispatcher goroutine calls it; it holds b.mu
+// just long enough to pop, never while the processor runs.
+func (b *Batcher) next() (req dispatchReq, ok bool) {
+	for {
+		b.mu.Lock()
+		if len(b.sendq) > 0 {
+			req = b.sendq[0]
+			b.sendq[0] = dispatchReq{} // drop references for GC
+			b.sendq = b.sendq[1:]
+			if len(b.sendq) == 0 {
+				b.sendq = nil // release the drained backing array
+			}
+			b.mu.Unlock()
+			return req, true
+		}
+		done := b.qdone
+		b.mu.Unlock()
+		if done {
+			return dispatchReq{}, false
+		}
+		<-b.wake
+	}
+}
+
+// complete resolves one batch's futures from its result set, copying
+// scan rows out of the reusable batch storage, and retires the batch
+// from the backlog count.
+func (b *Batcher) complete(futs []*Future, rs *keys.ResultSet) {
+	for i, f := range futs {
+		f.res, f.ok = rs.Get(int32(i))
+		if f.scan {
+			if rows, ok := rs.ScanRows(int32(i)); ok && len(rows) > 0 {
+				f.rows = append(make([]keys.KV, 0, len(rows)), rows...)
+			}
+		}
+		close(f.done)
+	}
+	n := b.inflight.Add(-1)
+	if b.backlog != nil {
+		b.backlog.Set(n)
+	}
+}
+
 // runStream is the pipelined dispatcher: batches flow through the
 // processor's ProcessStream, with the futures carried on the job's Tag.
 // Completion order equals dispatch order (ProcessStream guarantees it).
@@ -186,16 +269,17 @@ func (b *Batcher) runStream(sp StreamProcessor) {
 	defer b.wg.Done()
 	jobs := make(chan *core.Job)
 	go func() {
-		for req := range b.dispatch {
+		for {
+			req, ok := b.next()
+			if !ok {
+				break
+			}
 			jobs <- &core.Job{Qs: req.qs, Tag: req.futs}
 		}
 		close(jobs)
 	}()
 	sp.ProcessStream(jobs, func(j *core.Job) {
-		for i, f := range j.Tag.([]*Future) {
-			f.res, f.ok = j.RS.Get(int32(i))
-			close(f.done)
-		}
+		b.complete(j.Tag.([]*Future), j.RS)
 	})
 }
 
@@ -204,17 +288,18 @@ func (b *Batcher) runStream(sp StreamProcessor) {
 func (b *Batcher) run() {
 	defer b.wg.Done()
 	rs := keys.NewResultSet(0)
-	for req := range b.dispatch {
+	for {
+		req, ok := b.next()
+		if !ok {
+			return
+		}
 		rs.Reset(len(req.qs))
 		start := time.Now()
 		b.proc.ProcessBatch(req.qs, rs)
 		if b.cfg.TargetLatency > 0 {
 			b.retune(len(req.qs), time.Since(start))
 		}
-		for i, f := range req.futs {
-			f.res, f.ok = rs.Get(int32(i))
-			close(f.done)
-		}
+		b.complete(req.futs, rs)
 	}
 }
 
@@ -252,10 +337,22 @@ func (b *Batcher) BatchCap() int {
 	return int(b.batchCap.Load())
 }
 
+// Load reports the batcher's congestion signals: pending is the number
+// of submitted queries not yet flushed into a batch, backlog the number
+// of dispatched batches the processor has not finished. Both stay live
+// while the processor is stalled — Submit never blocks behind the
+// dispatcher — so admission control (internal/server) can shed on them.
+func (b *Batcher) Load() (pending, backlog int) {
+	b.mu.Lock()
+	pending = len(b.pending)
+	b.mu.Unlock()
+	return pending, int(b.inflight.Load())
+}
+
 // Submit enqueues one query and returns its future. The query's Idx is
 // assigned by the batcher; any caller-set Idx is ignored.
 func (b *Batcher) Submit(q keys.Query) (*Future, error) {
-	f := &Future{done: make(chan struct{})}
+	f := &Future{done: make(chan struct{}), scan: q.Op == keys.OpScan}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -303,8 +400,11 @@ func (b *Batcher) Flush() {
 	}
 }
 
-// flushLocked hands the pending batch to the dispatcher. Called with
-// b.mu held.
+// flushLocked hands the pending batch to the dispatcher: the batch is
+// appended to the unbounded hand-off queue and the dispatcher nudged,
+// all O(1) — never a blocking send with b.mu held, so Submit, Flush,
+// Close, and the gauges stay live however far behind the processor is.
+// Called with b.mu held.
 func (b *Batcher) flushLocked() {
 	if b.timer != nil {
 		b.timer.Stop()
@@ -318,12 +418,20 @@ func (b *Batcher) flushLocked() {
 	if b.batchSize != nil {
 		n := int64(len(req.qs))
 		b.batchSize.Record(n)
-		if cap := b.batchCap.Load(); cap > 0 {
-			b.fillPermille.Record(n * 1000 / cap)
+		if c := b.batchCap.Load(); c > 0 {
+			b.fillPermille.Record(n * 1000 / c)
 		}
 		b.queueDepth.Set(0)
 	}
-	b.dispatch <- req
+	b.sendq = append(b.sendq, req)
+	n := b.inflight.Add(1)
+	if b.backlog != nil {
+		b.backlog.Set(n)
+	}
+	select {
+	case b.wake <- struct{}{}:
+	default: // dispatcher already has a pending wakeup token
+	}
 }
 
 // Close flushes pending queries, waits for all dispatched batches to
@@ -347,8 +455,12 @@ func (b *Batcher) Close() {
 	}
 	b.timerGen++
 	b.closed = true
+	b.qdone = true
 	b.mu.Unlock()
-	close(b.dispatch)
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
 	b.wg.Wait()
 }
 

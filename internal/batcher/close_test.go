@@ -52,7 +52,11 @@ func TestCloseWhileSubmitting(t *testing.T) {
 		b := New(newEngine(t), Config{MaxBatch: 4, MaxDelay: time.Microsecond})
 		const workers = 8
 		var wg sync.WaitGroup
-		futs := make(chan *Future, workers*64)
+		// Per-worker slices, merged after the race: Submit no longer
+		// blocks behind the dispatcher, so the number of futures won in
+		// the race window is unbounded — a fixed-capacity channel here
+		// would throttle the submitters and mask the behavior under test.
+		perWorker := make([][]*Future, workers)
 		start := make(chan struct{})
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
@@ -67,7 +71,7 @@ func TestCloseWhileSubmitting(t *testing.T) {
 						}
 						return
 					}
-					futs <- f
+					perWorker[w] = append(perWorker[w], f)
 				}
 			}(w)
 		}
@@ -75,11 +79,12 @@ func TestCloseWhileSubmitting(t *testing.T) {
 		time.Sleep(time.Duration(round%5) * 100 * time.Microsecond)
 		b.Close()
 		wg.Wait()
-		close(futs)
 		done := make(chan struct{})
 		go func() {
-			for f := range futs {
-				f.Get()
+			for _, futs := range perWorker {
+				for _, f := range futs {
+					f.Get()
+				}
 			}
 			close(done)
 		}()

@@ -1,0 +1,355 @@
+package batcher
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/keys"
+	"repro/internal/metrics"
+)
+
+// gatedProc is a Processor that blocks inside ProcessBatch until
+// released, recording the batches it was handed. It simulates a slow or
+// wedged engine so tests can observe the batcher's behavior while the
+// dispatcher is stalled mid-batch.
+type gatedProc struct {
+	gate    chan struct{} // each receive releases one ProcessBatch call
+	mu      sync.Mutex
+	batches [][]keys.Query
+}
+
+func newGatedProc() *gatedProc { return &gatedProc{gate: make(chan struct{})} }
+
+func (p *gatedProc) ProcessBatch(qs []keys.Query, rs *keys.ResultSet) {
+	<-p.gate
+	p.mu.Lock()
+	p.batches = append(p.batches, append([]keys.Query(nil), qs...))
+	p.mu.Unlock()
+	for i := range qs {
+		if qs[i].Op == keys.OpSearch {
+			rs.Set(qs[i].Idx, keys.Value(qs[i].Key), true) // echo the key as the value
+		}
+	}
+}
+
+// release lets n in-flight or future ProcessBatch calls finish.
+func (p *gatedProc) release(n int) {
+	for i := 0; i < n; i++ {
+		p.gate <- struct{}{}
+	}
+}
+
+// TestSubmitNotBlockedByStalledDispatcher is the regression test for
+// the lock-held dispatch stall: flushLocked used to send on a bounded
+// channel (capacity 4) while holding b.mu, so once the processor fell 4
+// batches behind, the next flush parked with the mutex held and every
+// Submit, Flush, and Close froze with it. With the unbounded hand-off
+// the submit path must stay live no matter how far behind the
+// processor is.
+func TestSubmitNotBlockedByStalledDispatcher(t *testing.T) {
+	proc := newGatedProc()
+	b := New(proc, Config{MaxBatch: 1, MaxDelay: time.Hour})
+
+	// Far more flushed batches than the old channel capacity (4), all
+	// while the processor is stuck inside its first ProcessBatch call.
+	const batches = 64
+	done := make(chan []*Future, 1)
+	go func() {
+		futs := make([]*Future, 0, batches)
+		for i := 0; i < batches; i++ {
+			f, err := b.Submit(keys.Search(keys.Key(i)))
+			if err != nil {
+				t.Errorf("Submit %d: %v", i, err)
+				break
+			}
+			futs = append(futs, f)
+		}
+		done <- futs
+	}()
+
+	var futs []*Future
+	select {
+	case futs = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Submit blocked behind the stalled dispatcher (lock-held dispatch stall)")
+	}
+
+	// Flush on an empty queue must also return immediately.
+	flushed := make(chan struct{})
+	go func() { b.Flush(); close(flushed) }()
+	select {
+	case <-flushed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Flush blocked behind the stalled dispatcher")
+	}
+
+	if pending, backlog := b.Load(); pending != 0 || backlog != batches {
+		t.Fatalf("Load = (%d pending, %d backlog), want (0, %d)", pending, backlog, batches)
+	}
+
+	proc.release(batches)
+	for i, f := range futs {
+		res, ok := f.Get()
+		if !ok || !res.Found || res.Value != keys.Value(i) {
+			t.Fatalf("future %d = %+v, %v", i, res, ok)
+		}
+	}
+	b.Close()
+}
+
+// TestGaugesLiveDuringProcessorStall pins the observability half of the
+// regression: while the processor is wedged, the queue-depth gauge must
+// keep tracking new submissions and the dispatch-backlog gauge must
+// report how far behind the processor is — these are exactly the
+// signals admission control sheds on, and the old lock-held send froze
+// both.
+func TestGaugesLiveDuringProcessorStall(t *testing.T) {
+	reg := metrics.New()
+	proc := newGatedProc()
+	b := New(proc, Config{MaxBatch: 4, MaxDelay: time.Hour, Metrics: reg})
+	defer b.Close()
+
+	// Fill and flush 3 whole batches; the processor accepts none of them.
+	for i := 0; i < 12; i++ {
+		if _, err := b.Submit(keys.Insert(keys.Key(i), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Now trickle 3 more queries in — under the stall the gauge must
+	// still move with each Submit.
+	for i := 0; i < 3; i++ {
+		if _, err := b.Submit(keys.Insert(keys.Key(100+i), 1)); err != nil {
+			t.Fatal(err)
+		}
+		snap := reg.Snapshot()
+		if got := snap.Gauges["batcher_queue_depth"]; got != int64(i+1) {
+			t.Fatalf("queue_depth after %d stalled submits = %d, want %d", i+1, got, i+1)
+		}
+		if got := snap.Gauges["batcher_dispatch_backlog"]; got != 3 {
+			t.Fatalf("dispatch_backlog during stall = %d, want 3", got)
+		}
+	}
+
+	b.Flush()       // dispatch the trickled partial batch too
+	proc.release(4) // 3 full batches + the flushed partial
+}
+
+// TestDispatchOrderPreservedUnderStall verifies the hand-off queue
+// preserves flush order even when many batches pile up behind a stalled
+// processor — batches must reach the processor in exactly the order
+// flushLocked emitted them, or as-if-serial semantics break.
+func TestDispatchOrderPreservedUnderStall(t *testing.T) {
+	proc := newGatedProc()
+	b := New(proc, Config{MaxBatch: 2, MaxDelay: time.Hour})
+	defer b.Close()
+
+	const batches = 32
+	for i := 0; i < batches; i++ {
+		for j := 0; j < 2; j++ {
+			if _, err := b.Submit(keys.Insert(keys.Key(2*i+j), keys.Value(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	proc.release(batches)
+	b.Flush()
+
+	deadline := time.After(10 * time.Second)
+	for {
+		proc.mu.Lock()
+		n := len(proc.batches)
+		proc.mu.Unlock()
+		if n == batches {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("only %d/%d batches processed", n, batches)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	proc.mu.Lock()
+	defer proc.mu.Unlock()
+	next := keys.Key(0)
+	for bi, qs := range proc.batches {
+		for _, q := range qs {
+			if q.Key != next {
+				t.Fatalf("batch %d out of order: key %d, want %d", bi, q.Key, next)
+			}
+			next++
+		}
+	}
+}
+
+// TestScanFutureRows exercises the Future scan side channel: a
+// submitted range scan resolves with its rows, point futures report
+// ok == false from Rows, and the returned slice is a caller-owned copy
+// (it survives the batch storage being reset for the next batch).
+func TestScanFutureRows(t *testing.T) {
+	for _, pipeline := range []bool{false, true} {
+		b := New(newEngine(t), Config{MaxBatch: 8, MaxDelay: time.Millisecond, Pipeline: pipeline})
+
+		for i := 0; i < 5; i++ {
+			if _, err := b.Submit(keys.Insert(keys.Key(10+i), keys.Value(100+i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		scanF, err := b.Submit(keys.Scan(10, 13, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pointF, err := b.Submit(keys.Search(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		limitF, err := b.Submit(keys.Scan(10, 15, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		emptyF, err := b.Submit(keys.Scan(1000, 2000, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rows, ok := scanF.Rows()
+		if !ok || len(rows) != 3 {
+			t.Fatalf("pipeline=%v: scan rows = %v, %v; want 3 rows", pipeline, rows, ok)
+		}
+		for i, kv := range rows {
+			if kv.Key != keys.Key(10+i) || kv.Value != keys.Value(100+i) {
+				t.Fatalf("pipeline=%v: row %d = %+v", pipeline, i, kv)
+			}
+		}
+		if res, ok := scanF.Get(); !ok || res.Value != 3 {
+			t.Fatalf("pipeline=%v: scan point result = %+v, %v; want rowcount 3", pipeline, res, ok)
+		}
+		if _, ok := pointF.Rows(); ok {
+			t.Fatalf("pipeline=%v: point future reported scan rows", pipeline)
+		}
+		if rows, ok := limitF.Rows(); !ok || len(rows) != 2 {
+			t.Fatalf("pipeline=%v: limited scan rows = %v, %v; want 2 rows", pipeline, rows, ok)
+		}
+		if rows, ok := emptyF.Rows(); !ok || len(rows) != 0 {
+			t.Fatalf("pipeline=%v: empty scan = %v, %v; want ok with no rows", pipeline, rows, ok)
+		}
+
+		// Push more batches through to recycle the batch result storage,
+		// then re-check the copied rows are untouched.
+		for i := 0; i < 64; i++ {
+			if _, err := b.Submit(keys.Insert(keys.Key(5000+i), 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b.Flush()
+		b.Close()
+		rows, _ = scanF.Rows()
+		for i, kv := range rows {
+			if kv.Key != keys.Key(10+i) || kv.Value != keys.Value(100+i) {
+				t.Fatalf("pipeline=%v: row %d corrupted after storage reuse: %+v", pipeline, i, kv)
+			}
+		}
+	}
+}
+
+// TestRMWFutureResult checks RMW submissions resolve with the
+// pre-update value through the ordinary point-result path.
+func TestRMWFutureResult(t *testing.T) {
+	b := New(newEngine(t), Config{MaxBatch: 1 << 20, MaxDelay: time.Hour})
+	defer b.Close()
+
+	f1, err := b.Submit(keys.AddDelta(7, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := b.Submit(keys.AddDelta(7, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3, err := b.Submit(keys.SetIfAbsent(7, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Flush()
+	if res, ok := f1.Get(); !ok || res.Found || res.Value != 0 {
+		t.Fatalf("first AddDelta = %+v, %v; want absent pre-state", res, ok)
+	}
+	if res, ok := f2.Get(); !ok || !res.Found || res.Value != 5 {
+		t.Fatalf("second AddDelta = %+v, %v; want pre-value 5", res, ok)
+	}
+	if res, ok := f3.Get(); !ok || !res.Found || res.Value != 10 {
+		t.Fatalf("SetIfAbsent = %+v, %v; want existing value 10", res, ok)
+	}
+}
+
+// TestConcurrentSubmitFlushCloseUnderStall is the -race hammer for the
+// fixed hand-off: many submitters, a flusher, and a closer race against
+// a deliberately slow processor. Every future must resolve exactly once
+// and the batcher must shut down cleanly.
+func TestConcurrentSubmitFlushCloseUnderStall(t *testing.T) {
+	proc := newGatedProc()
+	b := New(proc, Config{MaxBatch: 8, MaxDelay: time.Millisecond})
+
+	// Drip-feed the processor from the side so batches drain slowly but
+	// steadily while the hammer runs.
+	stop := make(chan struct{})
+	var feeder sync.WaitGroup
+	feeder.Add(1)
+	go func() {
+		defer feeder.Done()
+		for {
+			select {
+			case <-stop:
+				// Unconditionally drain whatever is still gated.
+				for {
+					select {
+					case proc.gate <- struct{}{}:
+					default:
+						return
+					}
+				}
+			case proc.gate <- struct{}{}:
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	var resolved atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f, err := b.Submit(keys.Insert(keys.Key(w*1000+i), keys.Value(i)))
+				if err != nil {
+					return // closed under us: fine
+				}
+				go func() {
+					<-f.Done()
+					resolved.Add(1)
+				}()
+				if i%17 == 0 {
+					b.Flush()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.Close()
+	close(stop)
+	feeder.Wait()
+	// After Close returns every accepted future must already be
+	// resolved; give the counting goroutines a moment to observe it.
+	deadline := time.After(5 * time.Second)
+	_, queries := b.Stats()
+	for resolved.Load() < queries {
+		select {
+		case <-deadline:
+			t.Fatalf("resolved %d of %d accepted futures", resolved.Load(), queries)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}

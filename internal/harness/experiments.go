@@ -74,6 +74,7 @@ func Experiments() []Experiment {
 		Experiment{"layout", "gapped vs dense node layout: search cost and restructuring by ablation", LayoutExp},
 		Experiment{"scan", "range scans vs repeated point gets, RMW vs get-then-insert pairs", ScanExp},
 		Experiment{"metrics", "per-stage time breakdown from the metrics registry (org and inter)", MetricsExp},
+		Experiment{"serve", "network front end under concurrent connections: steady, overload (shedding), graceful drain", ServeExp},
 		Experiment{"table1", "dataset configurations", Table1},
 		Experiment{"table2", "latency per dataset (opt vs org, U-0 and U-0.75)", Table2},
 	)

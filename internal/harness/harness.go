@@ -50,6 +50,17 @@ type Options struct {
 	// into the given registry (nil keeps runs uninstrumented, identical
 	// to before).
 	Metrics *metrics.Registry
+
+	// Conns is the number of concurrent client connections the serve
+	// experiment drives (<= 0 derives a laptop-scale count from Scale).
+	Conns int
+	// ServerBin, when set, points the serve experiment at a built
+	// cmd/qtransserver binary: each phase spawns its own server process
+	// (so client and server draw on separate file-descriptor budgets)
+	// and parses its stdout counter lines. Empty runs the server
+	// in-process, which caps Conns at inprocConnCap because every
+	// connection then costs two descriptors in one process.
+	ServerBin string
 }
 
 // palmConfig builds the tree-processor config for one measurement arm.

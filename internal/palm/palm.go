@@ -117,7 +117,7 @@ type workerScratch struct {
 	finder    finder        // Stage-1 path-reuse descent state
 	mergeKeys []keys.Key    // merge-based leaf application scratch
 	mergeVals []keys.Value
-	leafKeys  []keys.Key   // gapped-leaf compaction scratch (overflow path)
+	leafKeys  []keys.Key // gapped-leaf compaction scratch (overflow path)
 	leafVals  []keys.Value
 	sizeDelta int64
 	leafOps   int64 // operations applied at the leaf level (Fig. 13)

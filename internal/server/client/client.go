@@ -1,0 +1,198 @@
+// Package client is the Go client for the qtransserver wire protocol
+// (internal/server): it pipelines requests over one TCP connection,
+// matching the server's in-order response stream back to futures. One
+// Client is one connection; open many Clients for connection-level
+// concurrency (the serve harness experiment opens tens of thousands).
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/keys"
+	"repro/internal/server"
+)
+
+// Future is one outstanding request's pending response.
+type Future struct {
+	done chan struct{}
+	resp server.Response
+	err  error
+}
+
+// Wait blocks until the response arrives (or the connection fails)
+// and returns it.
+func (f *Future) Wait() (server.Response, error) {
+	<-f.done
+	return f.resp, f.err
+}
+
+// Client is one pipelined protocol connection. Do/Call/Flush/Close
+// are safe for concurrent use; responses resolve in submission order
+// (the server's per-connection ordering guarantee).
+type Client struct {
+	conn net.Conn
+
+	wmu    sync.Mutex // serializes encode+enqueue, keeping FIFO = wire order
+	bw     *bufio.Writer
+	nextID uint64
+	werr   error
+	closed bool
+
+	inflight chan *Future
+	readDone chan struct{}
+}
+
+// maxInflight bounds the pipeline depth of one connection; a Do past
+// this many unanswered requests blocks until responses catch up.
+const maxInflight = 1024
+
+// Dial connects to a qtransserver at addr ("host:port").
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return New(conn), nil
+}
+
+// New wraps an established connection in a Client and starts its
+// response reader. The Client owns conn from here on.
+func New(conn net.Conn) *Client {
+	c := &Client{
+		conn:     conn,
+		bw:       bufio.NewWriterSize(conn, 4*1024),
+		inflight: make(chan *Future, maxInflight),
+		readDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+func (c *Client) readLoop() {
+	defer close(c.readDone)
+	br := bufio.NewReaderSize(c.conn, 4*1024)
+	var scratch []byte
+	wantID := uint64(0)
+	for f := range c.inflight {
+		if f == nil {
+			return // Close sentinel: no more requests will arrive
+		}
+		body, buf, err := server.ReadFrame(br, scratch, server.MaxFrameLen)
+		if err == nil {
+			scratch = buf
+			f.resp, f.err = server.DecodeResponse(body)
+			if f.err == nil && f.resp.ID != wantID {
+				f.err = fmt.Errorf("client: response id %d, want %d (pipeline desync)", f.resp.ID, wantID)
+			}
+		} else {
+			f.err = err
+		}
+		wantID++
+		failed := f.err != nil
+		close(f.done)
+		if failed {
+			c.failRemaining(f.err)
+			return
+		}
+	}
+}
+
+// failRemaining resolves every queued future with err after a
+// connection-level failure, then keeps draining so writers never
+// block on a dead pipeline.
+func (c *Client) failRemaining(err error) {
+	for f := range c.inflight {
+		if f == nil {
+			return
+		}
+		f.err = err
+		close(f.done)
+	}
+}
+
+// Do pipelines one query and returns its Future without flushing;
+// call Flush (or Call) to push buffered frames to the server. IDs are
+// assigned per-connection in submission order.
+func (c *Client) Do(q keys.Query) (*Future, error) {
+	f := &Future{done: make(chan struct{})}
+	c.wmu.Lock()
+	if c.werr != nil {
+		err := c.werr
+		c.wmu.Unlock()
+		return nil, err
+	}
+	id := c.nextID
+	c.nextID++
+	frame := server.AppendRequest(nil, id, q)
+	if _, err := c.bw.Write(frame); err != nil {
+		c.werr = err
+		c.wmu.Unlock()
+		return nil, err
+	}
+	// Enqueue under wmu so FIFO order always equals wire order. A full
+	// pipeline must flush before blocking: the requests that would make
+	// room may still sit in our own write buffer.
+	select {
+	case c.inflight <- f:
+	default:
+		if err := c.bw.Flush(); err != nil {
+			c.werr = err
+			c.wmu.Unlock()
+			return nil, err
+		}
+		c.inflight <- f
+	}
+	c.wmu.Unlock()
+	return f, nil
+}
+
+// Flush pushes all buffered request frames to the server.
+func (c *Client) Flush() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.werr != nil {
+		return c.werr
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.werr = err
+		return err
+	}
+	return nil
+}
+
+// Call submits one query, flushes, and waits for its response.
+func (c *Client) Call(q keys.Query) (server.Response, error) {
+	f, err := c.Do(q)
+	if err != nil {
+		return server.Response{}, err
+	}
+	if err := c.Flush(); err != nil {
+		return server.Response{}, err
+	}
+	return f.Wait()
+}
+
+// Close flushes, waits for every outstanding response, and closes the
+// connection. Futures created after Close fail; Close is idempotent.
+func (c *Client) Close() error {
+	c.wmu.Lock()
+	if c.closed {
+		c.wmu.Unlock()
+		<-c.readDone
+		return nil
+	}
+	c.closed = true
+	if c.werr == nil {
+		c.werr = fmt.Errorf("client: closed")
+		c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	// The sentinel is ordered after every enqueued future, so the read
+	// loop resolves them all before exiting.
+	c.inflight <- nil
+	<-c.readDone
+	return c.conn.Close()
+}

@@ -1,0 +1,34 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+// FuzzFrameDecode throws arbitrary bodies at both decoders and checks
+// the canonical-form invariant: anything accepted must re-encode
+// byte-identically (modulo the length prefix, which the fuzzer does
+// not supply). Decoders must never panic on arbitrary input.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add(AppendRequest(nil, 1, keys.Search(5))[4:])
+	f.Add(AppendRequest(nil, 2, keys.Scan(1, 9, 3))[4:])
+	f.Add(AppendRequest(nil, 3, keys.SetIfAbsent(7, 7))[4:])
+	f.Add(AppendResponse(nil, Response{ID: 4, Status: StatusOK, Recorded: true, Found: true, Value: 2,
+		Rows: []keys.KV{{Key: 1, Value: 2}, {Key: 3, Value: 4}}})[4:])
+	f.Add(AppendResponse(nil, Response{ID: 5, Status: StatusShed})[4:])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if req, err := DecodeRequest(body); err == nil {
+			if re := AppendRequest(nil, req.ID, req.Q); !bytes.Equal(re[4:], body) {
+				t.Fatalf("request re-encode differs:\n in %x\n re %x", body, re[4:])
+			}
+		}
+		if resp, err := DecodeResponse(body); err == nil {
+			if re := AppendResponse(nil, resp); !bytes.Equal(re[4:], body) {
+				t.Fatalf("response re-encode differs:\n in %x\n re %x", body, re[4:])
+			}
+		}
+	})
+}

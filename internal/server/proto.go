@@ -1,0 +1,263 @@
+// Package server is the standalone network front end of the engine: a
+// TCP server speaking a length-framed binary protocol (stdlib only)
+// that feeds per-connection request pipelines into the online batcher
+// (internal/batcher), with admission control shedding load when the
+// batcher's dispatch backlog climbs past a high-water mark and a
+// graceful drain that answers every accepted request before closing.
+// This is the §VI-D online-processing regime behind a socket: the
+// batcher trades throughput for response time, the server turns that
+// into a system boundary. See DESIGN.md §12 for the wire format and
+// the backpressure/drain state machines.
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/keys"
+)
+
+// Wire format (all integers big-endian):
+//
+//	frame    := len:uint32 body
+//	request  := id:uint64 op:uint8 rmw:uint8 key:uint64 value:uint64 key2:uint64
+//	response := id:uint64 status:uint8 flags:uint8 value:uint64
+//	            nrows:uint32 nrows*(key:uint64 value:uint64)
+//
+// len counts the body only. Request bodies are exactly ReqBodyLen
+// bytes; response bodies are RespHeaderLen + 16*nrows. Every accepted
+// frame re-encodes byte-identically (canonical form): decoders reject
+// out-of-range op/rmw/status/flags bytes and any rmw byte on a non-RMW
+// op, so corruption either fails decoding or yields a different valid
+// frame — never an out-of-vocabulary query. The id is an opaque
+// correlation token chosen by the client; responses may arrive in any
+// order relative to other connections but in submission order within
+// one connection.
+const (
+	// ReqBodyLen is the exact body length of a request frame.
+	ReqBodyLen = 8 + 1 + 1 + 8 + 8 + 8
+	// RespHeaderLen is the body length of a rowless response frame.
+	RespHeaderLen = 8 + 1 + 1 + 8 + 4
+	// RowLen is the encoded size of one scan row.
+	RowLen = 16
+	// MaxFrameLen caps any frame body this package will read (16 MiB —
+	// a response carrying ~1M scan rows). A length prefix beyond the
+	// cap is a protocol error, not an allocation.
+	MaxFrameLen = 16 << 20
+)
+
+// Status is the outcome class of a response.
+type Status uint8
+
+// Response status codes. Only StatusOK carries a query result; the
+// others are admission-control or protocol outcomes whose frames are
+// canonical with zero value, zero flags, and no rows.
+const (
+	// StatusOK: the query executed; flags/value/rows hold its result.
+	StatusOK Status = iota
+	// StatusShed: admission control rejected the request because the
+	// batcher's dispatch backlog was above the high-water mark. The
+	// query did not execute; the client may retry.
+	StatusShed
+	// StatusDraining: the server is shutting down and no longer accepts
+	// work. The query did not execute.
+	StatusDraining
+	// StatusBadRequest: the request decoded structurally but was
+	// semantically unusable (reserved for future use; current decoders
+	// reject malformed frames at the connection level).
+	StatusBadRequest
+)
+
+// Valid reports whether s is a defined status code.
+func (s Status) Valid() bool { return s <= StatusBadRequest }
+
+// String names the status for logs and errors.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusShed:
+		return "shed"
+	case StatusDraining:
+		return "draining"
+	case StatusBadRequest:
+		return "bad-request"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Response flag bits. Found implies Recorded: a result cannot report a
+// present key without having been recorded, so flag byte 2 is invalid
+// and decoders reject it (canonical-form property).
+const (
+	// FlagRecorded: a point result was recorded for the query (searches,
+	// scans, RMWs; never inserts/deletes).
+	FlagRecorded = 1 << 0
+	// FlagFound: the key (or at least one scanned row) was present.
+	FlagFound = 1 << 1
+)
+
+// Request is one decoded client query frame.
+type Request struct {
+	// ID is the client's correlation token, echoed on the response.
+	ID uint64
+	// Q is the query. Only Op, RMW, Key, Value, and Key2 travel on the
+	// wire; Idx and LeafAnswer are engine-internal and always zero
+	// here.
+	Q keys.Query
+}
+
+// Response is one decoded server reply frame.
+type Response struct {
+	// ID echoes the request's correlation token.
+	ID uint64
+	// Status classifies the outcome; only StatusOK carries a result.
+	Status Status
+	// Recorded reports whether a point result was recorded (FlagRecorded).
+	Recorded bool
+	// Found reports key presence (FlagFound; for scans: any rows).
+	Found bool
+	// Value is the point result: looked-up value, RMW pre-value, or
+	// scan row count.
+	Value keys.Value
+	// Rows holds the scan rows in ascending key order (scans only).
+	Rows []keys.KV
+}
+
+// AppendRequest appends the framed encoding of (id, q) to dst and
+// returns the extended slice. Engine-internal query fields (Idx,
+// LeafAnswer) are not encoded.
+func AppendRequest(dst []byte, id uint64, q keys.Query) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, ReqBodyLen)
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	dst = append(dst, byte(q.Op), byte(q.RMW))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(q.Key))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(q.Value))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(q.Key2))
+	return dst
+}
+
+// DecodeRequest decodes a request frame body (the bytes after the
+// length prefix). It enforces canonical form: exact length, a
+// wire-valid op, and a zero rmw byte unless the op is OpRMW.
+func DecodeRequest(body []byte) (Request, error) {
+	if len(body) != ReqBodyLen {
+		return Request{}, fmt.Errorf("server: request body %d bytes, want %d", len(body), ReqBodyLen)
+	}
+	var r Request
+	r.ID = binary.BigEndian.Uint64(body[0:8])
+	op := keys.Op(body[8])
+	if !op.Valid() {
+		return Request{}, fmt.Errorf("server: invalid op byte %d", body[8])
+	}
+	rmw := body[9]
+	if op == keys.OpRMW {
+		if rmw > uint8(keys.RMWSetIfAbsent) {
+			return Request{}, fmt.Errorf("server: invalid rmw byte %d", rmw)
+		}
+	} else if rmw != 0 {
+		return Request{}, fmt.Errorf("server: nonzero rmw byte %d on op %s", rmw, op)
+	}
+	r.Q = keys.Query{
+		Op:    op,
+		RMW:   keys.RMWKind(rmw),
+		Key:   keys.Key(binary.BigEndian.Uint64(body[10:18])),
+		Value: keys.Value(binary.BigEndian.Uint64(body[18:26])),
+		Key2:  keys.Key(binary.BigEndian.Uint64(body[26:34])),
+	}
+	return r, nil
+}
+
+// AppendResponse appends the framed encoding of resp to dst and
+// returns the extended slice.
+func AppendResponse(dst []byte, resp Response) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(RespHeaderLen+RowLen*len(resp.Rows)))
+	dst = binary.BigEndian.AppendUint64(dst, resp.ID)
+	var flags byte
+	if resp.Recorded {
+		flags |= FlagRecorded
+	}
+	if resp.Found {
+		flags |= FlagFound
+	}
+	dst = append(dst, byte(resp.Status), flags)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(resp.Value))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(resp.Rows)))
+	for _, kv := range resp.Rows {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(kv.Key))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(kv.Value))
+	}
+	return dst
+}
+
+// DecodeResponse decodes a response frame body. Canonical form is
+// enforced: a defined status and flag bits, Found only with Recorded,
+// a row payload sized exactly to nrows, and rows or flags only on
+// StatusOK frames.
+func DecodeResponse(body []byte) (Response, error) {
+	if len(body) < RespHeaderLen {
+		return Response{}, fmt.Errorf("server: response body %d bytes, want >= %d", len(body), RespHeaderLen)
+	}
+	var r Response
+	r.ID = binary.BigEndian.Uint64(body[0:8])
+	r.Status = Status(body[8])
+	if !r.Status.Valid() {
+		return Response{}, fmt.Errorf("server: invalid status byte %d", body[8])
+	}
+	flags := body[9]
+	if flags&^(FlagRecorded|FlagFound) != 0 {
+		return Response{}, fmt.Errorf("server: invalid flags byte %d", flags)
+	}
+	if flags&FlagFound != 0 && flags&FlagRecorded == 0 {
+		return Response{}, fmt.Errorf("server: found without recorded (flags %d)", flags)
+	}
+	r.Recorded = flags&FlagRecorded != 0
+	r.Found = flags&FlagFound != 0
+	r.Value = keys.Value(binary.BigEndian.Uint64(body[10:18]))
+	nrows := binary.BigEndian.Uint32(body[18:22])
+	if want := RespHeaderLen + RowLen*int(nrows); len(body) != want {
+		return Response{}, fmt.Errorf("server: response body %d bytes, want %d for %d rows", len(body), want, nrows)
+	}
+	if r.Status != StatusOK && (nrows != 0 || flags != 0 || r.Value != 0) {
+		return Response{}, fmt.Errorf("server: non-ok status %s with result payload", r.Status)
+	}
+	if nrows > 0 {
+		r.Rows = make([]keys.KV, nrows)
+		off := RespHeaderLen
+		for i := range r.Rows {
+			r.Rows[i].Key = keys.Key(binary.BigEndian.Uint64(body[off : off+8]))
+			r.Rows[i].Value = keys.Value(binary.BigEndian.Uint64(body[off+8 : off+16]))
+			off += RowLen
+		}
+	}
+	return r, nil
+}
+
+// ReadFrame reads one length-prefixed frame body from r into buf
+// (grown as needed) and returns the body slice, which aliases buf's
+// storage until the next call. maxBody bounds the accepted body length
+// (use ReqBodyLen server-side, MaxFrameLen client-side) so a corrupt
+// length prefix cannot trigger an oversized allocation.
+func ReadFrame(r io.Reader, buf []byte, maxBody int) (body, newBuf []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, buf, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || int64(n) > int64(maxBody) {
+		return nil, buf, fmt.Errorf("server: frame length %d outside (0, %d]", n, maxBody)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	body = buf[:n]
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, buf, err
+	}
+	return body, buf, nil
+}

@@ -1,0 +1,242 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+// wireRequests covers all seven client-visible operations plus
+// boundary field values.
+func wireRequests() []Request {
+	return []Request{
+		{ID: 1, Q: keys.Search(42)},
+		{ID: 2, Q: keys.Insert(7, 99)},
+		{ID: 3, Q: keys.Insert(7, 100)}, // update = insert on existing key
+		{ID: 4, Q: keys.Delete(7)},
+		{ID: 5, Q: keys.Scan(10, 20, 3)},
+		{ID: 6, Q: keys.AddDelta(8, 5)},
+		{ID: 7, Q: keys.SetIfAbsent(9, 11)},
+		{ID: ^uint64(0), Q: keys.Scan(0, ^keys.Key(0), ^keys.Value(0))},
+		{ID: 0, Q: keys.Search(0)},
+	}
+}
+
+func wireResponses() []Response {
+	return []Response{
+		{ID: 1, Status: StatusOK},
+		{ID: 2, Status: StatusOK, Recorded: true, Value: 99},
+		{ID: 3, Status: StatusOK, Recorded: true, Found: true, Value: 7},
+		{ID: 4, Status: StatusOK, Recorded: true, Found: true, Value: 2,
+			Rows: []keys.KV{{Key: 10, Value: 1}, {Key: 11, Value: 2}}},
+		{ID: 5, Status: StatusShed},
+		{ID: 6, Status: StatusDraining},
+		{ID: 7, Status: StatusBadRequest},
+		{ID: ^uint64(0), Status: StatusOK, Recorded: true, Found: true, Value: ^keys.Value(0),
+			Rows: []keys.KV{{Key: ^keys.Key(0), Value: ^keys.Value(0)}}},
+	}
+}
+
+// TestRequestRoundTrip: encode → frame-read → decode reproduces every
+// request exactly, and re-encoding the decode reproduces the bytes
+// (canonical form).
+func TestRequestRoundTrip(t *testing.T) {
+	for _, want := range wireRequests() {
+		frame := AppendRequest(nil, want.ID, want.Q)
+		body, _, err := ReadFrame(bytes.NewReader(frame), nil, ReqBodyLen)
+		if err != nil {
+			t.Fatalf("%+v: ReadFrame: %v", want, err)
+		}
+		got, err := DecodeRequest(body)
+		if err != nil {
+			t.Fatalf("%+v: DecodeRequest: %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+		if re := AppendRequest(nil, got.ID, got.Q); !bytes.Equal(re, frame) {
+			t.Fatalf("%+v: re-encode differs", want)
+		}
+	}
+}
+
+// TestResponseRoundTrip mirrors TestRequestRoundTrip for responses,
+// including multi-row scan payloads.
+func TestResponseRoundTrip(t *testing.T) {
+	for _, want := range wireResponses() {
+		frame := AppendResponse(nil, want)
+		body, _, err := ReadFrame(bytes.NewReader(frame), nil, MaxFrameLen)
+		if err != nil {
+			t.Fatalf("%+v: ReadFrame: %v", want, err)
+		}
+		got, err := DecodeResponse(body)
+		if err != nil {
+			t.Fatalf("%+v: DecodeResponse: %v", want, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+		if re := AppendResponse(nil, got); !bytes.Equal(re, frame) {
+			t.Fatalf("%+v: re-encode differs", want)
+		}
+	}
+}
+
+// corruptEveryByte xors every byte of every frame through every bit
+// pattern delta and asserts the decoder either rejects the mutation or
+// accepts a frame that re-encodes byte-identically (so corruption can
+// never silently produce an out-of-vocabulary message). Mirrors the
+// WAL/trace corrupt-every-byte suites.
+func corruptEveryByte(t *testing.T, frame []byte, decode func(body []byte) ([]byte, error)) {
+	t.Helper()
+	for pos := range frame {
+		for delta := 1; delta < 256; delta++ {
+			mut := bytes.Clone(frame)
+			mut[pos] ^= byte(delta)
+			body, _, err := ReadFrame(bytes.NewReader(mut), nil, MaxFrameLen)
+			if err != nil {
+				continue // length prefix corruption caught at framing
+			}
+			re, err := decode(body)
+			if err != nil {
+				continue
+			}
+			if !bytes.Equal(re, mut) {
+				t.Fatalf("byte %d ^= %#x: accepted non-canonical frame\n mut %x\n re  %x", pos, delta, mut, re)
+			}
+		}
+	}
+}
+
+func TestRequestDecodeCorruptEveryByte(t *testing.T) {
+	for _, r := range wireRequests() {
+		corruptEveryByte(t, AppendRequest(nil, r.ID, r.Q), func(body []byte) ([]byte, error) {
+			d, err := DecodeRequest(body)
+			if err != nil {
+				return nil, err
+			}
+			return AppendRequest(nil, d.ID, d.Q), nil
+		})
+	}
+}
+
+func TestResponseDecodeCorruptEveryByte(t *testing.T) {
+	for _, r := range wireResponses() {
+		corruptEveryByte(t, AppendResponse(nil, r), func(body []byte) ([]byte, error) {
+			d, err := DecodeResponse(body)
+			if err != nil {
+				return nil, err
+			}
+			return AppendResponse(nil, d), nil
+		})
+	}
+}
+
+// TestTruncatedFrames: every proper prefix of a valid frame must fail
+// at the framing or decode layer, never be accepted.
+func TestTruncatedFrames(t *testing.T) {
+	frames := [][]byte{
+		AppendRequest(nil, 3, keys.Scan(1, 9, 0)),
+		AppendResponse(nil, Response{ID: 3, Status: StatusOK, Recorded: true, Found: true, Value: 2,
+			Rows: []keys.KV{{Key: 1, Value: 2}, {Key: 3, Value: 4}}}),
+	}
+	for _, frame := range frames {
+		for cut := 0; cut < len(frame); cut++ {
+			body, _, err := ReadFrame(bytes.NewReader(frame[:cut]), nil, MaxFrameLen)
+			if err == nil {
+				t.Fatalf("truncated frame (%d of %d bytes) read whole body %x", cut, len(frame), body)
+			}
+			if cut > 4 && err != io.ErrUnexpectedEOF {
+				t.Fatalf("cut %d: want ErrUnexpectedEOF, got %v", cut, err)
+			}
+		}
+	}
+}
+
+// TestReadFrameRejectsOversizedAndZeroLength: a corrupt length prefix
+// is a protocol error before any allocation happens.
+func TestReadFrameRejectsOversizedAndZeroLength(t *testing.T) {
+	for _, n := range []uint32{0, ReqBodyLen + 1, 1 << 30, ^uint32(0)} {
+		hdr := binary.BigEndian.AppendUint32(nil, n)
+		_, _, err := ReadFrame(bytes.NewReader(append(hdr, make([]byte, 64)...)), nil, ReqBodyLen)
+		if err == nil {
+			t.Fatalf("length %d accepted with cap %d", n, ReqBodyLen)
+		}
+		if !strings.Contains(err.Error(), "frame length") {
+			t.Fatalf("length %d: wrong rejection: %v", n, err)
+		}
+	}
+}
+
+// TestDecodeRequestRejectsBadOpAndRMW pins the vocabulary checks: op
+// bytes past OpRMW, rmw bytes past RMWSetIfAbsent, and any nonzero rmw
+// byte on a non-RMW op are all rejected.
+func TestDecodeRequestRejectsBadOpAndRMW(t *testing.T) {
+	base := AppendRequest(nil, 1, keys.Search(5))[4:]
+	bad := bytes.Clone(base)
+	bad[8] = byte(keys.OpRMW) + 1
+	if _, err := DecodeRequest(bad); err == nil || !strings.Contains(err.Error(), "invalid op") {
+		t.Fatalf("bad op: %v", err)
+	}
+	bad = bytes.Clone(base)
+	bad[9] = 1 // rmw byte on a search
+	if _, err := DecodeRequest(bad); err == nil || !strings.Contains(err.Error(), "rmw") {
+		t.Fatalf("rmw on search: %v", err)
+	}
+	rmw := AppendRequest(nil, 1, keys.AddDelta(5, 1))[4:]
+	bad = bytes.Clone(rmw)
+	bad[9] = byte(keys.RMWSetIfAbsent) + 1
+	if _, err := DecodeRequest(bad); err == nil || !strings.Contains(err.Error(), "invalid rmw") {
+		t.Fatalf("bad rmw kind: %v", err)
+	}
+}
+
+// TestDecodeResponseRejectsIllegalShapes pins the canonical-form
+// checks that byte-level corruption alone cannot reach.
+func TestDecodeResponseRejectsIllegalShapes(t *testing.T) {
+	// Found without Recorded.
+	frame := AppendResponse(nil, Response{ID: 1, Status: StatusOK, Recorded: true, Found: true})
+	frame[4+9] = FlagFound
+	if _, err := DecodeResponse(frame[4:]); err == nil || !strings.Contains(err.Error(), "found without recorded") {
+		t.Fatalf("found-without-recorded: %v", err)
+	}
+	// Row payload on a shed response.
+	shed := Response{ID: 2, Status: StatusShed}
+	frame = AppendResponse(nil, shed)
+	frame[4+8+1+1+8+3] = 1 // nrows = 1 with no payload: length mismatch
+	if _, err := DecodeResponse(frame[4:]); err == nil {
+		t.Fatal("nrows/length mismatch accepted")
+	}
+	withRows := AppendResponse(nil, Response{ID: 2, Status: StatusOK,
+		Rows: []keys.KV{{Key: 1, Value: 1}}})
+	withRows[4+8] = byte(StatusShed)
+	if _, err := DecodeResponse(withRows[4:]); err == nil || !strings.Contains(err.Error(), "non-ok") {
+		t.Fatalf("rows on shed: %v", err)
+	}
+}
+
+// TestReadFrameReusesBuffer: the scratch buffer is reused when large
+// enough and grown when not.
+func TestReadFrameReusesBuffer(t *testing.T) {
+	frame := AppendRequest(nil, 9, keys.Search(1))
+	buf := make([]byte, 64)
+	body, newBuf, err := ReadFrame(bytes.NewReader(frame), buf, ReqBodyLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &newBuf[0] != &buf[0] || &body[0] != &buf[0] {
+		t.Fatal("large scratch buffer was not reused")
+	}
+	body, newBuf, err = ReadFrame(bytes.NewReader(frame), nil, ReqBodyLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != ReqBodyLen || cap(newBuf) < ReqBodyLen {
+		t.Fatalf("grown buffer wrong: len(body)=%d cap=%d", len(body), cap(newBuf))
+	}
+}

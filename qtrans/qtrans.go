@@ -198,7 +198,7 @@ type DB struct {
 	single    *core.Engine  // non-nil when Shards <= 1
 	sharded   *shard.Engine // non-nil when Shards > 1
 	pipelined bool
-	layout    btree.Layout  // node layout from Options (for snapshots)
+	layout    btree.Layout // node layout from Options (for snapshots)
 
 	// gate serializes snapshots against batch application: every batch
 	// holds it for reading, Save/Checkpoint for writing, so a snapshot
@@ -528,9 +528,13 @@ func Explain(b *Batch) core.Report { return core.Explain(b.qs) }
 
 // Service wraps a DB with an online, latency-bounded interface:
 // individual queries are submitted from any goroutine and batched
-// transparently (§VI-D's online-processing regime). The Service is
-// deliberately point-ops-only (Get/Put/Remove): range scans and RMW
-// are batch-level constructs — submit them via Batch and Run.
+// transparently (§VI-D's online-processing regime). All seven
+// operations are available online — point ops (Get/Put/Remove), range
+// scans (Scan), and atomic RMW (AddDelta/SetIfAbsent) — mirroring the
+// Batch vocabulary; assembling a Batch and calling Run remains the
+// higher-throughput path when queries arrive pre-grouped. The same
+// operation set is served over TCP by cmd/qtransserver, which feeds a
+// network front end (internal/server) from the Batcher accessor.
 type Service struct {
 	db *DB
 	b  *batcher.Batcher
@@ -607,6 +611,47 @@ func (s *Service) PutAsync(k Key, v Value) (wait func(), err error) {
 	}
 	return func() { f.Get() }, nil
 }
+
+// Scan returns all present pairs with lo <= key < hi in ascending key
+// order, at most limit rows (limit 0 = unlimited), blocking until its
+// batch executes. The rows are a private copy, valid indefinitely.
+func (s *Service) Scan(lo, hi Key, limit Value) ([]KV, error) {
+	f, err := s.b.Submit(keys.Scan(lo, hi, limit))
+	if err != nil {
+		return nil, err
+	}
+	rows, _ := f.Rows()
+	return rows, nil
+}
+
+// AddDelta atomically sets key = old + delta (absent = 0) and reports
+// the key's state before the transform, blocking until applied.
+func (s *Service) AddDelta(k Key, delta Value) (old Value, existed bool, err error) {
+	f, err := s.b.Submit(keys.AddDelta(k, delta))
+	if err != nil {
+		return 0, false, err
+	}
+	r, _ := f.Get()
+	return r.Value, r.Found, nil
+}
+
+// SetIfAbsent atomically inserts v only when k is absent and reports
+// the key's state before the transform (existed == true means the
+// stored value was left untouched), blocking until applied.
+func (s *Service) SetIfAbsent(k Key, v Value) (old Value, existed bool, err error) {
+	f, err := s.b.Submit(keys.SetIfAbsent(k, v))
+	if err != nil {
+		return 0, false, err
+	}
+	r, _ := f.Get()
+	return r.Value, r.Found, nil
+}
+
+// Batcher exposes the Service's underlying batcher. It is the hook
+// the network front end builds on: internal/server.Config takes a
+// *batcher.Batcher, so cmd/qtransserver serves this one over TCP and
+// reads its Load() as the admission-control congestion signal.
+func (s *Service) Batcher() *batcher.Batcher { return s.b }
 
 // Close flushes pending queries and stops the service. The underlying
 // DB remains usable.

@@ -318,6 +318,65 @@ func TestServiceBasics(t *testing.T) {
 	}
 }
 
+// TestServiceScanAndRMW covers the online scan and RMW surface added
+// when the batcher Future grew its scan-rows side channel.
+func TestServiceScanAndRMW(t *testing.T) {
+	db, err := Open(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	svc := db.Serve(ServiceOptions{MaxBatch: 8, MaxDelay: time.Millisecond})
+	defer svc.Close()
+
+	for k := Key(10); k < 20; k++ {
+		if err := svc.Put(k, Value(k*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := svc.Scan(12, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []KV{{Key: 12, Value: 120}, {Key: 13, Value: 130}, {Key: 14, Value: 140}, {Key: 15, Value: 150}}
+	if len(rows) != len(want) {
+		t.Fatalf("Scan rows = %v, want %v", rows, want)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("Scan row %d = %+v, want %+v", i, rows[i], want[i])
+		}
+	}
+	if rows, err = svc.Scan(10, 20, 3); err != nil || len(rows) != 3 {
+		t.Fatalf("limited Scan = %v, %v", rows, err)
+	}
+	if rows, err = svc.Scan(1000, 2000, 0); err != nil || len(rows) != 0 {
+		t.Fatalf("empty Scan = %v, %v", rows, err)
+	}
+
+	if old, existed, err := svc.AddDelta(500, 3); err != nil || existed || old != 0 {
+		t.Fatalf("AddDelta absent = %d,%v,%v", old, existed, err)
+	}
+	if old, existed, err := svc.AddDelta(500, 4); err != nil || !existed || old != 3 {
+		t.Fatalf("AddDelta present = %d,%v,%v", old, existed, err)
+	}
+	if old, existed, err := svc.SetIfAbsent(500, 99); err != nil || !existed || old != 7 {
+		t.Fatalf("SetIfAbsent present = %d,%v,%v", old, existed, err)
+	}
+	if v, found, _ := svc.Get(500); !found || v != 7 {
+		t.Fatalf("SetIfAbsent overwrote: %d,%v", v, found)
+	}
+	if _, existed, err := svc.SetIfAbsent(501, 11); err != nil || existed {
+		t.Fatalf("SetIfAbsent absent existed=%v err=%v", existed, err)
+	}
+	if v, found, _ := svc.Get(501); !found || v != 11 {
+		t.Fatalf("SetIfAbsent absent: %d,%v", v, found)
+	}
+	if svc.Batcher() == nil {
+		t.Fatal("Batcher accessor returned nil")
+	}
+}
+
 func TestServiceConcurrentClients(t *testing.T) {
 	db, err := Open(Options{Workers: 2})
 	if err != nil {
