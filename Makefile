@@ -18,6 +18,9 @@
 #   fuzz-smoke   10s runs of the shard differential fuzzer (the
 #                sharded/serial equivalence property of DESIGN.md §6,
 #                including scan/RMW and dense-layout arms), the
+#                autoshard differential fuzzer (random ops with the
+#                resharding controller stepping between batches vs the
+#                serial oracle, DESIGN.md §13), the
 #                range/RMW differential fuzzer (every engine mode and
 #                layout vs the oracle on batches mixing all five ops,
 #                DESIGN.md §11), the crash-recovery fuzzer (the
@@ -34,9 +37,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race race-kernels race-layout race-scan race-server fuzz-smoke bench-smoke bench bench-kernels bench-layout bench-scan bench-serve
+.PHONY: ci vet build test race race-kernels race-layout race-scan race-server race-autoshard fuzz-smoke bench-smoke bench bench-kernels bench-layout bench-scan bench-serve bench-autoshard
 
-ci: vet build test race race-kernels race-layout race-scan race-server fuzz-smoke bench-smoke
+ci: vet build test race race-kernels race-layout race-scan race-server race-autoshard fuzz-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -85,8 +88,17 @@ race-server:
 	$(GO) test -race -run 'Stall|SubmitFlushClose' -count=1 ./internal/batcher
 	$(GO) test -race -count=1 ./cmd/qtransserver
 
+# Traffic-aware autosharding (DESIGN.md §13) under the race detector:
+# the controller policy tests (split/merge/hysteresis/boundary moves),
+# the migration cache hand-off, and the facade-level hammer that runs
+# the background controller against concurrent batch traffic. Also part
+# of the plain `race` target's package runs; kept callable on its own.
+race-autoshard:
+	$(GO) test -race -run 'Autoshard' -count=1 ./internal/shard ./qtrans
+
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzShardEquivalence -fuzztime=10s ./internal/shard
+	$(GO) test -run=^$$ -fuzz=FuzzAutoshard -fuzztime=10s ./internal/shard
 	$(GO) test -run=^$$ -fuzz=FuzzRangeRMWEquivalence -fuzztime=10s ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzCrashRecovery -fuzztime=10s ./qtrans
 	$(GO) test -run=^$$ -fuzz=FuzzTreeOps -fuzztime=10s ./internal/btree
@@ -124,6 +136,12 @@ bench-layout:
 # issue — written to BENCH_scan.json (not part of ci).
 bench-scan:
 	$(GO) run ./cmd/qtransbench -experiment scan -scale 0.05 -json BENCH_scan.json
+
+# Traffic-aware autosharding under a drifting hotspot (DESIGN.md §13):
+# the autoshard controller vs the best static equal-count layout at 4
+# shards — written to BENCH_autoshard.json (not part of ci).
+bench-autoshard:
+	$(GO) run ./cmd/qtransbench -experiment autoshard -scale 0.05 -json BENCH_autoshard.json
 
 # Network front end load test (DESIGN.md §12): build qtransserver,
 # then drive >= 10k concurrent TCP connections against it from a

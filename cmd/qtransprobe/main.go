@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/metrics"
+	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -42,6 +43,7 @@ func run(args []string) error {
 		modes   = fs.String("modes", "org,intra,inter,sim", "comma-separated modes")
 		shards  = fs.Int("shards", 1, "range-partitioned shard count (>1 splits the worker budget across shards)")
 		rebal   = fs.Int("rebalance", 0, "rebalance shard boundaries every N batches (0 = never; needs -shards > 1)")
+		auto    = fs.Bool("autoshard", false, "traffic-aware automatic resharding: one controller step per batch (needs -shards > 1)")
 
 		pathReuse  = fs.Bool("pathreuse", true, "path-reuse descent kernel (false = fresh root descent per query)")
 		branchless = fs.Bool("branchless", true, "branchless intra-node search kernel (false = closure-based binary search)")
@@ -74,6 +76,9 @@ func run(args []string) error {
 	if *rebal > 0 && *shards <= 1 {
 		return fmt.Errorf("-rebalance %d needs -shards > 1", *rebal)
 	}
+	if *auto && *shards <= 1 {
+		return fmt.Errorf("-autoshard needs -shards > 1")
+	}
 
 	var reg *metrics.Registry
 	if *metricsAddr != "" {
@@ -94,6 +99,7 @@ func run(args []string) error {
 		NoMergeApply:       !*mergeApply,
 		NoGappedLayout:     !*gapped,
 		Metrics:            reg,
+		Autoshard:          shard.AutoshardConfig{Enabled: *auto},
 	})
 	spec, err := workload.SpecByName(*dataset, *scale)
 	if err != nil {

@@ -6,7 +6,8 @@
 //
 //	qtransserver [-addr :7070] [-workers N] [-pipeline] [-maxbatch N]
 //	             [-maxdelay D] [-target-latency D] [-highwater N]
-//	             [-maxscan N] [-metrics-addr HOST:PORT]
+//	             [-maxscan N] [-shards N] [-autoshard]
+//	             [-metrics-addr HOST:PORT]
 //
 // On start it prints one line, "listening on HOST:PORT", to stdout.
 // SIGINT/SIGTERM trigger a graceful drain: stop accepting, refuse new
@@ -51,12 +52,20 @@ func run(args []string, stdout *os.File) error {
 		maxScan    = fs.Int("maxscan", 0, "clamp scan row limits to this many rows (0 = default 65536)")
 		drainGrace = fs.Duration("drain-grace", 30*time.Second, "graceful-drain deadline before connections are force-closed")
 		metricsOn  = fs.String("metrics-addr", "", "also serve /metrics and /healthz over HTTP on this address (empty = off)")
+		shards     = fs.Int("shards", 1, "range-partition the key space across N engines (1 = single engine)")
+		autoshard  = fs.Bool("autoshard", false, "traffic-aware automatic resharding: heat-weighted boundary moves, hot splits, cold merges (needs -shards > 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *workers < 1 {
 		return fmt.Errorf("-workers %d: need at least 1", *workers)
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards %d: need at least 1", *shards)
+	}
+	if *autoshard && *shards <= 1 {
+		return fmt.Errorf("-autoshard needs -shards > 1")
 	}
 	if *maxBatch < 0 || *maxDelay < 0 || *targetLat < 0 || *highWater < 0 || *maxScan < 0 {
 		return fmt.Errorf("-maxbatch/-maxdelay/-target-latency/-highwater/-maxscan must be non-negative")
@@ -67,9 +76,11 @@ func run(args []string, stdout *os.File) error {
 
 	met := qtrans.NewMetrics()
 	db, err := qtrans.Open(qtrans.Options{
-		Workers:  *workers,
-		Pipeline: *pipeline,
-		Metrics:  met,
+		Workers:   *workers,
+		Pipeline:  *pipeline,
+		Shards:    *shards,
+		Autoshard: qtrans.Autoshard{Enabled: *autoshard},
+		Metrics:   met,
 	})
 	if err != nil {
 		return err

@@ -379,12 +379,16 @@ func (t *Tree) rebalanceLeaf(leaf *Node, path *Path) {
 		left.Vals = append(left.Vals, leaf.Vals...)
 		left.Next = leaf.Next
 		t.removeChild(parent, slot, path)
-	} else {
+	} else if slot+1 < len(parent.Children) {
 		right := parent.Children[slot+1]
 		leaf.Keys = append(leaf.Keys, right.Keys...)
 		leaf.Vals = append(leaf.Vals, right.Vals...)
 		leaf.Next = right.Next
 		t.removeChild(parent, slot+1, path)
+	} else {
+		// No sibling at all: a relaxed single-child parent
+		// (relaxed.go).
+		t.dropLonelyLeaf(leaf, path)
 	}
 }
 
@@ -447,13 +451,15 @@ func (t *Tree) rebalanceInternal(n *Node, path *Path, lvl int) {
 		left.Keys = append(left.Keys, n.Keys...)
 		left.Children = append(left.Children, n.Children...)
 		t.removeChildAt(parent, slot, path, lvl-1)
-	} else {
+	} else if slot+1 < len(parent.Children) {
 		right := parent.Children[slot+1]
 		n.Keys = append(n.Keys, parent.Keys[slot])
 		n.Keys = append(n.Keys, right.Keys...)
 		n.Children = append(n.Children, right.Children...)
 		t.removeChildAt(parent, slot+1, path, lvl-1)
 	}
+	// else: no sibling under a relaxed single-child parent — the node
+	// stays underfull, which RelaxedFill permits (relaxed.go).
 }
 
 // removeChildAt is removeChild for a known path level.

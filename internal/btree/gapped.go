@@ -524,13 +524,17 @@ func (t *Tree) rebalanceLeafGapped(leaf *Node, path *Path) {
 		PackLeafGapped(left, ks, vs)
 		left.Next = leaf.Next
 		t.removeChildGapped(parent, slot, path, path.Len()-1)
-	} else {
+	} else if slot+1 < len(parent.Children) {
 		right := parent.Children[slot+1]
 		ks, vs := leaf.AppendEntries(nil, nil)
 		ks, vs = right.AppendEntries(ks, vs)
 		PackLeafGapped(leaf, ks, vs)
 		leaf.Next = right.Next
 		t.removeChildGapped(parent, slot+1, path, path.Len()-1)
+	} else {
+		// No sibling at all: a relaxed single-child parent
+		// (relaxed.go).
+		t.dropLonelyLeaf(leaf, path)
 	}
 }
 
@@ -607,7 +611,7 @@ func (t *Tree) rebalanceInternalGapped(n *Node, path *Path, lvl int) {
 		SetInternalGapped(left, t.sepCap(), seps, left.Children)
 		parent.internalRemoveAt(slot)
 		t.rebalanceInternalGapped(parent, path, lvl-1)
-	} else {
+	} else if slot+1 < len(parent.Children) {
 		right := parent.Children[slot+1]
 		seps := append(make([]keys.Key, 0, t.sepCap()), n.Keys[:n.count]...)
 		seps = append(seps, parent.Keys[slot])
@@ -617,6 +621,8 @@ func (t *Tree) rebalanceInternalGapped(n *Node, path *Path, lvl int) {
 		parent.internalRemoveAt(slot + 1)
 		t.rebalanceInternalGapped(parent, path, lvl-1)
 	}
+	// else: no sibling under a relaxed single-child parent — the node
+	// stays underfull, which RelaxedFill permits (relaxed.go).
 }
 
 // SetLayout converts the tree in place to the given layout, rebuilding

@@ -261,6 +261,44 @@ func (c *TopK) Drain() []keys.Query {
 	return out
 }
 
+// DrainRange is Drain restricted to keys in [lo, hi): in-range dirty
+// entries are returned as flush queries (order unspecified) and every
+// in-range entry — clean or dirty — is dropped; out-of-range entries
+// are untouched. The shard migration path uses this to hand a key
+// range's cached state over with its tree slice while the rest of the
+// donor's working set stays warm. Like Drain, drops are not counted as
+// evictions and do not invoke OnEvict.
+func (c *TopK) DrainRange(lo, hi keys.Key) []keys.Query {
+	if c.t == nil || lo >= hi {
+		return nil
+	}
+	// Collect first, remove second: table removal back-shifts slots, so
+	// removing while walking the slot array could skip entries.
+	var victims []keys.Key
+	var out []keys.Query
+	for i := range c.t.slots {
+		s := &c.t.slots[i]
+		if !s.occupied || s.key < lo || s.key >= hi {
+			continue
+		}
+		victims = append(victims, s.key)
+		if !s.dirty {
+			continue
+		}
+		if s.tombstone {
+			out = append(out, keys.Query{Op: keys.OpDelete, Key: s.key, Idx: -1})
+		} else {
+			out = append(out, keys.Query{Op: keys.OpInsert, Key: s.key, Value: s.value, Idx: -1})
+		}
+	}
+	for _, k := range victims {
+		if idx := c.t.find(k); idx >= 0 {
+			c.t.remove(idx)
+		}
+	}
+	return out
+}
+
 // selectVictim picks the slot to evict per the policy.
 func (c *TopK) selectVictim() int32 {
 	switch c.policy {

@@ -37,20 +37,30 @@ func (e *Engine) SetCommitter(c Committer) { e.committer = c }
 func (e *Engine) SetGate(gate *sync.RWMutex) { e.gate = gate }
 
 // CommitErr reports the sticky commit failure, if any. Once set, every
-// subsequent batch is dropped unapplied.
-func (e *Engine) CommitErr() error { return e.commitErr }
+// subsequent batch is dropped unapplied. Safe from any goroutine —
+// with pipelined streams the commit runs on the tree-stage goroutine
+// while dispatchers poll CommitErr.
+func (e *Engine) CommitErr() error {
+	if err, ok := e.commitErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
 
 // commit runs the durability hook for one batch's surviving queries.
-// It reports whether the batch may be applied.
+// It reports whether the batch may be applied. Only one commit runs at
+// a time (batches are serial, and a pipelined stream commits on the
+// single tree-stage goroutine), so load-then-store does not race with
+// another writer.
 func (e *Engine) commit(qs []keys.Query) bool {
-	if e.commitErr != nil {
+	if e.CommitErr() != nil {
 		return false
 	}
 	if e.committer == nil {
 		return true
 	}
 	if err := e.committer.CommitBatch(qs); err != nil {
-		e.commitErr = err
+		e.commitErr.Store(err)
 		return false
 	}
 	return true

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bsp"
 	"repro/internal/btree"
@@ -112,8 +113,11 @@ type Engine struct {
 	slots  []*pipeSlot
 
 	// Durability hooks (nil/zero when durability is off; see commit.go).
+	// commitErr is written by whichever goroutine runs the batch's
+	// commit (the pipeline's tree stage, in streamed execution) and read
+	// by CommitErr from dispatcher goroutines, hence the atomic slot.
 	committer Committer
-	commitErr error
+	commitErr atomic.Value // error; sticky once set
 	gate      *sync.RWMutex
 }
 
@@ -564,6 +568,41 @@ func (e *Engine) Train(hot []keys.Key) {
 	}
 }
 
+// WarmPairs admits the given key/value pairs into the top-K cache as
+// clean entries. The shard migration path calls it on the receiving
+// engine after moving a hot key range between shards: the donor's
+// cache entries for those keys are necessarily dropped (they would go
+// stale), and without re-admission the moved range — by construction
+// the hottest keys in the system — serves only misses until the next
+// write to each key, since read misses never admit. The caller
+// guarantees the values match the receiver's tree (they were just bulk
+// inserted), so the entries are clean and owe no flush. Dirty entries
+// evicted to make room are written back immediately, as in Train.
+// No-op outside IntraInter mode.
+func (e *Engine) WarmPairs(ks []keys.Key, vs []keys.Value) {
+	if e.topK == nil {
+		return
+	}
+	// Admitting more pairs than the cache holds would just cycle the
+	// ring; keep the tail (the keys nearest the moved boundary).
+	if c := e.topK.Capacity(); len(ks) > c {
+		ks, vs = ks[len(ks)-c:], vs[len(vs)-c:]
+	}
+	var flushes []keys.Query
+	for i, k := range ks {
+		if e.topK.Contains(k) {
+			continue
+		}
+		if fl, evicted := e.topK.Admit(k, vs[i]); evicted {
+			flushes = append(flushes, fl)
+		}
+	}
+	if len(flushes) > 0 {
+		sort.SliceStable(flushes, func(i, j int) bool { return flushes[i].Key < flushes[j].Key })
+		e.proc.ProcessTransformed(flushes, keys.NewResultSet(0))
+	}
+}
+
 // Flush writes every dirty cache entry back to the tree so the tree
 // alone reflects all processed queries. Call at end of run (or before
 // inspecting the tree directly) in IntraInter mode.
@@ -572,6 +611,25 @@ func (e *Engine) Flush() {
 		return
 	}
 	fl := e.topK.FlushAll()
+	if len(fl) == 0 {
+		return
+	}
+	sort.Slice(fl, func(i, j int) bool { return fl[i].Key < fl[j].Key })
+	e.proc.ProcessTransformed(fl, keys.NewResultSet(0))
+}
+
+// DrainCacheRange flushes and drops every cached entry with
+// lo <= key < hi, leaving the tree authoritative for that key range
+// while the rest of the cache stays warm. The shard migration path
+// calls it on donor and receiver before moving a key slice between
+// engines: a resident entry for a moved key would otherwise serve
+// stale state if the key ever routed back. Flushes carry Idx -1 and
+// are not logged, same reasoning as Flush.
+func (e *Engine) DrainCacheRange(lo, hi keys.Key) {
+	if e.topK == nil {
+		return
+	}
+	fl := e.topK.DrainRange(lo, hi)
 	if len(fl) == 0 {
 		return
 	}

@@ -51,6 +51,13 @@ type Options struct {
 	// to before).
 	Metrics *metrics.Registry
 
+	// Autoshard, when Enabled, turns on the traffic-aware resharding
+	// controller for sharded runs (RunShardOne with shards > 1). The
+	// harness always steps the controller manually at batch boundaries
+	// — the background loop is forced off — so the measured loop stays
+	// deterministic.
+	Autoshard shard.AutoshardConfig
+
 	// Conns is the number of concurrent client connections the serve
 	// experiment drives (<= 0 derives a laptop-scale count from Scale).
 	Conns int
@@ -321,6 +328,8 @@ func (rn *Runner) RunShardOne(spec workload.Spec, mode core.Mode, updateRatio fl
 	}
 
 	gen := spec.Build()
+	auto := o.Autoshard
+	auto.Interval = -1 // stepped manually at batch boundaries below
 	eng, err := shard.New(shard.Config{
 		Shards: shards,
 		Engine: core.EngineConfig{
@@ -329,7 +338,8 @@ func (rn *Runner) RunShardOne(spec workload.Spec, mode core.Mode, updateRatio fl
 			CacheCapacity: o.CacheCapacity,
 			Metrics:       o.Metrics,
 		},
-		KeyMax: keys.Key(gen.KeyRange()),
+		KeyMax:    keys.Key(gen.KeyRange()),
+		Autoshard: auto,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("harness: %w", err)
@@ -380,6 +390,9 @@ func (rn *Runner) RunShardOne(spec workload.Spec, mode core.Mode, updateRatio fl
 			if _, err := eng.Rebalance(); err != nil {
 				return nil, err
 			}
+		}
+		if auto.Enabled {
+			eng.AutoshardStep()
 		}
 		elapsed += time.Since(start)
 		res.Latency.Record(time.Since(start))

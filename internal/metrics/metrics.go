@@ -45,6 +45,29 @@ func (c *Counter) Value() int64 {
 	return sum
 }
 
+// NewCounter returns a standalone counter with exactly slots padded
+// slots, unattached to any Registry. Registry counters size their slots
+// to the worker count; a standalone counter instead fixes the slot
+// count so the slots themselves can carry positional meaning — AddAt(i,
+// n) touches slot i and ValueAt(i) reads it back, turning the counter
+// into a fixed-size histogram with the same contention-free padded
+// write path (the autoshard heat map uses one slot per key-range
+// bucket). Unlike registry counters, slots of a standalone counter may
+// also be decremented (EWMA decay).
+func NewCounter(name string, slots int) *Counter {
+	if slots < 1 {
+		slots = 1
+	}
+	return &Counter{name: name, slots: make([]counterSlot, slots)}
+}
+
+// Slots returns the number of padded slots.
+func (c *Counter) Slots() int { return len(c.slots) }
+
+// ValueAt returns slot i's value alone (i is reduced modulo the slot
+// count, mirroring AddAt).
+func (c *Counter) ValueAt(i int) int64 { return c.slots[i%len(c.slots)].v.Load() }
+
 // Gauge is an instantaneous value (queue depth, cap, last LSN).
 type Gauge struct {
 	name string

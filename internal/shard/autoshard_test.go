@@ -1,0 +1,479 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/keys"
+	"repro/internal/oracle"
+)
+
+// seedPairs inserts keys 0, step, 2·step, … < span through one batch
+// and mirrors them into the oracle.
+func seedPairs(t *testing.T, e *Engine, orc *oracle.Oracle, span, step int) {
+	t.Helper()
+	var qs []keys.Query
+	for k := 0; k < span; k += step {
+		qs = append(qs, keys.Insert(keys.Key(k), keys.Value(k)+3))
+	}
+	keys.Number(qs)
+	orc.ApplyAll(append([]keys.Query(nil), qs...), nil)
+	rs := keys.NewResultSet(len(qs))
+	e.ProcessBatch(qs, rs)
+}
+
+// injectHeat records key n times into the engine's heat map, bypassing
+// batches (which would also decay), so policy tests control the
+// histogram exactly.
+func injectHeat(e *Engine, k keys.Key, n int) {
+	for i := 0; i < n; i++ {
+		e.heat.record(k)
+	}
+}
+
+// coolHeat decays the heat map to zero, clearing residue left by
+// seeding batches so injectHeat controls the histogram exactly.
+func coolHeat(e *Engine) {
+	for i := 0; i < 256; i++ {
+		e.heat.decay()
+	}
+}
+
+// checkStore asserts the engine's contents equal the oracle's.
+func checkStore(t *testing.T, tag string, e *Engine, orc *oracle.Oracle) {
+	t.Helper()
+	oks, ovs := orc.Dump()
+	ks, vs := e.Dump()
+	if len(ks) != len(oks) {
+		t.Fatalf("%s: store holds %d keys, want %d", tag, len(ks), len(oks))
+	}
+	for i := range oks {
+		if ks[i] != oks[i] || vs[i] != ovs[i] {
+			t.Fatalf("%s: store[%d] = (%d,%d), want (%d,%d)", tag, i, ks[i], vs[i], oks[i], ovs[i])
+		}
+	}
+}
+
+// TestAutoshardSplitsHotShard pins the split policy: heat concentrated
+// inside one bucket — too narrow for boundary moves to re-split
+// (deadband) — must split the hot shard after exactly Hysteresis
+// controller steps, and must not split again at MaxShards.
+func TestAutoshardSplitsHotShard(t *testing.T) {
+	e, err := New(Config{
+		Shards:     2,
+		Engine:     testEngineConfig(core.IntraInter, false),
+		KeyMax:     1<<16 - 1,
+		Boundaries: []keys.Key{16000},
+		Autoshard: AutoshardConfig{
+			Enabled: true, Interval: -1,
+			Buckets: 4, SplitAbove: 1.5, MergeBelow: 0.01,
+			Hysteresis: 2, MaxStep: 64, MaxShards: 3, MinShards: 3, MinHeat: 1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	orc := oracle.New()
+	seedPairs(t, e, orc, 1<<16, 64)
+	coolHeat(e)
+
+	// Bucket width is 16384; all heat in bucket 0, bound at 16000 →
+	// shard 0 carries ~98% of interpolated heat, and the equal-heat
+	// target (8192) is within one bucket of the bound, so moves stay
+	// dead-banded and the imbalance persists.
+	injectHeat(e, 1000, 1000)
+
+	r1 := e.AutoshardStep()
+	if r1.Split || r1.Merge || e.Shards() != 2 {
+		t.Fatalf("step 1 acted before hysteresis: %+v, shards=%d", r1, e.Shards())
+	}
+	r2 := e.AutoshardStep()
+	if !r2.Split || e.Shards() != 3 {
+		t.Fatalf("step 2: %+v, shards=%d, want split to 3", r2, e.Shards())
+	}
+	// The empty newcomer duplicates the hot shard's upper bound.
+	if b := e.Bounds(); len(b) != 2 || b[0] != 16000 || b[1] != 16000 {
+		t.Fatalf("bounds after split = %v, want [16000 16000]", b)
+	}
+	// At MaxShards (and MinShards=3 blocking a merge-back of the empty
+	// newcomer) further steps must hold steady.
+	for i := 0; i < 4; i++ {
+		if r := e.AutoshardStep(); r.Split || r.Merge {
+			t.Fatalf("post-cap step %d acted: %+v", i, r)
+		}
+	}
+	if st := e.ShardStats(); st.AutoSplits != 1 || st.AutoMerges != 0 {
+		t.Fatalf("split/merge counters = %d/%d, want 1/0", st.AutoSplits, st.AutoMerges)
+	}
+	checkStore(t, "post-split", e, orc)
+}
+
+// TestAutoshardHysteresisResets pins the anti-flap contract: a streak
+// broken before Hysteresis steps must not split.
+func TestAutoshardHysteresisResets(t *testing.T) {
+	e, err := New(Config{
+		Shards:     2,
+		Engine:     testEngineConfig(core.IntraInter, false),
+		KeyMax:     1<<16 - 1,
+		Boundaries: []keys.Key{16000},
+		Autoshard: AutoshardConfig{
+			Enabled: true, Interval: -1,
+			Buckets: 4, SplitAbove: 1.5, MergeBelow: 0.01,
+			Hysteresis: 3, MaxStep: 64, MaxShards: 4, MinShards: 2, MinHeat: 1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	injectHeat(e, 1000, 1000) // hot bucket 0, as in the split test
+	e.AutoshardStep()
+	e.AutoshardStep() // streak at 2 of 3
+	// One balanced step resets the streak: matching heat on shard 1's
+	// side evens the shares (imbalance ~1.02, under the move floor and
+	// far under SplitAbove).
+	injectHeat(e, 40000, 1000)
+	if r := e.AutoshardStep(); r.Split || r.Idle || r.Moved != 0 {
+		t.Fatalf("balanced step acted: %+v", r)
+	}
+	// A fully cooled histogram idles (below MinHeat) without touching
+	// the streak.
+	coolHeat(e)
+	if r := e.AutoshardStep(); !r.Idle {
+		t.Fatalf("cooled step not idle: %+v", r)
+	}
+	// Re-heat: the streak must start over, so two more steps stay put
+	// and only the third splits.
+	injectHeat(e, 1000, 1000)
+	e.AutoshardStep()
+	if r := e.AutoshardStep(); r.Split || e.Shards() != 2 {
+		t.Fatalf("split after broken streak: %+v, shards=%d", r, e.Shards())
+	}
+	if r := e.AutoshardStep(); !r.Split || e.Shards() != 3 {
+		t.Fatalf("step at full streak: %+v, shards=%d, want split", r, e.Shards())
+	}
+}
+
+// TestAutoshardMovesTowardTraffic pins the boundary-move policy: heat
+// concentrated on the low quarter of the key space pulls the 2-shard
+// boundary down to the traffic-weighted position in bounded MaxStep
+// slices, leaving the stored pairs untouched.
+func TestAutoshardMovesTowardTraffic(t *testing.T) {
+	e, err := New(Config{
+		Shards: 2,
+		Engine: testEngineConfig(core.IntraInter, false),
+		KeyMax: 1<<16 - 1,
+		Autoshard: AutoshardConfig{
+			Enabled: true, Interval: -1,
+			Buckets: 16, SplitAbove: 100, MergeBelow: 0.001,
+			Hysteresis: 100, MaxStep: 100, MaxShards: 2, MinShards: 2, MinHeat: 1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	orc := oracle.New()
+	seedPairs(t, e, orc, 1<<16, 64) // 1024 pairs
+	coolHeat(e)
+
+	// Heat spread over buckets 0–3 (keys < 16384); the equal-heat
+	// target is ~8191, far below the initial bound at 32768.
+	for b := 0; b < 4; b++ {
+		injectHeat(e, keys.Key(b*4096+100), 250)
+	}
+
+	before := e.Bounds()[0]
+	var steps, migrated int
+	for i := 0; i < 20; i++ {
+		r := e.AutoshardStep()
+		if r.Split || r.Merge {
+			t.Fatalf("step %d structural: %+v", i, r)
+		}
+		migrated += r.Moved
+		steps++
+		if r.Moved == 0 && i > 0 {
+			break
+		}
+	}
+	after := e.Bounds()[0]
+	if after >= 16384 {
+		t.Fatalf("bound did not reach the hot region: %d -> %d", before, after)
+	}
+	// 384 stored pairs sit in [8192, 32768); at 100 pairs/step the move
+	// must have taken several bounded slices, not one big one.
+	if migrated < 380 || steps < 4 {
+		t.Fatalf("migrated %d pairs in %d steps, want ≥380 in ≥4", migrated, steps)
+	}
+	if st := e.ShardStats(); st.Moves < 4 || st.Migrated != int64(migrated) {
+		t.Fatalf("move counters = %d/%d, want ≥4/%d", st.Moves, st.Migrated, migrated)
+	}
+	checkStore(t, "post-moves", e, orc)
+
+	// Semantics stay intact across the moved boundary, scans included.
+	qs := keys.Number([]keys.Query{
+		keys.Search(after - 64),
+		keys.Search(after),
+		keys.Scan(after-200, after+200, 0),
+	})
+	want := keys.NewResultSet(len(qs))
+	orc.ApplyAll(append([]keys.Query(nil), qs...), want)
+	got := keys.NewResultSet(len(qs))
+	e.ProcessBatch(qs, got)
+	diffResults(t, "post-move-batch", 0, want, got, len(qs))
+}
+
+// TestAutoshardMergeDrainsColdShard pins the merge policy: a sliver
+// shard whose heat share stays under MergeBelow — while every boundary
+// is dead-banded against moves — is drained into its neighbor in
+// bounded slices and removed.
+func TestAutoshardMergeDrainsColdShard(t *testing.T) {
+	e, err := New(Config{
+		Shards: 3,
+		Engine: testEngineConfig(core.IntraInter, false),
+		KeyMax: 1<<16 - 1,
+		// Shard 1 is a low-traffic sliver: [17930, 20000).
+		Boundaries: []keys.Key{17930, 20000},
+		Autoshard: AutoshardConfig{
+			Enabled: true, Interval: -1,
+			Buckets: 4, SplitAbove: 100, MergeBelow: 0.25,
+			Hysteresis: 2, MaxStep: 16, MaxShards: 3, MinShards: 2, MinHeat: 1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	orc := oracle.New()
+	seedPairs(t, e, orc, 1<<16, 64)
+	coolHeat(e)
+
+	// Buckets of width 16384. Heat 300/350/350 in buckets 0–2 puts the
+	// traffic-weighted targets at ~17930 and ~33554: boundary 0 sits on
+	// its target, boundary 1 is within one bucket of its own, so moves
+	// are dead-banded while shard 1's share (~44 of a 333 mean) stays
+	// cold.
+	injectHeat(e, 1000, 300)
+	injectHeat(e, 17000, 350)
+	injectHeat(e, 33000, 350)
+
+	merged := false
+	var migrated int
+	for i := 0; i < 20 && !merged; i++ {
+		r := e.AutoshardStep()
+		if r.Split {
+			t.Fatalf("step %d split: %+v", i, r)
+		}
+		migrated += r.Moved
+		merged = r.Merge
+	}
+	if !merged || e.Shards() != 2 {
+		t.Fatalf("no merge (shards=%d)", e.Shards())
+	}
+	if b := e.Bounds(); len(b) != 1 || b[0] != 20000 {
+		t.Fatalf("bounds after merge = %v, want [20000]", b)
+	}
+	// The sliver held (20000-17930)/64 ≈ 32 pairs; at 16 pairs/step the
+	// drain took multiple slices.
+	if migrated < 30 {
+		t.Fatalf("drain migrated %d pairs, want ≥30", migrated)
+	}
+	if st := e.ShardStats(); st.AutoMerges != 1 {
+		t.Fatalf("AutoMerges = %d, want 1", st.AutoMerges)
+	}
+	checkStore(t, "post-merge", e, orc)
+}
+
+// TestAutoshardOffAllocIdentical is the alloc half of the zero-cost-off
+// contract (mirroring the metrics-off guard): per-batch allocations
+// with Autoshard disabled must equal those with the heat path live —
+// heat recording and decay are allocation-free, and the off state adds
+// only a nil check.
+func TestAutoshardOffAllocIdentical(t *testing.T) {
+	mk := func(auto AutoshardConfig) *Engine {
+		e, err := New(Config{
+			Shards:    4,
+			Engine:    testEngineConfig(core.IntraInter, false),
+			KeyMax:    1<<16 - 1,
+			Autoshard: auto,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	off := mk(AutoshardConfig{})
+	defer off.Close()
+	// MinHeat keeps the controller idle; Interval < 0 keeps it manual.
+	// The per-batch heat record/decay path still runs in full.
+	on := mk(AutoshardConfig{Enabled: true, Interval: -1, MinHeat: 1 << 62})
+	defer on.Close()
+
+	var qs []keys.Query
+	for k := 0; k < 1<<16; k += 256 {
+		qs = append(qs, keys.Insert(keys.Key(k), keys.Value(k)))
+		qs = append(qs, keys.Search(keys.Key(k)))
+	}
+	keys.Number(qs)
+	rs := keys.NewResultSet(len(qs))
+
+	measure := func(e *Engine) float64 {
+		for i := 0; i < 3; i++ { // warm lazily-grown buffers
+			rs.Reset(len(qs))
+			e.ProcessBatch(qs, rs)
+		}
+		return testing.AllocsPerRun(20, func() {
+			rs.Reset(len(qs))
+			e.ProcessBatch(qs, rs)
+		})
+	}
+	aOff, aOn := measure(off), measure(on)
+	if aOn > aOff {
+		t.Errorf("autoshard heat path allocates %.1f/batch vs %.1f off — want no extra", aOn, aOff)
+	}
+}
+
+// FuzzAutoshard is the differential property for the whole controller:
+// ANY batch sequence interleaved with controller steps — with
+// thresholds aggressive enough that splits, merges, and boundary moves
+// all fire constantly — stays byte-identical to the oracle, scans
+// straddling freshly moved boundaries included, across shard counts
+// and pipelined execution.
+func FuzzAutoshard(f *testing.F) {
+	// Mixed ops with batch breaks (steps run between batches).
+	f.Add([]byte{1, 10, 1, 30, 1, 50, 0xFF, 0, 0, 10, 0, 30, 2, 50, 0xFF, 0, 0, 10, 0})
+	// Hot hammering of one key range to provoke splits.
+	f.Add([]byte{1, 5, 0, 5, 0, 6, 0, 5, 0, 6, 0, 5, 0xFF, 0, 0, 5, 0, 6, 0, 5, 0, 6})
+	// Straddling scans after moves.
+	f.Add([]byte{1, 10, 1, 30, 1, 50, 63, 0, 0xFF, 0, 63, 0, 4, 40, 63, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		batches := decodeFuzzBatches(data)
+		if len(batches) == 0 {
+			return
+		}
+		auto := AutoshardConfig{
+			Enabled: true, Interval: -1,
+			Buckets: 8, DecayShift: 2,
+			SplitAbove: 1.01, MergeBelow: 0.9, Hysteresis: 1,
+			MaxStep: 5, MaxShards: 5, MinShards: 2, MinHeat: 1,
+		}
+		type arm struct {
+			name string
+			eng  *Engine
+		}
+		var arms []arm
+		for _, n := range []int{1, 2, 3, 8} {
+			for _, pipelined := range []bool{false, true} {
+				e, err := New(Config{
+					Shards:    n,
+					Engine:    testEngineConfig(core.IntraInter, pipelined),
+					KeyMax:    fuzzSpan - 1,
+					Autoshard: auto,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer e.Close()
+				arms = append(arms, arm{name: "auto+" + armName(n, pipelined), eng: e})
+			}
+		}
+
+		orc := oracle.New()
+		for bi, qs := range batches {
+			want := keys.NewResultSet(len(qs))
+			orc.ApplyAll(append([]keys.Query(nil), qs...), want)
+			for _, a := range arms {
+				rs := keys.NewResultSet(len(qs))
+				a.eng.ProcessBatch(append([]keys.Query(nil), qs...), rs)
+				diffResults(t, a.name, bi, want, rs, len(qs))
+				// Two controller steps per batch: structural changes
+				// need consecutive over-threshold steps even at
+				// Hysteresis 1, and back-to-back steps exercise drain
+				// continuations.
+				a.eng.AutoshardStep()
+				a.eng.AutoshardStep()
+				if b := a.eng.Bounds(); len(b) != a.eng.Shards()-1 {
+					t.Fatalf("%s: %d bounds for %d shards", a.name, len(b), a.eng.Shards())
+				}
+			}
+		}
+		oks, ovs := orc.Dump()
+		for _, a := range arms {
+			ks, vs := a.eng.Dump()
+			if len(ks) != len(oks) {
+				t.Fatalf("%s: final store %d keys, want %d (shards=%d bounds=%v)",
+					a.name, len(ks), len(oks), a.eng.Shards(), a.eng.Bounds())
+			}
+			for i := range oks {
+				if ks[i] != oks[i] || vs[i] != ovs[i] {
+					t.Fatalf("%s: store[%d] = (%d,%d), want (%d,%d)",
+						a.name, i, ks[i], vs[i], oks[i], ovs[i])
+				}
+			}
+		}
+	})
+}
+
+// TestAutoshardMoveWarmsReceiverCache pins the cache hand-off half of
+// the migration contract: a traffic-weighted boundary move re-admits
+// the moved pairs into the receiver's cache as clean entries. Read
+// misses never admit, and the move drains the range from both caches,
+// so a cache hit on a just-moved key is only possible if the migration
+// itself warmed the receiver.
+func TestAutoshardMoveWarmsReceiverCache(t *testing.T) {
+	e, err := New(Config{
+		Shards: 2,
+		Engine: testEngineConfig(core.IntraInter, false),
+		KeyMax: 1<<16 - 1,
+		Autoshard: AutoshardConfig{
+			Enabled: true, Interval: -1,
+			Buckets: 16, SplitAbove: 100, MergeBelow: 0.001,
+			Hysteresis: 100, MaxStep: 100, MaxShards: 2, MinShards: 2, MinHeat: 1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	orc := oracle.New()
+	seedPairs(t, e, orc, 1<<16, 64) // 1024 pairs
+	coolHeat(e)
+	for b := 0; b < 4; b++ {
+		injectHeat(e, keys.Key(b*4096+100), 250)
+	}
+
+	// One bounded move: the bound drops from 32768 by MaxStep pairs, so
+	// keys [newBound, 32768) now live in shard 1, whose cache was just
+	// warmed with the tail of the moved slice.
+	r := e.AutoshardStep()
+	if r.Moved == 0 || r.Split || r.Merge {
+		t.Fatalf("expected a pure boundary move, got %+v", r)
+	}
+	bound := e.Bounds()[0]
+	if bound >= 32768 {
+		t.Fatalf("bound did not move down: %d", bound)
+	}
+
+	// Search the four highest moved keys (cache capacity is 16, so the
+	// warmed tail certainly still covers them).
+	want := []keys.Key{32704, 32640, 32576, 32512}
+	qs := keys.Number([]keys.Query{
+		keys.Search(want[0]), keys.Search(want[1]),
+		keys.Search(want[2]), keys.Search(want[3]),
+	})
+	rs := keys.NewResultSet(len(qs))
+	e.ProcessBatch(qs, rs)
+	for i, k := range want {
+		got, ok := rs.Get(int32(i))
+		if !ok || !got.Found || got.Value != keys.Value(k)+3 {
+			t.Fatalf("search %d = (%+v,%v), want (%d,true)", i, got, ok, keys.Value(k)+3)
+		}
+	}
+	if hits := e.Stats().CacheHits; hits < 4 {
+		t.Fatalf("moved keys served %d cache hits, want 4 — migration did not warm the receiver", hits)
+	}
+	checkStore(t, "post-warm", e, orc)
+}

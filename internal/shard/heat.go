@@ -1,0 +1,107 @@
+package shard
+
+import (
+	"repro/internal/keys"
+	"repro/internal/metrics"
+)
+
+// heatMap is the online per-key-range traffic histogram behind the
+// autoshard controller (DESIGN.md §13): a fixed number of equal-width
+// key-range buckets over [0, keyMax], each one slot of a standalone
+// metrics.Counter — the cache-line-padded sharded-counter machinery
+// from DESIGN.md §9 reused with the slots carrying positional meaning.
+// The splitter's routing pass records one hit per query (record), and
+// once per batch the routing goroutine applies an exponential decay
+// (decay), so bucket values approximate an EWMA of recent traffic: a
+// bucket receiving r queries/batch converges to r·2^decayShift.
+//
+// record is called from at most one goroutine at a time (the engine is
+// single-caller; streamed batches route on the single dispatcher
+// goroutine), and decay likewise; the controller reads buckets from its
+// own goroutine, which is why the slots are atomics.
+//
+// A nil *heatMap is valid and records nothing — the autoshard-off hot
+// path pays one nil check per query and allocates nothing, mirroring
+// the metrics-off contract.
+type heatMap struct {
+	c *metrics.Counter
+	// shift maps keys to buckets: bucket = key >> shift, clamped to the
+	// last bucket (keys above keyMax land there).
+	shift      uint
+	buckets    int
+	decayShift uint
+}
+
+// newHeatMap sizes a heat map of the given bucket count over
+// [0, keyMax] (keyMax 0 = the full uint64 key space).
+func newHeatMap(buckets int, keyMax keys.Key, decayShift uint) *heatMap {
+	span := uint64(keyMax)
+	if span == 0 {
+		span = ^uint64(0)
+	}
+	var shift uint
+	for shift < 64 && span>>shift >= uint64(buckets) {
+		shift++
+	}
+	return &heatMap{
+		c:          metrics.NewCounter("autoshard_heat_buckets", buckets),
+		shift:      shift,
+		buckets:    buckets,
+		decayShift: decayShift,
+	}
+}
+
+// bucketOf maps a key to its bucket index.
+func (h *heatMap) bucketOf(k keys.Key) int {
+	b := int(uint64(k) >> h.shift)
+	if b >= h.buckets {
+		b = h.buckets - 1
+	}
+	return b
+}
+
+// lowOf returns the inclusive lower key bound of bucket b.
+func (h *heatMap) lowOf(b int) keys.Key {
+	return keys.Key(uint64(b) << h.shift)
+}
+
+// width returns the key span of one bucket.
+func (h *heatMap) width() uint64 { return uint64(1) << h.shift }
+
+// record counts one routed query. Nil-safe; allocation-free.
+func (h *heatMap) record(k keys.Key) {
+	if h != nil {
+		h.c.AddAt(h.bucketOf(k), 1)
+	}
+}
+
+// decay applies one batch's EWMA step: every bucket loses
+// value >> decayShift, with a floor of 1 so stale buckets drain all the
+// way to zero instead of parking at a sub-shift residue. Nil-safe.
+func (h *heatMap) decay() {
+	if h == nil {
+		return
+	}
+	for i := 0; i < h.buckets; i++ {
+		v := h.c.ValueAt(i)
+		d := v >> h.decayShift
+		if d == 0 && v > 0 {
+			d = 1
+		}
+		if d > 0 {
+			h.c.AddAt(i, -d)
+		}
+	}
+}
+
+// load copies the bucket values into out (len buckets) and returns the
+// total. The copy is per-bucket atomic, not a consistent snapshot —
+// fine for the controller's thresholds.
+func (h *heatMap) load(out []int64) (total int64) {
+	for i := 0; i < h.buckets; i++ {
+		v := h.c.ValueAt(i)
+		out[i] = v
+		total += v
+	}
+	return total
+}

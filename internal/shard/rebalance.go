@@ -1,100 +1,116 @@
 package shard
 
 import (
-	"fmt"
+	"math"
 
-	"repro/internal/btree"
-	"repro/internal/core"
 	"repro/internal/keys"
 )
 
-// Rebalance recomputes the shard boundaries from the keys currently
-// stored (the exact key histogram) so that every shard holds an equal
-// count, and migrates keys between shards via dump + bulk reinsert.
-// Call it between batches — it must not run concurrently with
-// ProcessBatch or ProcessStream. Caches are flushed first, so the
+// rebalanceChunk bounds the pairs migrated per boundary move during a
+// manual Rebalance — the transient working set (one key/value slice)
+// instead of the old whole-store concatenation.
+const rebalanceChunk = 65536
+
+// Rebalance moves the shard boundaries so that every shard holds an
+// equal count of the keys currently stored, using the same bounded
+// boundary moves as the autoshard controller (autoshard.go): target
+// keys are found by rank inside the owning shard's tree (O(1) extra
+// memory), then each boundary walks to its target one bounded slice at
+// a time. The old implementation dumped every shard into one global
+// key/value pair list and bulk-rebuilt every engine — a transient
+// memory spike proportional to the whole store, and a full
+// stop-the-world; this one's working set is rebalanceChunk pairs.
+//
+// Takes the scheduling gate exclusively when one is installed (so it
+// self-serializes against batches); gate-less callers must keep the
+// engine's single-caller contract. Caches are flushed first, so the
 // operation is semantically a no-op: the stored pairs and all future
 // results are unchanged, only the partition moves.
 //
-// Returns the number of keys that changed shard.
+// Returns the number of pair moves performed; a key crossing several
+// shards counts once per hop.
 func (e *Engine) Rebalance() (migrated int, err error) {
+	if e.gate != nil {
+		e.gate.Lock()
+		defer e.gate.Unlock()
+	}
 	n := len(e.shards)
 	if n == 1 {
-		e.shst.RecordRebalance(0)
+		e.shst.RecordRebalance()
 		return 0, nil
 	}
 
-	// Flush caches so the trees are authoritative, then collect the
-	// global sorted pair list (shard ranges are disjoint and ascending,
-	// so concatenating per-shard dumps is already globally sorted).
-	perShard := make([]int, n)
-	var ks []keys.Key
-	var vs []keys.Value
-	for s, sh := range e.shards {
+	// Flush caches so the trees are authoritative for counts and ranks.
+	for _, sh := range e.shards {
 		sh.Flush()
-		sks, svs := sh.Processor().Tree().Dump()
-		perShard[s] = len(sks)
-		ks = append(ks, sks...)
-		vs = append(vs, svs...)
 	}
-	total := len(ks)
+	counts := make([]int, n)
+	total := 0
+	for s, sh := range e.shards {
+		counts[s] = sh.Processor().Tree().Len()
+		total += counts[s]
+	}
 	if total == 0 {
-		e.shst.RecordRebalance(0)
+		e.shst.RecordRebalance()
 		return 0, nil
 	}
 
-	// Equal-count boundaries: shard i gets keys [total*i/n, total*(i+1)/n).
-	bounds := make([]keys.Key, 0, n-1)
-	for i := 1; i < n; i++ {
-		bounds = append(bounds, ks[total*i/n])
+	// Equal-count targets: boundary i lands on the key of global rank
+	// total*(i+1)/n, so shard i ends up with ranks [total*i/n,
+	// total*(i+1)/n). Ranks are resolved before any key moves.
+	targets := make([]keys.Key, n-1)
+	for i := range targets {
+		targets[i] = e.keyAtRank(counts, total*(i+1)/n)
 	}
 
-	// Count migrations: walk the dump remembering which shard each key
-	// came from and where it lands under the new boundaries.
-	idx := 0
-	for s, cnt := range perShard {
-		for j := 0; j < cnt; j++ {
-			if shardOf(bounds, ks[idx]) != s {
-				migrated++
-			}
-			idx++
-		}
-	}
-
-	// Rebuild every shard over its new slice. Bulk loading a fresh tree
-	// per shard is O(total) and keeps fill invariants tight; the old
-	// engines (pools, caches) are closed and replaced.
-	order := e.Order()
-	cfg := e.cfg.Engine
-	cfg.Palm.Order = order
-	fresh := make([]*core.Engine, n)
-	lo := 0
-	for s := 0; s < n; s++ {
-		hi := total
-		if s < n-1 {
-			hi = lowerBound(ks, bounds[s], lo)
-		}
-		tree, terr := btree.BulkLoadLayout(order, engineLayout(cfg), ks[lo:hi], vs[lo:hi])
-		if terr == nil {
-			fresh[s], terr = core.NewEngineWithTree(cfg, tree)
-		}
-		if terr != nil {
-			for _, f := range fresh {
-				if f != nil {
-					f.Close()
+	// Walk every boundary to its target in bounded chunks. moveBoundary
+	// clamps to the neighboring bounds, so a boundary whose target lies
+	// beyond a not-yet-moved neighbor parks there and finishes on a
+	// later pass; each pass settles at least one boundary, so n+1
+	// passes always suffice (the guard just caps the loop).
+	for pass := 0; pass < n+1; pass++ {
+		progress := false
+		for i := 0; i < n-1; i++ {
+			for e.bounds[i] != targets[i] {
+				prev := e.bounds[i]
+				migrated += e.moveBoundary(i, targets[i], rebalanceChunk, false)
+				if e.bounds[i] == prev {
+					break // clamped by a neighbor; next pass
 				}
+				progress = true
 			}
-			return 0, fmt.Errorf("shard: rebalance shard %d: %w", s, terr)
 		}
-		lo = hi
+		if !progress {
+			break
+		}
 	}
-	for s, old := range e.shards {
-		old.Close()
-		e.shards[s] = fresh[s]
-	}
-	e.bounds = bounds
-	e.sp = newSplitter(bounds)
 
-	e.shst.RecordRebalance(migrated)
+	e.shst.RecordRebalance()
 	return migrated, nil
+}
+
+// keyAtRank returns the key of global rank r (0-based over the sorted
+// union of all shards): it locates the shard owning the rank from the
+// per-shard counts and scans only that shard's tree up to the local
+// rank.
+func (e *Engine) keyAtRank(counts []int, r int) keys.Key {
+	cum := 0
+	for s, c := range counts {
+		if r < cum+c {
+			local := r - cum
+			out := keys.Key(math.MaxUint64)
+			j := 0
+			e.shards[s].Processor().Tree().Scan(func(k keys.Key, _ keys.Value) bool {
+				if j == local {
+					out = k
+					return false
+				}
+				j++
+				return true
+			})
+			return out
+		}
+		cum += c
+	}
+	return keys.Key(math.MaxUint64)
 }

@@ -43,8 +43,15 @@ type Config struct {
 	// KeyMax is the largest key the workload is expected to produce;
 	// used to derive equal-width initial boundaries when Boundaries is
 	// nil (0 = the full uint64 key space). Rebalance corrects a poor
-	// initial choice from the observed keys.
+	// initial choice from the observed keys, and the Autoshard
+	// controller tracks it continuously.
 	KeyMax keys.Key
+	// Autoshard configures traffic-aware automatic resharding (online
+	// heat tracking, hot-split/cold-merge, incremental migration; see
+	// autoshard.go and DESIGN.md §13). The zero value keeps it off with
+	// the routing hot path byte- and alloc-identical to previous
+	// releases. Requires Shards > 1.
+	Autoshard AutoshardConfig
 }
 
 // Engine is a range-partitioned sharded engine. It presents the same
@@ -66,8 +73,18 @@ type Engine struct {
 	shst *stats.Shard
 	met  *shardMetrics // nil when metrics are off
 
+	// Autoshard state (autoshard.go): the heat histogram fed by the
+	// routing pass and the controller. Both nil when autoshard is off.
+	heat *heatMap
+	auto *autoController
+
 	// stream state (stream.go)
 	lendRS *keys.ResultSet
+	// streaming is true while a multi-shard ProcessStream is active.
+	// Set and cleared under gate.RLock, read by the controller under
+	// gate.Lock (so access is mutually exclusive); it blocks structural
+	// shard-count changes, whose channel plumbing is fixed per stream.
+	streaming bool
 
 	// Durability hooks (nil/zero when durability is off; see commit.go).
 	committer GroupCommitter
@@ -163,12 +180,17 @@ func NewFromTree(cfg Config, tree *btree.Tree) (*Engine, error) {
 
 func (e *Engine) finishInit() {
 	e.met = newShardMetrics(e.cfg.Engine.Metrics)
-	e.sp = newSplitter(e.bounds)
+	e.sp = newSplitter(len(e.shards))
 	e.subRS = make([]*keys.ResultSet, len(e.shards))
 	for i := range e.subRS {
 		e.subRS[i] = keys.NewResultSet(0)
 	}
 	e.st = stats.NewBatch(e.shards[0].Pool().N())
+	if e.cfg.Autoshard.Enabled && len(e.shards) > 1 {
+		cfg := e.cfg.Autoshard.withDefaults()
+		e.heat = newHeatMap(cfg.Buckets, e.cfg.KeyMax, cfg.DecayShift)
+		e.auto = newAutoController(e, cfg)
+	}
 }
 
 // initialBounds validates explicit boundaries or derives equal-width
@@ -214,12 +236,26 @@ func lowerBound(ks []keys.Key, bound keys.Key, from int) int {
 	return lo
 }
 
-// Shards returns the number of partitions.
-func (e *Engine) Shards() int { return len(e.shards) }
+// Shards returns the number of partitions. With autoshard on the count
+// changes over time; the gate makes the read consistent.
+func (e *Engine) Shards() int {
+	if e.gate != nil {
+		e.gate.RLock()
+		defer e.gate.RUnlock()
+	}
+	return len(e.shards)
+}
 
-// Bounds returns the current split points (ascending, len Shards-1).
-// The slice is shared; do not modify.
-func (e *Engine) Bounds() []keys.Key { return e.bounds }
+// Bounds returns a copy of the current split points (ascending, len
+// Shards-1) — a copy because the autoshard controller replaces the
+// engine's own slice between batches.
+func (e *Engine) Bounds() []keys.Key {
+	if e.gate != nil {
+		e.gate.RLock()
+		defer e.gate.RUnlock()
+	}
+	return append([]keys.Key(nil), e.bounds...)
+}
 
 // Shard exposes shard s's core engine (tests and diagnostics).
 func (e *Engine) Shard(s int) *core.Engine { return e.shards[s] }
@@ -233,8 +269,10 @@ func (e *Engine) Stats() *stats.Batch { return e.st }
 // ShardStats returns the routing/rebalance counters.
 func (e *Engine) ShardStats() *stats.Shard { return e.shst }
 
-// Close releases every shard's resources.
+// Close stops the autoshard controller (if running) and releases every
+// shard's resources.
 func (e *Engine) Close() {
+	e.StopAutoshard()
 	for _, sh := range e.shards {
 		sh.Close()
 	}
@@ -248,6 +286,16 @@ func (e *Engine) Close() {
 // through unsplit (and, like the unsharded engine, reordered in
 // place); otherwise qs is left untouched.
 func (e *Engine) ProcessBatch(qs []keys.Query, rs *keys.ResultSet) {
+	// The gate spans the whole batch application — split, every shard's
+	// sub-batch, merge — so a snapshot never observes a half-applied
+	// batch (see commit.go), and the autoshard controller (which holds
+	// the gate exclusively while it mutates bounds, shards, and the
+	// splitter) never overlaps one. It must be taken before anything
+	// below reads those fields.
+	if e.gate != nil {
+		e.gate.RLock()
+		defer e.gate.RUnlock()
+	}
 	if len(e.shards) == 1 {
 		e.shards[0].ProcessBatch(qs, rs)
 		e.shst.RecordRouted(0, len(qs))
@@ -259,19 +307,12 @@ func (e *Engine) ProcessBatch(qs []keys.Query, rs *keys.ResultSet) {
 		return
 	}
 
-	// The gate spans the whole batch application — split, every shard's
-	// sub-batch, merge — so a snapshot never observes a half-applied
-	// batch (see commit.go).
-	if e.gate != nil {
-		e.gate.RLock()
-		defer e.gate.RUnlock()
-	}
 	if e.committer != nil && e.groupErr() != nil {
 		return // poisoned: drop unapplied
 	}
 
 	splitStart, _ := e.met.now()
-	e.sp.split(qs)
+	e.sp.split(qs, e.bounds, e.heat)
 	e.met.observeSplit(splitStart)
 	e.recordRouting(e.sp)
 	lsn := e.beginCommit(e.sp)
@@ -314,8 +355,12 @@ func (e *Engine) ProcessBatch(qs []keys.Query, rs *keys.ResultSet) {
 	e.endCommit(lsn, e.sp)
 }
 
-// recordRouting folds one split's routing into the shard counters.
+// recordRouting folds one split's routing into the shard counters and
+// advances the heat map's EWMA clock by one batch. It runs on the
+// routing goroutine (ProcessBatch's caller, or the stream dispatcher),
+// which is the heat map's single writer.
 func (e *Engine) recordRouting(sp *splitter) {
+	e.heat.decay()
 	for s := range sp.subs {
 		if n := len(sp.subs[s]); n > 0 {
 			e.shst.RecordRouted(s, n)
@@ -336,6 +381,12 @@ func (e *Engine) Flush() {
 // Train pre-populates each shard's top-K cache with the hot keys that
 // route to it (§V-B training, per partition).
 func (e *Engine) Train(hot []keys.Key) {
+	// Training writes cache state, so it takes the gate exclusively —
+	// it runs at a batch boundary, never beside in-flight batches.
+	if e.gate != nil {
+		e.gate.Lock()
+		defer e.gate.Unlock()
+	}
 	if len(e.shards) == 1 {
 		e.shards[0].Train(hot)
 		return
@@ -355,6 +406,12 @@ func (e *Engine) Train(hot []keys.Key) {
 // Len returns the total number of stored pairs (caches flushed first
 // so the count is exact).
 func (e *Engine) Len() int {
+	// The flush writes dirty cache entries into the trees, so this
+	// takes the gate exclusively (a batch boundary), not shared.
+	if e.gate != nil {
+		e.gate.Lock()
+		defer e.gate.Unlock()
+	}
 	e.Flush()
 	n := 0
 	for _, sh := range e.shards {
@@ -367,6 +424,12 @@ func (e *Engine) Len() int {
 // flushed first) until fn returns false. Shard ranges are disjoint and
 // ascending, so visiting shards in order yields global key order.
 func (e *Engine) Scan(fn func(k keys.Key, v keys.Value) bool) {
+	// Flushes (writes) before reading, so the gate is taken
+	// exclusively, like Len.
+	if e.gate != nil {
+		e.gate.Lock()
+		defer e.gate.Unlock()
+	}
 	e.Flush()
 	for _, sh := range e.shards {
 		stop := false
@@ -385,7 +448,8 @@ func (e *Engine) Scan(fn func(k keys.Key, v keys.Value) bool) {
 
 // Dump returns every stored pair in ascending key order (caches
 // flushed first), matching btree.Tree.Dump for differential tests and
-// snapshots.
+// snapshots. Dump deliberately does not take the scheduling gate: the
+// snapshot path calls it while already holding the gate exclusively.
 func (e *Engine) Dump() (ks []keys.Key, vs []keys.Value) {
 	e.Flush()
 	for _, sh := range e.shards {

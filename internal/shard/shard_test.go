@@ -301,16 +301,18 @@ func TestRebalance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 3/4 of the keys must move off shard 0.
-	if migrated != 300 {
-		t.Fatalf("migrated = %d, want 300", migrated)
+	// 3/4 of the keys must move off shard 0, one adjacent-shard hop at
+	// a time: 100 keys hop once (to shard 1), 100 twice, 100 three
+	// times = 600 pair moves.
+	if migrated != 600 {
+		t.Fatalf("migrated = %d, want 600", migrated)
 	}
 	for s := 0; s < 4; s++ {
 		if got := e.Shard(s).Processor().Tree().Len(); got != 100 {
 			t.Fatalf("post-rebalance shard %d holds %d keys, want 100", s, got)
 		}
 	}
-	if st := e.ShardStats(); st.Rebalances != 1 || st.Migrated != 300 {
+	if st := e.ShardStats(); st.Rebalances != 1 || st.Migrated != 600 {
 		t.Fatalf("shard stats after rebalance: %v", st)
 	}
 

@@ -35,9 +35,12 @@ func shardOf(bounds []keys.Key, k keys.Key) int {
 // execution (DESIGN.md §6).
 //
 // A splitter's buffers are reused across batches; each concurrent
-// split (e.g. per pipeline slot) needs its own splitter.
+// split (e.g. per pipeline slot) needs its own splitter. The boundary
+// list is passed per split call, not captured at construction: the
+// autoshard controller replaces the engine's bounds between batches
+// (under the scheduling gate), and every split must route by the
+// current ones.
 type splitter struct {
-	bounds []keys.Key
 	// subs[s] is shard s's sub-batch with Idx renumbered to the
 	// sub-batch position; orig[s][i] is the original batch index of
 	// subs[s][i].
@@ -54,20 +57,20 @@ type splitter struct {
 	scanLimit []keys.Value
 }
 
-func newSplitter(bounds []keys.Key) *splitter {
-	n := len(bounds) + 1
+func newSplitter(n int) *splitter {
 	return &splitter{
-		bounds: bounds,
-		subs:   make([][]keys.Query, n),
-		orig:   make([][]int32, n),
-		sole:   -1,
+		subs: make([][]keys.Query, n),
+		orig: make([][]int32, n),
+		sole: -1,
 	}
 }
 
-// split partitions qs. The input is not modified; sub-batches hold
-// copies with batch-local Idx values. Results are valid until the next
-// split call.
-func (sp *splitter) split(qs []keys.Query) {
+// split partitions qs by the given boundaries (len(subs)-1 of them,
+// matching the splitter's shard count), recording each routed key into
+// heat (nil when autoshard is off). The input is not modified;
+// sub-batches hold copies with batch-local Idx values. Results are
+// valid until the next split call.
+func (sp *splitter) split(qs []keys.Query, bounds []keys.Key, heat *heatMap) {
 	for s := range sp.subs {
 		sp.subs[s] = sp.subs[s][:0]
 		sp.orig[s] = sp.orig[s][:0]
@@ -75,11 +78,12 @@ func (sp *splitter) split(qs []keys.Query) {
 	sp.scanIdx = sp.scanIdx[:0]
 	sp.scanLimit = sp.scanLimit[:0]
 	for _, q := range qs {
+		heat.record(q.Key)
 		if q.Op == keys.OpScan {
-			sp.splitScan(q)
+			sp.splitScan(q, bounds)
 			continue
 		}
-		s := shardOf(sp.bounds, q.Key)
+		s := shardOf(bounds, q.Key)
 		local := int32(len(sp.subs[s]))
 		sp.orig[s] = append(sp.orig[s], q.Idx)
 		q.Idx = local
@@ -110,11 +114,11 @@ func (sp *splitter) split(qs []keys.Query) {
 // sub-scans [max(lo, shardLo), min(hi, shardHi)), each keeping the
 // original row limit (the merger applies the limit globally after
 // concatenation — a per-shard share cannot be known in advance).
-func (sp *splitter) splitScan(q keys.Query) {
-	s1 := shardOf(sp.bounds, q.Key)
+func (sp *splitter) splitScan(q keys.Query, bounds []keys.Key) {
+	s1 := shardOf(bounds, q.Key)
 	s2 := s1
 	if q.Key2 > q.Key {
-		s2 = shardOf(sp.bounds, q.Key2-1)
+		s2 = shardOf(bounds, q.Key2-1)
 	}
 	sp.scanIdx = append(sp.scanIdx, q.Idx)
 	sp.scanLimit = append(sp.scanLimit, q.Value)
@@ -122,10 +126,10 @@ func (sp *splitter) splitScan(q keys.Query) {
 	for s := s1; s <= s2; s++ {
 		sub := q
 		if s > s1 {
-			sub.Key = sp.bounds[s-1]
+			sub.Key = bounds[s-1]
 		}
 		if s < s2 {
-			sub.Key2 = sp.bounds[s]
+			sub.Key2 = bounds[s]
 		}
 		local := int32(len(sp.subs[s]))
 		sp.orig[s] = append(sp.orig[s], orig)

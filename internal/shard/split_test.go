@@ -156,8 +156,8 @@ func TestSplitterTable(t *testing.T) {
 
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			sp := newSplitter(bounds)
-			sp.split(c.qs)
+			sp := newSplitter(len(bounds) + 1)
+			sp.split(c.qs, bounds, nil)
 			if sp.sole != c.wantSole {
 				t.Fatalf("sole = %d, want %d", sp.sole, c.wantSole)
 			}
@@ -207,8 +207,8 @@ func TestMergeResultIndexStability(t *testing.T) {
 		{Key: 150, Op: keys.OpInsert, Idx: 2}, // shard 1 — no result
 		{Key: 51, Op: keys.OpSearch, Idx: 3},  // shard 0
 	}
-	sp := newSplitter(bounds)
-	sp.split(qs)
+	sp := newSplitter(len(bounds) + 1)
+	sp.split(qs, bounds, nil)
 
 	subRS := make([]*keys.ResultSet, 3)
 	for s := range subRS {
@@ -254,8 +254,8 @@ func TestSplitScanStraddling(t *testing.T) {
 		keys.Scan(90, 110, 3),  // 2: straddles one boundary, limit 3
 		keys.Search(150),       // 3: point query rides along
 	})
-	sp := newSplitter(bounds)
-	sp.split(qs)
+	sp := newSplitter(len(bounds) + 1)
+	sp.split(qs, bounds, nil)
 
 	if sp.sole >= 0 {
 		t.Fatalf("sole = %d, want -1 (straddlers defeat the fast path)", sp.sole)
@@ -354,8 +354,8 @@ func TestSplitScanStraddling(t *testing.T) {
 func TestSplitScanLimitAppliedGlobally(t *testing.T) {
 	bounds := []keys.Key{100}
 	qs := keys.Number([]keys.Query{keys.Scan(0, 200, 4)})
-	sp := newSplitter(bounds)
-	sp.split(qs)
+	sp := newSplitter(len(bounds) + 1)
+	sp.split(qs, bounds, nil)
 
 	subRS := []*keys.ResultSet{keys.NewResultSet(1), keys.NewResultSet(1)}
 	for s, rows := range [][]keys.KV{

@@ -43,7 +43,7 @@ type streamJob struct {
 func (e *Engine) newStreamJob() *streamJob {
 	n := len(e.shards)
 	sj := &streamJob{
-		sp:    newSplitter(e.bounds),
+		sp:    newSplitter(n),
 		subs:  make([]core.Job, n),
 		subRS: make([]*keys.ResultSet, n),
 	}
@@ -60,7 +60,19 @@ func (e *Engine) newStreamJob() *streamJob {
 // (the core.Job contract). Must not be called concurrently with itself,
 // ProcessBatch, or Rebalance.
 func (e *Engine) ProcessStream(in <-chan *core.Job, emit func(*core.Job)) {
+	// Stream setup fixes the shard fan-out (one channel and one
+	// ProcessStream per shard) for the stream's whole lifetime, so it
+	// reads e.shards under the gate and raises e.streaming — which the
+	// autoshard controller checks under the gate's exclusive lock —
+	// to defer structural shard-count changes until the stream ends.
+	// Boundary moves stay allowed between jobs.
+	if e.gate != nil {
+		e.gate.RLock()
+	}
 	if len(e.shards) == 1 {
+		if e.gate != nil {
+			e.gate.RUnlock()
+		}
 		e.shards[0].ProcessStream(in, func(j *core.Job) {
 			e.shst.RecordRouted(0, len(j.Qs))
 			e.shst.RecordBatch()
@@ -70,6 +82,7 @@ func (e *Engine) ProcessStream(in <-chan *core.Job, emit func(*core.Job)) {
 		})
 		return
 	}
+	e.streaming = true
 
 	n := len(e.shards)
 	subIn := make([]chan *core.Job, n)
@@ -90,6 +103,9 @@ func (e *Engine) ProcessStream(in <-chan *core.Job, emit func(*core.Job)) {
 		free <- e.newStreamJob()
 	}
 	ordered := make(chan *streamJob, streamDepth)
+	if e.gate != nil {
+		e.gate.RUnlock()
+	}
 
 	go func() {
 		for job := range in {
@@ -103,7 +119,10 @@ func (e *Engine) ProcessStream(in <-chan *core.Job, emit func(*core.Job)) {
 				e.gate.RLock()
 			}
 			splitStart, _ := e.met.now()
-			sj.sp.split(job.Qs)
+			// e.bounds is read under this job's RLock, so a boundary
+			// flip by the controller (under the exclusive lock) is
+			// either fully visible or not at all.
+			sj.sp.split(job.Qs, e.bounds, e.heat)
 			e.met.observeSplit(splitStart)
 			e.recordRouting(sj.sp)
 			sj.lsn = e.beginCommit(sj.sp)
@@ -161,4 +180,11 @@ func (e *Engine) ProcessStream(in <-chan *core.Job, emit func(*core.Job)) {
 		}
 	}
 	shardWG.Wait()
+	if e.gate != nil {
+		e.gate.RLock()
+	}
+	e.streaming = false
+	if e.gate != nil {
+		e.gate.RUnlock()
+	}
 }

@@ -169,9 +169,10 @@ func TestShardCounters(t *testing.T) {
 	if got := s.Imbalance(); got != 1.6 {
 		t.Fatalf("Imbalance = %f, want 1.6", got)
 	}
-	s.RecordRebalance(12)
-	if s.Rebalances != 1 || s.Migrated != 12 {
-		t.Fatalf("rebalance counters = %d/%d", s.Rebalances, s.Migrated)
+	s.RecordRebalance()
+	s.RecordMove(12)
+	if s.Rebalances != 1 || s.Moves != 1 || s.Migrated != 12 {
+		t.Fatalf("rebalance counters = %d/%d/%d", s.Rebalances, s.Moves, s.Migrated)
 	}
 	str := s.String()
 	for _, want := range []string{"shards=4", "imbalance=1.60", "migrated=12"} {

@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDriftingDistribution pins the generator's two defining
+// properties: the configured fraction of draws lands inside the hot
+// window, and the window actually moves — early and late draw batches
+// concentrate on different key regions.
+func TestDriftingDistribution(t *testing.T) {
+	const span = 1 << 20
+	d := &Drifting{
+		Span:          span,
+		Width:         span / 64,
+		VelocityMilli: 1000, // one key per draw: easy to predict
+		HotFraction:   0.9,
+	}
+	r := rand.New(rand.NewSource(42))
+
+	inWindow := func(k, center uint64) bool {
+		lo := (center + span - d.Width/2) % span
+		off := (k + span - lo) % span
+		return off < d.Width
+	}
+
+	const draws = 200_000
+	hot := 0
+	for i := 0; i < draws; i++ {
+		k := uint64(d.Key(r))
+		if k >= span {
+			t.Fatalf("draw %d: key %d outside span %d", i, k, span)
+		}
+		if inWindow(k, d.center()) {
+			hot++
+		}
+	}
+	frac := float64(hot) / draws
+	// Uniform background also lands in the window ~1/64 of the time,
+	// so expect slightly above HotFraction.
+	if frac < 0.88 || frac > 0.95 {
+		t.Fatalf("hot fraction = %.3f, want ~0.90", frac)
+	}
+}
+
+// TestDriftingMoves checks the window center advances at the configured
+// velocity and wraps at the span.
+func TestDriftingMoves(t *testing.T) {
+	const span = 10_000
+	d := &Drifting{Span: span, Width: 100, VelocityMilli: 500, HotFraction: 1.0}
+	r := rand.New(rand.NewSource(7))
+
+	meanOffset := func(draws int) float64 {
+		// Mean circular distance of hot draws from the live center:
+		// small when the window tracks the center.
+		sum := 0.0
+		for i := 0; i < draws; i++ {
+			k := uint64(d.Key(r))
+			c := d.center()
+			delta := (k + span - c) % span
+			if delta > span/2 {
+				delta = span - delta
+			}
+			sum += float64(delta)
+		}
+		return sum / float64(draws)
+	}
+
+	if m := meanOffset(2000); m > float64(d.Width) {
+		t.Fatalf("hot draws stray %f from center, want within window width %d", m, d.Width)
+	}
+	// After 2000 draws at 0.5 keys/draw the center sits near key 1000.
+	if c := d.center(); c < 900 || c > 1100 {
+		t.Fatalf("center after 2000 draws = %d, want ~1000", c)
+	}
+	// Drive past one full lap: the center must wrap back below span.
+	for i := 0; i < 2*span*2; i++ {
+		d.Key(r)
+	}
+	if c := d.center(); c >= span {
+		t.Fatalf("center %d did not wrap at span %d", c, span)
+	}
+	if d.Name() != "drifting" || d.KeyRange() != span {
+		t.Fatalf("Name/KeyRange = %q/%d", d.Name(), d.KeyRange())
+	}
+}

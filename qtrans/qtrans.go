@@ -112,6 +112,16 @@ type Options struct {
 	// (0 = the full uint64 space). A poor hint only skews load, never
 	// correctness; DB.Rebalance re-splits from the stored keys.
 	ShardKeyMax Key
+	// Autoshard enables traffic-aware automatic resharding of a
+	// sharded DB (Shards > 1): the splitter's routing pass feeds an
+	// online per-key-range heat histogram, and a background controller
+	// re-splits boundaries by traffic weight, splits persistently hot
+	// shards, merges persistently cold ones, and migrates keys in
+	// small slices scheduled exactly at batch boundaries — serving
+	// never pauses longer than one inter-batch gap. The zero value
+	// keeps autosharding off with the hot path byte- and
+	// alloc-identical to previous releases. See DESIGN.md §13.
+	Autoshard Autoshard
 	// Durability enables crash-safe operation (write-ahead log +
 	// atomic snapshots) when its Dir is set; the zero value keeps
 	// durability off with semantics identical to previous releases.
@@ -144,6 +154,53 @@ type Options struct {
 	// intra-node search is branchless and inserts claim gaps instead of
 	// shifting (DESIGN.md §10). Results are identical either way.
 	NoGappedLayout bool
+}
+
+// Autoshard configures traffic-aware automatic resharding (see
+// Options.Autoshard). Every field but Enabled is optional; zero picks
+// the documented default.
+type Autoshard struct {
+	// Enabled turns the controller on (requires Options.Shards > 1).
+	Enabled bool
+	// Buckets is the heat histogram resolution (0 = 256).
+	Buckets int
+	// Interval is the background controller period (0 = 50ms; negative
+	// disables the background goroutine so resharding happens only on
+	// explicit DB.AutoshardStep calls).
+	Interval time.Duration
+	// SplitAbove splits the hottest shard when its heat exceeds this
+	// multiple of the mean (0 = 1.6); MergeBelow merges the coldest
+	// when its heat falls below this multiple (0 = 0.25). Both must
+	// hold for Hysteresis consecutive controller steps (0 = 3).
+	SplitAbove float64
+	MergeBelow float64
+	Hysteresis int
+	// MaxStep bounds the pairs migrated per controller step (0 = 4096)
+	// — the unit of non-stop-the-world migration.
+	MaxStep int
+	// MaxShards caps splits (0 = 16); MinShards floors merges (0 = 2).
+	MaxShards int
+	MinShards int
+	// MinHeat is the total histogram heat below which the controller
+	// idles (0 = 256).
+	MinHeat int64
+}
+
+// shardConfig translates the facade knobs to the internal controller
+// config.
+func (a Autoshard) shardConfig() shard.AutoshardConfig {
+	return shard.AutoshardConfig{
+		Enabled:    a.Enabled,
+		Buckets:    a.Buckets,
+		Interval:   a.Interval,
+		SplitAbove: a.SplitAbove,
+		MergeBelow: a.MergeBelow,
+		Hysteresis: a.Hysteresis,
+		MaxStep:    a.MaxStep,
+		MaxShards:  a.MaxShards,
+		MinShards:  a.MinShards,
+		MinHeat:    a.MinHeat,
+	}
 }
 
 // layout translates the ablation flag to the tree-level layout choice.
@@ -233,9 +290,10 @@ func build(opts Options, tree *btree.Tree) (*DB, error) {
 	db := &DB{pipelined: opts.Pipeline, layout: opts.layout(), met: opts.Metrics}
 	if opts.Shards > 1 {
 		cfg := shard.Config{
-			Shards: opts.Shards,
-			Engine: opts.engineConfig(),
-			KeyMax: opts.ShardKeyMax,
+			Shards:    opts.Shards,
+			Engine:    opts.engineConfig(),
+			KeyMax:    opts.ShardKeyMax,
+			Autoshard: opts.Autoshard.shardConfig(),
 		}
 		var se *shard.Engine
 		var err error
@@ -249,6 +307,9 @@ func build(opts Options, tree *btree.Tree) (*DB, error) {
 		}
 		db.eng, db.sharded = se, se
 		se.SetGate(&db.gate)
+		// The background controller steps through the same gate the
+		// batches hold, so it must start after the gate is installed.
+		se.StartAutoshard()
 		return db, nil
 	}
 	var eng *core.Engine
@@ -463,6 +524,20 @@ func (db *DB) Rebalance() (migrated int, err error) {
 		return 0, nil
 	}
 	return db.sharded.Rebalance()
+}
+
+// AutoshardStep runs one autoshard controller step synchronously (see
+// Options.Autoshard): the controller takes the batch gate exclusively,
+// applies at most one bounded action — a boundary move, a split, or one
+// drain slice of a merge — and returns what it did. Useful with a
+// negative Autoshard.Interval to drive resharding from the caller's
+// own cadence; a no-op reporting the current shard count when
+// autosharding is off or the DB is unsharded.
+func (db *DB) AutoshardStep() shard.AutoshardReport {
+	if db.sharded == nil {
+		return shard.AutoshardReport{Shards: 1}
+	}
+	return db.sharded.AutoshardStep()
 }
 
 // ShardStats exposes the routing/rebalance counters of a sharded DB
