@@ -15,6 +15,11 @@
 #   race-scan    the scan/RMW execution paths (epoch-fenced engine
 #                batches, the pipeline's extended path, shard scan
 #                split/merge, facade scans) under the race detector
+#   race-tiered  the cold-range tier store (DESIGN.md §14) under the
+#                race detector: the run/residency unit tests, the tier
+#                engine's demotion/promotion/fault paths, and the
+#                facade-level tiered integration tests (checkpoint,
+#                snapshot portability, lost-tier-dir recovery)
 #   fuzz-smoke   10s runs of the shard differential fuzzer (the
 #                sharded/serial equivalence property of DESIGN.md §6,
 #                including scan/RMW and dense-layout arms), the
@@ -29,17 +34,21 @@
 #                prefix — with gapped and dense pre-crash configs and
 #                RMW in the workload), and the dual-layout tree fuzzer
 #                (gapped and dense trees in lockstep vs a map oracle,
-#                DESIGN.md §10), and the wire-protocol frame decoder
-#                (canonical re-encode property, DESIGN.md §12)
+#                DESIGN.md §10), the wire-protocol frame decoder
+#                (canonical re-encode property, DESIGN.md §12), and the
+#                tiered differential fuzzer (tiered facade vs the plain
+#                facade and a map oracle with random demotion budgets,
+#                DESIGN.md §14; the crash-recovery fuzzer also carries
+#                a tiered pre-crash arm)
 #   bench-smoke  one-iteration compile-and-run of the pipeline benchmark
-#                (catches bit-rot in the bench harness without paying
-#                for a measurement)
+#                plus a tiny tiered-experiment run (catches bit-rot in
+#                the bench harnesses without paying for a measurement)
 
 GO ?= go
 
-.PHONY: ci vet build test race race-kernels race-layout race-scan race-server race-autoshard fuzz-smoke bench-smoke bench bench-kernels bench-layout bench-scan bench-serve bench-autoshard
+.PHONY: ci vet build test race race-kernels race-layout race-scan race-server race-autoshard race-tiered fuzz-smoke bench-smoke bench bench-kernels bench-layout bench-scan bench-serve bench-autoshard bench-tiered
 
-ci: vet build test race race-kernels race-layout race-scan race-server race-autoshard fuzz-smoke bench-smoke
+ci: vet build test race race-kernels race-layout race-scan race-server race-autoshard race-tiered fuzz-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -88,6 +97,15 @@ race-server:
 	$(GO) test -race -run 'Stall|SubmitFlushClose' -count=1 ./internal/batcher
 	$(GO) test -race -count=1 ./cmd/qtransserver
 
+# Cold-range tiering (DESIGN.md §14) under the race detector: the full
+# tier package (run/residency formats, store demotion/promotion, the
+# wrapping engine's cold-search faulting), plus the facade-level tiered
+# integration tests. Also part of the plain `race` target's ./qtrans
+# run; kept callable on its own for tier work.
+race-tiered:
+	$(GO) test -race -count=1 ./internal/tier
+	$(GO) test -race -run 'Tiered' -count=1 ./qtrans
+
 # Traffic-aware autosharding (DESIGN.md §13) under the race detector:
 # the controller policy tests (split/merge/hysteresis/boundary moves),
 # the migration cache hand-off, and the facade-level hammer that runs
@@ -101,6 +119,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzAutoshard -fuzztime=10s ./internal/shard
 	$(GO) test -run=^$$ -fuzz=FuzzRangeRMWEquivalence -fuzztime=10s ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzCrashRecovery -fuzztime=10s ./qtrans
+	$(GO) test -run=^$$ -fuzz=FuzzTieredEquivalence -fuzztime=10s ./qtrans
 	$(GO) test -run=^$$ -fuzz=FuzzTreeOps -fuzztime=10s ./internal/btree
 	$(GO) test -run=^$$ -fuzz=FuzzFrameDecode -fuzztime=10s ./internal/server
 
@@ -109,6 +128,7 @@ bench-smoke:
 	$(GO) test -run=XXX -bench=BenchmarkDurability -benchtime=1x ./qtrans
 	$(GO) test -run=XXX -bench=BenchmarkKernels -benchtime=1x ./internal/palm
 	$(GO) test -run=XXX -bench=BenchmarkLayout -benchtime=1x ./internal/palm
+	$(GO) run ./cmd/qtransbench -experiment tiered -scale 0.0002 -batches 2 -workers 2
 
 # Full benchmark sweep with allocation reporting (not part of ci).
 bench:
@@ -142,6 +162,14 @@ bench-scan:
 # shards — written to BENCH_autoshard.json (not part of ci).
 bench-autoshard:
 	$(GO) run ./cmd/qtransbench -experiment autoshard -scale 0.05 -json BENCH_autoshard.json
+
+# Cold-range tiering under a drifting hotspot (DESIGN.md §14): the
+# tiered engine with a quarter-of-dataset resident budget vs the same
+# engine all-in-memory, with residency/disk/fault counters and a
+# bounded-residency assertion — written to BENCH_tiered.json (not part
+# of ci).
+bench-tiered:
+	$(GO) run ./cmd/qtransbench -experiment tiered -scale 0.05 -json BENCH_tiered.json
 
 # Network front end load test (DESIGN.md §12): build qtransserver,
 # then drive >= 10k concurrent TCP connections against it from a

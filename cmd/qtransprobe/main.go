@@ -6,6 +6,7 @@
 // Usage:
 //
 //	qtransprobe -dataset zipfian -scale 0.15 -u 0.25 -batches 3
+//	qtransprobe -tiered -tiered-budget 100000   # cold-range tiering on
 package main
 
 import (
@@ -44,6 +45,8 @@ func run(args []string) error {
 		shards  = fs.Int("shards", 1, "range-partitioned shard count (>1 splits the worker budget across shards)")
 		rebal   = fs.Int("rebalance", 0, "rebalance shard boundaries every N batches (0 = never; needs -shards > 1)")
 		auto    = fs.Bool("autoshard", false, "traffic-aware automatic resharding: one controller step per batch (needs -shards > 1)")
+		tiered  = fs.Bool("tiered", false, "cold-range tiering: spill cold key ranges to runs in a temp directory, bounding resident keys (needs -shards = 1)")
+		tierBud = fs.Int("tiered-budget", 0, "tiered resident key budget (0 = a quarter of the keys stored after prefill)")
 
 		pathReuse  = fs.Bool("pathreuse", true, "path-reuse descent kernel (false = fresh root descent per query)")
 		branchless = fs.Bool("branchless", true, "branchless intra-node search kernel (false = closure-based binary search)")
@@ -79,6 +82,21 @@ func run(args []string) error {
 	if *auto && *shards <= 1 {
 		return fmt.Errorf("-autoshard needs -shards > 1")
 	}
+	if *tiered && *shards > 1 {
+		return fmt.Errorf("-tiered needs -shards = 1")
+	}
+	if *tierBud < 0 {
+		return fmt.Errorf("-tiered-budget %d must be >= 0", *tierBud)
+	}
+	tierDir := ""
+	if *tiered {
+		dir, err := os.MkdirTemp("", "qtransprobe-tier-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		tierDir = dir
+	}
 
 	var reg *metrics.Registry
 	if *metricsAddr != "" {
@@ -100,6 +118,8 @@ func run(args []string) error {
 		NoGappedLayout:     !*gapped,
 		Metrics:            reg,
 		Autoshard:          shard.AutoshardConfig{Enabled: *auto},
+		TieredDir:          tierDir,
+		TieredBudget:       *tierBud,
 	})
 	spec, err := workload.SpecByName(*dataset, *scale)
 	if err != nil {
@@ -130,6 +150,11 @@ func run(args []string) error {
 			if res.Totals.Elapsed[s] > 0 {
 				fmt.Printf("%s=%v ", s, res.Totals.Elapsed[s].Round(time.Millisecond))
 			}
+		}
+		if res.Tier != nil {
+			ts := res.Tier
+			fmt.Printf(" tier: resident=%d cold=%d runs=%d disk_kb=%d faults=%d promotions=%d demotions=%d",
+				ts.ResidentKeys, ts.ColdKeys, ts.ColdRanges, ts.DiskBytes/1024, ts.Faults, ts.Promotions, ts.Demotions)
 		}
 		if res.ShardStats != nil {
 			fmt.Printf(" %s", res.ShardStats)

@@ -7,6 +7,7 @@
 //	qtransserver [-addr :7070] [-workers N] [-pipeline] [-maxbatch N]
 //	             [-maxdelay D] [-target-latency D] [-highwater N]
 //	             [-maxscan N] [-shards N] [-autoshard]
+//	             [-tiered DIR] [-tiered-budget N]
 //	             [-metrics-addr HOST:PORT]
 //
 // On start it prints one line, "listening on HOST:PORT", to stdout.
@@ -54,6 +55,8 @@ func run(args []string, stdout *os.File) error {
 		metricsOn  = fs.String("metrics-addr", "", "also serve /metrics and /healthz over HTTP on this address (empty = off)")
 		shards     = fs.Int("shards", 1, "range-partition the key space across N engines (1 = single engine)")
 		autoshard  = fs.Bool("autoshard", false, "traffic-aware automatic resharding: heat-weighted boundary moves, hot splits, cold merges (needs -shards > 1)")
+		tieredDir  = fs.String("tiered", "", "cold-range tiering: spill cold key ranges to runs in this directory, bounding resident keys (empty = off; wiped on start)")
+		tieredBud  = fs.Int("tiered-budget", 1<<20, "tiered resident key budget (needs -tiered)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +76,12 @@ func run(args []string, stdout *os.File) error {
 	if *drainGrace <= 0 {
 		return fmt.Errorf("-drain-grace %v: must be positive", *drainGrace)
 	}
+	if *tieredDir == "" && *tieredBud != 1<<20 {
+		return fmt.Errorf("-tiered-budget needs -tiered")
+	}
+	if *tieredDir != "" && *tieredBud < 1 {
+		return fmt.Errorf("-tiered-budget %d: need at least 1", *tieredBud)
+	}
 
 	met := qtrans.NewMetrics()
 	db, err := qtrans.Open(qtrans.Options{
@@ -80,6 +89,7 @@ func run(args []string, stdout *os.File) error {
 		Pipeline:  *pipeline,
 		Shards:    *shards,
 		Autoshard: qtrans.Autoshard{Enabled: *autoshard},
+		Tiered:    qtrans.Tiered{Dir: *tieredDir, MaxResidentKeys: *tieredBud},
 		Metrics:   met,
 	})
 	if err != nil {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"time"
@@ -15,6 +17,7 @@ import (
 	"repro/internal/palm"
 	"repro/internal/shard"
 	"repro/internal/stats"
+	"repro/internal/tier"
 	"repro/internal/workload"
 )
 
@@ -79,6 +82,7 @@ func Experiments() []Experiment {
 		Experiment{"metrics", "per-stage time breakdown from the metrics registry (org and inter)", MetricsExp},
 		Experiment{"serve", "network front end under concurrent connections: steady, overload (shedding), graceful drain", ServeExp},
 		Experiment{"autoshard", "traffic-aware autosharding vs static partitioning under a drifting hotspot", AutoshardExp},
+		Experiment{"tiered", "cold-range tiering vs all-in-memory: bounded resident keys under a drifting hotspot", TieredExp},
 		Experiment{"table1", "dataset configurations", Table1},
 		Experiment{"table2", "latency per dataset (opt vs org, U-0 and U-0.75)", Table2},
 	)
@@ -1033,6 +1037,200 @@ func AutoshardExp(rn *Runner, w io.Writer) error {
 	// smaller batch, so the assertion is skipped there.
 	if batchSize >= autoCfg.MaxStep && auto.pauseP99 > auto.p50 {
 		return fmt.Errorf("autoshard: p99 migration pause %v exceeds one batch wall %v", auto.pauseP99, auto.p50)
+	}
+	return nil
+}
+
+// TieredExp measures cold-range tiering (DESIGN.md §14) against the
+// all-in-memory baseline on a key space four times the tiered arm's
+// resident budget: both arms load the full span through the engine,
+// then serve a working-set workload — a hot window of reads and
+// updates whose position walks half the span over the run, plus a 2%
+// trickle of uniform point reads over the whole space. The load
+// overflows the tiered arm's budget immediately, so demotions run
+// throughout; the drifting window then writes into demoted territory,
+// faulting ranges back in as it moves, while the uniform reads land in
+// cold ranges and are answered from runs on disk without promoting —
+// the full fault/promote/demote cycle is live during the measured
+// loop. (Uniform traffic is deliberately read-only: promotion is
+// per-range, so scattered cold writes fault in far more keys than they
+// touch, and no demotion bandwidth can bound residency under them —
+// the classic tiering thrash regime, measurable by editing the fill
+// loop, but not this experiment's operating point.)
+// Rows report end-to-end throughput, the tier gauges (resident/cold
+// keys, run count, disk bytes) and counters (faults, promotions,
+// demotions), and the post-GC live heap. The bounded-RSS claim is
+// asserted, not eyeballed: the tiered arm's final resident keys must
+// stay within the budget plus the transient slack one batch can add
+// (in-flight promotions, not-yet-demoted inserts, dirty cache); the
+// plain arm, by construction, holds the whole span.
+func TieredExp(rn *Runner, w io.Writer) error {
+	o := rn.Opts
+	defer debug.SetGCPercent(debug.SetGCPercent(800))
+	span := scaleInt(2_000_000, o.Scale)
+	if span < 8192 {
+		span = 8192
+	}
+	budget := span / 4
+	runKeys := budget / 8
+	batchSize := scaleInt(40_960, o.Scale)
+	if batchSize < 512 {
+		batchSize = 512
+	}
+	nBatches := 120
+	if o.Batches > 0 && nBatches > o.Batches {
+		nBatches = o.Batches
+	}
+	// Demotion moves at most one heat-bucket-wide range per action, so
+	// per-batch demotion bandwidth is actions x span/buckets keys; with
+	// 64 buckets and eight actions that is span/8 per batch — an order
+	// above the load inflow (one batch of fresh inserts) and the
+	// promotion inflow (the window's walk rate, span/(2 x batches)).
+	const actionsPerBatch = 8
+	const heatBuckets = 64
+	// The write-back cache holds dirty pairs outside the tree, where the
+	// resident budget cannot see them; size it well below the budget so
+	// cached slack stays a small fraction of the bound (both arms use
+	// the same cache, so the comparison stays fair).
+	cacheCap := budget / 8
+	if cacheCap < 64 {
+		cacheCap = 64
+	}
+
+	type armResult struct {
+		qps    float64
+		heapMB float64
+		st     tier.Stats
+	}
+	runArm := func(tiered bool) (*armResult, error) {
+		inner, err := core.NewEngine(core.EngineConfig{
+			Mode:          core.IntraInter,
+			Palm:          o.palmConfig(o.Workers, o.Workers > 1),
+			CacheCapacity: cacheCap,
+			Metrics:       o.Metrics,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var eng interface {
+			ProcessBatch(qs []keys.Query, rs *keys.ResultSet)
+			Close()
+		} = inner
+		var te *tier.Engine
+		if tiered {
+			dir, err := os.MkdirTemp("", "qtrans-tiered-exp-")
+			if err != nil {
+				inner.Close()
+				return nil, err
+			}
+			defer os.RemoveAll(dir)
+			st, err := tier.Open(tier.Config{
+				Dir:         filepath.Join(dir, "tier"),
+				MaxResident: budget,
+				RunKeys:     runKeys,
+				Buckets:     heatBuckets,
+				KeyMax:      keys.Key(span - 1),
+				Metrics:     o.Metrics,
+			}, true)
+			if err != nil {
+				inner.Close()
+				return nil, err
+			}
+			te = tier.NewEngine(inner, st, actionsPerBatch)
+			eng = te
+		}
+		defer eng.Close()
+
+		// Load the whole span (value = key). The tiered arm's budget
+		// overflows a quarter of the way in, so the load itself runs
+		// under continuous demotion pressure.
+		rs := keys.NewResultSet(batchSize)
+		chunk := make([]keys.Query, 0, batchSize)
+		for k := 0; k < span; k++ {
+			chunk = append(chunk, keys.Insert(keys.Key(k), keys.Value(k)))
+			if len(chunk) == batchSize || k+1 == span {
+				keys.Number(chunk)
+				rs.Reset(len(chunk))
+				eng.ProcessBatch(chunk, rs)
+				chunk = chunk[:0]
+			}
+		}
+
+		r := rand.New(rand.NewSource(o.Seed))
+		width := span / 16
+		batch := make([]keys.Query, batchSize)
+		var elapsed time.Duration
+		queries := 0
+		for b := 0; b < nBatches; b++ {
+			// The window's low edge walks half the span over the run.
+			winLo := b * span / (2 * nBatches)
+			for i := range batch {
+				if r.Float64() < 0.98 {
+					k := keys.Key(winLo + r.Intn(width))
+					if r.Float64() < 0.3 {
+						batch[i] = keys.Insert(k, keys.Value(k))
+					} else {
+						batch[i] = keys.Search(k)
+					}
+				} else {
+					batch[i] = keys.Search(keys.Key(r.Intn(span)))
+				}
+			}
+			keys.Number(batch)
+			rs.Reset(len(batch))
+			start := time.Now()
+			eng.ProcessBatch(batch, rs)
+			elapsed += time.Since(start)
+			queries += len(batch)
+		}
+
+		res := &armResult{qps: stats.Throughput(queries, elapsed)}
+		if te != nil {
+			if err := te.Err(); err != nil {
+				return nil, fmt.Errorf("tiered arm poisoned: %w", err)
+			}
+			// The workload never deletes, so hot + cold must still hold
+			// exactly the loaded span — a logical-integrity check on the
+			// whole demote/promote churn above.
+			if got := te.Len(); got != span {
+				return nil, fmt.Errorf("tiered arm lost keys: Len %d, loaded %d", got, span)
+			}
+			res.st = te.Store().Stats()
+		} else {
+			res.st.ResidentKeys = int64(inner.StoredLen())
+		}
+		runtime.GC()
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		res.heapMB = float64(m.HeapAlloc) / 1e6
+		return res, nil
+	}
+
+	plain, err := runArm(false)
+	if err != nil {
+		return err
+	}
+	tieredRes, err := runArm(true)
+	if err != nil {
+		return err
+	}
+
+	row(w, "arm", "qps", "speedup", "resident_keys", "cold_keys", "cold_ranges", "disk_mb", "faults", "promotions", "demotions", "heap_mb")
+	row(w, "plain", plain.qps, 1.0, plain.st.ResidentKeys, 0, 0, 0.0, 0, 0, 0, plain.heapMB)
+	ts := tieredRes.st
+	row(w, "tiered", tieredRes.qps, tieredRes.qps/plain.qps, ts.ResidentKeys, ts.ColdKeys,
+		ts.ColdRanges, float64(ts.DiskBytes)/1e6, ts.Faults, ts.Promotions, ts.Demotions, tieredRes.heapMB)
+
+	if ts.Demotions == 0 || ts.ColdKeys == 0 {
+		return fmt.Errorf("tiered: no demotions on a span (%d) four times the budget (%d)", span, budget)
+	}
+	// The transient slack: one batch can promote up to actionsPerBatch
+	// runs before the following boundaries demote the overflow back out,
+	// a batch of fresh inserts lands resident first, and dirty cached
+	// pairs sit outside the tree the budget check reads.
+	bound := int64(budget + actionsPerBatch*runKeys + batchSize + cacheCap)
+	if ts.ResidentKeys > bound {
+		return fmt.Errorf("tiered: resident keys %d exceed budget %d + slack (bound %d)", ts.ResidentKeys, budget, bound)
 	}
 	return nil
 }

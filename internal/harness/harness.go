@@ -18,6 +18,7 @@ import (
 	"repro/internal/palm"
 	"repro/internal/shard"
 	"repro/internal/stats"
+	"repro/internal/tier"
 	"repro/internal/workload"
 )
 
@@ -57,6 +58,15 @@ type Options struct {
 	// — the background loop is forced off — so the measured loop stays
 	// deterministic.
 	Autoshard shard.AutoshardConfig
+
+	// TieredDir, when set, wraps single-engine runs (RunOne and the
+	// probe paths built on it) with the cold-range tier store
+	// (DESIGN.md §14) rooted at this directory; the directory is wiped
+	// on open. Sharded and streamed runs do not support tiering.
+	TieredDir string
+	// TieredBudget is the tiered runs' resident key budget
+	// (0 = a quarter of the keys stored after prefill).
+	TieredBudget int
 
 	// Conns is the number of concurrent client connections the serve
 	// experiment drives (<= 0 derives a laptop-scale count from Scale).
@@ -125,6 +135,9 @@ type Result struct {
 	// ShardStats carries routing/imbalance counters for sharded runs
 	// (nil otherwise).
 	ShardStats *stats.Shard
+	// Tier carries the cold-store gauges and counters for tiered runs
+	// (nil otherwise).
+	Tier *tier.Stats
 }
 
 // ReductionRatio of the whole run.
@@ -158,7 +171,7 @@ func (rn *Runner) runCustom(spec workload.Spec, mode core.Mode, updateRatio floa
 		batchSize = 1
 	}
 
-	eng, err := core.NewEngine(core.EngineConfig{
+	inner, err := core.NewEngine(core.EngineConfig{
 		Mode:          mode,
 		Palm:          o.palmConfig(threads, loadBalance),
 		CacheCapacity: o.CacheCapacity,
@@ -167,13 +180,20 @@ func (rn *Runner) runCustom(spec workload.Spec, mode core.Mode, updateRatio floa
 	if err != nil {
 		return nil, fmt.Errorf("harness: %w", err)
 	}
-	defer eng.Close()
-
 	gen := spec.Build()
+	var eng interface {
+		ProcessBatch(qs []keys.Query, rs *keys.ResultSet)
+		Stats() *stats.Batch
+		Close()
+	} = inner
+
 	r := rand.New(rand.NewSource(o.Seed))
 
 	// Prefill: build the tree from the dataset's unique keys, via the
-	// engine itself in batch-sized chunks (fast and latch-free).
+	// engine itself in batch-sized chunks (fast and latch-free). The
+	// tier wrapper attaches after the prefill, so its default budget
+	// can be sized against the keys actually stored (skewed datasets
+	// collapse many draws onto few distinct keys).
 	prefill := workload.Prefill(gen, r, spec.UniqueKeys)
 	rs := keys.NewResultSet(batchSize)
 	for lo := 0; lo < len(prefill); lo += batchSize {
@@ -185,6 +205,32 @@ func (rn *Runner) runCustom(spec workload.Spec, mode core.Mode, updateRatio floa
 		rs.Reset(len(chunk))
 		eng.ProcessBatch(chunk, rs)
 	}
+
+	var te *tier.Engine
+	if o.TieredDir != "" {
+		budget := o.TieredBudget
+		if budget <= 0 {
+			budget = inner.StoredLen() / 4
+			if budget < 1 {
+				budget = 1
+			}
+		}
+		st, err := tier.Open(tier.Config{
+			Dir:         o.TieredDir,
+			MaxResident: budget,
+			KeyMax:      keys.Key(gen.KeyRange()),
+			Metrics:     o.Metrics,
+		}, true)
+		if err != nil {
+			inner.Close()
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+		// Eight maintenance actions per batch so residency converges
+		// toward the budget within a short probe run.
+		te = tier.NewEngine(inner, st, 8)
+		eng = te
+	}
+	defer eng.Close()
 
 	res := &Result{
 		Dataset:     spec.Name,
@@ -217,6 +263,13 @@ func (rn *Runner) runCustom(spec workload.Spec, mode core.Mode, updateRatio floa
 	res.Batches = nBatches
 	res.Elapsed = elapsed
 	res.Throughput = stats.Throughput(res.Queries, elapsed)
+	if te != nil {
+		if err := te.Err(); err != nil {
+			return nil, fmt.Errorf("harness: tiered run: %w", err)
+		}
+		ts := te.Store().Stats()
+		res.Tier = &ts
+	}
 	return res, nil
 }
 

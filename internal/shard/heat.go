@@ -105,3 +105,45 @@ func (h *heatMap) load(out []int64) (total int64) {
 	}
 	return total
 }
+
+// Heat is the exported facade over the autoshard heat histogram, for
+// consumers outside the shard controller: the tier demotion policy
+// (DESIGN.md §14) tracks per-range traffic with the same equal-width
+// EWMA buckets and picks victims from the coldest ones. Same calling
+// contract as heatMap: Record and Decay from one goroutine at a time,
+// reads from anywhere.
+type Heat struct {
+	h *heatMap
+}
+
+// NewHeat sizes a heat histogram of the given bucket count over
+// [0, keyMax] (keyMax 0 = the full uint64 key space) with the given
+// EWMA decay shift.
+func NewHeat(buckets int, keyMax keys.Key, decayShift uint) *Heat {
+	if buckets < 1 {
+		buckets = 1
+	}
+	return &Heat{h: newHeatMap(buckets, keyMax, decayShift)}
+}
+
+// Record counts one access to key k.
+func (h *Heat) Record(k keys.Key) { h.h.record(k) }
+
+// Decay applies one EWMA decay step across all buckets.
+func (h *Heat) Decay() { h.h.decay() }
+
+// Buckets returns the bucket count.
+func (h *Heat) Buckets() int { return h.h.buckets }
+
+// Value returns bucket b's current heat.
+func (h *Heat) Value(b int) int64 { return h.h.c.ValueAt(b) }
+
+// Range returns bucket b's inclusive key bounds. The last bucket
+// absorbs the rest of the key space.
+func (h *Heat) Range(b int) (lo, hi keys.Key) {
+	lo = h.h.lowOf(b)
+	if b >= h.h.buckets-1 {
+		return lo, keys.Key(^uint64(0))
+	}
+	return lo, h.h.lowOf(b+1) - 1
+}

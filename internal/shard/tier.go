@@ -1,0 +1,72 @@
+package shard
+
+import "repro/internal/keys"
+
+// Range primitives for the tier store (DESIGN.md §14), the sharded
+// counterparts of the core.Engine methods of the same names. Like
+// Dump, they take no locks: the tier engine calls them at a batch
+// boundary while holding the scheduling gate exclusively, which also
+// excludes the autoshard controller's migrations.
+
+// StoredLen returns the total pair count stored across all shard
+// trees (unflushed dirty cache entries are not counted).
+func (e *Engine) StoredLen() int {
+	n := 0
+	for _, s := range e.shards {
+		n += s.StoredLen()
+	}
+	return n
+}
+
+// DrainCacheRange flushes and drops every cached entry with
+// lo <= key < hi on every shard, leaving the trees authoritative for
+// that key range.
+func (e *Engine) DrainCacheRange(lo, hi keys.Key) {
+	for _, s := range e.shards {
+		s.DrainCacheRange(lo, hi)
+	}
+}
+
+// RangeDump returns the stored pairs with lo <= key <= hi in ascending
+// order, at most max of them (max <= 0 means unlimited). more reports
+// that the range holds further pairs. Shards partition the key space
+// in order, so per-shard dumps concatenate sorted.
+func (e *Engine) RangeDump(lo, hi keys.Key, max int) (ks []keys.Key, vs []keys.Value, more bool) {
+	for _, s := range e.shards {
+		rem := 0
+		if max > 0 {
+			rem = max - len(ks) + 1 // one extra to detect "more"
+		}
+		sk, sv, smore := s.RangeDump(lo, hi, rem)
+		ks = append(ks, sk...)
+		vs = append(vs, sv...)
+		if smore || (max > 0 && len(ks) > max) {
+			return ks[:max], vs[:max], true
+		}
+	}
+	return ks, vs, false
+}
+
+// DeleteRange removes every stored pair with lo <= key <= hi across
+// all shards, returning how many were removed.
+func (e *Engine) DeleteRange(lo, hi keys.Key) int {
+	n := 0
+	for _, s := range e.shards {
+		n += s.DeleteRange(lo, hi)
+	}
+	return n
+}
+
+// InsertPairs stores the given ascending pairs directly into the
+// owning shards' trees (the promotion path), bypassing the caches.
+func (e *Engine) InsertPairs(ks []keys.Key, vs []keys.Value) {
+	for i := 0; i < len(ks); {
+		s := shardOf(e.bounds, ks[i])
+		j := i + 1
+		for j < len(ks) && shardOf(e.bounds, ks[j]) == s {
+			j++
+		}
+		e.shards[s].InsertPairs(ks[i:j], vs[i:j])
+		i = j
+	}
+}

@@ -1,0 +1,269 @@
+package tier
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"repro/internal/keys"
+)
+
+// State is a residency range's tier.
+type State uint8
+
+const (
+	// Hot ranges are served by the in-memory tree.
+	Hot State = iota
+	// Cold ranges are served by exactly one on-disk run.
+	Cold
+)
+
+// Range is one residency interval: the inclusive key range [Lo, Hi]
+// and, for cold ranges, the run file that owns it.
+type Range struct {
+	Lo, Hi keys.Key
+	State  State
+	// Run is the backing run's file name (cold ranges only).
+	Run string
+}
+
+// Residency partitions the full uint64 key space into hot and cold
+// ranges: sorted, non-overlapping, gap-free intervals whose union is
+// exactly [0, MaxUint64]. Adjacent hot ranges are always coalesced, so
+// every hot range is maximal; cold ranges are never coalesced (each is
+// one run). residency_test.go fuzzes interleavings of demote/promote
+// against a brute-force per-key oracle and demands the partition
+// invariant after every step.
+type Residency struct {
+	rs []Range
+}
+
+// maxKey is the top of the key space (inclusive bounds avoid the
+// overflow a half-open representation would hit here).
+const maxKey = keys.Key(^uint64(0))
+
+// NewResidency returns an all-hot map.
+func NewResidency() *Residency {
+	return &Residency{rs: []Range{{Lo: 0, Hi: maxKey, State: Hot}}}
+}
+
+// Clone returns an independent copy (the store mutates a clone and
+// swaps it in only after the manifest write commits the change).
+func (m *Residency) Clone() *Residency {
+	return &Residency{rs: append([]Range(nil), m.rs...)}
+}
+
+// Ranges returns the partition in ascending key order. The slice is
+// the map's own storage; treat it as read-only.
+func (m *Residency) Ranges() []Range { return m.rs }
+
+// find returns the index of the range containing k.
+func (m *Residency) find(k keys.Key) int {
+	// First range with Hi >= k; the partition invariant guarantees it
+	// exists and contains k.
+	return sort.Search(len(m.rs), func(i int) bool { return m.rs[i].Hi >= k })
+}
+
+// At returns the range containing k.
+func (m *Residency) At(k keys.Key) Range { return m.rs[m.find(k)] }
+
+// ColdOverlapping appends to out every cold range intersecting the
+// inclusive range [lo, hi] and returns the extended slice.
+func (m *Residency) ColdOverlapping(out []Range, lo, hi keys.Key) []Range {
+	for i := m.find(lo); i < len(m.rs) && m.rs[i].Lo <= hi; i++ {
+		if m.rs[i].State == Cold {
+			out = append(out, m.rs[i])
+		}
+	}
+	return out
+}
+
+// Demote carves [lo, hi] out of the hot space as a cold range backed
+// by run. The target must lie entirely inside a single hot range
+// (victim selection clips to one, so a violation is a logic bug). The
+// top key of the space is never demoted, so Hi+1 on a cold range can
+// never overflow in the engine's exclusive-bound drain calls.
+func (m *Residency) Demote(lo, hi keys.Key, run string) error {
+	if lo > hi {
+		return fmt.Errorf("tier: demote range [%d, %d] inverted", lo, hi)
+	}
+	if hi == maxKey {
+		return fmt.Errorf("tier: demote range reaches the top of the key space")
+	}
+	i := m.find(lo)
+	r := m.rs[i]
+	if r.State != Hot || r.Hi < hi {
+		return fmt.Errorf("tier: demote [%d, %d] not inside one hot range [%d, %d]", lo, hi, r.Lo, r.Hi)
+	}
+	repl := make([]Range, 0, 3)
+	if r.Lo < lo {
+		repl = append(repl, Range{Lo: r.Lo, Hi: lo - 1, State: Hot})
+	}
+	repl = append(repl, Range{Lo: lo, Hi: hi, State: Cold, Run: run})
+	if r.Hi > hi {
+		repl = append(repl, Range{Lo: hi + 1, Hi: r.Hi, State: Hot})
+	}
+	m.rs = append(m.rs[:i], append(repl, m.rs[i+1:]...)...)
+	return nil
+}
+
+// Promote turns the cold range backed by run hot again, coalescing it
+// with adjacent hot neighbors so hot ranges stay maximal.
+func (m *Residency) Promote(run string) error {
+	i := -1
+	for j, r := range m.rs {
+		if r.State == Cold && r.Run == run {
+			i = j
+			break
+		}
+	}
+	if i < 0 {
+		return fmt.Errorf("tier: promote: no cold range backed by %s", run)
+	}
+	lo, hi := m.rs[i].Lo, m.rs[i].Hi
+	s, e := i, i+1
+	if s > 0 && m.rs[s-1].State == Hot {
+		lo = m.rs[s-1].Lo
+		s--
+	}
+	if e < len(m.rs) && m.rs[e].State == Hot {
+		hi = m.rs[e].Hi
+		e++
+	}
+	merged := Range{Lo: lo, Hi: hi, State: Hot}
+	m.rs = append(m.rs[:s], append([]Range{merged}, m.rs[e:]...)...)
+	return nil
+}
+
+// ColdRuns returns the run names of every cold range, in key order.
+func (m *Residency) ColdRuns() []string {
+	var out []string
+	for _, r := range m.rs {
+		if r.State == Cold {
+			out = append(out, r.Run)
+		}
+	}
+	return out
+}
+
+// validate checks the partition invariant: sorted, gap-free,
+// non-overlapping cover of [0, MaxUint64], hot ranges maximal, cold
+// ranges uniquely named.
+func (m *Residency) validate() error {
+	if len(m.rs) == 0 {
+		return fmt.Errorf("tier: residency empty")
+	}
+	if m.rs[0].Lo != 0 || m.rs[len(m.rs)-1].Hi != maxKey {
+		return fmt.Errorf("tier: residency does not span the key space")
+	}
+	seen := make(map[string]bool)
+	for i, r := range m.rs {
+		if r.Lo > r.Hi {
+			return fmt.Errorf("tier: residency range %d inverted", i)
+		}
+		if i > 0 {
+			prev := m.rs[i-1]
+			if r.Lo != prev.Hi+1 {
+				return fmt.Errorf("tier: residency gap/overlap between ranges %d and %d", i-1, i)
+			}
+			if prev.State == Hot && r.State == Hot {
+				return fmt.Errorf("tier: adjacent hot ranges %d and %d not coalesced", i-1, i)
+			}
+		}
+		switch r.State {
+		case Hot:
+			if r.Run != "" {
+				return fmt.Errorf("tier: hot range %d names a run", i)
+			}
+		case Cold:
+			if r.Run == "" || seen[r.Run] {
+				return fmt.Errorf("tier: cold range %d run %q missing or duplicated", i, r.Run)
+			}
+			if r.Hi == maxKey {
+				return fmt.Errorf("tier: cold range %d reaches the top of the key space", i)
+			}
+			seen[r.Run] = true
+		default:
+			return fmt.Errorf("tier: residency range %d state %d invalid", i, r.State)
+		}
+	}
+	return nil
+}
+
+// Residency/manifest encoding (little-endian):
+//
+//	magic   [4]byte "QTM1"
+//	count   u32
+//	ranges  count × { lo u64, hi u64, state u8, runlen u16, run bytes }
+//	crc     u32 CRC32C over count..ranges
+//
+// The same bytes serve as the tier directory's MANIFEST payload and as
+// the residency section of a tiered snapshot, so both are written with
+// the identical atomic temp+rename discipline.
+
+var manifestMagic = [4]byte{'Q', 'T', 'M', '1'}
+
+// encode serializes the map.
+func (m *Residency) encode() []byte {
+	size := 8
+	for _, r := range m.rs {
+		size += 19 + len(r.Run)
+	}
+	out := make([]byte, 4, size+4)
+	copy(out, manifestMagic[:])
+	var b [19]byte
+	binary.LittleEndian.PutUint32(b[0:4], uint32(len(m.rs)))
+	out = append(out, b[0:4]...)
+	for _, r := range m.rs {
+		binary.LittleEndian.PutUint64(b[0:8], uint64(r.Lo))
+		binary.LittleEndian.PutUint64(b[8:16], uint64(r.Hi))
+		b[16] = byte(r.State)
+		binary.LittleEndian.PutUint16(b[17:19], uint16(len(r.Run)))
+		out = append(out, b[:19]...)
+		out = append(out, r.Run...)
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(out[4:], crcTable))
+	return append(out, crc[:]...)
+}
+
+// decodeResidency parses and validates an encoded map.
+func decodeResidency(data []byte) (*Residency, error) {
+	if len(data) < 12 || [4]byte(data[0:4]) != manifestMagic {
+		return nil, fmt.Errorf("tier: residency bad magic or short payload")
+	}
+	stored := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(data[4:len(data)-4], crcTable); got != stored {
+		return nil, fmt.Errorf("tier: residency checksum mismatch (stored %08x, computed %08x)", stored, got)
+	}
+	body := data[8 : len(data)-4]
+	count := int(binary.LittleEndian.Uint32(data[4:8]))
+	m := &Residency{rs: make([]Range, 0, count)}
+	off := 0
+	for i := 0; i < count; i++ {
+		if off+19 > len(body) {
+			return nil, fmt.Errorf("tier: residency truncated at range %d", i)
+		}
+		r := Range{
+			Lo:    keys.Key(binary.LittleEndian.Uint64(body[off : off+8])),
+			Hi:    keys.Key(binary.LittleEndian.Uint64(body[off+8 : off+16])),
+			State: State(body[off+16]),
+		}
+		rl := int(binary.LittleEndian.Uint16(body[off+17 : off+19]))
+		off += 19
+		if off+rl > len(body) {
+			return nil, fmt.Errorf("tier: residency truncated at range %d name", i)
+		}
+		r.Run = string(body[off : off+rl])
+		off += rl
+		m.rs = append(m.rs, r)
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("tier: residency has %d trailing bytes", len(body)-off)
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

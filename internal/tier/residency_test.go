@@ -1,0 +1,199 @@
+package tier
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+// TestResidencyPartitionProperty drives random interleavings of demote
+// and promote (the only mutations — demotions split hot ranges, promotions
+// merge them back) against a brute-force per-key oracle over a small key
+// domain and demands, after every step, that (a) each sampled key's
+// state and backing run agree with the oracle, (b) the map still forms
+// an exact partition of the full key space (no gap, no overlap, hot
+// ranges maximal), and (c) ColdOverlapping returns exactly the oracle's
+// overlap set. Illegal operations (demoting an already-cold key,
+// promoting an unknown run) must fail without mutating anything.
+func TestResidencyPartitionProperty(t *testing.T) {
+	// Demotions start in [0, demoteLo) and extend at most spanMax-1
+	// keys, so every touched key is < dom and the oracle array covers
+	// the whole mutable region; everything at and above dom stays hot.
+	const (
+		dom      = 512
+		demoteLo = 256
+		spanMax  = 16
+	)
+	type cell struct {
+		cold bool
+		run  string
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewResidency()
+		oracle := make([]cell, dom)
+		var runs []string // live cold runs, oracle side
+		next := 0
+
+		check := func(step int) {
+			if err := m.validate(); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			// Partition: explicit gap/overlap sweep independent of
+			// validate's own bookkeeping.
+			rs := m.Ranges()
+			if rs[0].Lo != 0 || rs[len(rs)-1].Hi != maxKey {
+				t.Fatalf("seed %d step %d: span broken", seed, step)
+			}
+			for i := 1; i < len(rs); i++ {
+				if rs[i].Lo != rs[i-1].Hi+1 {
+					t.Fatalf("seed %d step %d: gap/overlap at range %d", seed, step, i)
+				}
+			}
+			// Per-key agreement with the oracle.
+			for k := 0; k < dom; k++ {
+				r := m.At(keys.Key(k))
+				if (r.State == Cold) != oracle[k].cold || r.Run != oracle[k].run {
+					t.Fatalf("seed %d step %d: key %d is (%v, %q), oracle (%v, %q)",
+						seed, step, k, r.State == Cold, r.Run, oracle[k].cold, oracle[k].run)
+				}
+			}
+			if m.At(keys.Key(dom)).State != Hot || m.At(maxKey).State != Hot {
+				t.Fatalf("seed %d step %d: keys outside the mutable domain not hot", seed, step)
+			}
+			// ColdOverlapping vs a brute-force per-key sweep.
+			lo := keys.Key(rng.Intn(dom))
+			hi := lo + keys.Key(rng.Intn(2*spanMax))
+			want := map[string]bool{}
+			for k := lo; k <= hi && k < dom; k++ {
+				if oracle[k].cold {
+					want[oracle[k].run] = true
+				}
+			}
+			got := map[string]bool{}
+			for _, r := range m.ColdOverlapping(nil, lo, hi) {
+				got[r.Run] = true
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("seed %d step %d: ColdOverlapping [%d, %d] = %v, oracle %v",
+					seed, step, lo, hi, got, want)
+			}
+		}
+
+		for step := 0; step < 400; step++ {
+			if rng.Intn(2) == 0 {
+				lo := keys.Key(rng.Intn(demoteLo))
+				hi := lo + keys.Key(rng.Intn(spanMax))
+				name := fmt.Sprintf("r%04d.run", next)
+				legal := true
+				for k := lo; k <= hi; k++ {
+					if oracle[k].cold {
+						legal = false
+						break
+					}
+				}
+				err := m.Demote(lo, hi, name)
+				if legal && err != nil {
+					t.Fatalf("seed %d step %d: legal demote [%d, %d] rejected: %v", seed, step, lo, hi, err)
+				}
+				if !legal && err == nil {
+					t.Fatalf("seed %d step %d: demote [%d, %d] over a cold key accepted", seed, step, lo, hi)
+				}
+				if err == nil {
+					for k := lo; k <= hi; k++ {
+						oracle[k] = cell{cold: true, run: name}
+					}
+					runs = append(runs, name)
+					next++
+				}
+			} else {
+				// Promote a live run, or (1 in 8) a bogus name that must
+				// be rejected without mutating the map.
+				if len(runs) == 0 || rng.Intn(8) == 0 {
+					if err := m.Promote("nope.run"); err == nil {
+						t.Fatalf("seed %d step %d: promoting an unknown run accepted", seed, step)
+					}
+				} else {
+					i := rng.Intn(len(runs))
+					name := runs[i]
+					if err := m.Promote(name); err != nil {
+						t.Fatalf("seed %d step %d: promote %s failed: %v", seed, step, name, err)
+					}
+					for k := range oracle {
+						if oracle[k].run == name {
+							oracle[k] = cell{}
+						}
+					}
+					runs = append(runs[:i], runs[i+1:]...)
+				}
+			}
+			check(step)
+		}
+
+		// The serialized form must round-trip the exact partition.
+		dec, err := decodeResidency(m.encode())
+		if err != nil {
+			t.Fatalf("seed %d: roundtrip: %v", seed, err)
+		}
+		if !reflect.DeepEqual(m.rs, dec.rs) {
+			t.Fatalf("seed %d: roundtrip changed the partition", seed)
+		}
+	}
+}
+
+// TestResidencyDemoteRejects locks the explicit demote guards: inverted
+// ranges, the top of the key space (Hi+1 overflow), and targets not
+// contained in a single hot range.
+func TestResidencyDemoteRejects(t *testing.T) {
+	m := NewResidency()
+	if err := m.Demote(10, 5, "a.run"); err == nil {
+		t.Fatal("inverted demote accepted")
+	}
+	if err := m.Demote(0, maxKey, "a.run"); err == nil {
+		t.Fatal("demote reaching the top key accepted")
+	}
+	if err := m.Demote(10, 20, "a.run"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Demote(15, 30, "b.run"); err == nil {
+		t.Fatal("demote straddling a cold range accepted")
+	}
+	if err := m.Demote(15, 18, "b.run"); err == nil {
+		t.Fatal("demote inside a cold range accepted")
+	}
+}
+
+// TestResidencyDecodeRejectsCorruption flips every byte of an encoded
+// map (and tries every truncation) and demands decode failure: the
+// manifest is the recovery authority, so a torn or bit-rotted one must
+// never silently yield a different partition.
+func TestResidencyDecodeRejectsCorruption(t *testing.T) {
+	m := NewResidency()
+	if err := m.Demote(100, 200, "00000000.run"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Demote(300, 400, "00000001.run"); err != nil {
+		t.Fatal(err)
+	}
+	enc := m.encode()
+	if _, err := decodeResidency(enc); err != nil {
+		t.Fatalf("pristine encoding rejected: %v", err)
+	}
+	for off := 0; off < len(enc); off++ {
+		for _, flip := range []byte{0x01, 0xFF} {
+			mut := append([]byte(nil), enc...)
+			mut[off] ^= flip
+			if _, err := decodeResidency(mut); err == nil {
+				t.Fatalf("encoding with byte %d xor %#x accepted", off, flip)
+			}
+		}
+	}
+	for n := 0; n < len(enc); n++ {
+		if _, err := decodeResidency(enc[:n]); err == nil {
+			t.Fatalf("encoding truncated to %d/%d bytes accepted", n, len(enc))
+		}
+	}
+}

@@ -1,0 +1,409 @@
+// Package tier spills cold key ranges out of the in-memory PALM tree
+// into immutable sorted runs on disk (DESIGN.md §14): a residency map
+// partitions the key space into hot ranges (served by the tree) and
+// cold ranges (each backed by exactly one run file), the engine
+// wrapper faults cold ranges back in when batches touch them, and a
+// heat histogram — the autoshard machinery of DESIGN.md §13 reused —
+// picks demotion victims from the coldest buckets. All file I/O goes
+// through wal.FS with the PR 3 temp+fsync+rename discipline, so the
+// crash-recovery proof layer (internal/faultfs) covers every tiering
+// path.
+package tier
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+
+	"repro/internal/keys"
+	"repro/internal/wal"
+)
+
+// Run file format (little-endian):
+//
+//	magic   [4]byte "QRN1"
+//	header  frame{ lo u64, hi u64, count u64, nblocks u32, blockPairs u32 }
+//	index   frame{ nblocks × { firstKey u64, off u64, plen u32 } }
+//	blocks  nblocks × frame{ pairs × { key u64, value u64 } }
+//
+// where frame{payload} = u32 plen, u32 crc32c(payload), payload. Keys
+// are strictly ascending across the whole file and all lie inside
+// [lo, hi] (the run's inclusive residency range, which may be wider
+// than the first..last stored key — absent keys in the range answer
+// "not found" from the run alone). Block offsets in the index are
+// relative to the end of the index frame, so a point lookup reads the
+// small prefix (header + index), skips to one block, and CRC-verifies
+// only that block. Every byte of the file is covered by a checksum or
+// by a structural cross-check (counts, bounds, ascending keys), so a
+// torn or bit-flipped run is reported as an error, never silently
+// served (run_test.go corrupts every byte offset and demands so).
+//
+// Runs are immutable: written once to a ".tmp" name, fsynced, and
+// renamed into place. A crash mid-write leaves only a temp file or an
+// unreferenced run, both of which Open discards.
+
+var runMagic = [4]byte{'Q', 'R', 'N', '1'}
+
+// runBlockPairs is the number of key/value pairs per CRC-framed block.
+const runBlockPairs = 256
+
+// crcTable is the CRC32C table shared by every persisted format in
+// this repository.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// fence is one sparse-index entry: the first key of a block and where
+// its frame starts relative to the end of the index frame.
+type fence struct {
+	first keys.Key
+	off   int64
+	plen  uint32
+}
+
+// Run is one immutable sorted run: the in-memory handle carries the
+// bounds, the sparse fence index, and the file geometry needed to
+// reach a block without random access (wal.FS files only read
+// forward, so lookups skip to the block's offset sequentially).
+type Run struct {
+	// Name is the file's base name inside the tier directory.
+	Name string
+	// Lo and Hi are the inclusive bounds of the residency range the
+	// run covers (every key in [Lo, Hi] is answered by this run alone
+	// while the range is cold).
+	Lo, Hi keys.Key
+	// Count is the number of stored pairs.
+	Count int
+	// Bytes is the file size.
+	Bytes int64
+
+	fence      []fence
+	blockPairs int
+	dataOff    int64 // file offset of the first block frame
+}
+
+// frameTo appends frame{payload} to w, returning bytes written.
+func frameTo(w io.Writer, payload []byte) (int64, error) {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return 0, err
+	}
+	return 8 + int64(len(payload)), nil
+}
+
+// readFrame reads one frame with an expected maximum payload size,
+// verifying the checksum.
+func readFrame(r io.Reader, maxLen uint32) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	plen := binary.LittleEndian.Uint32(hdr[0:4])
+	want := binary.LittleEndian.Uint32(hdr[4:8])
+	if plen > maxLen {
+		return nil, fmt.Errorf("frame length %d exceeds limit %d", plen, maxLen)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return nil, fmt.Errorf("frame checksum mismatch (stored %08x, computed %08x)", want, got)
+	}
+	return payload, nil
+}
+
+// WriteRun atomically writes a new run covering [lo, hi] with the
+// given ascending pairs: everything goes to name+".tmp", is fsynced,
+// and renamed to name, so a power cut leaves either no run or a
+// complete one. Returns the opened handle.
+func WriteRun(fs wal.FS, dir, name string, lo, hi keys.Key, ks []keys.Key, vs []keys.Value) (*Run, error) {
+	if len(ks) != len(vs) {
+		return nil, fmt.Errorf("tier: run %s: %d keys for %d values", name, len(ks), len(vs))
+	}
+	if len(ks) == 0 {
+		// An empty run can only come from a caller bug: the engine
+		// skips empty victim dumps before demoting.
+		return nil, fmt.Errorf("tier: run %s: no pairs", name)
+	}
+	for i, k := range ks {
+		if k < lo || k > hi {
+			return nil, fmt.Errorf("tier: run %s: key %d outside range [%d, %d]", name, k, lo, hi)
+		}
+		if i > 0 && k <= ks[i-1] {
+			return nil, fmt.Errorf("tier: run %s: keys not ascending at %d", name, i)
+		}
+	}
+	nblocks := (len(ks) + runBlockPairs - 1) / runBlockPairs
+
+	r := &Run{
+		Name:       name,
+		Lo:         lo,
+		Hi:         hi,
+		Count:      len(ks),
+		blockPairs: runBlockPairs,
+	}
+
+	// Assemble the block payloads first: the index needs their sizes.
+	blocks := make([][]byte, nblocks)
+	off := int64(0)
+	r.fence = make([]fence, nblocks)
+	for b := 0; b < nblocks; b++ {
+		s, e := b*runBlockPairs, (b+1)*runBlockPairs
+		if e > len(ks) {
+			e = len(ks)
+		}
+		p := make([]byte, 16*(e-s))
+		for i := s; i < e; i++ {
+			binary.LittleEndian.PutUint64(p[16*(i-s):], uint64(ks[i]))
+			binary.LittleEndian.PutUint64(p[16*(i-s)+8:], uint64(vs[i]))
+		}
+		blocks[b] = p
+		r.fence[b] = fence{first: ks[s], off: off, plen: uint32(len(p))}
+		off += 8 + int64(len(p))
+	}
+
+	hdr := make([]byte, 32)
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(lo))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(hi))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(len(ks)))
+	binary.LittleEndian.PutUint32(hdr[24:28], uint32(nblocks))
+	binary.LittleEndian.PutUint32(hdr[28:32], uint32(runBlockPairs))
+
+	idx := make([]byte, 20*nblocks)
+	for b, fe := range r.fence {
+		binary.LittleEndian.PutUint64(idx[20*b:], uint64(fe.first))
+		binary.LittleEndian.PutUint64(idx[20*b+8:], uint64(fe.off))
+		binary.LittleEndian.PutUint32(idx[20*b+16:], fe.plen)
+	}
+
+	tmp := filepath.Join(dir, name+tmpSuffix)
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return nil, fmt.Errorf("tier: run create: %w", err)
+	}
+	size := int64(0)
+	write := func(chunks ...[]byte) error {
+		for _, c := range chunks {
+			n, err := frameTo(f, c)
+			if err != nil {
+				return err
+			}
+			size += n
+		}
+		return nil
+	}
+	if _, err := f.Write(runMagic[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tier: run write: %w", err)
+	}
+	size += int64(len(runMagic))
+	if err := write(hdr, idx); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tier: run write: %w", err)
+	}
+	r.dataOff = size
+	if err := write(blocks...); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tier: run write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tier: run sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("tier: run close: %w", err)
+	}
+	if err := fs.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return nil, fmt.Errorf("tier: run rename: %w", err)
+	}
+	r.Bytes = size
+	return r, nil
+}
+
+// OpenRun reads and verifies a run's header and fence index, returning
+// the handle used for point lookups and full reads. It reads only the
+// file's small prefix; block contents are verified lazily on access.
+func OpenRun(fs wal.FS, dir, name string) (*Run, error) {
+	f, err := fs.Open(filepath.Join(dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("tier: run open %s: %w", name, err)
+	}
+	defer f.Close()
+	fail := func(err error) (*Run, error) {
+		return nil, fmt.Errorf("tier: run %s corrupt: %w", name, err)
+	}
+
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return fail(err)
+	}
+	if magic != runMagic {
+		return fail(fmt.Errorf("bad magic %q", magic))
+	}
+	hdr, err := readFrame(f, 32)
+	if err != nil {
+		return fail(err)
+	}
+	if len(hdr) != 32 {
+		return fail(fmt.Errorf("header length %d", len(hdr)))
+	}
+	r := &Run{
+		Name:       name,
+		Lo:         keys.Key(binary.LittleEndian.Uint64(hdr[0:8])),
+		Hi:         keys.Key(binary.LittleEndian.Uint64(hdr[8:16])),
+		Count:      int(binary.LittleEndian.Uint64(hdr[16:24])),
+		blockPairs: int(binary.LittleEndian.Uint32(hdr[28:32])),
+	}
+	nblocks := int(binary.LittleEndian.Uint32(hdr[24:28]))
+	if r.Lo > r.Hi || r.Count < 0 || r.blockPairs < 1 || nblocks < 0 ||
+		nblocks != (r.Count+r.blockPairs-1)/r.blockPairs {
+		return fail(fmt.Errorf("inconsistent header (lo %d hi %d count %d blocks %d×%d)",
+			r.Lo, r.Hi, r.Count, nblocks, r.blockPairs))
+	}
+	idx, err := readFrame(f, uint32(20*nblocks))
+	if err != nil {
+		return fail(err)
+	}
+	if len(idx) != 20*nblocks {
+		return fail(fmt.Errorf("index length %d for %d blocks", len(idx), nblocks))
+	}
+	r.dataOff = int64(len(runMagic)) + 8 + int64(len(hdr)) + 8 + int64(len(idx))
+	r.fence = make([]fence, nblocks)
+	expectOff := int64(0)
+	for b := range r.fence {
+		fe := fence{
+			first: keys.Key(binary.LittleEndian.Uint64(idx[20*b:])),
+			off:   int64(binary.LittleEndian.Uint64(idx[20*b+8:])),
+			plen:  binary.LittleEndian.Uint32(idx[20*b+16:]),
+		}
+		want := r.blockPairs
+		if b == nblocks-1 {
+			want = r.Count - b*r.blockPairs
+		}
+		if fe.off != expectOff || int(fe.plen) != 16*want ||
+			fe.first < r.Lo || fe.first > r.Hi ||
+			(b > 0 && fe.first <= r.fence[b-1].first) {
+			return fail(fmt.Errorf("inconsistent fence entry %d", b))
+		}
+		expectOff += 8 + int64(fe.plen)
+		r.fence[b] = fe
+	}
+	r.Bytes = r.dataOff + expectOff
+	return r, nil
+}
+
+// decodeBlock parses and validates one block's pairs.
+func (r *Run) decodeBlock(b int, payload []byte) ([]keys.Key, []keys.Value, error) {
+	fe := r.fence[b]
+	if len(payload) != int(fe.plen) {
+		return nil, nil, fmt.Errorf("tier: run %s block %d length %d", r.Name, b, len(payload))
+	}
+	n := len(payload) / 16
+	ks := make([]keys.Key, n)
+	vs := make([]keys.Value, n)
+	hi := r.Hi
+	if b+1 < len(r.fence) {
+		hi = r.fence[b+1].first - 1
+	}
+	for i := 0; i < n; i++ {
+		ks[i] = keys.Key(binary.LittleEndian.Uint64(payload[16*i:]))
+		vs[i] = keys.Value(binary.LittleEndian.Uint64(payload[16*i+8:]))
+		if ks[i] > hi || (i == 0 && ks[i] != fe.first) || (i > 0 && ks[i] <= ks[i-1]) {
+			return nil, nil, fmt.Errorf("tier: run %s block %d keys out of order or range", r.Name, b)
+		}
+	}
+	return ks, vs, nil
+}
+
+// skipTo discards n bytes from a forward-only reader.
+func skipTo(f io.Reader, n int64) error {
+	_, err := io.CopyN(io.Discard, f, n)
+	return err
+}
+
+// Get answers a point lookup from the run: found is false when k lies
+// in the run's range but is not stored. Only the target block is read
+// and verified.
+func (r *Run) Get(fs wal.FS, dir string, k keys.Key) (keys.Value, bool, error) {
+	if k < r.Lo || k > r.Hi {
+		return 0, false, fmt.Errorf("tier: run %s: key %d outside [%d, %d]", r.Name, k, r.Lo, r.Hi)
+	}
+	// Last fence entry with first <= k (none: the key precedes every
+	// stored key and is absent).
+	b := -1
+	lo, hi := 0, len(r.fence)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if r.fence[mid].first <= k {
+			b = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	if b < 0 {
+		return 0, false, nil
+	}
+	f, err := fs.Open(filepath.Join(dir, r.Name))
+	if err != nil {
+		return 0, false, fmt.Errorf("tier: run open %s: %w", r.Name, err)
+	}
+	defer f.Close()
+	if err := skipTo(f, r.dataOff+r.fence[b].off); err != nil {
+		return 0, false, fmt.Errorf("tier: run %s seek: %w", r.Name, err)
+	}
+	payload, err := readFrame(f, r.fence[b].plen)
+	if err != nil {
+		return 0, false, fmt.Errorf("tier: run %s block %d: %w", r.Name, b, err)
+	}
+	ks, vs, err := r.decodeBlock(b, payload)
+	if err != nil {
+		return 0, false, err
+	}
+	for i, bk := range ks {
+		if bk == k {
+			return vs[i], true, nil
+		}
+		if bk > k {
+			break
+		}
+	}
+	return 0, false, nil
+}
+
+// Pairs reads and verifies the whole run, returning every stored pair
+// in ascending key order (the promotion and scan path).
+func (r *Run) Pairs(fs wal.FS, dir string) ([]keys.Key, []keys.Value, error) {
+	f, err := fs.Open(filepath.Join(dir, r.Name))
+	if err != nil {
+		return nil, nil, fmt.Errorf("tier: run open %s: %w", r.Name, err)
+	}
+	defer f.Close()
+	if err := skipTo(f, r.dataOff); err != nil {
+		return nil, nil, fmt.Errorf("tier: run %s seek: %w", r.Name, err)
+	}
+	ks := make([]keys.Key, 0, r.Count)
+	vs := make([]keys.Value, 0, r.Count)
+	for b := range r.fence {
+		payload, err := readFrame(f, r.fence[b].plen)
+		if err != nil {
+			return nil, nil, fmt.Errorf("tier: run %s block %d: %w", r.Name, b, err)
+		}
+		bks, bvs, err := r.decodeBlock(b, payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		ks = append(ks, bks...)
+		vs = append(vs, bvs...)
+	}
+	if len(ks) != r.Count {
+		return nil, nil, fmt.Errorf("tier: run %s: %d pairs for count %d", r.Name, len(ks), r.Count)
+	}
+	return ks, vs, nil
+}

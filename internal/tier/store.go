@@ -1,0 +1,468 @@
+package tier
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/keys"
+	"repro/internal/metrics"
+	"repro/internal/shard"
+	"repro/internal/wal"
+)
+
+const (
+	// tmpSuffix marks in-flight files; Open discards them (a crash
+	// mid-write leaves a temp that never became visible).
+	tmpSuffix = ".tmp"
+	// manifestName is the residency map's file, the recovery authority
+	// for which ranges are cold (DESIGN.md §14).
+	manifestName = "MANIFEST"
+	// runSuffix is the run file extension.
+	runSuffix = ".run"
+)
+
+// Config sizes a tier store.
+type Config struct {
+	// Dir is the tier directory (runs + MANIFEST live here).
+	Dir string
+	// FS is the filesystem; nil means the real OS filesystem. Tests
+	// inject faultfs here.
+	FS wal.FS
+	// MaxResident is the resident key budget: while the in-memory tree
+	// stores more keys than this, batch boundaries demote. Zero
+	// disables demotion (the store still serves existing cold ranges).
+	MaxResident int
+	// RunKeys caps the pairs per demoted run (default 4096).
+	RunKeys int
+	// Buckets is the heat histogram's bucket count (default 64).
+	Buckets int
+	// KeyMax bounds the demotable key space: only [0, KeyMax] is ever
+	// demoted, and the heat histogram spans it. Zero means the full
+	// key space.
+	KeyMax keys.Key
+	// PromoteReads promotes a cold range on any access; by default
+	// point searches are served from the run without promotion and
+	// only writes, RMWs, and scans force the range hot.
+	PromoteReads bool
+	// Metrics receives the tier_* series; nil uses a private registry.
+	Metrics *metrics.Registry
+}
+
+// Stats is a point-in-time tier summary.
+type Stats struct {
+	ResidentKeys int64 // keys stored in the in-memory tree
+	ColdKeys     int64 // keys stored in runs
+	ColdRanges   int   // cold residency ranges (== run files)
+	DiskBytes    int64 // total run file bytes
+	Promotions   int64 // cold ranges faulted back in
+	Demotions    int64 // ranges spilled to disk
+	Faults       int64 // disk reads (point lookups + promotions)
+}
+
+// Store owns the tier directory: the residency map, the open run
+// handles, and the heat histogram driving victim selection. All
+// mutating calls come from the single engine caller (the wrapper
+// serializes batches); reads of the metrics gauges are safe from
+// anywhere.
+type Store struct {
+	fs  wal.FS
+	dir string
+	cfg Config
+
+	res  *Residency
+	runs map[string]*Run
+	seq  uint64
+	heat *shard.Heat
+	// recovered reports that Open found an existing manifest (vs.
+	// creating a fresh all-hot one) — qtrans recovery uses it to
+	// detect a tier directory that was lost while its snapshot still
+	// references cold ranges.
+	recovered bool
+	// demoteMax is the highest demotable key: min(KeyMax, maxKey-1),
+	// so a cold range's Hi+1 never overflows in the engine's
+	// exclusive-bound drain calls.
+	demoteMax keys.Key
+
+	mResident, mCold, mRuns, mDisk   *metrics.Gauge
+	cPromotions, cDemotions, cFaults *metrics.Counter
+}
+
+// heatDecayShift is the EWMA decay applied per batch (1/8 per step,
+// matching the autoshard controller's responsiveness).
+const heatDecayShift = 3
+
+// Open opens (or creates) the tier directory. With wipe set, any
+// existing state is discarded first — the non-durable path, where cold
+// runs could not be reconciled with a log anyway. Without wipe, the
+// MANIFEST is the recovery authority: every run it references must
+// open and verify (a missing or corrupt referenced run is acked data
+// lost, a fatal error), while temp files and unreferenced runs are
+// leftovers of an interrupted action whose effects the log still
+// holds, and are discarded.
+func Open(cfg Config, wipe bool) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("tier: no directory configured")
+	}
+	if cfg.FS == nil {
+		cfg.FS = wal.OS()
+	}
+	if cfg.RunKeys <= 0 {
+		cfg.RunKeys = 4096
+	}
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = 64
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.New()
+	}
+	s := &Store{
+		fs:        cfg.FS,
+		dir:       cfg.Dir,
+		cfg:       cfg,
+		runs:      make(map[string]*Run),
+		heat:      shard.NewHeat(cfg.Buckets, cfg.KeyMax, heatDecayShift),
+		demoteMax: maxKey - 1,
+
+		mResident:   cfg.Metrics.Gauge("tier_resident_keys"),
+		mCold:       cfg.Metrics.Gauge("tier_cold_keys"),
+		mRuns:       cfg.Metrics.Gauge("tier_cold_ranges"),
+		mDisk:       cfg.Metrics.Gauge("tier_disk_bytes"),
+		cPromotions: cfg.Metrics.Counter("tier_promotions"),
+		cDemotions:  cfg.Metrics.Counter("tier_demotions"),
+		cFaults:     cfg.Metrics.Counter("tier_faults"),
+	}
+	if cfg.KeyMax != 0 && cfg.KeyMax < s.demoteMax {
+		s.demoteMax = cfg.KeyMax
+	}
+	if err := s.fs.MkdirAll(s.dir); err != nil {
+		return nil, fmt.Errorf("tier: mkdir: %w", err)
+	}
+	names, err := s.fs.List(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("tier: list: %w", err)
+	}
+	if wipe {
+		for _, n := range names {
+			if err := s.fs.Remove(filepath.Join(s.dir, n)); err != nil {
+				return nil, fmt.Errorf("tier: wipe: %w", err)
+			}
+		}
+		names = nil
+	}
+
+	// Drop in-flight temp files and recover the run-name sequence from
+	// everything present, referenced or not, so a new run never reuses
+	// the name of a leftover about to be discarded.
+	var manifest []byte
+	for _, n := range names {
+		if strings.HasSuffix(n, tmpSuffix) {
+			if err := s.fs.Remove(filepath.Join(s.dir, n)); err != nil {
+				return nil, fmt.Errorf("tier: discard temp: %w", err)
+			}
+			continue
+		}
+		if q, ok := parseRunSeq(n); ok && q >= s.seq {
+			s.seq = q + 1
+		}
+		if n == manifestName {
+			manifest, err = s.readFile(n)
+			if err != nil {
+				return nil, fmt.Errorf("tier: manifest: %w", err)
+			}
+		}
+	}
+
+	if manifest == nil {
+		// Fresh directory: all-hot residency, persisted immediately so
+		// a durable tier directory always carries its authority file.
+		s.res = NewResidency()
+		if err := s.writeManifest(s.res); err != nil {
+			return nil, err
+		}
+	} else {
+		s.recovered = true
+		s.res, err = decodeResidency(manifest)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range s.res.ColdRuns() {
+			r, err := OpenRun(s.fs, s.dir, name)
+			if err != nil {
+				return nil, fmt.Errorf("tier: manifest references unusable run: %w", err)
+			}
+			s.runs[name] = r
+		}
+		// Cross-check run bounds against the residency ranges they
+		// back before trusting lookups to them.
+		for _, rr := range s.res.Ranges() {
+			if rr.State != Cold {
+				continue
+			}
+			r := s.runs[rr.Run]
+			if r.Lo != rr.Lo || r.Hi != rr.Hi {
+				return nil, fmt.Errorf("tier: run %s bounds [%d, %d] disagree with residency [%d, %d]",
+					rr.Run, r.Lo, r.Hi, rr.Lo, rr.Hi)
+			}
+		}
+		// Unreferenced runs are interrupted actions; discard them.
+		for _, n := range names {
+			if strings.HasSuffix(n, runSuffix) && s.runs[n] == nil {
+				if err := s.fs.Remove(filepath.Join(s.dir, n)); err != nil {
+					return nil, fmt.Errorf("tier: discard orphan run: %w", err)
+				}
+			}
+		}
+	}
+	s.refreshGauges()
+	return s, nil
+}
+
+// parseRunSeq extracts the sequence number from a run file name.
+func parseRunSeq(name string) (uint64, bool) {
+	base, ok := strings.CutSuffix(name, runSuffix)
+	if !ok {
+		return 0, false
+	}
+	q, err := strconv.ParseUint(base, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return q, true
+}
+
+// readFile slurps one file through the forward-only FS surface.
+func (s *Store) readFile(name string) ([]byte, error) {
+	f, err := s.fs.Open(filepath.Join(s.dir, name))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// writeManifest persists a residency map with the snapshot discipline:
+// temp, fsync, rename. Only after it returns may the in-memory map be
+// swapped to the one written.
+func (s *Store) writeManifest(m *Residency) error {
+	tmp := filepath.Join(s.dir, manifestName+tmpSuffix)
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("tier: manifest create: %w", err)
+	}
+	if _, err := f.Write(m.encode()); err != nil {
+		f.Close()
+		return fmt.Errorf("tier: manifest write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("tier: manifest sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("tier: manifest close: %w", err)
+	}
+	if err := s.fs.Rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
+		return fmt.Errorf("tier: manifest rename: %w", err)
+	}
+	return nil
+}
+
+// refreshGauges recomputes the derived cold-side gauges.
+func (s *Store) refreshGauges() {
+	var ck, db int64
+	for _, r := range s.runs {
+		ck += int64(r.Count)
+		db += r.Bytes
+	}
+	s.mCold.Set(ck)
+	s.mRuns.Set(int64(len(s.runs)))
+	s.mDisk.Set(db)
+}
+
+// SetResident publishes the in-memory tree's stored key count.
+func (s *Store) SetResident(n int64) { s.mResident.Set(n) }
+
+// Residency returns the live map (read-only to callers).
+func (s *Store) Residency() *Residency { return s.res }
+
+// Recovered reports whether Open found an existing manifest.
+func (s *Store) Recovered() bool { return s.recovered }
+
+// DecodeResidency parses a serialized residency map (the snapshot's
+// embedded copy), validating structure and checksum.
+func DecodeResidency(data []byte) (*Residency, error) { return decodeResidency(data) }
+
+// EncodedResidency returns the map's serialized form for embedding in
+// a tiered snapshot.
+func (s *Store) EncodedResidency() []byte { return s.res.encode() }
+
+// At returns the residency range containing k.
+func (s *Store) At(k keys.Key) Range { return s.res.At(k) }
+
+// ColdOverlapping appends the cold ranges intersecting [lo, hi].
+func (s *Store) ColdOverlapping(out []Range, lo, hi keys.Key) []Range {
+	return s.res.ColdOverlapping(out, lo, hi)
+}
+
+// RecordAccess feeds one key access into the heat histogram.
+func (s *Store) RecordAccess(k keys.Key) { s.heat.Record(k) }
+
+// DecayHeat applies one per-batch EWMA decay step.
+func (s *Store) DecayHeat() { s.heat.Decay() }
+
+// PromoteReads reports whether point reads force promotion.
+func (s *Store) PromoteReads() bool { return s.cfg.PromoteReads }
+
+// MaxResident returns the resident key budget (0 = unlimited).
+func (s *Store) MaxResident() int { return s.cfg.MaxResident }
+
+// RunKeys returns the per-run pair cap.
+func (s *Store) RunKeys() int { return s.cfg.RunKeys }
+
+// Stats summarizes the tier.
+func (s *Store) Stats() Stats {
+	return Stats{
+		ResidentKeys: s.mResident.Value(),
+		ColdKeys:     s.mCold.Value(),
+		ColdRanges:   len(s.runs),
+		DiskBytes:    s.mDisk.Value(),
+		Promotions:   s.cPromotions.Value(),
+		Demotions:    s.cDemotions.Value(),
+		Faults:       s.cFaults.Value(),
+	}
+}
+
+// Lookup answers a point search for a key inside a cold range straight
+// from its run.
+func (s *Store) Lookup(k keys.Key) (keys.Value, bool, error) {
+	rr := s.res.At(k)
+	if rr.State != Cold {
+		return 0, false, fmt.Errorf("tier: lookup of hot key %d", k)
+	}
+	s.cFaults.Add(1)
+	return s.runs[rr.Run].Get(s.fs, s.dir, k)
+}
+
+// Victims returns up to max candidate demotion ranges (max <= 0 means
+// no cap — every bucket's intersections): intersections of the coldest
+// heat buckets with the current hot ranges, coldest first, clipped to
+// the demotable key space. Candidates may hold zero stored keys — the
+// engine skips those, which is why the demotion path scans uncapped: a
+// cap's worth of coldest buckets can all be empty key space (untouched
+// buckets have zero heat and no stored keys), and stopping there would
+// stall demotion while genuinely demotable buckets wait right behind.
+func (s *Store) Victims(max int) []Range {
+	if max <= 0 {
+		max = int(^uint(0) >> 1)
+	}
+	type bh struct {
+		b int
+		v int64
+	}
+	order := make([]bh, s.heat.Buckets())
+	for i := range order {
+		order[i] = bh{b: i, v: s.heat.Value(i)}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].v != order[j].v {
+			return order[i].v < order[j].v
+		}
+		return order[i].b < order[j].b
+	})
+	var out []Range
+	for _, e := range order {
+		blo, bhi := s.heat.Range(e.b)
+		if bhi > s.demoteMax {
+			bhi = s.demoteMax
+		}
+		if blo > bhi {
+			continue
+		}
+		for i := s.res.find(blo); i < len(s.res.rs) && s.res.rs[i].Lo <= bhi; i++ {
+			r := s.res.rs[i]
+			if r.State != Hot {
+				continue
+			}
+			c := Range{Lo: r.Lo, Hi: r.Hi, State: Hot}
+			if c.Lo < blo {
+				c.Lo = blo
+			}
+			if c.Hi > bhi {
+				c.Hi = bhi
+			}
+			out = append(out, c)
+			if len(out) >= max {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// Demote writes [lo, hi]'s pairs as a new run and commits the range
+// cold: run file first (temp+rename), then manifest, then the
+// in-memory swap — so a crash at any point either leaves the range hot
+// (plus a discardable orphan) or cold with a complete run. The caller
+// must have drained caches, dumped the pairs, and synced the log
+// before calling, and must delete the range from the tree only after
+// this returns.
+func (s *Store) Demote(lo, hi keys.Key, ks []keys.Key, vs []keys.Value) error {
+	name := fmt.Sprintf("%08d%s", s.seq, runSuffix)
+	r, err := WriteRun(s.fs, s.dir, name, lo, hi, ks, vs)
+	if err != nil {
+		return err
+	}
+	next := s.res.Clone()
+	if err := next.Demote(lo, hi, name); err != nil {
+		s.fs.Remove(filepath.Join(s.dir, name))
+		return err
+	}
+	if err := s.writeManifest(next); err != nil {
+		s.fs.Remove(filepath.Join(s.dir, name))
+		return err
+	}
+	s.seq++
+	s.res = next
+	s.runs[name] = r
+	s.cDemotions.Add(1)
+	s.refreshGauges()
+	return nil
+}
+
+// RunPairs reads every pair of the named run (the promotion read).
+func (s *Store) RunPairs(name string) ([]keys.Key, []keys.Value, error) {
+	r := s.runs[name]
+	if r == nil {
+		return nil, nil, fmt.Errorf("tier: no open run %s", name)
+	}
+	s.cFaults.Add(1)
+	return r.Pairs(s.fs, s.dir)
+}
+
+// CommitPromote marks the named run's range hot again and deletes the
+// run file. The caller must have logged and synced the run's pairs
+// first (so a crash after the manifest flip replays them), and must
+// insert them into the tree only after this returns.
+func (s *Store) CommitPromote(name string) error {
+	if s.runs[name] == nil {
+		return fmt.Errorf("tier: no open run %s", name)
+	}
+	next := s.res.Clone()
+	if err := next.Promote(name); err != nil {
+		return err
+	}
+	if err := s.writeManifest(next); err != nil {
+		return err
+	}
+	s.res = next
+	delete(s.runs, name)
+	// Best-effort: an undeleted run is now unreferenced and the next
+	// Open discards it.
+	s.fs.Remove(filepath.Join(s.dir, name))
+	s.cPromotions.Add(1)
+	s.refreshGauges()
+	return nil
+}

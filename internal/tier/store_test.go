@@ -1,0 +1,223 @@
+package tier
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultfs"
+	"repro/internal/keys"
+)
+
+func testConfig(fs *faultfs.FS) Config {
+	return Config{Dir: "tier", FS: fs, MaxResident: 16, RunKeys: 8, Buckets: 8, KeyMax: 64}
+}
+
+// demoteSome spills [lo, lo+n-1] with values k*10 and returns the run
+// name the store assigned.
+func demoteSome(t *testing.T, s *Store, lo keys.Key, n int) string {
+	t.Helper()
+	ks := make([]keys.Key, n)
+	vs := make([]keys.Value, n)
+	for i := range ks {
+		ks[i] = lo + keys.Key(i)
+		vs[i] = keys.Value(ks[i] * 10)
+	}
+	if err := s.Demote(lo, lo+keys.Key(n-1), ks, vs); err != nil {
+		t.Fatal(err)
+	}
+	r := s.At(lo)
+	if r.State != Cold {
+		t.Fatalf("range at %d not cold after demote", lo)
+	}
+	return r.Run
+}
+
+// TestStoreRecoverDiscardsLeftovers locks Open's reconciliation rules:
+// the manifest is the authority, temp files and unreferenced runs are
+// interrupted actions to discard, and the run-name sequence never
+// reuses a discarded name.
+func TestStoreRecoverDiscardsLeftovers(t *testing.T) {
+	fs := faultfs.New()
+	s, err := Open(testConfig(fs), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Recovered() {
+		t.Fatal("fresh directory claims recovery")
+	}
+	run := demoteSome(t, s, 10, 5)
+
+	// Plant the leftovers of a crashed demotion: an in-flight temp and
+	// a completed-but-unreferenced run (manifest never flipped).
+	for _, name := range []string{"junk.tmp", "00000007.run"} {
+		f, err := fs.Create(filepath.Join("tier", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write([]byte("torn"))
+		f.Close()
+	}
+
+	s2, err := Open(testConfig(fs), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Recovered() {
+		t.Fatal("existing manifest not reported as recovered")
+	}
+	for _, name := range []string{"junk.tmp", "00000007.run"} {
+		if _, ok := fs.Content(filepath.Join("tier", name)); ok {
+			t.Fatalf("leftover %s survived recovery", name)
+		}
+	}
+	if r := s2.At(12); r.State != Cold || r.Run != run {
+		t.Fatalf("cold range lost across reopen: %+v", r)
+	}
+	v, found, err := s2.Lookup(12)
+	if err != nil || !found || v != 120 {
+		t.Fatalf("Lookup(12) = (%d, %v, %v), want (120, true, nil)", v, found, err)
+	}
+	if _, found, err := s2.Lookup(11); err != nil || !found {
+		t.Fatalf("Lookup(11) lost: found=%v err=%v", found, err)
+	}
+	// The discarded 00000007.run must still advance the sequence: a new
+	// run may never reuse a name the log-replay era might resurrect.
+	next := demoteSome(t, s2, 30, 3)
+	if next <= "00000007.run" {
+		t.Fatalf("new run %s does not postdate the discarded leftover", next)
+	}
+}
+
+// TestStoreWipe locks the non-durable path: wipe discards every run and
+// the manifest, leaving a fresh all-hot store.
+func TestStoreWipe(t *testing.T) {
+	fs := faultfs.New()
+	s, err := Open(testConfig(fs), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := demoteSome(t, s, 10, 5)
+	s2, err := Open(testConfig(fs), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Recovered() {
+		t.Fatal("wiped directory claims recovery")
+	}
+	if r := s2.At(12); r.State != Hot {
+		t.Fatalf("wiped store still cold at 12: %+v", r)
+	}
+	if _, ok := fs.Content(filepath.Join("tier", run)); ok {
+		t.Fatalf("run %s survived wipe", run)
+	}
+}
+
+// TestStoreRecoverRejectsLostRun locks the fatal path: a manifest that
+// references a missing or corrupt run is acked data lost, never a
+// silent degrade.
+func TestStoreRecoverRejectsLostRun(t *testing.T) {
+	fs := faultfs.New()
+	s, err := Open(testConfig(fs), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := demoteSome(t, s, 10, 5)
+	if err := fs.Remove(filepath.Join("tier", run)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(testConfig(fs), false); err == nil {
+		t.Fatal("recovery with a missing referenced run succeeded")
+	}
+}
+
+// TestStoreRecoverRejectsBoundsMismatch locks the cross-check between a
+// run's header bounds and the residency range it backs.
+func TestStoreRecoverRejectsBoundsMismatch(t *testing.T) {
+	fs := faultfs.New()
+	s, err := Open(testConfig(fs), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := demoteSome(t, s, 10, 5)
+	// Overwrite the run with one whose bounds disagree with the
+	// manifest (valid format, wrong coverage).
+	if err := fs.Remove(filepath.Join("tier", run)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteRun(fs, "tier", run, 10, 20, []keys.Key{10, 20}, []keys.Value{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(testConfig(fs), false); err == nil {
+		t.Fatal("recovery with mismatched run bounds succeeded")
+	}
+}
+
+// TestStoreVictims locks victim selection: candidates come from the
+// coldest heat buckets first, never contain hot traffic, are clipped to
+// the demotable space, and exclude cold ranges.
+func TestStoreVictims(t *testing.T) {
+	fs := faultfs.New()
+	s, err := Open(testConfig(fs), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys 0..7 are hot traffic; the rest of [0, 64] is untouched.
+	for i := 0; i < 1000; i++ {
+		s.RecordAccess(keys.Key(i % 8))
+	}
+	vics := s.Victims(4)
+	if len(vics) == 0 {
+		t.Fatal("no victims over an all-hot map")
+	}
+	for _, v := range vics {
+		if v.Lo <= 7 {
+			t.Fatalf("victim [%d, %d] overlaps the hottest traffic", v.Lo, v.Hi)
+		}
+		if v.Hi > 64 {
+			t.Fatalf("victim [%d, %d] beyond KeyMax", v.Lo, v.Hi)
+		}
+	}
+	// Demote the first victim; it must not be offered again (asking for
+	// more candidates than there are cold buckets may eventually reach
+	// the hot-traffic bucket, but never an already-cold range).
+	run := demoteSome(t, s, vics[0].Lo, int(vics[0].Hi-vics[0].Lo+1))
+	for _, v := range s.Victims(8) {
+		if v.Hi > 64 {
+			t.Fatalf("victim [%d, %d] beyond KeyMax after demote", v.Lo, v.Hi)
+		}
+		if v.Lo >= vics[0].Lo && v.Lo <= vics[0].Hi {
+			t.Fatalf("victim [%d, %d] overlaps cold run %s", v.Lo, v.Hi, run)
+		}
+	}
+}
+
+// TestStorePromoteRoundtrip locks the demote→promote cycle at the store
+// level: pairs come back identical, the range coalesces hot again, and
+// the run file is gone afterwards.
+func TestStorePromoteRoundtrip(t *testing.T) {
+	fs := faultfs.New()
+	s, err := Open(testConfig(fs), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := demoteSome(t, s, 10, 5)
+	ks, vs, err := s.RunPairs(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 5 || ks[0] != 10 || vs[0] != 100 {
+		t.Fatalf("RunPairs = (%v, %v)", ks, vs)
+	}
+	if err := s.CommitPromote(run); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Residency().Ranges()); got != 1 {
+		t.Fatalf("residency has %d ranges after promote, want 1 (coalesced)", got)
+	}
+	if _, ok := fs.Content(filepath.Join("tier", run)); ok {
+		t.Fatalf("run %s survived promotion", run)
+	}
+	if st := s.Stats(); st.Promotions != 1 || st.Demotions != 1 || st.ColdRanges != 0 {
+		t.Fatalf("stats after cycle: %+v", st)
+	}
+}

@@ -25,6 +25,15 @@ import (
 // into a gapped tree. The workload mixes all five operations: range
 // scans take the extended execution path but add no log records, while
 // RMW effects must replay from the log like any other write.
+//
+// Bit 5 runs the DB tiered (DESIGN.md §14) with a budget tiny enough
+// that the 64-key space churns through demotions and promotions
+// mid-workload, so the power cut lands mid-run-write, mid-demotion, or
+// mid-promotion: a torn run temp or unrenamed manifest must be
+// discarded on reopen, a synced promotion log batch must reconcile
+// with a manifest that did or did not flip, and in every case the
+// recovered state must still be a whole-batch prefix covering every
+// acknowledged batch.
 func FuzzCrashRecovery(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, byte(0), uint16(50), uint16(1))
 	f.Add([]byte{9, 9, 9, 1, 1, 200, 30, 4, 0, 255, 17, 23, 8, 8}, byte(1), uint16(200), uint16(7))
@@ -37,6 +46,14 @@ func FuzzCrashRecovery(f *testing.F) {
 	// RMW effects must be durably replayed like any other write.
 	f.Add([]byte{10, 1, 40, 10, 5, 2, 20, 4, 63, 10, 5, 3, 10, 0, 0, 20, 5, 9}, byte(5), uint16(150), uint16(11))
 	f.Add([]byte{1, 5, 8, 2, 5, 8, 3, 5, 9, 1, 4, 200, 2, 4, 100, 3, 3, 0}, byte(9), uint16(80), uint16(2))
+	// Tiered arms (bit 5): insert-heavy so the tiny budget forces
+	// demotions, then writes/scans back into demoted ranges force
+	// promotions; varied cut offsets land the power cut inside run
+	// writes, manifest renames, and promotion log batches.
+	f.Add([]byte{1, 1, 9, 9, 1, 9, 17, 1, 9, 25, 1, 9, 33, 1, 9, 41, 1, 9, 49, 1, 9, 57, 1, 9, 1, 0, 0, 33, 5, 2}, byte(32), uint16(300), uint16(4))
+	f.Add([]byte{1, 1, 9, 9, 1, 9, 17, 1, 9, 25, 1, 9, 33, 1, 9, 41, 1, 9, 49, 1, 9, 57, 1, 9, 1, 4, 63, 33, 1, 7}, byte(33), uint16(600), uint16(13))
+	f.Add([]byte{2, 1, 5, 10, 1, 5, 18, 1, 5, 26, 1, 5, 34, 1, 5, 42, 1, 5, 2, 3, 0, 10, 5, 2, 18, 0, 0, 26, 4, 20}, byte(36), uint16(900), uint16(21))
+	f.Add([]byte{3, 1, 7, 11, 1, 7, 19, 1, 7, 27, 1, 7, 35, 1, 7, 43, 1, 7, 51, 1, 7, 3, 5, 1, 11, 5, 0, 19, 3, 0}, byte(47), uint16(1200), uint16(6))
 
 	f.Fuzz(func(t *testing.T, data []byte, cfg byte, cut uint16, crashSeed uint16) {
 		// Decode the workload: 3 bytes per query, batches of 5 queries.
@@ -84,6 +101,7 @@ func FuzzCrashRecovery(f *testing.F) {
 			reopenShards = 4
 		}
 		denseRun := cfg&16 != 0
+		tiered := cfg&32 != 0
 
 		// The oracle state after every whole-batch prefix.
 		orc := oracle.New()
@@ -111,7 +129,23 @@ func FuzzCrashRecovery(f *testing.F) {
 		// logged bytes, and track how many batches were acknowledged
 		// (committed with no sticky error) before the cut.
 		fs := faultfs.New()
-		opts := durOpts(fs, shards, pipeline)
+		// withTier arms the tiered cold store over the same faulting
+		// filesystem: a 16-key budget over the 64-key space with 8-key
+		// runs keeps ranges demoting and promoting every few batches.
+		withTier := func(o Options) Options {
+			if tiered {
+				o.Tiered = Tiered{
+					Dir:             "tier",
+					MaxResidentKeys: 16,
+					RunKeys:         8,
+					HeatBuckets:     8,
+					KeyMax:          64,
+					fs:              fs,
+				}
+			}
+			return o
+		}
+		opts := withTier(durOpts(fs, shards, pipeline))
 		opts.NoGappedLayout = denseRun
 		opts.Durability.SegmentSize = 512 // rotate often under fuzzing
 		db, err := Open(opts)
@@ -169,7 +203,7 @@ func FuzzCrashRecovery(f *testing.F) {
 		// Recover — possibly under a different shard count — and demand
 		// the oracle state after some whole-batch prefix that includes
 		// every acknowledged batch (SyncAlways).
-		db2, err := Open(durOpts(fs, reopenShards, pipeline))
+		db2, err := Open(withTier(durOpts(fs, reopenShards, pipeline)))
 		if err != nil {
 			t.Fatalf("recovery failed: %v", err)
 		}

@@ -2,12 +2,14 @@ package qtrans
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"time"
 
 	"repro/internal/btree"
 	"repro/internal/keys"
+	"repro/internal/tier"
 	"repro/internal/wal"
 )
 
@@ -78,8 +80,19 @@ func openDurable(opts Options) (*DB, error) {
 		return nil, err
 	}
 	var tree *btree.Tree
+	var snapRes *tier.Residency
 	if rec.SnapshotPayload != nil {
-		tree, err = btree.LoadLayout(bytes.NewReader(rec.SnapshotPayload), opts.Order, opts.layout())
+		treeBytes := rec.SnapshotPayload
+		if isTieredSnapshot(treeBytes) {
+			if opts.Tiered.Dir == "" {
+				return nil, fmt.Errorf("qtrans: %s holds a tiered snapshot; reopen with Options.Tiered", opts.Durability.Dir)
+			}
+			treeBytes, snapRes, err = splitTieredSnapshot(rec.SnapshotPayload)
+			if err != nil {
+				return nil, fmt.Errorf("qtrans: corrupt tiered snapshot in %s: %w", opts.Durability.Dir, err)
+			}
+		}
+		tree, err = btree.LoadLayout(bytes.NewReader(treeBytes), opts.Order, opts.layout())
 		if err != nil {
 			return nil, fmt.Errorf("qtrans: corrupt snapshot in %s: %w", opts.Durability.Dir, err)
 		}
@@ -93,12 +106,42 @@ func openDurable(opts Options) (*DB, error) {
 	// Replay committed batches logged after the snapshot, in commit
 	// order, through the normal batch path (the surviving queries fully
 	// determine each batch's state effect). The commit hook is not yet
-	// attached, so replay does not re-log.
+	// attached, so replay does not re-log. On a tiered DB the replay
+	// runs on the raw inner engine — promotions logged before the
+	// crash replay as plain insert batches, and the tier wrapper is
+	// attached only afterwards so no replayed query can trigger a
+	// spurious fault-in.
 	rs := keys.NewResultSet(0)
 	for _, b := range rec.Batches {
 		keys.Number(b)
 		rs.Reset(len(b))
 		db.eng.ProcessBatch(b, rs)
+	}
+
+	// Reconcile the tier directory with the replayed state: the
+	// manifest is the authority for which ranges are cold, and their
+	// runs override whatever the replay rebuilt for those keys
+	// (demoted keys replay hot because their original inserts are
+	// still in the log; the purge removes them again).
+	if opts.Tiered.Dir != "" {
+		st, err := tier.Open(opts.tierConfig(), false)
+		if err != nil {
+			db.eng.Close()
+			return nil, err
+		}
+		if snapRes != nil && len(snapRes.ColdRuns()) > 0 && !st.Recovered() {
+			db.eng.Close()
+			return nil, fmt.Errorf("qtrans: snapshot in %s references cold runs but tier directory %s has no manifest (tier state lost)",
+				opts.Durability.Dir, opts.Tiered.Dir)
+		}
+		var inner tier.Inner = db.single
+		if db.sharded != nil {
+			inner = db.sharded
+		}
+		te := tier.NewEngine(inner, st, opts.Tiered.MaxActionsPerBatch)
+		te.SetGate(&db.gate)
+		te.PurgeCold()
+		db.eng, db.tier = te, te
 	}
 
 	log, err := rec.OpenLog()
@@ -117,7 +160,44 @@ func openDurable(opts Options) (*DB, error) {
 	} else {
 		db.sharded.SetCommitter(log)
 	}
+	if db.tier != nil {
+		db.tier.SetLogger(log)
+	}
 	return db, nil
+}
+
+// Tiered snapshot payload (inside the QSN1 snapshot envelope):
+//
+//	magic    [4]byte "QTS1"
+//	treeLen  u64
+//	tree     treeLen bytes (the hot tree, QBT3)
+//	residency remaining bytes (QTM1, self-validating)
+//
+// Only hot state and the residency map are snapshotted — cold runs
+// stay where they are, so Checkpoint never materializes cold data and
+// peak memory stays bounded by the resident budget.
+
+var tieredSnapMagic = [4]byte{'Q', 'T', 'S', '1'}
+
+func isTieredSnapshot(payload []byte) bool {
+	return len(payload) >= 4 && [4]byte(payload[0:4]) == tieredSnapMagic
+}
+
+// splitTieredSnapshot separates a tiered snapshot payload into the hot
+// tree bytes and the decoded residency map.
+func splitTieredSnapshot(payload []byte) ([]byte, *tier.Residency, error) {
+	if len(payload) < 12 {
+		return nil, nil, fmt.Errorf("short payload (%d bytes)", len(payload))
+	}
+	tl := binary.LittleEndian.Uint64(payload[4:12])
+	if tl > uint64(len(payload)-12) {
+		return nil, nil, fmt.Errorf("tree length %d exceeds payload", tl)
+	}
+	res, err := tier.DecodeResidency(payload[12+tl:])
+	if err != nil {
+		return nil, nil, err
+	}
+	return payload[12 : 12+tl], res, nil
 }
 
 // Checkpoint writes an atomic snapshot of the current state into the
@@ -140,11 +220,50 @@ func (db *DB) Checkpoint() error {
 	// log's prefix state.
 	lsn := db.log.LastLSN()
 	if err := wal.WriteSnapshot(db.durFS, db.durDir, lsn, func(w io.Writer) error {
+		if db.tier != nil {
+			return db.saveTieredLocked(w)
+		}
 		return db.saveLocked(w)
 	}); err != nil {
 		return err
 	}
 	return db.log.TruncateObsolete(lsn)
+}
+
+// saveTieredLocked writes the tiered snapshot payload: the hot tree
+// plus the residency map, atomically together (the caller wraps this
+// in WriteSnapshot's temp+rename). Cold runs are not materialized —
+// they are immutable files already on disk, and the manifest remains
+// the recovery authority for them; the embedded residency copy guards
+// against a lost tier directory.
+func (db *DB) saveTieredLocked(w io.Writer) error {
+	var tree bytes.Buffer
+	if db.sharded != nil {
+		ks, vs := db.sharded.Dump()
+		t, err := btree.BulkLoadLayout(db.sharded.Order(), db.layout, ks, vs)
+		if err != nil {
+			return err
+		}
+		if err := t.Save(&tree); err != nil {
+			return err
+		}
+	} else {
+		db.eng.Flush()
+		if err := db.single.Processor().Tree().Save(&tree); err != nil {
+			return err
+		}
+	}
+	var hdr [12]byte
+	copy(hdr[0:4], tieredSnapMagic[:])
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(tree.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(tree.Bytes()); err != nil {
+		return err
+	}
+	_, err := w.Write(db.tier.Store().EncodedResidency())
+	return err
 }
 
 // Err reports the DB's sticky durability failure, if any. Once a log
@@ -153,6 +272,11 @@ func (db *DB) Checkpoint() error {
 // log) and Err returns the cause; results produced after the failure
 // are unspecified and no further mutations reach the store.
 func (db *DB) Err() error {
+	if db.tier != nil {
+		if err := db.tier.Err(); err != nil {
+			return err
+		}
+	}
 	if db.single != nil {
 		if err := db.single.CommitErr(); err != nil {
 			return err

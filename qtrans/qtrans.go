@@ -37,6 +37,7 @@ import (
 	"repro/internal/palm"
 	"repro/internal/shard"
 	"repro/internal/stats"
+	"repro/internal/tier"
 	"repro/internal/wal"
 )
 
@@ -127,6 +128,18 @@ type Options struct {
 	// durability off with semantics identical to previous releases.
 	// See durability.go.
 	Durability Durability
+	// Tiered enables cold-range spilling to disk when its Dir is set
+	// (DESIGN.md §14): whole key ranges are demoted out of the
+	// in-memory tree into immutable sorted runs when the resident key
+	// count exceeds the budget, and batches transparently fault cold
+	// ranges back in when they write, RMW, or scan into them (point
+	// searches are served from the runs without promotion). At most
+	// one bounded action runs per batch boundary through the
+	// scheduling gate, so serving never pauses. Combined with
+	// Durability, runs and the residency manifest participate in crash
+	// recovery. The zero value keeps tiering off with the hot path
+	// alloc-identical to previous releases.
+	Tiered Tiered
 	// Metrics, when non-nil, instruments the full batch path into the
 	// given registry (see metrics.go and DESIGN.md §9): per-stage and
 	// batch-wall latency histograms, cache/fence/query counters, shard
@@ -184,6 +197,54 @@ type Autoshard struct {
 	// MinHeat is the total histogram heat below which the controller
 	// idles (0 = 256).
 	MinHeat int64
+}
+
+// Tiered configures cold-range spilling to disk (see Options.Tiered
+// and DESIGN.md §14). Every field but Dir is optional; zero picks the
+// documented default.
+type Tiered struct {
+	// Dir is the tier directory (run files + residency manifest).
+	// Empty means tiering off. Without Options.Durability the
+	// directory is wiped on Open (cold runs cannot outlive the process
+	// without a log to reconcile against); with it, the directory is
+	// recovered and reconciled with the write-ahead log.
+	Dir string
+	// MaxResidentKeys is the resident budget: while the in-memory
+	// tree stores more keys, batch boundaries demote cold ranges.
+	// 0 disables demotion (existing cold ranges are still served).
+	MaxResidentKeys int
+	// RunKeys caps the pairs per demoted run (0 = 4096).
+	RunKeys int
+	// HeatBuckets is the demotion policy's heat histogram resolution
+	// (0 = 64).
+	HeatBuckets int
+	// KeyMax bounds the demotable key space to [0, KeyMax] and sizes
+	// the heat histogram over it (0 = the full uint64 space).
+	KeyMax Key
+	// MaxActionsPerBatch bounds the demotions applied at one batch
+	// boundary (0 = 1) — the unit of never-pause maintenance.
+	MaxActionsPerBatch int
+	// PromoteReads promotes a cold range on any access, including
+	// point searches; by default only writes, RMWs, and scans fault a
+	// range back in and searches are answered from the run on disk.
+	PromoteReads bool
+
+	// fs overrides the filesystem (fault-injection tests only).
+	fs wal.FS
+}
+
+// tierConfig translates the facade knobs to the tier store config.
+func (opts Options) tierConfig() tier.Config {
+	return tier.Config{
+		Dir:          opts.Tiered.Dir,
+		FS:           opts.Tiered.fs,
+		MaxResident:  opts.Tiered.MaxResidentKeys,
+		RunKeys:      opts.Tiered.RunKeys,
+		Buckets:      opts.Tiered.HeatBuckets,
+		KeyMax:       opts.Tiered.KeyMax,
+		PromoteReads: opts.Tiered.PromoteReads,
+		Metrics:      opts.Metrics,
+	}
 }
 
 // shardConfig translates the facade knobs to the internal controller
@@ -256,6 +317,9 @@ type DB struct {
 	sharded   *shard.Engine // non-nil when Shards > 1
 	pipelined bool
 	layout    btree.Layout // node layout from Options (for snapshots)
+	// tier is the cold-store wrapper (nil when Options.Tiered is off;
+	// when non-nil it is also eng).
+	tier *tier.Engine
 
 	// gate serializes snapshots against batch application: every batch
 	// holds it for reading, Save/Checkpoint for writing, so a snapshot
@@ -281,7 +345,37 @@ func Open(opts Options) (*DB, error) {
 	if opts.Durability.Dir != "" {
 		return openDurable(opts)
 	}
-	return build(opts, nil)
+	db, err := build(opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Without durability the tier directory starts fresh: cold runs
+	// cannot be reconciled without a log, so wipe any leftovers.
+	if err := db.wireTier(opts, true); err != nil {
+		db.eng.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// wireTier wraps the engine stack with the tier store when
+// Options.Tiered is on. With wipe, existing tier state is discarded.
+func (db *DB) wireTier(opts Options, wipe bool) error {
+	if opts.Tiered.Dir == "" {
+		return nil
+	}
+	st, err := tier.Open(opts.tierConfig(), wipe)
+	if err != nil {
+		return err
+	}
+	var inner tier.Inner = db.single
+	if db.sharded != nil {
+		inner = db.sharded
+	}
+	te := tier.NewEngine(inner, st, opts.Tiered.MaxActionsPerBatch)
+	te.SetGate(&db.gate)
+	db.eng, db.tier = te, te
+	return nil
 }
 
 // build constructs the engine stack for opts — sharded or single,
@@ -489,8 +583,12 @@ func (db *DB) Remove(k Key) {
 }
 
 // Len returns the number of stored pairs. In Full mode this flushes
-// the caches first so the count is exact.
+// the caches first so the count is exact. On a tiered DB the count
+// includes cold pairs spilled to disk.
 func (db *DB) Len() int {
+	if db.tier != nil {
+		return db.tier.Len()
+	}
 	if db.sharded != nil {
 		return db.sharded.Len()
 	}
@@ -499,14 +597,30 @@ func (db *DB) Len() int {
 }
 
 // Scan visits all pairs in ascending key order (flushing the caches
-// first) until fn returns false.
+// first) until fn returns false. On a tiered DB cold ranges are read
+// from their runs in place, merged into key order; a run read failure
+// stops the scan and surfaces through Err.
 func (db *DB) Scan(fn func(k Key, v Value) bool) {
+	if db.tier != nil {
+		db.tier.Scan(fn)
+		return
+	}
 	if db.sharded != nil {
 		db.sharded.Scan(fn)
 		return
 	}
 	db.eng.Flush()
 	db.single.Processor().Tree().Scan(fn)
+}
+
+// TierStats summarizes a tiered DB's cold store (resident/cold keys,
+// promotions, demotions, faults, disk bytes); ok is false when the DB
+// was opened without Options.Tiered.
+func (db *DB) TierStats() (st tier.Stats, ok bool) {
+	if db.tier == nil {
+		return tier.Stats{}, false
+	}
+	return db.tier.Store().Stats(), true
 }
 
 // Warm pre-populates the top-K cache with hot keys (§V-B training).
@@ -562,8 +676,24 @@ func (db *DB) Save(w io.Writer) error {
 
 // saveLocked dumps the store (dirty cache entries flushed first) with
 // the snapshot gate held: no batch is mid-application, so the dump is
-// exactly the state after the last completed batch.
+// exactly the state after the last completed batch. On a tiered DB
+// the export materializes cold runs into the single-tree format, so
+// the snapshot loads anywhere — including a DB without Options.Tiered
+// (Checkpoint, by contrast, snapshots hot state + residency only and
+// never materializes cold data; see durability.go).
 func (db *DB) saveLocked(w io.Writer) error {
+	if db.tier != nil {
+		ks, vs, err := db.tier.DumpLocked()
+		if err != nil {
+			return err
+		}
+		order := db.order()
+		tree, err := btree.BulkLoadLayout(order, db.layout, ks, vs)
+		if err != nil {
+			return err
+		}
+		return tree.Save(w)
+	}
 	if db.sharded != nil {
 		ks, vs := db.sharded.Dump()
 		tree, err := btree.BulkLoadLayout(db.sharded.Order(), db.layout, ks, vs)
@@ -590,7 +720,23 @@ func Load(r io.Reader, opts Options) (*DB, error) {
 		return nil, err
 	}
 	opts.Order = tree.Order()
-	return build(opts, tree)
+	db, err := build(opts, tree)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.wireTier(opts, true); err != nil {
+		db.eng.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// order returns the tree fanout of the engine stack.
+func (db *DB) order() int {
+	if db.sharded != nil {
+		return db.sharded.Order()
+	}
+	return db.single.Processor().Tree().Order()
 }
 
 // LastBatchStats exposes the instrumentation of the most recent Run.

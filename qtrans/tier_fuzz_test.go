@@ -1,0 +1,157 @@
+package qtrans
+
+import (
+	"testing"
+
+	"repro/internal/faultfs"
+	"repro/internal/keys"
+)
+
+// FuzzTieredEquivalence is the tiered-path correctness proof: a
+// fuzzer-chosen workload runs against a tiered DB whose resident budget
+// is tiny enough that the 64-key space churns through demotions and
+// promotions constantly, and against a plain in-memory DB. Every
+// query's result — search values and presence, RMW pre-images, scan
+// rows — must be byte-identical between the two, and so must the final
+// store contents. This pins the whole tier surface at once: residency
+// classification, cold point serves from runs, write/RMW/scan fault-in,
+// cache draining on demotion, and the subset batch execution that skips
+// cold searches.
+//
+// The config byte sweeps the tiered matrix: Shards=4 (bit 0),
+// PromoteReads (bit 1), a looser budget (bit 2), and multiple
+// maintenance actions per batch (bit 3). The plain reference DB is
+// always the unsharded default engine, which the rest of the suite pins
+// against the serial oracle.
+func FuzzTieredEquivalence(f *testing.F) {
+	// Insert-heavy prefix to force demotions, then reads, scans, RMWs,
+	// and deletes landing in demoted ranges.
+	f.Add([]byte{1, 1, 9, 9, 1, 9, 17, 1, 9, 25, 1, 9, 33, 1, 9, 41, 1, 9, 49, 1, 9, 57, 1, 9, 1, 0, 0, 33, 4, 63}, byte(0))
+	f.Add([]byte{1, 1, 9, 9, 1, 9, 17, 1, 9, 25, 1, 9, 33, 1, 9, 41, 1, 9, 49, 1, 9, 57, 1, 9, 1, 5, 2, 33, 3, 0}, byte(1))
+	f.Add([]byte{2, 1, 5, 10, 1, 5, 18, 1, 5, 26, 1, 5, 34, 1, 5, 42, 1, 5, 2, 0, 0, 10, 4, 40, 18, 5, 1, 26, 3, 0}, byte(2))
+	f.Add([]byte{3, 1, 7, 11, 1, 7, 19, 1, 7, 27, 1, 7, 35, 1, 7, 43, 1, 7, 51, 1, 7, 59, 1, 7, 3, 5, 0}, byte(7))
+	f.Add([]byte{5, 4, 3, 2, 1, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, byte(15))
+	f.Add([]byte{63, 1, 1, 0, 1, 1, 32, 1, 1, 63, 0, 0, 0, 4, 255, 32, 5, 3}, byte(8))
+
+	f.Fuzz(func(t *testing.T, data []byte, cfg byte) {
+		const batchLen = 5
+		var batches [][]keys.Query
+		var cur []keys.Query
+		for i := 0; i+2 < len(data) && len(batches) < 40; i += 3 {
+			k := Key(data[i] % 64)
+			switch data[i+1] % 6 {
+			case 0:
+				cur = append(cur, keys.Search(k))
+			case 1, 2:
+				cur = append(cur, keys.Insert(k, Value(data[i+2])+1))
+			case 3:
+				cur = append(cur, keys.Delete(k))
+			case 4:
+				cur = append(cur, keys.Scan(k, k+Key(data[i+2]%32), Value(data[i+2]>>6)))
+			default:
+				if data[i+2]&1 == 0 {
+					cur = append(cur, keys.AddDelta(k, Value(data[i+2])+1))
+				} else {
+					cur = append(cur, keys.SetIfAbsent(k, Value(data[i+2])+1))
+				}
+			}
+			if len(cur) == batchLen {
+				batches = append(batches, cur)
+				cur = nil
+			}
+		}
+		if len(cur) > 0 {
+			batches = append(batches, cur)
+		}
+
+		shards := 1
+		if cfg&1 != 0 {
+			shards = 4
+		}
+		budget := 8
+		if cfg&4 != 0 {
+			budget = 24
+		}
+		actions := 1
+		if cfg&8 != 0 {
+			actions = 3
+		}
+		tdb, err := Open(Options{
+			Order: 8, Workers: 2, CacheCapacity: 16,
+			Shards: shards, ShardKeyMax: 1 << 20,
+			Tiered: Tiered{
+				Dir:                "tier",
+				MaxResidentKeys:    budget,
+				RunKeys:            8,
+				HeatBuckets:        8,
+				KeyMax:             64,
+				MaxActionsPerBatch: actions,
+				PromoteReads:       cfg&2 != 0,
+				fs:                 faultfs.New(),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tdb.Close()
+		pdb, err := Open(Options{Order: 8, Workers: 2, CacheCapacity: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pdb.Close()
+
+		for bi, b := range batches {
+			tb, pb := NewBatch(), NewBatch()
+			tb.qs = append(tb.qs, b...)
+			pb.qs = append(pb.qs, b...)
+			tr := tdb.Run(tb)
+			pr := pdb.Run(pb)
+			if err := tdb.Err(); err != nil {
+				t.Fatalf("batch %d: tiered DB poisoned: %v", bi, err)
+			}
+			for pos := range b {
+				tres, tok := tr.Search(pos)
+				pres, pok := pr.Search(pos)
+				if tok != pok || tres != pres {
+					t.Fatalf("batch %d pos %d (op %v key %d): tiered (%+v, %v) != plain (%+v, %v)",
+						bi, pos, b[pos].Op, b[pos].Key, tres, tok, pres, pok)
+				}
+				trows, tok2 := tr.Scan(pos)
+				prows, pok2 := pr.Scan(pos)
+				if tok2 != pok2 || len(trows) != len(prows) {
+					t.Fatalf("batch %d pos %d: scan shape tiered (%d, %v) != plain (%d, %v)",
+						bi, pos, len(trows), tok2, len(prows), pok2)
+				}
+				for ri := range trows {
+					if trows[ri] != prows[ri] {
+						t.Fatalf("batch %d pos %d row %d: tiered %+v != plain %+v",
+							bi, pos, ri, trows[ri], prows[ri])
+					}
+				}
+			}
+		}
+
+		// Final store: logical contents must be byte-identical.
+		if tl, pl := tdb.Len(), pdb.Len(); tl != pl {
+			t.Fatalf("final Len: tiered %d != plain %d", tl, pl)
+		}
+		type kv struct {
+			k Key
+			v Value
+		}
+		var tdump, pdump []kv
+		tdb.Scan(func(k Key, v Value) bool { tdump = append(tdump, kv{k, v}); return true })
+		pdb.Scan(func(k Key, v Value) bool { pdump = append(pdump, kv{k, v}); return true })
+		if len(tdump) != len(pdump) {
+			t.Fatalf("final dump: tiered %d pairs != plain %d", len(tdump), len(pdump))
+		}
+		for i := range tdump {
+			if tdump[i] != pdump[i] {
+				t.Fatalf("final dump pair %d: tiered %+v != plain %+v", i, tdump[i], pdump[i])
+			}
+		}
+		if err := tdb.Err(); err != nil {
+			t.Fatalf("tiered DB poisoned at end: %v", err)
+		}
+	})
+}
